@@ -1,0 +1,87 @@
+"""ABL-THRESH — slow-classification threshold sensitivity (AS and PA).
+
+Both HD-PSR-AS and HD-PSR-PA hinge on a "this read was slow" threshold the
+paper never pins down. This ablation sweeps the threshold ratio (multiple
+of the median chunk time) and reports each scheme's repair time: too low
+and everything is "slow" (degenerates towards serial PSR), too high and
+nothing is (degenerates to FSR). A broad flat basin means the schemes are
+robust to the choice.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ActiveSlowerFirstRepair,
+    FullStripeRepair,
+    PassiveRepair,
+    RepairContext,
+    repair_single_disk,
+)
+from repro.utils.tables import AsciiTable
+from repro.utils.units import GiB
+from repro.workloads import build_exp_server
+
+from benchutil import emit
+
+N, K = 9, 6
+RATIOS = [1.2, 1.5, 2.0, 3.0, 5.0]
+RUNS = 3
+
+
+def run_sweep(scale: int):
+    rows = []
+    fsr_sum = 0.0
+    for run in range(RUNS):
+        server = build_exp_server(
+            n=N, k=K, disk_size=(100 * GiB) // scale, chunk_size="64MiB",
+            num_disks=36, memory_chunks=2 * K, ros=0.10, slow_factor=4.0,
+            seed=660 + run, placement="random",
+        )
+        server.fail_disk(0)
+        fsr_sum += repair_single_disk(server, FullStripeRepair(), 0).transfer_time
+    fsr = fsr_sum / RUNS
+
+    for ratio in RATIOS:
+        sums = {"hd-psr-as": 0.0, "hd-psr-pa": 0.0}
+        for run in range(RUNS):
+            for factory in (ActiveSlowerFirstRepair, PassiveRepair):
+                server = build_exp_server(
+                    n=N, k=K, disk_size=(100 * GiB) // scale, chunk_size="64MiB",
+                    num_disks=36, memory_chunks=2 * K, ros=0.10, slow_factor=4.0,
+                    seed=660 + run, placement="random",
+                )
+                server.fail_disk(0)
+                ctx = RepairContext(slow_threshold_ratio=ratio)
+                out = repair_single_disk(server, factory(), 0, context=ctx)
+                sums[out.algorithm] += out.transfer_time
+        rows.append({
+            "threshold_ratio": ratio,
+            "fsr": fsr,
+            "hd-psr-as": sums["hd-psr-as"] / RUNS,
+            "hd-psr-pa": sums["hd-psr-pa"] / RUNS,
+            "as_reduction_pct": (1 - sums["hd-psr-as"] / RUNS / fsr) * 100,
+            "pa_reduction_pct": (1 - sums["hd-psr-pa"] / RUNS / fsr) * 100,
+        })
+    return rows
+
+
+def test_ablation_threshold_sensitivity(benchmark, scale, results_sink):
+    rows = benchmark.pedantic(run_sweep, args=(scale,), rounds=1, iterations=1)
+    table = AsciiTable(
+        ["ratio x median", "FSR (s)", "AS (s)", "PA (s)", "AS red.", "PA red."],
+        title=f"ABL-THRESH: slow threshold sweep, RS({N},{K}), 4x slow disks",
+        float_fmt=".2f",
+    )
+    for r in rows:
+        table.add_row([
+            r["threshold_ratio"], r["fsr"], r["hd-psr-as"], r["hd-psr-pa"],
+            f"{r['as_reduction_pct']:.1f}%", f"{r['pa_reduction_pct']:.1f}%",
+        ])
+    emit("Ablation: slow threshold", table.render())
+    results_sink("ablation_threshold", rows, meta={"scale": scale})
+
+    # thresholds that separate the 4x slow tier (anything in (1, 4)) work
+    workable = [r for r in rows if r["threshold_ratio"] < 4.0]
+    assert all(r["as_reduction_pct"] > 5.0 for r in workable)

@@ -1,0 +1,93 @@
+"""EXP1 — overall single-disk repair time vs (n, k) (paper Figure 7(a-c)).
+
+Grid: RS codes (6,4) / (9,6) / (14,10) x failed-disk sizes 100/150/200 GiB
+(divided by HDPSR_BENCH_SCALE), 64 MiB chunks, 36 disks, 10% slow disks at
+4x, memory c = 2k chunks.
+
+Paper shapes to reproduce:
+* every HD-PSR scheme repairs faster than FSR;
+* FSR's repair time grows faster with k than HD-PSR's, so the relative
+  reduction widens as k grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ActivePreliminaryRepair,
+    ActiveSlowerFirstRepair,
+    FullStripeRepair,
+    PassiveRepair,
+    repair_single_disk,
+)
+from repro.utils.tables import AsciiTable
+from repro.utils.units import GiB, format_bytes
+from repro.workloads import PAPER_CODES, PAPER_DISK_SIZES, build_exp_server
+
+from benchutil import emit
+
+ALGOS = [FullStripeRepair, ActivePreliminaryRepair, ActiveSlowerFirstRepair, PassiveRepair]
+
+#: Runs averaged per configuration (the paper averages 5).
+RUNS = 5
+
+
+def run_grid(scale: int, runs: int = RUNS):
+    rows = []
+    for (n, k) in PAPER_CODES:
+        for disk_size in PAPER_DISK_SIZES:
+            size = disk_size // scale
+            sums = {}
+            for run in range(runs):
+                for factory in ALGOS:
+                    server = build_exp_server(
+                        n=n, k=k, disk_size=size, chunk_size="64MiB",
+                        num_disks=36, memory_chunks=2 * k,
+                        ros=0.10, slow_factor=4.0, seed=7000 + run,
+                        placement="random",
+                    )
+                    server.fail_disk(0)
+                    out = repair_single_disk(server, factory(), 0)
+                    sums[out.algorithm] = sums.get(out.algorithm, 0.0) + out.transfer_time
+            times = {a: t / runs for a, t in sums.items()}
+            base = times["fsr"]
+            rows.append({
+                "n": n, "k": k, "disk_size_gib": size / GiB,
+                **times,
+                **{f"reduction_{a}": (1 - times[a] / base) * 100
+                   for a in times if a != "fsr"},
+            })
+    return rows
+
+
+def test_exp1_single_disk_repair_time(benchmark, scale, results_sink):
+    rows = benchmark.pedantic(run_grid, args=(scale,), rounds=1, iterations=1)
+
+    table = AsciiTable(
+        ["(n,k)", "disk", "FSR (s)", "AP (s)", "AS (s)", "PA (s)",
+         "AP red.", "AS red.", "PA red."],
+        title=f"EXP1: single-disk repair time (scale 1/{scale})",
+        float_fmt=".2f",
+    )
+    for r in rows:
+        table.add_row([
+            f"({r['n']},{r['k']})",
+            format_bytes(int(r["disk_size_gib"] * GiB), precision=0),
+            r["fsr"], r["hd-psr-ap"], r["hd-psr-as"], r["hd-psr-pa"],
+            f"{r['reduction_hd-psr-ap']:.1f}%",
+            f"{r['reduction_hd-psr-as']:.1f}%",
+            f"{r['reduction_hd-psr-pa']:.1f}%",
+        ])
+    emit("Figure 7(a-c) — Experiment 1", table.render())
+    results_sink("exp1", rows, meta={"scale": scale})
+
+    # Paper shape: HD-PSR never slower than FSR (small tolerance for jitter).
+    for r in rows:
+        for algo in ("hd-psr-ap", "hd-psr-as", "hd-psr-pa"):
+            assert r[algo] <= r["fsr"] * 1.05, (r["n"], r["k"], algo)
+
+    # Paper shape: the active schemes' reduction widens with k at 200 GiB.
+    big = {r["k"]: r for r in rows if r["disk_size_gib"] == rows[-1]["disk_size_gib"]}
+    if len(big) == 3:
+        assert big[10]["reduction_hd-psr-ap"] >= big[4]["reduction_hd-psr-ap"] - 10.0

@@ -1,0 +1,71 @@
+"""FIG4A / FIG4B — the Observation-2/3 curves (paper Figure 4).
+
+Exact paper parameters: s = 100 stripes, k = 12, memory c = 12 chunks,
+chunk transfer times ~ N(mean 2, variance 4), ROS in {2, 5, 8, 10}%.
+
+* Figure 4(a): ACWT vs P_a, one series per ROS — ACWT must rise with P_a
+  and with ROS.
+* Figure 4(b): total repair rounds vs P_r — TR must rise with P_r.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis import acwt_curve_vs_pa, rounds_curve_vs_pr
+from repro.utils.tables import AsciiTable
+from repro.workloads import normal_transfer_times
+
+from benchutil import emit
+
+S, K, C = 100, 12, 12
+ROS_GRID = [0.02, 0.05, 0.08, 0.10]
+PA_VALUES = [1, 2, 3, 4, 6, 12]
+
+
+def compute_fig4a():
+    curves = {}
+    for ros in ROS_GRID:
+        L = normal_transfer_times(S, K, mean=2.0, variance=4.0, ros=ros, seed=1).L
+        curves[ros] = acwt_curve_vs_pa(L, C, pa_values=PA_VALUES)
+    return curves
+
+
+def test_fig4a_acwt_vs_pa(benchmark, results_sink):
+    curves = benchmark.pedantic(compute_fig4a, rounds=1, iterations=1)
+
+    table = AsciiTable(
+        ["P_a"] + [f"ROS={ros:.0%}" for ros in ROS_GRID],
+        title=f"FIG4A: ACWT vs P_a (s={S}, k={K}, c={C}, N(2,4))",
+        float_fmt=".4f",
+    )
+    rows = []
+    for pa in PA_VALUES:
+        table.add_row([pa] + [curves[ros][pa] for ros in ROS_GRID])
+        rows.append({"pa": pa, **{f"ros_{ros}": curves[ros][pa] for ros in ROS_GRID}})
+    emit("Figure 4(a) — Observation 2", table.render())
+    results_sink("fig4a", rows, meta={"s": S, "k": K, "c": C})
+
+    # Shape assertions from the paper:
+    for ros in ROS_GRID:
+        assert curves[ros][1] <= curves[ros][12], "ACWT must rise with P_a"
+    assert curves[0.02][12] < curves[0.10][12], "ACWT must rise with ROS"
+
+
+def test_fig4b_rounds_vs_pr(benchmark, results_sink):
+    curve = benchmark.pedantic(
+        rounds_curve_vs_pr, args=(K, C), kwargs={"pr_values": [1, 2, 3, 4, 6, 12]},
+        rounds=1, iterations=1,
+    )
+    table = AsciiTable(["P_r", "P_a = ceil(c/P_r)", "TR = ceil(k/P_a)"],
+                       title=f"FIG4B: total repair rounds vs P_r (k={K}, c={C})")
+    rows = []
+    for pr, tr in curve.items():
+        pa = -(-C // pr)
+        table.add_row([pr, pa, tr])
+        rows.append({"pr": pr, "pa": pa, "tr": tr})
+    emit("Figure 4(b) — Observation 3", table.render())
+    results_sink("fig4b", rows, meta={"k": K, "c": C})
+
+    values = list(curve.values())
+    assert values == sorted(values), "TR must be non-decreasing in P_r"

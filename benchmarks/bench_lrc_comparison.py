@@ -1,0 +1,99 @@
+"""LRC — code-level vs schedule-level repair acceleration (related work).
+
+The paper's §6 positions HD-PSR against locally repairable codes: LRC cuts
+repair *I/O* by adding local parities (capacity cost), HD-PSR cuts repair
+*time* by scheduling the same I/O better (no capacity cost). This bench
+shows they are orthogonal and compose:
+
+* RS(9,6) repairs read k = 6 survivors per stripe;
+* LRC(6,2,2) local repairs read 3 survivors per stripe at a higher
+  storage overhead (10/6 vs 9/6);
+* on RS, HD-PSR-AP scheduling beats single-round FSR scheduling by ~40%.
+
+Measured finding: on LRC the two accelerations *overlap* rather than
+stack — 3-chunk local repairs already let ``c/3 = 4`` stripes through the
+memory concurrently, so FSR-of-local-groups is close to PSR-optimal and
+AP's sweep finds nothing further (its best P_a equals the group read
+size). HD-PSR's headroom is precisely the gap between stripe width and
+memory capacity, which LRC has already closed at the cost of capacity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ActivePreliminaryRepair, FullStripeRepair, execute_plan
+from repro.ec.lrc import LRCCode
+from repro.ec.encoder import RSCode
+from repro.utils.tables import AsciiTable
+from repro.workloads import disk_heterogeneous_transfer_times
+
+from benchutil import emit
+
+S = 600           # stripes to repair
+C = 12            # memory chunks
+NUM_DISKS = 36
+RUNS = 3
+
+
+def source_matrix(reads_per_stripe: int, run: int):
+    workload, disk_ids = disk_heterogeneous_transfer_times(
+        S, reads_per_stripe, NUM_DISKS, ros=0.10, slow_factor=4.0, seed=70 + run
+    )
+    return workload.L, disk_ids
+
+
+def run_grid():
+    rs = RSCode(9, 6)
+    lrc = LRCCode(6, 2, 2)
+    codes = [
+        ("RS(9,6)", 6, rs.n / rs.k),
+        ("LRC(6,2,2) local", lrc.repair_cost([0]), lrc.storage_overhead),
+    ]
+    rows = []
+    for label, reads, overhead in codes:
+        sums = {"fsr": 0.0, "hd-psr-ap": 0.0}
+        for run in range(RUNS):
+            L, disk_ids = source_matrix(reads, run)
+            for algo in (FullStripeRepair(), ActivePreliminaryRepair()):
+                plan = algo.build_plan(L, C)
+                report = execute_plan(plan, L, C, disk_ids=disk_ids)
+                sums[algo.name] += report.total_time
+        rows.append({
+            "code": label,
+            "reads_per_stripe": reads,
+            "storage_overhead": overhead,
+            "fsr_time": sums["fsr"] / RUNS,
+            "hdpsr_ap_time": sums["hd-psr-ap"] / RUNS,
+            "hdpsr_reduction_pct": (1 - sums["hd-psr-ap"] / sums["fsr"]) * 100,
+        })
+    return rows
+
+
+def test_lrc_vs_rs_composition(benchmark, results_sink):
+    rows = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    table = AsciiTable(
+        ["code", "reads/stripe", "overhead (n/k)", "FSR-sched (s)",
+         "HD-PSR-AP (s)", "HD-PSR gain"],
+        title=f"LRC vs RS, FSR vs HD-PSR scheduling (s={S}, c={C})",
+        float_fmt=".2f",
+    )
+    for r in rows:
+        table.add_row([
+            r["code"], r["reads_per_stripe"], r["storage_overhead"],
+            r["fsr_time"], r["hdpsr_ap_time"], f"{r['hdpsr_reduction_pct']:.1f}%",
+        ])
+    emit("Related-work composition: LRC x HD-PSR", table.render())
+    results_sink("lrc_comparison", rows)
+
+    rs_row, lrc_row = rows
+    # LRC's smaller reads make every schedule faster...
+    assert lrc_row["fsr_time"] < rs_row["fsr_time"]
+    # ...HD-PSR meaningfully accelerates the wide RS stripes...
+    assert rs_row["hdpsr_reduction_pct"] > 15.0
+    # ...while on 3-chunk local repairs it can at best match FSR (the
+    # memory already fits several local groups at once).
+    assert lrc_row["hdpsr_ap_time"] <= lrc_row["fsr_time"] * 1.02
+    # and LRC pays in capacity.
+    assert lrc_row["storage_overhead"] > rs_row["storage_overhead"]

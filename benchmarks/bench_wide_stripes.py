@@ -1,0 +1,95 @@
+"""WIDE — HD-PSR at wide-stripe scales (k up to 128, cf. ECWide [13]).
+
+The paper's complexity analysis (§4.2.1) singles out the wide-stripe
+regime: with k = 128, AP's sweep costs ``O(s * k^2 * log k)`` and the
+memory pressure of FSR's k-wide rounds is extreme. This bench sweeps the
+stripe width at a fixed memory budget (c = 32 chunks, *smaller* than the
+widest stripes' k — the regime where c < k forces FSR to serialise and
+even P_a must be capped):
+
+* repair-time reductions should *grow* with k (FSR's ACWT explodes);
+* AP's selection time should grow superlinearly in k while AS stays flat
+  — the practical argument for AS at ECWide scales.
+
+Stripe counts shrink with k (same failed-disk capacity), mirroring how
+wide codes are actually deployed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ActivePreliminaryRepair,
+    ActiveSlowerFirstRepair,
+    FullStripeRepair,
+    execute_plan,
+)
+from repro.utils.tables import AsciiTable
+from repro.utils.timer import time_call
+from repro.workloads import disk_heterogeneous_transfer_times
+
+from benchutil import emit
+
+#: (k, stripes) — constant k*s chunk volume, as a fixed-size disk would give.
+WIDTHS = [(6, 640), (10, 384), (32, 120), (64, 60), (128, 30)]
+NUM_DISKS = 160          # a wide-stripe chassis (k=128 needs >= 128 disks)
+C = 32                   # fixed memory budget, << k at the wide end
+
+
+def run_grid():
+    rows = []
+    for k, s in WIDTHS:
+        w, disk_ids = disk_heterogeneous_transfer_times(
+            s, k, NUM_DISKS, ros=0.10, slow_factor=4.0, seed=60 + k
+        )
+        L = w.L
+        c = max(C, k)  # memory must hold at least one FSR stripe
+
+        fsr_plan = FullStripeRepair().build_plan(L, c)
+        fsr = execute_plan(fsr_plan, L, c, disk_ids=disk_ids).total_time
+
+        ap = ActivePreliminaryRepair()
+        ap_plan, ap_select = time_call(ap.build_plan, L, c)
+        ap_time = execute_plan(ap_plan, L, c, disk_ids=disk_ids).total_time
+
+        as_ = ActiveSlowerFirstRepair()
+        as_plan, as_select = time_call(as_.build_plan, L, c)
+        as_time = execute_plan(as_plan, L, c, disk_ids=disk_ids).total_time
+
+        rows.append({
+            "k": k, "stripes": s, "c": c,
+            "fsr": fsr, "hd-psr-ap": ap_time, "hd-psr-as": as_time,
+            "ap_reduction_pct": (1 - ap_time / fsr) * 100,
+            "as_reduction_pct": (1 - as_time / fsr) * 100,
+            "ap_select_ms": ap_plan.selection_seconds * 1e3,
+            "as_select_ms": as_plan.selection_seconds * 1e3,
+            "chosen_pa": ap_plan.pa,
+        })
+    return rows
+
+
+def test_wide_stripe_sweep(benchmark, results_sink):
+    rows = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    table = AsciiTable(
+        ["k", "s", "c", "FSR (s)", "AP (s)", "AS (s)", "AP red.", "AS red.",
+         "AP select (ms)", "AS select (ms)", "AP P_a"],
+        title=f"Wide stripes: k sweep at ~constant chunk volume ({NUM_DISKS} disks)",
+        float_fmt=".2f",
+    )
+    for r in rows:
+        table.add_row([
+            r["k"], r["stripes"], r["c"], r["fsr"], r["hd-psr-ap"], r["hd-psr-as"],
+            f"{r['ap_reduction_pct']:.1f}%", f"{r['as_reduction_pct']:.1f}%",
+            r["ap_select_ms"], r["as_select_ms"], r["chosen_pa"],
+        ])
+    emit("Extension: wide-stripe regime", table.render())
+    results_sink("wide_stripes", rows)
+
+    by_k = {r["k"]: r for r in rows}
+    # HD-PSR never loses, and the wide end shows large reductions
+    for r in rows:
+        assert r["hd-psr-ap"] <= r["fsr"] * 1.02
+    assert by_k[128]["ap_reduction_pct"] > by_k[6]["ap_reduction_pct"] - 5.0
+    # AS selection stays orders cheaper than AP at the wide end
+    assert by_k[128]["as_select_ms"] < by_k[128]["ap_select_ms"]

@@ -1,0 +1,8 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+
+def emit(title: str, text: str) -> None:
+    """Print a benchmark table with a separator (shown with pytest -s)."""
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{text}")

@@ -1,0 +1,47 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every benchmark prints the rows the corresponding paper figure plots and
+appends them as JSON under ``benchmarks/results/`` so EXPERIMENTS.md can be
+regenerated from artefacts.
+
+Scale control: the paper repairs 100-200 GiB per disk. Set
+``HDPSR_BENCH_SCALE=<divisor>`` to shrink every disk size by that factor
+for quick runs (default 4; use 1 for full paper scale).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def pytest_configure(config):
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+
+@pytest.fixture(scope="session")
+def scale() -> int:
+    """Disk-size divisor; 1 = paper scale, larger = faster."""
+    value = int(os.environ.get("HDPSR_BENCH_SCALE", "4"))
+    if value < 1:
+        raise ValueError("HDPSR_BENCH_SCALE must be >= 1")
+    return value
+
+
+@pytest.fixture(scope="session")
+def results_sink():
+    """Callable: results_sink(experiment_id, rows) -> writes JSON artefact."""
+
+    def sink(experiment_id: str, rows: List[Dict[str, Any]], meta: Dict[str, Any] = None) -> Path:
+        path = RESULTS_DIR / f"{experiment_id}.json"
+        payload = {"experiment": experiment_id, "meta": meta or {}, "rows": rows}
+        path.write_text(json.dumps(payload, indent=2, default=str))
+        return path
+
+    return sink

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Capacity planning: choose a code + repair scheme for a durability target.
+
+A storage architect's workflow on top of the library:
+
+1. candidate configurations (RS widths, memory sizes, repair schemes);
+2. estimate each candidate's single-disk repair time on the modeled
+   chassis (hypothetical failure — no server mutation);
+3. Monte-Carlo the 10-year data-loss probability with that repair time as
+   the vulnerability window;
+4. rank candidates by durability at their storage overhead.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ActivePreliminaryRepair,
+    FullStripeRepair,
+    WeibullLifetime,
+    build_exp_server,
+    estimate_repair_seconds,
+    simulate_durability,
+)
+from repro.reliability.lifetimes import YEAR_SECONDS
+from repro.utils import AsciiTable, format_duration
+
+#: Aggressive wear-out fleet so differences show at small trial counts.
+LIFETIME = WeibullLifetime(scale_seconds=0.9 * YEAR_SECONDS, shape=1.1)
+#: Scale repair windows up so the vulnerability window is material.
+AMPLIFY = 2000.0
+TRIALS = 300
+
+CANDIDATES = [
+    # (label, n, k, scheme factory)
+    ("RS(6,4) + FSR", 6, 4, FullStripeRepair),
+    ("RS(6,4) + HD-PSR-AP", 6, 4, ActivePreliminaryRepair),
+    ("RS(9,6) + FSR", 9, 6, FullStripeRepair),
+    ("RS(9,6) + HD-PSR-AP", 9, 6, ActivePreliminaryRepair),
+    ("RS(14,10) + FSR", 14, 10, FullStripeRepair),
+    ("RS(14,10) + HD-PSR-AP", 14, 10, ActivePreliminaryRepair),
+]
+
+
+def main() -> None:
+    table = AsciiTable(
+        ["configuration", "overhead", "repair time", "P(loss, 10y)", "MTTDL (y)"],
+        title=f"Capacity planning: 36 disks, 10% slow, {TRIALS} trials",
+        float_fmt=".4f",
+    )
+    for label, n, k, factory in CANDIDATES:
+        server = build_exp_server(
+            n=n, k=k, disk_size="2GiB", chunk_size="64MiB",
+            num_disks=36, memory_chunks=2 * k, ros=0.10, slow_factor=4.0,
+            seed=7, placement="random",
+        )
+        repair = estimate_repair_seconds(server, factory(), disk=0)
+        result = simulate_durability(
+            server.layout, num_disks=36, lifetime=LIFETIME,
+            repair_seconds=repair * AMPLIFY, mission_years=10,
+            trials=TRIALS, seed=99,
+        )
+        mttdl = "inf" if result.mttdl_years == float("inf") else f"{result.mttdl_years:.0f}"
+        table.add_row([
+            label,
+            f"{n / k:.2f}x",
+            format_duration(repair),
+            result.loss_probability,
+            mttdl,
+        ])
+    print(table.render())
+    print(
+        "\nReading the table: HD-PSR reduces the repair window at zero storage "
+        "cost, which buys the same kind of durability improvement as adding "
+        "parity — the paper's motivation made quantitative."
+    )
+
+
+if __name__ == "__main__":
+    main()

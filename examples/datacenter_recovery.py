@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Multi-disk failure in a warm-storage rack: naive vs cooperative repair.
+
+Models the scenario the paper's §4.4 targets: correlated disk failures in a
+high-density chassis (a backplane hiccup takes out 2-3 neighbouring
+spindles). Shows how the cooperative scheme's stripe-set union removes
+duplicate reads and decodes, for each of the repair algorithms.
+
+Run:  python examples/datacenter_recovery.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ActivePreliminaryRepair,
+    ActiveSlowerFirstRepair,
+    FullStripeRepair,
+    PassiveRepair,
+    build_exp_server,
+    cooperative_multi_disk_repair,
+    naive_multi_disk_repair,
+)
+from repro.utils import AsciiTable, format_bytes, format_duration
+
+#: The paper's Experiment-5 configuration.
+N, K = 14, 10
+DISK_SIZE = "2GiB"           # scaled from the paper's 200 GiB
+CHUNK = "64MiB"
+
+
+def build_server(seed: int = 7):
+    return build_exp_server(
+        n=N, k=K, disk_size=DISK_SIZE, chunk_size=CHUNK,
+        num_disks=36, memory_chunks=2 * K, ros=0.1, slow_factor=4.0, seed=seed,
+    )
+
+
+def run_scenario(num_failed: int) -> None:
+    print(f"=== {num_failed} disk(s) fail simultaneously ===")
+    table = AsciiTable(
+        ["algorithm", "mode", "repair time", "chunks read", "data read", "rebuilt"],
+        title=f"RS({N},{K}), {DISK_SIZE}/disk, chunk {CHUNK}",
+    )
+    for factory in (FullStripeRepair, ActivePreliminaryRepair,
+                    ActiveSlowerFirstRepair, PassiveRepair):
+        for cooperative in (False, True):
+            server = build_server()
+            failed = list(range(num_failed))
+            for d in failed:
+                server.fail_disk(d)
+            repair = cooperative_multi_disk_repair if cooperative else naive_multi_disk_repair
+            out = repair(server, factory, failed)
+            table.add_row([
+                out.algorithm,
+                "cooperative" if cooperative else "naive",
+                format_duration(out.total_time),
+                out.chunks_read,
+                format_bytes(out.chunks_read * server.config.chunk_size),
+                out.chunks_rebuilt,
+            ])
+    print(table.render())
+    print()
+
+
+def main() -> None:
+    for num_failed in (1, 2, 3):
+        run_scenario(num_failed)
+    print("Note how naive repair re-reads and re-decodes every stripe shared "
+          "between failed disks, while cooperative repair processes the "
+          "deduplicated stripe-set union exactly once (paper Figure 6/9).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,328 @@
+"""``hdpsr`` command-line interface.
+
+Subcommands:
+
+* ``hdpsr repair``  — single-disk recovery comparison (FSR vs HD-PSR-*);
+* ``hdpsr multi``   — multi-disk recovery, naive vs cooperative;
+* ``hdpsr observe`` — print the Observation 1-3 tables (Figures 3-4);
+* ``hdpsr version`` — print the package version.
+
+Every stochastic element is seeded via ``--seed`` for reproducible output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import (
+    ALGORITHMS,
+    cooperative_multi_disk_repair,
+    naive_multi_disk_repair,
+    repair_single_disk,
+)
+from repro.core.analysis import acwt_curve_vs_pa, observation1_table, rounds_curve_vs_pr
+from repro.utils.tables import AsciiTable
+from repro.utils.units import format_bytes, format_duration, parse_size
+from repro.version import __version__
+from repro.workloads import build_exp_server, normal_transfer_times
+
+
+def _add_server_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--n", type=int, default=9, help="total shards per stripe")
+    parser.add_argument("--k", type=int, default=6, help="data shards per stripe")
+    parser.add_argument("--disk-size", default="1GiB", help="data on each failed disk")
+    parser.add_argument("--chunk-size", default="64MiB", help="chunk size")
+    parser.add_argument("--num-disks", type=int, default=36, help="disks in the chassis")
+    parser.add_argument("--memory", type=int, default=None,
+                        help="repair memory capacity c in chunks (default 2k)")
+    parser.add_argument("--ros", type=float, default=0.1, help="slow-disk ratio")
+    parser.add_argument("--slow-factor", type=float, default=4.0,
+                        help="slow disks run this many times slower")
+    parser.add_argument("--placement", choices=["rotating", "random"], default="random")
+    parser.add_argument("--seed", type=int, default=0, help="master RNG seed")
+
+
+def _build_server(args: argparse.Namespace):
+    return build_exp_server(
+        n=args.n, k=args.k, disk_size=args.disk_size, chunk_size=args.chunk_size,
+        num_disks=args.num_disks, memory_chunks=args.memory,
+        ros=args.ros, slow_factor=args.slow_factor, seed=args.seed,
+        placement=args.placement,
+    )
+
+
+def cmd_repair(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    algos = list(ALGORITHMS) if args.algorithm == "all" else [args.algorithm]
+    table = AsciiTable(
+        ["scheme", "repair time", "vs FSR", "ACWT", "P_a", "P_r", "selection"],
+        title=(f"Single-disk recovery: RS({args.n},{args.k}), "
+               f"{args.disk_size}/disk, chunk {args.chunk_size}, "
+               f"ROS {args.ros:.0%}, seed {args.seed}"),
+    )
+    baseline: Optional[float] = None
+    for name in algos:
+        server = _build_server(args)
+        server.fail_disk(args.disk)
+        out = repair_single_disk(server, ALGORITHMS[name](), args.disk)
+        if baseline is None:
+            baseline = out.transfer_time
+        delta = (1 - out.transfer_time / baseline) * 100
+        table.add_row([
+            name,
+            format_duration(out.transfer_time),
+            "baseline" if name == algos[0] else f"{-delta:+.1f}%".replace("+-", "-"),
+            f"{out.acwt:.3f} s",
+            out.plan.pa if out.plan.pa is not None else "per-stripe",
+            out.plan.pr if out.plan.pr is not None else "auto",
+            format_duration(out.selection_seconds),
+        ])
+        if args.timeline:
+            path = Path(args.timeline)
+            target = path.with_name(f"{path.stem}-{name}{path.suffix or '.csv'}")
+            out.report.to_csv(target)
+            print(f"timeline written: {target}")
+    print(table.render())
+    return 0
+
+
+def cmd_multi(args: argparse.Namespace) -> int:
+    table = AsciiTable(
+        ["algorithm", "mode", "repair time", "chunks read", "data read"],
+        title=(f"Multi-disk recovery: {args.failed} failed disk(s), "
+               f"RS({args.n},{args.k}), {args.disk_size}/disk, seed {args.seed}"),
+    )
+    algos = list(ALGORITHMS) if args.algorithm == "all" else [args.algorithm]
+    failed = list(range(args.failed))
+    for name in algos:
+        for cooperative in (False, True):
+            server = _build_server(args)
+            for d in failed:
+                server.fail_disk(d)
+            repair = cooperative_multi_disk_repair if cooperative else naive_multi_disk_repair
+            out = repair(server, ALGORITHMS[name], failed)
+            table.add_row([
+                name,
+                "cooperative" if cooperative else "naive",
+                format_duration(out.total_time),
+                out.chunks_read,
+                format_bytes(out.chunks_read * server.config.chunk_size),
+            ])
+    print(table.render())
+    return 0
+
+
+def cmd_observe(args: argparse.Namespace) -> int:
+    s, k, c = args.stripes, args.k, args.memory or args.k * 2
+
+    t1 = AsciiTable(["P_a", "P_r"], title=f"Observation 1: P_a vs P_r (c={c})")
+    for pa, pr in observation1_table(c):
+        t1.add_row([pa, pr])
+    print(t1.render())
+    print()
+
+    ros_grid = [0.02, 0.05, 0.08, 0.10]
+    curves = {
+        ros: acwt_curve_vs_pa(
+            normal_transfer_times(s, k, ros=ros, seed=args.seed).L, c
+        )
+        for ros in ros_grid
+    }
+    t2 = AsciiTable(
+        ["P_a"] + [f"ROS={r:.0%}" for r in ros_grid],
+        title=f"Observation 2: ACWT vs P_a (s={s}, k={k}, c={c})",
+        float_fmt=".4f",
+    )
+    for pa in range(1, k + 1):
+        t2.add_row([pa] + [curves[r][pa] for r in ros_grid])
+    print(t2.render())
+    print()
+
+    t3 = AsciiTable(["P_r", "TR"], title=f"Observation 3: TR vs P_r (k={k}, c={c})")
+    for pr, tr in rounds_curve_vs_pr(k, c).items():
+        t3.add_row([pr, tr])
+    print(t3.render())
+    return 0
+
+
+def cmd_durability(args: argparse.Namespace) -> int:
+    from repro.reliability import (
+        ExponentialLifetime,
+        WeibullLifetime,
+        estimate_repair_seconds,
+        simulate_durability,
+    )
+    from repro.reliability.lifetimes import YEAR_SECONDS
+
+    if args.weibull_shape is not None:
+        lifetime = WeibullLifetime(
+            scale_seconds=YEAR_SECONDS / args.afr, shape=args.weibull_shape
+        )
+    else:
+        lifetime = ExponentialLifetime(afr=args.afr)
+    table = AsciiTable(
+        ["scheme", "repair time", "window", "P(loss)", "95% CI", "MTTDL (y)"],
+        title=(f"Durability: RS({args.n},{args.k}), {args.num_disks} disks, "
+               f"{lifetime.describe()}, mission {args.mission_years:.0f}y, "
+               f"{args.trials} trials"),
+    )
+    algos = list(ALGORITHMS) if args.algorithm == "all" else [args.algorithm]
+    for name in algos:
+        server = _build_server(args)
+        repair = estimate_repair_seconds(server, ALGORITHMS[name](), disk=0)
+        window = repair * args.amplify
+        result = simulate_durability(
+            server.layout, num_disks=args.num_disks, lifetime=lifetime,
+            repair_seconds=window, mission_years=args.mission_years,
+            trials=args.trials, seed=args.seed,
+        )
+        mttdl = "inf" if result.mttdl_years == float("inf") else f"{result.mttdl_years:.0f}"
+        low, high = result.ci95
+        table.add_row([
+            name, format_duration(repair), format_duration(window),
+            f"{result.loss_probability:.4f}", f"[{low:.4f}, {high:.4f}]", mttdl,
+        ])
+    print(table.render())
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.errors import ConfigurationError
+    from repro.experiment import run_sweep, save_rows
+
+    spec_path = Path(args.spec)
+    if not spec_path.exists():
+        print(f"spec file {spec_path} does not exist", file=sys.stderr)
+        return 1
+    try:
+        data = json.loads(spec_path.read_text())
+    except json.JSONDecodeError as exc:
+        print(f"spec file is not valid JSON: {exc}", file=sys.stderr)
+        return 1
+    rows = run_sweep(data)
+    table = AsciiTable(
+        ["experiment", "algorithm", "total time", "ACWT", "chunks read", "selection"],
+        title=f"Experiment spec {data.get('name', spec_path.stem)!r}",
+    )
+    for row in rows:
+        table.add_row([
+            row["experiment"],
+            row["algorithm"],
+            format_duration(row["total_time"]),
+            f"{row['acwt']:.3f} s",
+            int(row["chunks_read"]),
+            format_duration(row["selection_seconds"]),
+        ])
+    print(table.render())
+    if args.output:
+        path = save_rows(rows, args.output)
+        print(f"wrote {path}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.reporting import render_report, write_report
+
+    results = Path(args.results)
+    if not results.exists():
+        print(f"results directory {results} does not exist; "
+              f"run `pytest benchmarks/ --benchmark-only` first", file=sys.stderr)
+        return 1
+    if args.output:
+        path = write_report(results, args.output)
+        print(f"wrote {path}")
+    else:
+        print(render_report(results))
+    return 0
+
+
+def cmd_version(args: argparse.Namespace) -> int:
+    print(f"hdpsr {__version__}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hdpsr",
+        description="HD-PSR: partial stripe repair for erasure-coded "
+                    "high-density storage servers (ICPP 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    p_repair = sub.add_parser("repair", help="compare single-disk recovery schemes")
+    _add_server_args(p_repair)
+    p_repair.add_argument("--disk", type=int, default=0, help="disk to fail")
+    p_repair.add_argument("--algorithm", default="all",
+                          choices=["all"] + list(ALGORITHMS))
+    p_repair.add_argument("--timeline", default=None,
+                          help="write per-chunk timelines as CSV (one file per scheme)")
+    p_repair.set_defaults(func=cmd_repair)
+
+    p_multi = sub.add_parser("multi", help="multi-disk recovery, naive vs cooperative")
+    _add_server_args(p_multi)
+    p_multi.add_argument("--failed", type=int, default=2, help="number of failed disks")
+    p_multi.add_argument("--algorithm", default="all",
+                         choices=["all"] + list(ALGORITHMS))
+    p_multi.set_defaults(func=cmd_multi)
+
+    p_obs = sub.add_parser("observe", help="print the Observation 1-3 tables")
+    p_obs.add_argument("--stripes", type=int, default=100)
+    p_obs.add_argument("--k", type=int, default=12)
+    p_obs.add_argument("--memory", type=int, default=12)
+    p_obs.add_argument("--seed", type=int, default=0)
+    p_obs.set_defaults(func=cmd_observe)
+
+    p_dur = sub.add_parser(
+        "durability", help="Monte-Carlo data-loss risk per repair scheme"
+    )
+    _add_server_args(p_dur)
+    p_dur.add_argument("--algorithm", default="all",
+                       choices=["all"] + list(ALGORITHMS))
+    p_dur.add_argument("--afr", type=float, default=0.5,
+                       help="annualised failure rate of each disk")
+    p_dur.add_argument("--weibull-shape", type=float, default=None,
+                       help="use a Weibull lifetime with this shape instead of exponential")
+    p_dur.add_argument("--mission-years", type=float, default=10.0)
+    p_dur.add_argument("--trials", type=int, default=300)
+    p_dur.add_argument("--amplify", type=float, default=2000.0,
+                       help="scale the repair window (models full-capacity disks)")
+    p_dur.set_defaults(func=cmd_durability)
+
+    p_run = sub.add_parser("run", help="run a JSON experiment spec")
+    p_run.add_argument("spec", help="path to the experiment spec (JSON)")
+    p_run.add_argument("--output", default=None, help="write result rows to this JSON file")
+    p_run.set_defaults(func=cmd_run)
+
+    p_report = sub.add_parser(
+        "report", help="render EXPERIMENTS.md from benchmark artefacts"
+    )
+    p_report.add_argument("--results", default="benchmarks/results",
+                          help="directory of benchmark JSON artefacts")
+    p_report.add_argument("--output", default=None,
+                          help="write to this file instead of stdout")
+    p_report.set_defaults(func=cmd_report)
+
+    p_ver = sub.add_parser("version", help="print the package version")
+    p_ver.set_defaults(func=cmd_version)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not getattr(args, "func", None):
+        parser.print_help()
+        return 2
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,90 @@
+"""HD-PSR: the paper's repair algorithms and their execution machinery.
+
+Contents map directly onto §4 of the paper:
+
+* :mod:`repro.core.parallelism` — the Observation-1 relationship
+  ``P_a = ceil(c / P_r)`` and repair-round arithmetic;
+* :mod:`repro.core.plans` — repair-plan data structures shared by all
+  algorithms, and the adapter that turns plans into simulator jobs;
+* :mod:`repro.core.fsr` — the FSR baseline (§2.1);
+* :mod:`repro.core.psr_ap` — HD-PSR-AP, Algorithm 1 (§4.2.1);
+* :mod:`repro.core.psr_as` — HD-PSR-AS, Algorithm 2 (§4.2.2);
+* :mod:`repro.core.psr_pa` — HD-PSR-PA, Algorithm 3 (§4.3);
+* :mod:`repro.core.scheduler` — plan execution against the simulated
+  memory (interval and slot models) and whole-disk repair orchestration;
+* :mod:`repro.core.multi_disk` — naive vs cooperative multi-disk repair
+  (§4.4);
+* :mod:`repro.core.executor` — the byte-exact data path (chunks through
+  the c-chunk memory, partial decoding, spare-disk write-back);
+* :mod:`repro.core.analysis` — ACWT / TR analytics behind Figures 3-4.
+"""
+
+from repro.core.parallelism import pa_for_pr, pr_for_pa, rounds_for, split_rounds
+from repro.core.plans import RepairPlan, StripePlan, plan_to_jobs
+from repro.core.base import RepairAlgorithm, RepairContext
+from repro.core.fsr import FullStripeRepair
+from repro.core.psr_ap import ActivePreliminaryRepair, ap_total_transfer_time
+from repro.core.psr_as import ActiveSlowerFirstRepair, classify_slow_chunks
+from repro.core.psr_pa import PassiveRepair
+from repro.core.sliced import simulate_sliced_repair, sliced_jobs
+from repro.core.scheduler import (
+    ExecutionOptions,
+    RepairOutcome,
+    execute_plan,
+    repair_single_disk,
+)
+from repro.core.multi_disk import (
+    MultiDiskOutcome,
+    cooperative_multi_disk_repair,
+    naive_multi_disk_repair,
+)
+from repro.core.executor import DataPathExecutor, DataPathStats
+from repro.core.recovery import RecoveryResult, recover_disk
+from repro.core.analysis import (
+    acwt_curve_vs_pa,
+    acwt_for_schedule,
+    observation1_table,
+    rounds_curve_vs_pr,
+)
+
+ALGORITHMS = {
+    "fsr": FullStripeRepair,
+    "hd-psr-ap": ActivePreliminaryRepair,
+    "hd-psr-as": ActiveSlowerFirstRepair,
+    "hd-psr-pa": PassiveRepair,
+}
+"""Registry of the paper's repair schemes by canonical name."""
+
+__all__ = [
+    "pa_for_pr",
+    "pr_for_pa",
+    "rounds_for",
+    "split_rounds",
+    "RepairPlan",
+    "StripePlan",
+    "plan_to_jobs",
+    "RepairAlgorithm",
+    "RepairContext",
+    "FullStripeRepair",
+    "ActivePreliminaryRepair",
+    "ap_total_transfer_time",
+    "ActiveSlowerFirstRepair",
+    "classify_slow_chunks",
+    "PassiveRepair",
+    "sliced_jobs",
+    "simulate_sliced_repair",
+    "ExecutionOptions",
+    "RepairOutcome",
+    "execute_plan",
+    "repair_single_disk",
+    "MultiDiskOutcome",
+    "naive_multi_disk_repair",
+    "cooperative_multi_disk_repair",
+    "DataPathExecutor",
+    "DataPathStats",
+    "acwt_curve_vs_pa",
+    "acwt_for_schedule",
+    "observation1_table",
+    "rounds_curve_vs_pr",
+    "ALGORITHMS",
+]

@@ -1,0 +1,124 @@
+"""Analytics behind Observations 1-3 (Figures 3 and 4 of the paper).
+
+These helpers evaluate ACWT and repair-round counts for *prescribed*
+(P_a, P_r) settings — no algorithm in the loop — which is exactly how the
+paper's motivating figures are produced (s=100, k=12, c=12, transfer times
+~ N(2, 4), ROS in {2, 5, 8, 10}%).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.parallelism import pa_for_pr, pr_for_pa, rounds_for, split_rounds
+from repro.core.plans import RepairPlan, StripePlan
+from repro.errors import ConfigurationError
+from repro.sim.metrics import TransferReport
+from repro.sim.transfer import simulate_interval_schedule
+from repro.core.plans import plan_to_jobs
+
+
+def uniform_pa_plan(L: np.ndarray, pa: int, pr: int, sort_rows: bool = False) -> RepairPlan:
+    """A plain PSR plan: every stripe reads ``pa`` chunks per round.
+
+    ``sort_rows=True`` groups each stripe's chunks ascending by transfer
+    time (AP-style); False keeps the natural column order.
+    """
+    L = np.asarray(L, dtype=np.float64)
+    s, k = L.shape
+    if not 1 <= pa <= k:
+        raise ConfigurationError(f"pa must be in [1, {k}], got {pa}")
+    plans: List[StripePlan] = []
+    for row in range(s):
+        if sort_rows:
+            cols = [int(ci) for ci in np.argsort(L[row], kind="stable")]
+        else:
+            cols = list(range(k))
+        rounds = split_rounds(cols, pa)
+        plans.append(
+            StripePlan(
+                stripe_index=row,
+                rounds=rounds,
+                accumulator_chunks=1 if len(rounds) > 1 else 0,
+            )
+        )
+    return RepairPlan(algorithm=f"uniform-pa-{pa}", stripe_plans=plans, pa=pa, pr=pr)
+
+
+def acwt_for_schedule(
+    L: np.ndarray,
+    pa: int,
+    pr: Optional[int] = None,
+    c: Optional[int] = None,
+    sort_rows: bool = False,
+) -> TransferReport:
+    """Execute a uniform-``P_a`` schedule on the interval model.
+
+    Provide either ``pr`` directly or ``c`` (then ``P_r = ceil(c / P_a)``).
+    Returns the full report; ``report.acwt`` is the Figure-4(a) quantity.
+    """
+    if pr is None:
+        if c is None:
+            raise ConfigurationError("provide pr or c")
+        pr = pr_for_pa(c, pa)
+    plan = uniform_pa_plan(L, pa, pr, sort_rows=sort_rows)
+    jobs = plan_to_jobs(plan, L)
+    return simulate_interval_schedule(jobs, pr)
+
+
+def acwt_curve_vs_pa(
+    L: np.ndarray,
+    c: int,
+    pa_values: Optional[Iterable[int]] = None,
+    sort_rows: bool = False,
+) -> Dict[int, float]:
+    """ACWT as a function of ``P_a`` (Observation 2 / Figure 4(a))."""
+    L = np.asarray(L, dtype=np.float64)
+    k = L.shape[1]
+    if pa_values is None:
+        pa_values = range(1, k + 1)
+    return {
+        pa: acwt_for_schedule(L, pa, c=c, sort_rows=sort_rows).acwt
+        for pa in pa_values
+    }
+
+
+def total_time_curve_vs_pa(
+    L: np.ndarray,
+    c: int,
+    pa_values: Optional[Iterable[int]] = None,
+    sort_rows: bool = False,
+) -> Dict[int, float]:
+    """Total repair time as a function of ``P_a`` (the trade-off of §3.3)."""
+    L = np.asarray(L, dtype=np.float64)
+    k = L.shape[1]
+    if pa_values is None:
+        pa_values = range(1, k + 1)
+    return {
+        pa: acwt_for_schedule(L, pa, c=c, sort_rows=sort_rows).total_time
+        for pa in pa_values
+    }
+
+
+def rounds_curve_vs_pr(k: int, c: int, pr_values: Optional[Iterable[int]] = None) -> Dict[int, int]:
+    """TR as a function of ``P_r`` (Observation 3 / Figure 4(b)).
+
+    ``P_r`` fixes ``P_a = ceil(c / P_r)`` (Equation (3)); a stripe then
+    needs ``TR = ceil(k / P_a)`` repair rounds.
+    """
+    if pr_values is None:
+        pr_values = range(1, c + 1)
+    out: Dict[int, int] = {}
+    for pr in pr_values:
+        pa = pa_for_pr(c, pr)
+        out[pr] = rounds_for(k, min(pa, k))
+    return out
+
+
+def observation1_table(c: int, pa_values: Optional[Iterable[int]] = None) -> List[Tuple[int, int]]:
+    """(P_a, P_r) pairs under Equation (3) — the Figure 3 restriction."""
+    if pa_values is None:
+        pa_values = range(1, c + 1)
+    return [(pa, pr_for_pa(c, pa)) for pa in pa_values]

@@ -1,0 +1,102 @@
+"""Common interface of the four repair schemes.
+
+Every algorithm consumes the same inputs — the transfer-time matrix
+``L_{s×k}`` (measured or estimated) and the memory capacity ``c`` — plus an
+optional :class:`RepairContext` carrying what only some schemes need (disk
+ids per chunk, a passive monitor, slow thresholds), and emits a
+:class:`~repro.core.plans.RepairPlan`.
+
+The split between *selection* (choosing P_a; timed, reported as the
+"algorithm running time" of Experiments 2 & 4) and *planning* (mechanically
+expanding P_a into per-stripe rounds) follows the paper's accounting: only
+selection counts as algorithm running time.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.core.plans import RepairPlan
+from repro.errors import ConfigurationError
+from repro.hdss.prober import PassiveMonitor
+
+
+@dataclass
+class RepairContext:
+    """Side information a repair algorithm may consult.
+
+    Attributes:
+        disk_ids: s x k array; ``disk_ids[i, j]`` is the disk holding the
+            chunk whose transfer time is ``L[i, j]`` (needed by HD-PSR-PA,
+            which reasons about *disks*, and by slow-chunk classifiers that
+            aggregate per disk).
+        monitor: the passive slow-disk monitor (HD-PSR-PA).
+        slow_threshold: absolute transfer-time threshold marking a chunk
+            as a *slower*; when None, algorithms derive one from ``L``.
+        slow_threshold_ratio: multiple of the median transfer time used to
+            derive a threshold when no absolute one is given.
+        extras: free-form bag for experiment-specific knobs.
+    """
+
+    disk_ids: Optional[np.ndarray] = None
+    monitor: Optional[PassiveMonitor] = None
+    slow_threshold: Optional[float] = None
+    slow_threshold_ratio: float = 2.0
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    def resolve_threshold(self, L: np.ndarray) -> float:
+        """The effective slow threshold for matrix ``L``."""
+        if self.slow_threshold is not None:
+            return float(self.slow_threshold)
+        if self.slow_threshold_ratio <= 1.0:
+            raise ConfigurationError(
+                f"slow_threshold_ratio must exceed 1, got {self.slow_threshold_ratio}"
+            )
+        return self.slow_threshold_ratio * float(np.median(L))
+
+
+class RepairAlgorithm(abc.ABC):
+    """A single-disk repair scheme: L matrix + memory capacity -> plan."""
+
+    #: Canonical name used in registries, reports and plan records.
+    name: str = "abstract"
+
+    #: Whether the scheme probes disks up front (FSR/PA do not).
+    requires_probing: bool = False
+
+    @abc.abstractmethod
+    def build_plan(
+        self,
+        L: np.ndarray,
+        c: int,
+        context: Optional[RepairContext] = None,
+    ) -> RepairPlan:
+        """Produce a repair plan for the s stripes described by ``L``.
+
+        Args:
+            L: s x k transfer-time matrix (row order = admission order).
+            c: memory capacity in chunks.
+            context: optional side information (see :class:`RepairContext`).
+        """
+
+    @staticmethod
+    def _check_inputs(L: np.ndarray, c: int) -> np.ndarray:
+        L = np.asarray(L, dtype=np.float64)
+        if L.ndim != 2 or L.shape[0] == 0 or L.shape[1] == 0:
+            raise ConfigurationError(f"L must be a non-empty 2-D matrix, got shape {L.shape}")
+        if np.any(L < 0) or not np.all(np.isfinite(L)):
+            raise ConfigurationError("L must contain finite, non-negative times")
+        if not isinstance(c, int) or isinstance(c, bool) or c <= 0:
+            raise ConfigurationError(f"c must be a positive int, got {c!r}")
+        if c < L.shape[1]:
+            raise ConfigurationError(
+                f"memory of c={c} chunks cannot hold one stripe of k={L.shape[1]}"
+            )
+        return L
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

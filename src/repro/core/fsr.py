@@ -1,0 +1,44 @@
+"""FSR — full stripe repair, the conventional RAID baseline (§2.1).
+
+Every stripe reads all k surviving chunks in a single round
+(``P_a = k``), so a stripe occupies k memory slots for as long as its
+slowest chunk takes, and only ``floor(c / k)`` stripes fit in memory at
+once. No probing, no planning cost — and, per Observation 2, the worst
+possible ACWT.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.base import RepairAlgorithm, RepairContext
+from repro.core.plans import RepairPlan, StripePlan
+
+
+class FullStripeRepair(RepairAlgorithm):
+    """The baseline: one k-chunk round per stripe."""
+
+    name = "fsr"
+    requires_probing = False
+
+    def build_plan(
+        self,
+        L: np.ndarray,
+        c: int,
+        context: Optional[RepairContext] = None,
+    ) -> RepairPlan:
+        L = self._check_inputs(L, c)
+        s, k = L.shape
+        stripe_plans = [
+            StripePlan(stripe_index=i, rounds=[list(range(k))], accumulator_chunks=0)
+            for i in range(s)
+        ]
+        return RepairPlan(
+            algorithm=self.name,
+            stripe_plans=stripe_plans,
+            pa=k,
+            pr=max(1, c // k),
+            selection_seconds=0.0,
+        )

@@ -1,0 +1,68 @@
+"""Observation 1 arithmetic: the two parallelism degrees restrict each other.
+
+With a memory of ``c`` chunks and every stripe reading ``P_a`` chunks per
+round, only ``P_r`` stripes fit at once. The paper states the relationship
+as ``P_a = ceil(c / P_r)`` (Equation (3)) and uses ``P_r = ceil(c / P_a)``
+inside Algorithm 1. The ceiling can *overcommit* memory (e.g. c=12, P_a=5
+gives P_r=3 but 3x5 > 12); the ``"floor"`` policy is the conservative
+alternative used where strict slot accounting matters.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def _check(name: str, value: int) -> int:
+    if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+        raise ConfigurationError(f"{name} must be a positive int, got {value!r}")
+    return value
+
+
+def pr_for_pa(c: int, pa: int, policy: str = "ceil") -> int:
+    """Inter-stripe degree from intra-stripe degree.
+
+    ``policy="ceil"`` is the paper's formula (Algorithm 1 line 3);
+    ``policy="floor"`` never overcommits memory (result >= 1 always).
+    """
+    _check("c", c)
+    _check("pa", pa)
+    if policy == "ceil":
+        return math.ceil(c / pa)
+    if policy == "floor":
+        return max(1, c // pa)
+    raise ConfigurationError(f"unknown policy {policy!r}")
+
+
+def pa_for_pr(c: int, pr: int, policy: str = "ceil") -> int:
+    """Intra-stripe degree from inter-stripe degree (Equation (3))."""
+    _check("c", c)
+    _check("pr", pr)
+    if policy == "ceil":
+        return math.ceil(c / pr)
+    if policy == "floor":
+        return max(1, c // pr)
+    raise ConfigurationError(f"unknown policy {policy!r}")
+
+
+def rounds_for(k: int, pa: int) -> int:
+    """Total repair rounds of one stripe: ``TR = ceil(k / P_a)`` (Obs. 3)."""
+    _check("k", k)
+    _check("pa", pa)
+    return math.ceil(k / pa)
+
+
+def split_rounds(columns: Sequence[int], pa: int) -> List[List[int]]:
+    """Split an ordered chunk-column sequence into consecutive P_a rounds.
+
+    The final round holds the remainder (< P_a chunks) when ``P_a`` does
+    not divide ``len(columns)``.
+    """
+    _check("pa", pa)
+    cols = list(columns)
+    if not cols:
+        raise ConfigurationError("cannot split an empty column sequence")
+    return [cols[i : i + pa] for i in range(0, len(cols), pa)]

@@ -1,0 +1,234 @@
+"""Plan execution and whole-disk repair orchestration.
+
+:func:`execute_plan` turns a :class:`~repro.core.plans.RepairPlan` into a
+simulated timeline under one of two memory models:
+
+* ``"slot"`` (default) — exact chunk-slot accounting on the event kernel:
+  a round holds its chunks' slots for its duration, multi-round stripes
+  keep accumulator slots, and the admission cap defaults to the plan's
+  ``P_r`` (clamped to the deadlock-free maximum). This is the ground-truth
+  executor all headline benchmarks share, so FSR and the three HD-PSR
+  schemes compete under identical memory semantics.
+
+* ``"interval"`` — the paper's §4.2.1 Step-2 model: ``P_r`` fixed-width
+  memory intervals with FIFO stripe admission. Used by the model-fidelity
+  ablation and by closed-form analyses.
+
+:func:`repair_single_disk` runs the full single-disk recovery story against
+a :class:`~repro.hdss.server.HighDensityStorageServer`: probe (active
+schemes), build the plan from *estimated* times, execute against *oracle*
+times, and report the paper's metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.base import RepairAlgorithm, RepairContext
+from repro.core.plans import RepairPlan, plan_to_jobs
+from repro.errors import ConfigurationError, StorageError
+from repro.hdss.prober import ActiveProber, PassiveMonitor
+from repro.hdss.server import HighDensityStorageServer
+from repro.sim.metrics import TransferReport
+from repro.sim.transfer import simulate_interval_schedule, simulate_slot_schedule
+
+
+@dataclass
+class ExecutionOptions:
+    """Knobs of the plan executor."""
+
+    #: ``"slot"`` (exact, default) or ``"interval"`` (paper's model).
+    model: str = "slot"
+    #: Slot grant policy for the slot model.
+    slot_policy: str = "first-fit"
+    #: Optional decode cost added to every repair round.
+    compute_time_per_round: float = 0.0
+    #: Override the concurrent-stripe cap (default: the plan's P_r).
+    max_concurrent: Optional[int] = None
+    #: Charge partial-sum accumulator slots against the memory capacity
+    #: (ablation; the paper's accounting budgets transfer buffers only).
+    charge_accumulators: bool = False
+    #: Per-stripe tail time after the last round: writing the rebuilt
+    #: chunk to a spare disk (0 = reads only, the paper's accounting).
+    writeback_seconds: float = 0.0
+    #: Model each source disk as serving one request at a time (slot model
+    #: only); False keeps the paper's L-matrix abstraction where a disk
+    #: can feed any number of concurrent transfers at full speed.
+    disk_contention: bool = False
+
+    def __post_init__(self) -> None:
+        if self.model not in ("slot", "interval"):
+            raise ConfigurationError(f"unknown execution model {self.model!r}")
+
+
+def execute_plan(
+    plan: RepairPlan,
+    L: np.ndarray,
+    c: int,
+    stripe_indices: Optional[Sequence[int]] = None,
+    survivor_ids: Optional[Sequence[Sequence[int]]] = None,
+    disk_ids: Optional[np.ndarray] = None,
+    options: Optional[ExecutionOptions] = None,
+) -> TransferReport:
+    """Execute a plan against oracle transfer times ``L``.
+
+    ``L`` must be the *actual* transfer-time matrix: plans built from noisy
+    probe estimates still execute at real speeds, which is how estimation
+    error costs an active scheme real time.
+    """
+    options = options or ExecutionOptions()
+    jobs = plan_to_jobs(
+        plan, L, stripe_indices, survivor_ids, disk_ids,
+        charge_accumulators=options.charge_accumulators,
+    )
+    if options.model == "interval":
+        num_intervals = options.max_concurrent or plan.pr
+        if num_intervals is None:
+            # Plans without a declared P_r (HD-PSR-PA): intervals must be
+            # wide enough for the largest per-stripe footprint.
+            num_intervals = max(1, c // max(j.max_round_size() + j.accumulator_slots for j in jobs))
+        return simulate_interval_schedule(
+            jobs,
+            num_intervals,
+            compute_time_per_round=options.compute_time_per_round,
+            tail_time_per_job=options.writeback_seconds,
+        )
+    cap = options.max_concurrent if options.max_concurrent is not None else plan.pr
+    return simulate_slot_schedule(
+        jobs,
+        capacity=c,
+        policy=options.slot_policy,
+        max_concurrent=cap,
+        compute_time_per_round=options.compute_time_per_round,
+        tail_time_per_job=options.writeback_seconds,
+        disk_contention=options.disk_contention,
+    )
+
+
+@dataclass
+class RepairOutcome:
+    """Everything a single recovery produced."""
+
+    algorithm: str
+    plan: RepairPlan
+    report: TransferReport
+    #: Stripe indices repaired (row order of the L matrix used).
+    stripe_indices: List[int]
+    #: Survivor shard ids per stripe (column order of L).
+    survivor_ids: List[List[int]]
+    #: The oracle transfer-time matrix execution used.
+    L: np.ndarray = field(repr=False, default=None)
+    #: Probe traffic issued by active schemes, bytes.
+    probe_bytes: int = 0
+
+    @property
+    def transfer_time(self) -> float:
+        """Simulated repair (transfer) time."""
+        return self.report.total_time
+
+    @property
+    def selection_seconds(self) -> float:
+        """Wall-clock the algorithm spent choosing P_a."""
+        return self.plan.selection_seconds
+
+    @property
+    def acwt(self) -> float:
+        return self.report.acwt
+
+    @property
+    def chunks_read(self) -> int:
+        return self.report.chunk_count
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "algorithm": self.algorithm,
+            "transfer_time": self.transfer_time,
+            "acwt": self.acwt,
+            "chunks_read": float(self.chunks_read),
+            "selection_seconds": self.selection_seconds,
+            "stripes": float(len(self.stripe_indices)),
+        }
+
+
+def _disk_id_matrix(
+    server: HighDensityStorageServer,
+    stripe_indices: Sequence[int],
+    survivor_ids: Sequence[Sequence[int]],
+) -> np.ndarray:
+    """s x k matrix of source-disk ids aligned with the L matrix."""
+    rows = []
+    for si, shards in zip(stripe_indices, survivor_ids):
+        stripe = server.layout[si]
+        rows.append([stripe.disks[j] for j in shards])
+    return np.asarray(rows, dtype=np.int64)
+
+
+def repair_single_disk(
+    server: HighDensityStorageServer,
+    algorithm: RepairAlgorithm,
+    failed_disk: int,
+    options: Optional[ExecutionOptions] = None,
+    select: str = "first",
+    context: Optional[RepairContext] = None,
+    probe_noise: float = 0.02,
+) -> RepairOutcome:
+    """Run one single-disk recovery end to end (timing model).
+
+    The disk must already be failed (use
+    :meth:`~repro.hdss.server.HighDensityStorageServer.fail_disk`).
+
+    Active schemes (``requires_probing``) build their plan from
+    :class:`~repro.hdss.prober.ActiveProber` estimates; FSR and HD-PSR-PA
+    see no speed information up front. Execution always uses the oracle
+    matrix.
+    """
+    if not server.disk(failed_disk).is_failed:
+        raise StorageError(
+            f"disk {failed_disk} is healthy; fail it explicitly before repairing"
+        )
+    failed = server.failed_disks()
+    stripe_indices, survivor_ids, L_oracle = server.transfer_time_matrix(
+        failed, select=select
+    )
+    if not stripe_indices:
+        raise StorageError(f"disk {failed_disk} holds no stripes; nothing to repair")
+    disk_ids = _disk_id_matrix(server, stripe_indices, survivor_ids)
+
+    probe_bytes = 0
+    if algorithm.requires_probing:
+        prober = ActiveProber(server, noise=probe_noise)
+        est_indices, est_survivors, L_plan = prober.estimate_matrix(failed, select=select)
+        assert est_indices == stripe_indices and est_survivors == survivor_ids
+        probe_bytes = prober.probe_bytes_issued
+    else:
+        L_plan = L_oracle
+
+    ctx = context or RepairContext()
+    if ctx.disk_ids is None:
+        ctx.disk_ids = disk_ids
+    if ctx.monitor is None and algorithm.name == "hd-psr-pa":
+        ctx.monitor = PassiveMonitor(threshold_ratio=ctx.slow_threshold_ratio)
+
+    c = server.config.memory_chunks
+    plan = algorithm.build_plan(L_plan, c, context=ctx)
+    report = execute_plan(
+        plan,
+        L_oracle,
+        c,
+        stripe_indices=stripe_indices,
+        survivor_ids=survivor_ids,
+        disk_ids=disk_ids,
+        options=options,
+    )
+    return RepairOutcome(
+        algorithm=algorithm.name,
+        plan=plan,
+        report=report,
+        stripe_indices=list(stripe_indices),
+        survivor_ids=[list(s) for s in survivor_ids],
+        L=L_oracle,
+        probe_bytes=probe_bytes,
+    )

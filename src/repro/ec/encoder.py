@@ -1,0 +1,137 @@
+"""Systematic (n, k) Reed-Solomon codec.
+
+:class:`RSCode` is the Python analogue of the Golang ``reedsolomon``
+encoder used by the paper's prototype: ``split`` chops raw bytes into k
+equal shards (zero-padded), ``encode`` produces the m parity shards,
+``verify`` checks consistency, and ``join`` reassembles the original bytes.
+All shard math is vectorised GF(2^8) (see :mod:`repro.gf`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import CodingError, ConfigurationError
+from repro.gf import gf_mul_add_scalar, gf_rs_encoding_matrix
+from repro.ec import decoder
+
+
+class RSCode:
+    """A systematic (n, k) Reed-Solomon code over GF(2^8).
+
+    Args:
+        n: total shards per stripe (data + parity), 2 <= n <= 256.
+        k: data shards per stripe, 1 <= k < n.
+        matrix_style: ``"vandermonde"`` (default, klauspost-compatible
+            construction) or ``"cauchy"``.
+
+    The encoding matrix is n x k with an identity top block, so shard j for
+    j < k *is* data shard j (systematic), and parity shard j >= k is
+    ``XOR_i M[j, i] * D_i`` — Equation (1) of the paper.
+    """
+
+    def __init__(self, n: int, k: int, matrix_style: str = "vandermonde") -> None:
+        if not isinstance(n, int) or not isinstance(k, int):
+            raise ConfigurationError(f"n and k must be ints, got {n!r}, {k!r}")
+        if not (0 < k < n):
+            raise ConfigurationError(f"require 0 < k < n, got n={n}, k={k}")
+        if n > 256:
+            raise ConfigurationError(f"GF(2^8) RS supports n <= 256, got {n}")
+        self.n = n
+        self.k = k
+        self.m = n - k
+        self.matrix_style = matrix_style
+        self.matrix = gf_rs_encoding_matrix(n, k, style=matrix_style)
+
+    def __repr__(self) -> str:
+        return f"RSCode(n={self.n}, k={self.k}, style={self.matrix_style!r})"
+
+    # ------------------------------------------------------------------ split
+    def split(self, data: bytes, chunk_size: Optional[int] = None) -> List[np.ndarray]:
+        """Split raw bytes into k equal-size uint8 shards (zero padded).
+
+        Mirrors ``Encoder.Split``. If ``chunk_size`` is given, each shard is
+        exactly that long and ``data`` must fit in ``k * chunk_size`` bytes;
+        otherwise the shard size is ``ceil(len(data) / k)``.
+        """
+        if len(data) == 0:
+            raise CodingError("cannot split empty data")
+        if chunk_size is None:
+            chunk_size = -(-len(data) // self.k)
+        if len(data) > self.k * chunk_size:
+            raise CodingError(
+                f"data of {len(data)} bytes exceeds k*chunk_size = {self.k * chunk_size}"
+            )
+        padded = np.zeros(self.k * chunk_size, dtype=np.uint8)
+        padded[: len(data)] = np.frombuffer(data, dtype=np.uint8)
+        return [padded[i * chunk_size : (i + 1) * chunk_size].copy() for i in range(self.k)]
+
+    def join(self, data_shards: Sequence[np.ndarray], size: int) -> bytes:
+        """Reassemble the original ``size`` bytes from the k data shards."""
+        if len(data_shards) != self.k:
+            raise CodingError(f"join needs k={self.k} data shards, got {len(data_shards)}")
+        flat = np.concatenate([np.asarray(s, dtype=np.uint8) for s in data_shards])
+        if size > flat.size:
+            raise CodingError(f"requested {size} bytes but shards hold only {flat.size}")
+        return flat[:size].tobytes()
+
+    # ----------------------------------------------------------------- encode
+    def encode(self, data_shards: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Compute the m parity shards from the k data shards.
+
+        Returns the full list of n shards (data shards are shared, not
+        copied; parity shards are fresh arrays).
+        """
+        shards = self._check_data_shards(data_shards)
+        chunk_size = shards[0].size
+        parity = [np.zeros(chunk_size, dtype=np.uint8) for _ in range(self.m)]
+        for row in range(self.m):
+            coeffs = self.matrix[self.k + row]
+            acc = parity[row]
+            for i in range(self.k):
+                gf_mul_add_scalar(acc, int(coeffs[i]), shards[i])
+        return list(shards) + parity
+
+    def verify(self, shards: Sequence[Optional[np.ndarray]]) -> bool:
+        """Check that parity shards are consistent with data shards.
+
+        Any missing (None) shard makes verification fail.
+        """
+        if len(shards) != self.n:
+            raise CodingError(f"verify needs n={self.n} shards, got {len(shards)}")
+        if any(s is None for s in shards):
+            return False
+        data = [np.asarray(s, dtype=np.uint8) for s in shards[: self.k]]
+        recomputed = self.encode(data)
+        return all(
+            np.array_equal(recomputed[self.k + j], np.asarray(shards[self.k + j], dtype=np.uint8))
+            for j in range(self.m)
+        )
+
+    # ------------------------------------------------------------ reconstruct
+    def reconstruct(
+        self,
+        shards: Sequence[Optional[np.ndarray]],
+        targets: Optional[Sequence[int]] = None,
+    ) -> List[np.ndarray]:
+        """Rebuild missing shards (``None`` entries) from any k survivors.
+
+        Mirrors ``Encoder.Reconstruct``. ``targets`` restricts which missing
+        shard indices to rebuild (default: all). Returns the full shard list
+        with requested holes filled.
+        """
+        return decoder.reconstruct(self, shards, targets)
+
+    # ------------------------------------------------------------------ utils
+    def _check_data_shards(self, data_shards: Sequence[np.ndarray]) -> List[np.ndarray]:
+        if len(data_shards) != self.k:
+            raise CodingError(f"expected k={self.k} data shards, got {len(data_shards)}")
+        shards = [np.asarray(s, dtype=np.uint8) for s in data_shards]
+        sizes = {s.size for s in shards}
+        if len(sizes) != 1:
+            raise CodingError(f"data shards have differing sizes: {sorted(sizes)}")
+        if shards[0].ndim != 1:
+            raise CodingError("shards must be 1-D uint8 arrays")
+        return shards

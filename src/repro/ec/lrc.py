@@ -1,0 +1,270 @@
+"""Azure-style Locally Repairable Codes (LRC) — the related-work baseline.
+
+The paper's related work (§6) contrasts partial stripe repair with
+*locally repairable codes* [14, 17, 25, 32], which attack repair cost at
+the code level: the k data chunks are split into ``l`` local groups, each
+protected by one XOR *local parity*, plus ``g`` RS *global parities*.
+A single lost data chunk is then rebuilt from its group's ``k/l`` peers
+instead of k survivors — less I/O, at the price of extra storage overhead.
+
+:class:`LRCCode` implements LRC(k, l, g) with the standard decoding
+ladder:
+
+1. single data-chunk failure → local XOR repair (reads ``k/l`` chunks);
+2. local-parity failure → re-encode from its group;
+3. anything heavier → global decode through the underlying RS code over
+   the k data chunks and g global parities.
+
+Shard layout: ``[D_0..D_{k-1} | L_0..L_{l-1} | G_0..G_{g-1}]``.
+
+This gives the benchmark suite a second axis: HD-PSR (schedule-level) vs
+LRC (code-level) repair acceleration — and they compose, since LRC local
+repairs are just smaller stripes for the PSR scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.ec.encoder import RSCode
+from repro.errors import CodingError, ConfigurationError, InsufficientShardsError
+from repro.gf import gf_independent_rows, gf_mat_inv, gf_mul_add_scalar
+
+
+class LRCCode:
+    """An (k, l, g) locally repairable code over GF(2^8).
+
+    Args:
+        k: data shards (must be divisible by ``l``).
+        l: number of local groups / local parities.
+        g: number of global parities.
+
+    Fault tolerance: any ``g + 1`` erasures are always decodable (g global
+    parities + the locals' one-per-group coverage), matching Azure LRC's
+    guarantees for the patterns this implementation accepts.
+    """
+
+    def __init__(self, k: int, l: int, g: int) -> None:
+        for name, value in (("k", k), ("l", l), ("g", g)):
+            if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+                raise ConfigurationError(f"{name} must be a positive int, got {value!r}")
+        if k % l:
+            raise ConfigurationError(f"k={k} must be divisible by l={l} groups")
+        self.k = k
+        self.l = l
+        self.g = g
+        self.group_size = k // l
+        self.n = k + l + g
+        # Global parities come from a systematic RS(k+g, k) code's parity
+        # rows. Cauchy construction: combined with the XOR locals it keeps
+        # every (g+1)-erasure pattern decodable (incl. a whole group) and
+        # ~85% of (g+2)-patterns for LRC(6,2,2) — matching Azure LRC's
+        # published recoverability; the Vandermonde rows lose the
+        # whole-group pattern.
+        self._rs = RSCode(k + g, k, matrix_style="cauchy")
+        self.matrix = self._full_matrix()
+
+    def _full_matrix(self) -> np.ndarray:
+        """The n x k generator: identity, local XOR rows, RS parity rows."""
+        rows = np.zeros((self.n, self.k), dtype=np.uint8)
+        rows[: self.k] = np.eye(self.k, dtype=np.uint8)
+        for group in range(self.l):
+            for idx in self.group_members(group):
+                rows[self.k + group, idx] = 1
+        rows[self.k + self.l :] = self._rs.matrix[self.k :]
+        return rows
+
+    # ------------------------------------------------------------- layout
+    def group_of(self, data_index: int) -> int:
+        """Local group of data shard ``data_index``."""
+        if not 0 <= data_index < self.k:
+            raise CodingError(f"data index {data_index} out of range [0, {self.k})")
+        return data_index // self.group_size
+
+    def group_members(self, group: int) -> List[int]:
+        """Data shard indices of ``group``."""
+        if not 0 <= group < self.l:
+            raise CodingError(f"group {group} out of range [0, {self.l})")
+        start = group * self.group_size
+        return list(range(start, start + self.group_size))
+
+    def local_parity_index(self, group: int) -> int:
+        """Shard index of group ``group``'s local parity."""
+        if not 0 <= group < self.l:
+            raise CodingError(f"group {group} out of range [0, {self.l})")
+        return self.k + group
+
+    def global_parity_indices(self) -> List[int]:
+        return list(range(self.k + self.l, self.n))
+
+    def shard_kind(self, index: int) -> str:
+        """``"data"``, ``"local"``, or ``"global"``."""
+        if not 0 <= index < self.n:
+            raise CodingError(f"shard {index} out of range [0, {self.n})")
+        if index < self.k:
+            return "data"
+        if index < self.k + self.l:
+            return "local"
+        return "global"
+
+    @property
+    def storage_overhead(self) -> float:
+        """n / k — what the locality costs in capacity."""
+        return self.n / self.k
+
+    def __repr__(self) -> str:
+        return f"LRCCode(k={self.k}, l={self.l}, g={self.g})"
+
+    # ------------------------------------------------------------- encode
+    def encode(self, data_shards: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Return all n shards: data, local parities, global parities."""
+        if len(data_shards) != self.k:
+            raise CodingError(f"expected k={self.k} data shards, got {len(data_shards)}")
+        shards = [np.asarray(s, dtype=np.uint8) for s in data_shards]
+        sizes = {s.size for s in shards}
+        if len(sizes) != 1:
+            raise CodingError(f"data shards have differing sizes: {sorted(sizes)}")
+        locals_ = []
+        for group in range(self.l):
+            acc = np.zeros(shards[0].size, dtype=np.uint8)
+            for idx in self.group_members(group):
+                np.bitwise_xor(acc, shards[idx], out=acc)
+            locals_.append(acc)
+        globals_ = self._rs.encode(shards)[self.k :]
+        return list(shards) + locals_ + globals_
+
+    def verify(self, shards: Sequence[Optional[np.ndarray]]) -> bool:
+        """Consistency check across local and global parities."""
+        if len(shards) != self.n:
+            raise CodingError(f"verify needs n={self.n} shards, got {len(shards)}")
+        if any(s is None for s in shards):
+            return False
+        recomputed = self.encode([np.asarray(s, dtype=np.uint8) for s in shards[: self.k]])
+        return all(
+            np.array_equal(np.asarray(a, dtype=np.uint8), b)
+            for a, b in zip(shards, recomputed)
+        )
+
+    # -------------------------------------------------------------- repair
+    def repair_plan_for(self, lost: Sequence[int], available: Set[int]) -> Dict[int, List[int]]:
+        """Which shards each lost shard's cheapest repair reads.
+
+        Returns ``{lost_shard: [source shards]}``. Single losses within a
+        group use the local XOR path (``group_size`` sources); everything
+        else falls back to global decoding (k sources from data + global
+        parities, plus locally-repairable substitutions).
+
+        Raises:
+            InsufficientShardsError: if the pattern is undecodable.
+        """
+        lost_set = set(lost)
+        plan: Dict[int, List[int]] = {}
+        for shard in sorted(lost_set):
+            kind = self.shard_kind(shard)
+            if kind in ("data", "local"):
+                group = self.group_of(shard) if kind == "data" else shard - self.k
+                circle = set(self.group_members(group)) | {self.local_parity_index(group)}
+                sources = circle - {shard}
+                if sources <= available and not (sources & lost_set):
+                    plan[shard] = sorted(sources)
+                    continue
+            plan[shard] = self._global_sources(lost_set, available)
+        return plan
+
+    def _global_sources(self, lost: Set[int], available: Set[int]) -> List[int]:
+        """k sources for a general decode, using any shard kind.
+
+        Prefers data and global-parity rows (cheapest conceptually) but
+        pulls in local parities whenever they are needed for rank — that
+        is LRC's extra decodability beyond its embedded RS code.
+        """
+        preferred = [
+            j for j in list(range(self.k)) + self.global_parity_indices()
+            if j in available and j not in lost
+        ]
+        fallback = [
+            j for j in range(self.k, self.k + self.l)
+            if j in available and j not in lost
+        ]
+        candidates = preferred + fallback
+        if len(candidates) < self.k:
+            raise InsufficientShardsError(
+                f"general decode needs k={self.k} independent shards, "
+                f"only {len(candidates)} available"
+            )
+        try:
+            picked = gf_independent_rows(self.matrix[candidates], self.k)
+        except CodingError as exc:
+            raise InsufficientShardsError(
+                f"erasure pattern {sorted(lost)} is undecodable: {exc}"
+            ) from exc
+        return [candidates[i] for i in picked]
+
+    def reconstruct(
+        self, shards: Sequence[Optional[np.ndarray]]
+    ) -> List[np.ndarray]:
+        """Rebuild every missing shard (local fast-path, then global).
+
+        Raises:
+            InsufficientShardsError: pattern exceeds the code's tolerance.
+        """
+        if len(shards) != self.n:
+            raise CodingError(f"expected n={self.n} shards, got {len(shards)}")
+        work: List[Optional[np.ndarray]] = [
+            None if s is None else np.asarray(s, dtype=np.uint8) for s in shards
+        ]
+
+        # Pass 1: local repairs until a fixed point (each may unlock more).
+        progress = True
+        while progress:
+            progress = False
+            for shard in range(self.k + self.l):
+                if work[shard] is not None:
+                    continue
+                group = self.group_of(shard) if shard < self.k else shard - self.k
+                circle = set(self.group_members(group)) | {self.local_parity_index(group)}
+                sources = circle - {shard}
+                if all(work[j] is not None for j in sources):
+                    acc = np.zeros(work[next(iter(sources))].size, dtype=np.uint8)
+                    for j in sources:
+                        np.bitwise_xor(acc, work[j], out=acc)
+                    work[shard] = acc
+                    progress = True
+
+        # Pass 2: general decode over the full generator matrix — any k
+        # linearly independent surviving rows (local parities included)
+        # recover the data vector.
+        missing = [j for j in range(self.n) if work[j] is None]
+        if missing:
+            available = {j for j in range(self.n) if work[j] is not None}
+            sources = self._global_sources(set(missing), available)
+            decode = gf_mat_inv(self.matrix[sources])
+            size = work[sources[0]].size
+            data: List[np.ndarray] = []
+            for i in range(self.k):
+                if work[i] is not None:
+                    data.append(work[i])
+                    continue
+                acc = np.zeros(size, dtype=np.uint8)
+                for col, src in enumerate(sources):
+                    gf_mul_add_scalar(acc, int(decode[i, col]), work[src])
+                data.append(acc)
+            full = self.encode(data)
+            for j in missing:
+                work[j] = full[j]
+        return work  # type: ignore[return-value]
+
+    def repair_cost(self, lost: Sequence[int]) -> int:
+        """Chunks read to repair ``lost`` assuming everything else survives.
+
+        The LRC selling point in one number: 1 lost data chunk costs
+        ``k/l`` reads instead of RS's ``k``.
+        """
+        available = set(range(self.n)) - set(lost)
+        plan = self.repair_plan_for(lost, available)
+        sources: Set[int] = set()
+        for src in plan.values():
+            sources.update(src)
+        return len(sources)

@@ -1,0 +1,149 @@
+"""Incremental partial-stripe reconstruction (``RecoverWithSomeShards``).
+
+Partial stripe repair feeds surviving chunks to the decoder in *repair
+rounds* of ``P_a`` chunks; after each round the chunks are folded into a
+small accumulator and their memory slots are released. This module is the
+coding-side mechanism that makes that possible: because RS decoding is a
+linear combination (Equation (2) of the paper), the sum can be evaluated in
+any order and any grouping.
+
+:class:`PartialDecoder` tracks, per repair target, an accumulator chunk and
+the set of survivors still to be folded. It is deliberately stateful — its
+lifecycle matches one stripe's repair:
+
+>>> pd = PartialDecoder(code, survivor_ids=[0, 1, 3, 5], targets=[2])
+>>> pd.feed({0: shard0, 1: shard1})     # round 1: P_a = 2  # doctest: +SKIP
+>>> pd.feed({3: shard3, 5: shard5})     # round 2           # doctest: +SKIP
+>>> rebuilt = pd.result(2)              # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import CodingError
+from repro.ec.decoder import reconstruction_coefficients
+from repro.gf import gf_mul_add_scalar
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ec.encoder import RSCode
+
+
+class PartialDecoder:
+    """Stateful incremental decoder for one stripe's lost shards.
+
+    Args:
+        code: the (n, k) RS code.
+        survivor_ids: exactly k shard indices that will be fed, in any
+            grouping, across repair rounds.
+        targets: lost shard indices to rebuild (1 for single-disk repair,
+            more under multi-disk failure).
+        chunk_size: shard length in bytes; inferred from the first fed
+            shard when omitted.
+    """
+
+    def __init__(
+        self,
+        code: "RSCode",
+        survivor_ids: Sequence[int],
+        targets: Sequence[int],
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        if len(targets) == 0:
+            raise CodingError("PartialDecoder needs at least one target shard")
+        if len(set(targets)) != len(targets):
+            raise CodingError(f"duplicate targets: {list(targets)}")
+        overlap = set(targets) & set(survivor_ids)
+        if overlap:
+            raise CodingError(f"targets {sorted(overlap)} cannot also be survivors")
+        self.code = code
+        self.survivor_ids = [int(j) for j in survivor_ids]
+        self.targets = [int(t) for t in targets]
+        # Coefficient table: coeffs[target][survivor] (validates survivor set).
+        self._coeffs: Dict[int, Dict[int, int]] = {
+            t: reconstruction_coefficients(code, self.survivor_ids, t) for t in self.targets
+        }
+        self._pending = set(self.survivor_ids)
+        self._chunk_size = chunk_size
+        self._acc: Dict[int, np.ndarray] = {}
+        self._fed_count = 0
+
+    # ----------------------------------------------------------------- state
+    @property
+    def pending(self) -> List[int]:
+        """Survivor shard indices not yet folded in (sorted)."""
+        return sorted(self._pending)
+
+    @property
+    def complete(self) -> bool:
+        """True once all k survivors have been folded."""
+        return not self._pending
+
+    @property
+    def rounds_fed(self) -> int:
+        """How many ``feed`` calls (repair rounds) happened so far."""
+        return self._fed_count
+
+    def memory_chunks_held(self) -> int:
+        """Number of accumulator chunks currently resident (= #targets).
+
+        This is PSR's memory footprint between rounds: one chunk per repair
+        target, regardless of P_a — the property that lets P_r stripes
+        coexist in a c-chunk memory.
+        """
+        return len(self._acc)
+
+    # ------------------------------------------------------------------ feed
+    def feed(self, shards: Mapping[int, np.ndarray]) -> "PartialDecoder":
+        """Fold one repair round's chunks into every target's accumulator.
+
+        Args:
+            shards: mapping of survivor shard index -> chunk buffer. Each
+                survivor may be fed exactly once over the decoder lifetime.
+        """
+        if not shards:
+            raise CodingError("feed() called with no shards")
+        for sid, buf in shards.items():
+            if sid not in self._pending:
+                if sid in self.survivor_ids:
+                    raise CodingError(f"survivor shard {sid} was already fed")
+                raise CodingError(f"shard {sid} is not one of the declared survivors")
+            arr = np.asarray(buf, dtype=np.uint8)
+            if arr.ndim != 1:
+                raise CodingError(f"shard {sid} must be 1-D, got shape {arr.shape}")
+            if self._chunk_size is None:
+                self._chunk_size = arr.size
+            elif arr.size != self._chunk_size:
+                raise CodingError(
+                    f"shard {sid} has {arr.size} bytes, expected {self._chunk_size}"
+                )
+            for target in self.targets:
+                acc = self._acc.get(target)
+                if acc is None:
+                    acc = np.zeros(self._chunk_size, dtype=np.uint8)
+                    self._acc[target] = acc
+                gf_mul_add_scalar(acc, self._coeffs[target][sid], arr)
+            self._pending.discard(sid)
+        self._fed_count += 1
+        return self
+
+    # ---------------------------------------------------------------- result
+    def result(self, target: int) -> np.ndarray:
+        """Return the rebuilt shard for ``target`` (all survivors must be fed)."""
+        if target not in self._coeffs:
+            raise CodingError(f"{target} is not a declared target")
+        if self._pending:
+            raise CodingError(
+                f"decode incomplete; survivors still pending: {self.pending}"
+            )
+        if target not in self._acc:
+            # Possible only if chunk_size was never learned (feed never called
+            # with this configuration) — guarded by the pending check above.
+            raise CodingError("no data was fed")
+        return self._acc[target]
+
+    def results(self) -> Dict[int, np.ndarray]:
+        """All rebuilt shards keyed by target index."""
+        return {t: self.result(t) for t in self.targets}

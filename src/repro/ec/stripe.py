@@ -1,0 +1,173 @@
+"""Stripe and chunk metadata.
+
+A *stripe* is one codeword of an (n, k) RS code: k data chunks plus
+m = n - k parity chunks, each placed on a distinct disk. These dataclasses
+carry only placement metadata — chunk *bytes* live in the HDSS store and
+only pass through the codec during encode/repair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True, order=True)
+class ChunkId:
+    """Globally unique chunk address: (stripe index, shard index).
+
+    ``shard_index`` runs 0..n-1; indices < k are data shards, the rest are
+    parity shards (systematic layout).
+    """
+
+    stripe_index: int
+    shard_index: int
+
+    def __str__(self) -> str:
+        return f"S{self.stripe_index},{self.shard_index}"
+
+
+@dataclass(frozen=True)
+class Stripe:
+    """Placement record of one stripe: which disk holds each shard.
+
+    Attributes:
+        index: stripe index within the volume.
+        n: total shards per stripe.
+        k: data shards per stripe.
+        disks: tuple of n disk ids; ``disks[j]`` holds shard j.
+    """
+
+    index: int
+    n: int
+    k: int
+    disks: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not (0 < self.k < self.n):
+            raise ConfigurationError(f"stripe requires 0 < k < n, got n={self.n} k={self.k}")
+        if len(self.disks) != self.n:
+            raise ConfigurationError(
+                f"stripe {self.index} placement has {len(self.disks)} disks, expected n={self.n}"
+            )
+        if len(set(self.disks)) != self.n:
+            raise ConfigurationError(
+                f"stripe {self.index} places multiple shards on one disk: {self.disks}"
+            )
+
+    @property
+    def m(self) -> int:
+        """Number of parity shards."""
+        return self.n - self.k
+
+    def chunk_ids(self) -> List[ChunkId]:
+        """All n chunk ids of this stripe in shard order."""
+        return [ChunkId(self.index, j) for j in range(self.n)]
+
+    def shard_on_disk(self, disk_id: int) -> "int | None":
+        """Shard index stored on ``disk_id``, or None if the stripe skips it."""
+        try:
+            return self.disks.index(disk_id)
+        except ValueError:
+            return None
+
+    def surviving_shards(self, failed_disks: Sequence[int]) -> List[int]:
+        """Shard indices whose disks are not in ``failed_disks``."""
+        failed = set(failed_disks)
+        return [j for j, d in enumerate(self.disks) if d not in failed]
+
+    def lost_shards(self, failed_disks: Sequence[int]) -> List[int]:
+        """Shard indices whose disks are in ``failed_disks``."""
+        failed = set(failed_disks)
+        return [j for j, d in enumerate(self.disks) if d in failed]
+
+
+@dataclass
+class StripeLayout:
+    """An ordered collection of stripes plus per-disk *stripe sets*.
+
+    The *stripe set* of a disk (paper §4.4) is the list of stripes with a
+    shard on that disk; cooperative multi-disk repair unions these sets.
+    """
+
+    stripes: List[Stripe] = field(default_factory=list)
+    _stripe_sets: Dict[int, List[int]] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        for stripe in self.stripes:
+            self._index_stripe(stripe)
+
+    def _index_stripe(self, stripe: Stripe) -> None:
+        for disk_id in stripe.disks:
+            self._stripe_sets.setdefault(disk_id, []).append(stripe.index)
+
+    def add(self, stripe: Stripe) -> None:
+        """Append a stripe and update the per-disk stripe sets."""
+        if stripe.index != len(self.stripes):
+            raise ConfigurationError(
+                f"stripe index {stripe.index} does not match position {len(self.stripes)}"
+            )
+        self.stripes.append(stripe)
+        self._index_stripe(stripe)
+
+    def __len__(self) -> int:
+        return len(self.stripes)
+
+    def __iter__(self) -> Iterator[Stripe]:
+        return iter(self.stripes)
+
+    def __getitem__(self, index: int) -> Stripe:
+        return self.stripes[index]
+
+    def stripe_set(self, disk_id: int) -> List[int]:
+        """Stripe indices stored (in part) on ``disk_id``."""
+        return list(self._stripe_sets.get(disk_id, []))
+
+    def stripes_touching(self, disk_ids: Sequence[int]) -> List[int]:
+        """Union of stripe sets of ``disk_ids``, deduplicated and sorted.
+
+        This is exactly the cooperative repair's minimal stripe collection
+        (paper Figure 6).
+        """
+        union: set = set()
+        for disk_id in disk_ids:
+            union.update(self._stripe_sets.get(disk_id, ()))
+        return sorted(union)
+
+    def disks(self) -> List[int]:
+        """All disk ids referenced by any stripe."""
+        return sorted(self._stripe_sets)
+
+    def remap_shard(self, stripe_index: int, shard_index: int, new_disk: int) -> Stripe:
+        """Point one shard at a new disk (post-repair placement commit).
+
+        Replaces the stripe record and fixes the per-disk stripe sets.
+        Returns the new stripe record.
+
+        Raises:
+            ConfigurationError: if ``new_disk`` already holds another shard
+                of this stripe (placement must stay one-shard-per-disk).
+        """
+        stripe = self.stripes[stripe_index]
+        if not 0 <= shard_index < stripe.n:
+            raise ConfigurationError(
+                f"shard {shard_index} out of range for stripe {stripe_index}"
+            )
+        old_disk = stripe.disks[shard_index]
+        if new_disk == old_disk:
+            return stripe
+        if new_disk in stripe.disks:
+            raise ConfigurationError(
+                f"disk {new_disk} already holds a shard of stripe {stripe_index}"
+            )
+        disks = list(stripe.disks)
+        disks[shard_index] = new_disk
+        new_stripe = Stripe(index=stripe.index, n=stripe.n, k=stripe.k, disks=tuple(disks))
+        self.stripes[stripe_index] = new_stripe
+        old_set = self._stripe_sets.get(old_disk, [])
+        if stripe_index in old_set:
+            old_set.remove(stripe_index)
+        self._stripe_sets.setdefault(new_disk, []).append(stripe_index)
+        return new_stripe

@@ -1,0 +1,121 @@
+"""Wide-stripe Reed-Solomon over GF(2^16): n up to 65536 shards.
+
+ECWide-class deployments use stripes far wider than GF(2^8)'s 256-shard
+ceiling. :class:`WideRSCode` mirrors :class:`~repro.ec.encoder.RSCode`'s
+API over :data:`~repro.gf.bigfield.GF65536`; shard buffers are uint16
+arrays (two bytes per symbol — ``split``/``join`` handle the byte<->symbol
+packing, padding odd-length data).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import CodingError, ConfigurationError, InsufficientShardsError
+from repro.gf.bigfield import GF65536, BinaryField
+
+
+class WideRSCode:
+    """Systematic (n, k) RS over a configurable binary field (default 2^16)."""
+
+    def __init__(self, n: int, k: int, field: BinaryField = GF65536) -> None:
+        if not isinstance(n, int) or not isinstance(k, int):
+            raise ConfigurationError(f"n and k must be ints, got {n!r}, {k!r}")
+        if not (0 < k < n):
+            raise ConfigurationError(f"require 0 < k < n, got n={n}, k={k}")
+        if n > field.order:
+            raise ConfigurationError(
+                f"GF(2^{field.bits}) supports n <= {field.order}, got {n}"
+            )
+        self.n = n
+        self.k = k
+        self.m = n - k
+        self.field = field
+        self.matrix = field.rs_encoding_matrix(n, k)
+
+    def __repr__(self) -> str:
+        return f"WideRSCode(n={self.n}, k={self.k}, field=GF(2^{self.field.bits}))"
+
+    # ------------------------------------------------------------------ split
+    def split(self, data: bytes, chunk_symbols: Optional[int] = None) -> List[np.ndarray]:
+        """Split bytes into k equal shards of field symbols (zero padded)."""
+        if len(data) == 0:
+            raise CodingError("cannot split empty data")
+        symbol_bytes = self.field.dtype().itemsize
+        total_symbols = -(-len(data) // symbol_bytes)
+        if chunk_symbols is None:
+            chunk_symbols = -(-total_symbols // self.k)
+        if total_symbols > self.k * chunk_symbols:
+            raise CodingError(
+                f"data needs {total_symbols} symbols > k*chunk_symbols = {self.k * chunk_symbols}"
+            )
+        padded = np.zeros(self.k * chunk_symbols * symbol_bytes, dtype=np.uint8)
+        padded[: len(data)] = np.frombuffer(data, dtype=np.uint8)
+        symbols = padded.view(self.field.dtype)
+        return [
+            symbols[i * chunk_symbols : (i + 1) * chunk_symbols].copy()
+            for i in range(self.k)
+        ]
+
+    def join(self, data_shards: Sequence[np.ndarray], size: int) -> bytes:
+        """Reassemble the original ``size`` bytes from the k data shards."""
+        if len(data_shards) != self.k:
+            raise CodingError(f"join needs k={self.k} shards, got {len(data_shards)}")
+        flat = np.concatenate([np.asarray(s, dtype=self.field.dtype) for s in data_shards])
+        raw = flat.view(np.uint8)
+        if size > raw.size:
+            raise CodingError(f"requested {size} bytes but shards hold {raw.size}")
+        return raw[:size].tobytes()
+
+    # ----------------------------------------------------------------- encode
+    def encode(self, data_shards: Sequence[np.ndarray]) -> List[np.ndarray]:
+        if len(data_shards) != self.k:
+            raise CodingError(f"expected k={self.k} shards, got {len(data_shards)}")
+        shards = [np.asarray(s, dtype=self.field.dtype) for s in data_shards]
+        sizes = {s.size for s in shards}
+        if len(sizes) != 1:
+            raise CodingError(f"shards have differing sizes: {sorted(sizes)}")
+        parity = [np.zeros(shards[0].size, dtype=self.field.dtype) for _ in range(self.m)]
+        for row in range(self.m):
+            coeffs = self.matrix[self.k + row]
+            for i in range(self.k):
+                self.field.mul_add_scalar(parity[row], int(coeffs[i]), shards[i])
+        return list(shards) + parity
+
+    # ------------------------------------------------------------ reconstruct
+    def reconstruct(
+        self, shards: Sequence[Optional[np.ndarray]]
+    ) -> List[np.ndarray]:
+        """Rebuild every missing shard from any k survivors."""
+        if len(shards) != self.n:
+            raise CodingError(f"expected n={self.n} shards, got {len(shards)}")
+        present = [j for j, s in enumerate(shards) if s is not None]
+        missing = [j for j, s in enumerate(shards) if s is None]
+        if not missing:
+            return [np.asarray(s, dtype=self.field.dtype) for s in shards]
+        if len(present) < self.k:
+            raise InsufficientShardsError(
+                f"only {len(present)} of k={self.k} shards survive"
+            )
+        sources = present[: self.k]
+        decode = self.field.mat_inv(self.matrix[sources])
+        bufs = [np.asarray(shards[j], dtype=self.field.dtype) for j in sources]
+        size = bufs[0].size
+
+        data: List[np.ndarray] = []
+        for i in range(self.k):
+            if shards[i] is not None:
+                data.append(np.asarray(shards[i], dtype=self.field.dtype))
+                continue
+            acc = np.zeros(size, dtype=self.field.dtype)
+            for col, buf in enumerate(bufs):
+                self.field.mul_add_scalar(acc, int(decode[i, col]), buf)
+            data.append(acc)
+        full = self.encode(data)
+        out = [
+            np.asarray(s, dtype=self.field.dtype) if s is not None else full[j]
+            for j, s in enumerate(shards)
+        ]
+        return out

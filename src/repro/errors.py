@@ -1,0 +1,48 @@
+"""Exception hierarchy for the HD-PSR reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still distinguishing configuration mistakes from runtime storage faults.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A parameter combination is invalid (e.g. ``k >= n`` or ``c < P_a``)."""
+
+
+class CodingError(ReproError):
+    """Erasure-coding failure: not enough shards, singular decode matrix, ..."""
+
+
+class InsufficientShardsError(CodingError):
+    """Fewer than ``k`` surviving shards are available for reconstruction."""
+
+
+class StorageError(ReproError):
+    """A (simulated or file-backed) storage operation failed."""
+
+
+class DiskFailedError(StorageError):
+    """An I/O was issued against a disk currently marked as failed."""
+
+
+class ChunkNotFoundError(StorageError, KeyError):
+    """The requested chunk does not exist on the addressed disk."""
+
+
+class MemoryCapacityError(StorageError):
+    """A repair round requested more chunk slots than the memory owns."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine reached an inconsistent state."""
+
+
+class PlanError(ReproError):
+    """A repair plan is malformed (empty rounds, overlapping chunks, ...)."""

@@ -1,0 +1,187 @@
+"""Parametrised binary Galois fields — GF(2^w) for w up to 16.
+
+The chunk-kernel module (:mod:`repro.gf.arithmetic`) is specialised for
+GF(2^8), which covers the paper's codes (n <= 256 shards). Wide-stripe
+deployments (ECWide-class, k = 128 with large n) can exceed that, so this
+module provides a general :class:`BinaryField` with the same table-driven
+vectorised arithmetic for any word width up to 16 bits, plus the matrix
+helpers a Reed-Solomon codec needs.
+
+``GF65536`` is the ready-made GF(2^16) instance (polynomial 0x1100B, the
+standard CCSDS choice); ``GF256`` mirrors the specialised module and is
+used to cross-check the two implementations in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+import numpy as np
+
+from repro.errors import CodingError, ConfigurationError
+
+ArrayLike = Union[int, np.ndarray]
+
+
+class BinaryField:
+    """GF(2^w) arithmetic via exp/log tables, vectorised over arrays.
+
+    Args:
+        bits: word width w (2..16).
+        poly: primitive polynomial including the x^w term.
+    """
+
+    def __init__(self, bits: int, poly: int) -> None:
+        if not 2 <= bits <= 16:
+            raise ConfigurationError(f"bits must be in [2, 16], got {bits}")
+        if poly >> bits != 1:
+            raise ConfigurationError(
+                f"poly 0x{poly:X} must have degree exactly {bits}"
+            )
+        self.bits = bits
+        self.poly = poly
+        self.order = 1 << bits            # field size
+        self.group = self.order - 1       # multiplicative group order
+        self.dtype = np.uint8 if bits <= 8 else np.uint16
+
+        exp = np.zeros(2 * self.group, dtype=self.dtype)
+        log = np.zeros(self.order, dtype=np.int64)
+        x = 1
+        for i in range(self.group):
+            exp[i] = x
+            log[x] = i
+            x <<= 1
+            if x & self.order:
+                x ^= poly
+        if x != 1:
+            raise ConfigurationError(
+                f"0x{poly:X} is not primitive for GF(2^{bits})"
+            )
+        exp[self.group :] = exp[: self.group]
+        self._exp = exp
+        self._log = log
+
+    def __repr__(self) -> str:
+        return f"BinaryField(2^{self.bits}, poly=0x{self.poly:X})"
+
+    # --------------------------------------------------------------- scalars
+    def _as_elems(self, x: ArrayLike) -> np.ndarray:
+        arr = np.asarray(x)
+        if arr.dtype != self.dtype:
+            if np.any((arr < 0) | (arr >= self.order)):
+                raise ValueError(f"elements must lie in [0, {self.order})")
+            arr = arr.astype(self.dtype)
+        return arr
+
+    def add(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
+        return np.bitwise_xor(self._as_elems(a), self._as_elems(b))
+
+    def mul(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
+        a_, b_ = self._as_elems(a), self._as_elems(b)
+        out = self._exp[self._log[a_] + self._log[b_]]
+        zero = (a_ == 0) | (b_ == 0)
+        return np.where(zero, self.dtype(0), out).astype(self.dtype)
+
+    def inv(self, a: ArrayLike) -> np.ndarray:
+        a_ = self._as_elems(a)
+        if np.any(a_ == 0):
+            raise ZeroDivisionError("0 has no inverse")
+        return self._exp[(self.group - self._log[a_]) % self.group].astype(self.dtype)
+
+    def div(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
+        a_, b_ = self._as_elems(a), self._as_elems(b)
+        if np.any(b_ == 0):
+            raise ZeroDivisionError("division by zero")
+        out = self._exp[(self._log[a_] - self._log[b_]) % self.group]
+        return np.where(a_ == 0, self.dtype(0), out).astype(self.dtype)
+
+    def pow(self, a: ArrayLike, exponent: int) -> np.ndarray:
+        a_ = self._as_elems(a)
+        if exponent == 0:
+            return np.ones_like(a_)
+        if exponent < 0:
+            return self.pow(self.inv(a_), -exponent)
+        la = self._log[a_].astype(np.int64)
+        out = self._exp[(la * exponent) % self.group]
+        return np.where(a_ == 0, self.dtype(0), out).astype(self.dtype)
+
+    # ---------------------------------------------------------- buffer kernel
+    def mul_scalar(self, coeff: int, buf: np.ndarray) -> np.ndarray:
+        """Vectorised ``coeff * buf`` over a whole shard buffer."""
+        buf_ = self._as_elems(buf)
+        if not 0 <= int(coeff) < self.order:
+            raise ValueError(f"coefficient {coeff} outside the field")
+        if coeff == 0:
+            return np.zeros_like(buf_)
+        if coeff == 1:
+            return buf_.copy()
+        lc = int(self._log[coeff])
+        out = self._exp[self._log[buf_] + lc].astype(self.dtype)
+        out[buf_ == 0] = 0
+        return out
+
+    def mul_add_scalar(self, acc: np.ndarray, coeff: int, buf: np.ndarray) -> np.ndarray:
+        """In place ``acc ^= coeff * buf``; returns ``acc``."""
+        if acc.dtype != self.dtype:
+            raise ValueError(f"accumulator must be {self.dtype}")
+        if acc.shape != np.shape(buf):
+            raise ValueError("shape mismatch")
+        if coeff:
+            np.bitwise_xor(acc, self.mul_scalar(coeff, buf), out=acc)
+        return acc
+
+    # ---------------------------------------------------------------- matrix
+    def identity(self, size: int) -> np.ndarray:
+        return np.eye(size, dtype=self.dtype)
+
+    def mat_mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = self._as_elems(a)
+        b = self._as_elems(b)
+        if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+            raise ValueError(f"incompatible shapes {a.shape} @ {b.shape}")
+        products = self.mul(a[:, :, None], b[None, :, :])
+        return np.bitwise_xor.reduce(products, axis=1)
+
+    def mat_inv(self, m: np.ndarray) -> np.ndarray:
+        m = self._as_elems(m)
+        if m.ndim != 2 or m.shape[0] != m.shape[1]:
+            raise ValueError(f"matrix must be square, got {m.shape}")
+        size = m.shape[0]
+        work = np.concatenate([m.copy(), self.identity(size)], axis=1)
+        for col in range(size):
+            pivots = np.nonzero(work[col:, col])[0]
+            if pivots.size == 0:
+                raise CodingError(f"singular matrix (no pivot in column {col})")
+            pivot = col + int(pivots[0])
+            if pivot != col:
+                work[[col, pivot]] = work[[pivot, col]]
+            work[col] = self.mul(work[col], self.inv(work[col, col]))
+            factors = work[:, col].copy()
+            factors[col] = 0
+            work ^= self.mul(factors[:, None], work[col][None, :])
+        return work[:, size:].copy()
+
+    def vandermonde(self, rows: int, cols: int) -> np.ndarray:
+        if rows > self.order:
+            raise ValueError(f"GF(2^{self.bits}) supports at most {self.order} rows")
+        i = np.arange(rows, dtype=self.dtype)
+        out = np.empty((rows, cols), dtype=self.dtype)
+        for col in range(cols):
+            out[:, col] = self.pow(i, col)
+        return out
+
+    def rs_encoding_matrix(self, n: int, k: int) -> np.ndarray:
+        """Systematic n x k RS matrix (identity top), Vandermonde-derived."""
+        if not (0 < k < n):
+            raise ValueError(f"require 0 < k < n, got n={n} k={k}")
+        if n > self.order:
+            raise ValueError(f"GF(2^{self.bits}) RS supports n <= {self.order}")
+        raw = self.vandermonde(n, k)
+        return self.mat_mul(raw, self.mat_inv(raw[:k, :k]))
+
+
+#: GF(2^8) with the same polynomial as :mod:`repro.gf.tables` (0x11D).
+GF256 = BinaryField(8, 0x11D)
+
+#: GF(2^16), primitive polynomial x^16 + x^12 + x^3 + x + 1 (0x1100B).
+GF65536 = BinaryField(16, 0x1100B)

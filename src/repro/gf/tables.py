@@ -1,0 +1,63 @@
+"""Exp/log table construction for GF(2^8).
+
+The tables are built once at import time by repeated carry-less
+multiplication by the generator element 2 modulo the primitive polynomial
+0x11D. ``exp_table`` is doubled in length (510 entries) so that
+``exp[log[a] + log[b]]`` never needs an explicit ``% 255`` in the hot
+multiplication path — a standard trick from software RS implementations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Number of field elements, |GF(2^8)|.
+FIELD_SIZE: int = 256
+
+#: Primitive polynomial x^8 + x^4 + x^3 + x^2 + 1 (same as ISA-L / klauspost).
+PRIMITIVE_POLY: int = 0x11D
+
+#: Multiplicative generator of the field under this polynomial.
+GENERATOR: int = 2
+
+#: Multiplicative group order (every non-zero element satisfies a^255 = 1).
+GROUP_ORDER: int = FIELD_SIZE - 1
+
+
+def _build_tables() -> "tuple[np.ndarray, np.ndarray]":
+    """Build (exp, log) tables; exp has 2*255 entries to skip modular wraps."""
+    exp = np.zeros(2 * GROUP_ORDER, dtype=np.uint8)
+    log = np.zeros(FIELD_SIZE, dtype=np.int32)
+    x = 1
+    for i in range(GROUP_ORDER):
+        exp[i] = x
+        log[x] = i
+        x <<= 1
+        if x & 0x100:
+            x ^= PRIMITIVE_POLY
+    exp[GROUP_ORDER:] = exp[:GROUP_ORDER]
+    # log[0] is undefined mathematically; keep 0 but arithmetic.py masks
+    # zero operands before the table lookup.
+    log[0] = 0
+    return exp, log
+
+
+_EXP, _LOG = _build_tables()
+
+
+def exp_table() -> np.ndarray:
+    """Return a read-only view of the doubled exp table (len 510, uint8)."""
+    view = _EXP.view()
+    view.flags.writeable = False
+    return view
+
+
+def log_table() -> np.ndarray:
+    """Return a read-only view of the log table (len 256, int32).
+
+    ``log[0]`` is a placeholder; callers must mask zeros themselves (the
+    functions in :mod:`repro.gf.arithmetic` do).
+    """
+    view = _LOG.view()
+    view.flags.writeable = False
+    return view

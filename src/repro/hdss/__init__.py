@@ -1,0 +1,51 @@
+"""High-density storage server (HDSS) substrate.
+
+Simulates the paper's testbed — a single server packing dozens of disks
+(EC2 ``d3en.12xlarge``: 36 SATA disks) — as a composable set of models:
+
+* :mod:`repro.hdss.disk` — per-disk performance model (bandwidth, slow
+  state, failure) and probing;
+* :mod:`repro.hdss.profiles` — disk/chunk speed distributions, including
+  the paper's slow-fraction ("ROS") heterogeneity;
+* :mod:`repro.hdss.store` — chunk data stores (in-memory and file-backed);
+* :mod:`repro.hdss.memory` — the c-chunk repair memory;
+* :mod:`repro.hdss.placement` — stripe placement and per-disk stripe sets;
+* :mod:`repro.hdss.server` — the assembled server: encode volumes, fail
+  disks, derive the ``L_{s×k}`` transfer-time matrices repairs consume;
+* :mod:`repro.hdss.prober` — active speed testing and passive slow-disk
+  detection (the inputs to HD-PSR's active/passive algorithms).
+"""
+
+from repro.hdss.disk import Disk, DiskState
+from repro.hdss.profiles import (
+    BimodalSlowProfile,
+    LognormalProfile,
+    NormalProfile,
+    SpeedProfile,
+    UniformProfile,
+)
+from repro.hdss.store import ChunkStore, FileChunkStore, InMemoryChunkStore
+from repro.hdss.memory import ChunkMemory
+from repro.hdss.placement import random_placement, rotating_placement
+from repro.hdss.server import HDSSConfig, HighDensityStorageServer
+from repro.hdss.prober import ActiveProber, PassiveMonitor
+
+__all__ = [
+    "Disk",
+    "DiskState",
+    "SpeedProfile",
+    "UniformProfile",
+    "NormalProfile",
+    "LognormalProfile",
+    "BimodalSlowProfile",
+    "ChunkStore",
+    "InMemoryChunkStore",
+    "FileChunkStore",
+    "ChunkMemory",
+    "rotating_placement",
+    "random_placement",
+    "HDSSConfig",
+    "HighDensityStorageServer",
+    "ActiveProber",
+    "PassiveMonitor",
+]

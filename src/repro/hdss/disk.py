@@ -1,0 +1,143 @@
+"""Per-disk performance and health model.
+
+A :class:`Disk` knows its nominal bandwidth, a possibly degraded *current*
+bandwidth (slow disks are the paper's central nuisance), and its health
+state. Transfer times are deterministic given the bandwidth, with optional
+multiplicative jitter drawn from a seeded RNG — repair algorithms only ever
+see the resulting per-chunk times, exactly like the prototype only sees
+measured speeds.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DiskFailedError
+from repro.utils.rng import RngLike, make_rng
+from repro.utils.validation import check_positive
+
+
+class DiskState(enum.Enum):
+    """Health/performance state of a disk."""
+
+    HEALTHY = "healthy"
+    #: Serving I/O but at degraded bandwidth (the paper's *slow* disk).
+    SLOW = "slow"
+    FAILED = "failed"
+
+
+class Disk:
+    """One spindle of the HDSS.
+
+    Args:
+        disk_id: integer id, unique within a server.
+        bandwidth: nominal sustained transfer bandwidth, bytes/second.
+        capacity: disk capacity in bytes (accounting only).
+        jitter: per-transfer multiplicative noise amplitude in [0, 1);
+            a transfer takes ``size / current_bandwidth * (1 + U(-j, +j))``.
+        seed: RNG seed for jitter (derived per-disk by the server).
+    """
+
+    def __init__(
+        self,
+        disk_id: int,
+        bandwidth: float,
+        capacity: int = 0,
+        jitter: float = 0.0,
+        seed: RngLike = None,
+    ) -> None:
+        if disk_id < 0:
+            raise ConfigurationError(f"disk_id must be >= 0, got {disk_id}")
+        check_positive("bandwidth", bandwidth)
+        if not 0.0 <= jitter < 1.0:
+            raise ConfigurationError(f"jitter must be in [0, 1), got {jitter}")
+        self.disk_id = disk_id
+        self.nominal_bandwidth = float(bandwidth)
+        self._current_bandwidth = float(bandwidth)
+        self.capacity = int(capacity)
+        self.jitter = float(jitter)
+        self._rng = make_rng(seed)
+        self.state = DiskState.HEALTHY
+        #: Total bytes read through this disk (wear/telemetry accounting).
+        self.bytes_read = 0
+        #: Number of read operations issued.
+        self.read_ops = 0
+
+    # ------------------------------------------------------------------ state
+    @property
+    def current_bandwidth(self) -> float:
+        """Effective bandwidth right now (degradation applied)."""
+        return self._current_bandwidth
+
+    @property
+    def is_failed(self) -> bool:
+        return self.state is DiskState.FAILED
+
+    @property
+    def is_slow(self) -> bool:
+        """Whether the disk is *actually* degraded (ground truth).
+
+        Repair algorithms must not read this directly — they learn slowness
+        through probing (active) or timers (passive).
+        """
+        return self.state is DiskState.SLOW
+
+    def degrade(self, factor: float) -> None:
+        """Mark the disk slow: bandwidth becomes ``nominal / factor``."""
+        check_positive("factor", factor)
+        if self.is_failed:
+            raise DiskFailedError(f"disk {self.disk_id} is failed")
+        self._current_bandwidth = self.nominal_bandwidth / factor
+        self.state = DiskState.SLOW if factor > 1.0 else DiskState.HEALTHY
+
+    def heal(self) -> None:
+        """Restore nominal bandwidth and healthy state."""
+        self._current_bandwidth = self.nominal_bandwidth
+        self.state = DiskState.HEALTHY
+
+    def fail(self) -> None:
+        """Mark the disk failed; all subsequent I/O raises."""
+        self.state = DiskState.FAILED
+
+    # -------------------------------------------------------------------- I/O
+    def transfer_time(self, size: int, jittered: bool = True) -> float:
+        """Seconds to move ``size`` bytes from this disk into memory.
+
+        Raises:
+            DiskFailedError: if the disk is failed.
+        """
+        if self.is_failed:
+            raise DiskFailedError(f"read of {size} B from failed disk {self.disk_id}")
+        if size < 0:
+            raise ConfigurationError(f"size must be >= 0, got {size}")
+        base = size / self._current_bandwidth
+        if jittered and self.jitter > 0.0:
+            base *= 1.0 + self._rng.uniform(-self.jitter, self.jitter)
+        return base
+
+    def record_read(self, size: int) -> None:
+        """Account a completed read (telemetry used by tests/reports)."""
+        self.bytes_read += int(size)
+        self.read_ops += 1
+
+    def probe(self, probe_size: int = 1024, noise: float = 0.02) -> float:
+        """Actively measure bandwidth by timing a small read (paper §4.2).
+
+        Reads ``probe_size`` bytes (1 KiB by default, as in the paper) and
+        returns the inferred bytes/second. The measurement carries small
+        relative noise so active algorithms see estimates, not oracle truth.
+        """
+        elapsed = self.transfer_time(probe_size, jittered=False)
+        if noise > 0.0:
+            elapsed *= max(1e-9, 1.0 + self._rng.normal(0.0, noise))
+        self.record_read(probe_size)
+        return probe_size / elapsed
+
+    def __repr__(self) -> str:
+        return (
+            f"Disk(id={self.disk_id}, state={self.state.value}, "
+            f"bw={self._current_bandwidth / 1e6:.1f} MB/s)"
+        )

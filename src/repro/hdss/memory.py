@@ -1,0 +1,112 @@
+"""The repair memory: a pool of ``c`` chunk-sized buffers.
+
+This is the scarce resource the whole paper is about. The executor routes
+every surviving chunk through here; exceeding the capacity raises rather
+than silently spilling, so schedule bugs that over-commit memory are caught
+by construction. Peak-occupancy telemetry backs the memory-competition
+assertions in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.errors import MemoryCapacityError, StorageError
+from repro.utils.validation import check_positive
+
+
+class ChunkMemory:
+    """Bounded pool of chunk buffers keyed by caller-chosen handles.
+
+    Args:
+        capacity_chunks: the paper's ``c`` — max simultaneously held chunks.
+        chunk_size: buffer size in bytes (all chunks are equal-sized).
+    """
+
+    def __init__(self, capacity_chunks: int, chunk_size: int) -> None:
+        check_positive("capacity_chunks", capacity_chunks)
+        check_positive("chunk_size", chunk_size)
+        self.capacity_chunks = int(capacity_chunks)
+        self.chunk_size = int(chunk_size)
+        self._held: Dict[Any, np.ndarray] = {}
+        #: Highest simultaneous occupancy seen (chunks).
+        self.peak_occupancy = 0
+        #: Total chunk admissions over the lifetime.
+        self.total_admissions = 0
+
+    # ------------------------------------------------------------------ state
+    @property
+    def occupancy(self) -> int:
+        """Chunks currently held."""
+        return len(self._held)
+
+    @property
+    def available(self) -> int:
+        """Free chunk slots."""
+        return self.capacity_chunks - len(self._held)
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.capacity_chunks * self.chunk_size
+
+    def holds(self, handle: Any) -> bool:
+        return handle in self._held
+
+    # ------------------------------------------------------------------- ops
+    def admit(self, handle: Any, data: "np.ndarray | None" = None) -> np.ndarray:
+        """Claim one slot under ``handle``; optionally filled with ``data``.
+
+        Returns the resident buffer (zeroed if no data given).
+
+        Raises:
+            MemoryCapacityError: the pool is full — the scheduler tried to
+                exceed ``c``, which FSR/PSR plans must never do.
+            StorageError: duplicate handle or wrong-sized data.
+        """
+        if handle in self._held:
+            raise StorageError(f"handle {handle!r} already resident")
+        if len(self._held) >= self.capacity_chunks:
+            raise MemoryCapacityError(
+                f"memory full: {self.occupancy}/{self.capacity_chunks} chunks held, "
+                f"cannot admit {handle!r}"
+            )
+        if data is None:
+            buf = np.zeros(self.chunk_size, dtype=np.uint8)
+        else:
+            buf = np.asarray(data, dtype=np.uint8)
+            if buf.shape != (self.chunk_size,):
+                raise StorageError(
+                    f"chunk {handle!r} has shape {buf.shape}, expected ({self.chunk_size},)"
+                )
+            buf = buf.copy()
+        self._held[handle] = buf
+        self.total_admissions += 1
+        self.peak_occupancy = max(self.peak_occupancy, len(self._held))
+        return buf
+
+    def get(self, handle: Any) -> np.ndarray:
+        """Return the resident buffer for ``handle``."""
+        try:
+            return self._held[handle]
+        except KeyError:
+            raise StorageError(f"handle {handle!r} is not resident") from None
+
+    def release(self, handle: Any) -> None:
+        """Free the slot held by ``handle``."""
+        if handle not in self._held:
+            raise StorageError(f"handle {handle!r} is not resident")
+        del self._held[handle]
+
+    def release_all(self) -> int:
+        """Free every slot; returns how many were held."""
+        count = len(self._held)
+        self._held.clear()
+        return count
+
+    def __repr__(self) -> str:
+        return (
+            f"ChunkMemory({self.occupancy}/{self.capacity_chunks} chunks, "
+            f"chunk_size={self.chunk_size}, peak={self.peak_occupancy})"
+        )

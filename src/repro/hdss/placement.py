@@ -1,0 +1,61 @@
+"""Stripe placement across the server's disks.
+
+Two strategies:
+
+* :func:`rotating_placement` — deterministic round-robin with per-stripe
+  rotation, the classic RAID-style declustered layout (every disk carries
+  roughly ``s * n / num_disks`` chunks and stripe sets overlap evenly);
+* :func:`random_placement` — each stripe picks n distinct disks uniformly
+  at random (seeded), modelling hash-based placement.
+
+Both return a :class:`~repro.ec.stripe.StripeLayout`, whose per-disk stripe
+sets drive cooperative multi-disk repair.
+"""
+
+from __future__ import annotations
+
+from repro.ec.stripe import Stripe, StripeLayout
+from repro.errors import ConfigurationError
+from repro.utils.rng import RngLike, make_rng
+
+
+def _check(num_disks: int, num_stripes: int, n: int, k: int) -> None:
+    if n > num_disks:
+        raise ConfigurationError(
+            f"cannot place n={n} shards on {num_disks} disks without overlap"
+        )
+    if not (0 < k < n):
+        raise ConfigurationError(f"require 0 < k < n, got n={n}, k={k}")
+    if num_stripes < 0:
+        raise ConfigurationError(f"num_stripes must be >= 0, got {num_stripes}")
+
+
+def rotating_placement(num_disks: int, num_stripes: int, n: int, k: int) -> StripeLayout:
+    """Declustered round-robin: stripe i uses disks ``(i + j) % num_disks``.
+
+    The stride-1 rotation guarantees perfectly even load (each disk carries
+    ``n`` shards per ``num_disks`` stripes) *and* rich stripe-set overlap:
+    a disk's stripe set spans ``2n - 1`` neighbouring disks, so a failed
+    disk's recovery reads from many spindles rather than one aligned group
+    (a stride of ``n`` would partition the chassis into
+    ``num_disks / gcd(n, num_disks)`` isolated groups).
+    """
+    _check(num_disks, num_stripes, n, k)
+    layout = StripeLayout()
+    for i in range(num_stripes):
+        disks = tuple((i + j) % num_disks for j in range(n))
+        layout.add(Stripe(index=i, n=n, k=k, disks=disks))
+    return layout
+
+
+def random_placement(
+    num_disks: int, num_stripes: int, n: int, k: int, seed: RngLike = None
+) -> StripeLayout:
+    """Each stripe independently picks n distinct disks uniformly at random."""
+    _check(num_disks, num_stripes, n, k)
+    rng = make_rng(seed)
+    layout = StripeLayout()
+    for i in range(num_stripes):
+        disks = tuple(int(d) for d in rng.choice(num_disks, size=n, replace=False))
+        layout.add(Stripe(index=i, n=n, k=k, disks=disks))
+    return layout

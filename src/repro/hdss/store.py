@@ -1,0 +1,177 @@
+"""Chunk data stores: where shard bytes actually live.
+
+Two backends with one interface:
+
+* :class:`InMemoryChunkStore` — dict-backed, used by simulations and tests;
+* :class:`FileChunkStore` — one directory per disk with one file per chunk,
+  mirroring the paper's setup of 36 directories each mounting one disk.
+
+Stores address chunks by ``(disk_id, ChunkId)``; the disk id is explicit so
+a store can also hold the *backup disks* repaired chunks are written to.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.ec.stripe import ChunkId
+from repro.errors import ChunkNotFoundError, StorageError
+
+Key = Tuple[int, ChunkId]
+
+
+class ChunkStore(abc.ABC):
+    """Abstract chunk-addressed byte store."""
+
+    @abc.abstractmethod
+    def put(self, disk_id: int, chunk_id: ChunkId, data: np.ndarray) -> None:
+        """Write one chunk (uint8 array) to ``disk_id``."""
+
+    @abc.abstractmethod
+    def get(self, disk_id: int, chunk_id: ChunkId) -> np.ndarray:
+        """Read one chunk; raises :class:`ChunkNotFoundError` if absent."""
+
+    @abc.abstractmethod
+    def delete(self, disk_id: int, chunk_id: ChunkId) -> None:
+        """Remove one chunk (missing chunks raise)."""
+
+    @abc.abstractmethod
+    def contains(self, disk_id: int, chunk_id: ChunkId) -> bool:
+        """Whether the chunk exists."""
+
+    @abc.abstractmethod
+    def chunks_on_disk(self, disk_id: int) -> List[ChunkId]:
+        """All chunk ids stored on ``disk_id``."""
+
+    @abc.abstractmethod
+    def drop_disk(self, disk_id: int) -> int:
+        """Destroy all chunks on a disk (failure); returns chunks lost."""
+
+    def __contains__(self, key: Key) -> bool:
+        return self.contains(*key)
+
+
+class InMemoryChunkStore(ChunkStore):
+    """Dict-backed store. Arrays are copied on put/get to avoid aliasing."""
+
+    def __init__(self) -> None:
+        self._data: Dict[int, Dict[ChunkId, np.ndarray]] = {}
+
+    def put(self, disk_id: int, chunk_id: ChunkId, data: np.ndarray) -> None:
+        arr = np.asarray(data, dtype=np.uint8)
+        if arr.ndim != 1:
+            raise StorageError(f"chunk {chunk_id} must be 1-D, got shape {arr.shape}")
+        self._data.setdefault(disk_id, {})[chunk_id] = arr.copy()
+
+    def get(self, disk_id: int, chunk_id: ChunkId) -> np.ndarray:
+        try:
+            return self._data[disk_id][chunk_id].copy()
+        except KeyError:
+            raise ChunkNotFoundError(f"chunk {chunk_id} not on disk {disk_id}") from None
+
+    def delete(self, disk_id: int, chunk_id: ChunkId) -> None:
+        try:
+            del self._data[disk_id][chunk_id]
+        except KeyError:
+            raise ChunkNotFoundError(f"chunk {chunk_id} not on disk {disk_id}") from None
+
+    def contains(self, disk_id: int, chunk_id: ChunkId) -> bool:
+        return chunk_id in self._data.get(disk_id, {})
+
+    def chunks_on_disk(self, disk_id: int) -> List[ChunkId]:
+        return sorted(self._data.get(disk_id, {}))
+
+    def drop_disk(self, disk_id: int) -> int:
+        lost = len(self._data.get(disk_id, {}))
+        self._data.pop(disk_id, None)
+        return lost
+
+    def total_chunks(self) -> int:
+        """Total chunks across every disk."""
+        return sum(len(d) for d in self._data.values())
+
+    def iter_all(self) -> Iterator[Tuple[int, ChunkId]]:
+        """Iterate (disk_id, chunk_id) over the whole store."""
+        for disk_id, chunks in self._data.items():
+            for chunk_id in chunks:
+                yield disk_id, chunk_id
+
+
+class FileChunkStore(ChunkStore):
+    """Filesystem store: ``root/disk-<id>/s<stripe>.<shard>.chunk``.
+
+    The layout mirrors the paper's experiment setup (one mounted directory
+    per disk). Chunk files are written atomically (tmp + rename) so a
+    crashed repair never leaves a torn chunk behind.
+    """
+
+    def __init__(self, root: "str | os.PathLike") -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _disk_dir(self, disk_id: int) -> Path:
+        return self.root / f"disk-{disk_id:03d}"
+
+    def _chunk_path(self, disk_id: int, chunk_id: ChunkId) -> Path:
+        return self._disk_dir(disk_id) / f"s{chunk_id.stripe_index:06d}.{chunk_id.shard_index:03d}.chunk"
+
+    @staticmethod
+    def _parse_name(name: str) -> Optional[ChunkId]:
+        if not name.endswith(".chunk") or not name.startswith("s"):
+            return None
+        stem = name[1 : -len(".chunk")]
+        parts = stem.split(".")
+        if len(parts) != 2:
+            return None
+        try:
+            return ChunkId(int(parts[0]), int(parts[1]))
+        except ValueError:
+            return None
+
+    def put(self, disk_id: int, chunk_id: ChunkId, data: np.ndarray) -> None:
+        arr = np.ascontiguousarray(np.asarray(data, dtype=np.uint8))
+        if arr.ndim != 1:
+            raise StorageError(f"chunk {chunk_id} must be 1-D, got shape {arr.shape}")
+        path = self._chunk_path(disk_id, chunk_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_bytes(arr.tobytes())
+        os.replace(tmp, path)
+
+    def get(self, disk_id: int, chunk_id: ChunkId) -> np.ndarray:
+        path = self._chunk_path(disk_id, chunk_id)
+        if not path.exists():
+            raise ChunkNotFoundError(f"chunk {chunk_id} not on disk {disk_id}")
+        return np.frombuffer(path.read_bytes(), dtype=np.uint8).copy()
+
+    def delete(self, disk_id: int, chunk_id: ChunkId) -> None:
+        path = self._chunk_path(disk_id, chunk_id)
+        if not path.exists():
+            raise ChunkNotFoundError(f"chunk {chunk_id} not on disk {disk_id}")
+        path.unlink()
+
+    def contains(self, disk_id: int, chunk_id: ChunkId) -> bool:
+        return self._chunk_path(disk_id, chunk_id).exists()
+
+    def chunks_on_disk(self, disk_id: int) -> List[ChunkId]:
+        disk_dir = self._disk_dir(disk_id)
+        if not disk_dir.exists():
+            return []
+        ids = (self._parse_name(p.name) for p in disk_dir.iterdir())
+        return sorted(c for c in ids if c is not None)
+
+    def drop_disk(self, disk_id: int) -> int:
+        disk_dir = self._disk_dir(disk_id)
+        if not disk_dir.exists():
+            return 0
+        lost = 0
+        for path in list(disk_dir.iterdir()):
+            if path.suffix == ".chunk":
+                path.unlink()
+                lost += 1
+        return lost

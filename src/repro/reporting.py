@@ -1,0 +1,181 @@
+"""Generate EXPERIMENTS.md from benchmark artefacts.
+
+Each benchmark writes ``benchmarks/results/<id>.json``; this module renders
+them as Markdown next to the paper's reported numbers so the
+paper-vs-measured record is regenerated, never hand-edited.
+
+Usage: ``python -m repro report [--results DIR] [--output FILE]``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.utils.tables import render_table
+
+#: What the paper reports, per experiment — the comparison targets.
+PAPER_CLAIMS = {
+    "fig4a": "ACWT increases with P_a and with ROS (Observation 2).",
+    "fig4b": "Total repair rounds increase with P_r (Observation 3).",
+    "exp1": (
+        "All HD-PSR schemes repair faster than FSR; the gap widens with k. "
+        "Paper peaks: HD-PSR-PA -71.7% at (6,4)/100 GiB; HD-PSR-AP -56.9% "
+        "and HD-PSR-AS -50.46% at (14,10)/200 GiB."
+    ),
+    "exp2": (
+        "HD-PSR-AS derives P_a ~98% faster than HD-PSR-AP on average; both "
+        "grow with the stripe count; HD-PSR-PA has zero derivation cost."
+    ),
+    "exp3": "Repair time grows with chunk size; HD-PSR keeps its advantage at every size.",
+    "exp4": "Selection running time falls as chunk size grows (fewer stripes); AS stays far below AP.",
+    "exp5": (
+        "Cooperative multi-disk repair cuts repair time; paper peaks: "
+        "AP -24.2% (2 disks), AS -52.5% (3 disks), PA -30.8% (3 disks)."
+    ),
+    "ablation_memory": "Repo ablation (no paper counterpart): HD-PSR's edge is largest when memory is scarce.",
+    "ablation_ros": "Repo ablation: the benefit vanishes on a homogeneous chassis and grows with slow-disk ratio.",
+    "ablation_ap_model": "Repo ablation: AP's analytic T matches exact interval execution; slot-model deviation stays small.",
+    "ablation_threshold": "Repo ablation: AS/PA are robust to the slow threshold across a broad basin below the slow factor.",
+    "ablation_staleness": (
+        "Repo ablation of the paper's section-4.3 motivation: active probes go stale "
+        "between probing and repairing; PA's in-band timers do not."
+    ),
+    "durability": (
+        "Repo extension quantifying the paper's motivation: faster repair shortens "
+        "the coincident-failure window, improving 10-year loss probability and MTTDL."
+    ),
+    "wallclock": (
+        "Repo extension: the headline comparison re-measured with real threads and "
+        "rate-paced disks (actual elapsed seconds, not a simulated clock)."
+    ),
+    "lrc_comparison": (
+        "Related-work comparison (paper section 6): LRC cuts repair I/O at a capacity "
+        "cost; HD-PSR cuts repair time at no capacity cost; on wide RS stripes the "
+        "schedule-level gains are large, on 3-chunk LRC local repairs the memory is "
+        "no longer contended and HD-PSR's headroom vanishes."
+    ),
+    "foreground_latency": (
+        "Repo extension: degraded-read latency while each scheme repairs (priority "
+        "slot granting). HD-PSR finishes sooner without worsening the read tail."
+    ),
+    "ablation_slicing": (
+        "Related-work ablation (RP, paper section 6): slice-level pipelining vs "
+        "chunk-level HD-PSR under per-disk service contention — with realistic "
+        "per-request cost the optimum collapses back to chunk-granular rounds."
+    ),
+    "wide_stripes": (
+        "Repo extension into the ECWide [13] regime the paper's complexity analysis "
+        "anticipates: reductions grow with stripe width while AS's selection cost "
+        "stays flat and AP's grows."
+    ),
+    "vulnerability_order": (
+        "Repo extension: after a backplane event, admitting the most-exposed stripes "
+        "first slashes the time-to-safety at near-zero total-time cost."
+    ),
+}
+
+TITLES = {
+    "fig4a": "Figure 4(a) — ACWT vs P_a (Observation 2)",
+    "fig4b": "Figure 4(b) — Repair rounds vs P_r (Observation 3)",
+    "exp1": "Experiment 1 / Figure 7(a–c) — Single-disk repair time vs (n, k)",
+    "exp2": "Experiment 2 / Figure 7(d–f) — Algorithm running time vs (n, k)",
+    "exp3": "Experiment 3 / Figure 8(a) — Repair time vs chunk size",
+    "exp4": "Experiment 4 / Figure 8(b) — Algorithm running time vs chunk size",
+    "exp5": "Experiment 5 / Figure 9 — Multi-disk repair, naive vs cooperative",
+    "ablation_memory": "Ablation — memory capacity sweep",
+    "ablation_ros": "Ablation — slow-disk ratio sweep",
+    "ablation_ap_model": "Ablation — AP analytic-model fidelity",
+    "ablation_threshold": "Ablation — slow-threshold sensitivity",
+    "ablation_staleness": "Ablation — probe staleness (active vs passive)",
+    "durability": "Extension — durability consequence of repair speed",
+    "wallclock": "Extension — wall-clock repair with real threads",
+    "lrc_comparison": "Related work — LRC vs RS under FSR/HD-PSR scheduling",
+    "foreground_latency": "Extension — degraded-read latency during repair",
+    "ablation_slicing": "Related work — slice-level pipelining (RP) vs HD-PSR",
+    "wide_stripes": "Extension — wide-stripe (k up to 128) regime",
+    "vulnerability_order": "Extension — vulnerability-first multi-disk repair ordering",
+}
+
+ORDER = [
+    "fig4a", "fig4b", "exp1", "exp2", "exp3", "exp4", "exp5",
+    "ablation_memory", "ablation_ros", "ablation_ap_model", "ablation_threshold",
+    "ablation_staleness", "durability", "wallclock", "lrc_comparison",
+    "foreground_latency", "ablation_slicing", "wide_stripes",
+    "vulnerability_order",
+]
+
+
+def load_results(results_dir: Path) -> Dict[str, Dict[str, Any]]:
+    """Load every ``*.json`` artefact keyed by experiment id."""
+    out: Dict[str, Dict[str, Any]] = {}
+    for path in sorted(Path(results_dir).glob("*.json")):
+        payload = json.loads(path.read_text())
+        out[payload.get("experiment", path.stem)] = payload
+    return out
+
+
+def _rows_to_markdown(rows: List[Dict[str, Any]]) -> str:
+    if not rows:
+        return "_no rows recorded_"
+    headers = list(rows[0].keys())
+    body = [[row.get(h, "") for h in headers] for row in rows]
+    return render_table(headers, body, markdown=True, float_fmt=".3f")
+
+
+def render_report(results_dir: Path, preamble: Optional[str] = None) -> str:
+    """Render the full EXPERIMENTS.md body."""
+    results = load_results(results_dir)
+    lines: List[str] = []
+    lines.append("# EXPERIMENTS — paper vs measured")
+    lines.append("")
+    if preamble:
+        lines.append(preamble.strip())
+        lines.append("")
+    lines.append(
+        "Generated by `python -m repro report` from `benchmarks/results/*.json` "
+        "(regenerate the artefacts with `pytest benchmarks/ --benchmark-only -s`). "
+        "Absolute times are simulated seconds on the modeled 36-disk chassis; the "
+        "reproduction target is the *shape* of each paper result — who wins, by "
+        "roughly what factor, and how trends move. Exp 2/4 report real wall-clock "
+        "of this package's implementations."
+    )
+    lines.append("")
+    for exp_id in ORDER:
+        payload = results.get(exp_id)
+        lines.append(f"## {TITLES.get(exp_id, exp_id)}")
+        lines.append("")
+        lines.append(f"**Paper:** {PAPER_CLAIMS.get(exp_id, '(repo-specific)')}")
+        lines.append("")
+        if payload is None:
+            lines.append("_artefact missing — run the benchmark suite_")
+            lines.append("")
+            continue
+        meta = payload.get("meta") or {}
+        if meta:
+            meta_str = ", ".join(f"{k}={v}" for k, v in meta.items())
+            lines.append(f"**Measured** ({meta_str}):")
+        else:
+            lines.append("**Measured:**")
+        lines.append("")
+        lines.append(_rows_to_markdown(payload.get("rows", [])))
+        lines.append("")
+    extra = sorted(set(results) - set(ORDER))
+    for exp_id in extra:
+        lines.append(f"## {exp_id}")
+        lines.append("")
+        lines.append(_rows_to_markdown(results[exp_id].get("rows", [])))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(
+    results_dir: "str | Path",
+    output: "str | Path",
+    preamble: Optional[str] = None,
+) -> Path:
+    """Render and write the report; returns the output path."""
+    output = Path(output)
+    output.write_text(render_report(Path(results_dir), preamble=preamble))
+    return output

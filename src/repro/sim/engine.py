@@ -1,0 +1,289 @@
+"""A minimal generator-based discrete-event kernel.
+
+Processes are Python generators that ``yield`` events; the engine resumes a
+process when its yielded event fires. Three event kinds cover everything the
+storage simulation needs:
+
+* :class:`Timeout` — fires after a simulated delay (a chunk transfer);
+* :class:`AllOf` — fires when all child events have fired (a repair round's
+  parallel chunk transfers completing);
+* :class:`SlotResource.request` — fires when the requested number of memory
+  chunk-slots has been granted.
+
+The kernel is deterministic: ties in time are broken by schedule order, so
+two runs of the same scenario produce identical timelines.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    An event is *triggered* once with an optional value; callbacks attached
+    before or after triggering all run exactly once.
+    """
+
+    __slots__ = ("engine", "triggered", "value", "_callbacks")
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        self.triggered = False
+        self.value: Any = None
+        self._callbacks: List[Callable[["Event"], None]] = []
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        if self.triggered:
+            # Fire on the next engine step to preserve run-to-completion.
+            self.engine.schedule(0.0, lambda: fn(self))
+        else:
+            self._callbacks.append(fn)
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event immediately (at the current simulated time)."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self.triggered = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+        return self
+
+
+class Timeout(Event):
+    """Event that fires ``delay`` simulated seconds after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:
+        super().__init__(engine)
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        engine.schedule(delay, self.succeed, value)
+
+
+class AllOf(Event):
+    """Event that fires when every child event has fired.
+
+    Its value is the list of child values in the original order.
+    """
+
+    __slots__ = ("_children", "_remaining")
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]) -> None:
+        super().__init__(engine)
+        self._children = list(events)
+        self._remaining = len(self._children)
+        if self._remaining == 0:
+            engine.schedule(0.0, self.succeed, [])
+            return
+        for child in self._children:
+            child.add_callback(self._on_child)
+
+    def _on_child(self, _child: Event) -> None:
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([c.value for c in self._children])
+
+
+class Process(Event):
+    """Drives a generator; the process event fires when the generator ends.
+
+    The generator yields :class:`Event` instances; the value sent back into
+    the generator is the event's value.
+    """
+
+    __slots__ = ("_gen",)
+
+    def __init__(self, engine: "Engine", gen: Generator[Event, Any, Any]) -> None:
+        super().__init__(engine)
+        self._gen = gen
+        engine.schedule(0.0, self._step, None)
+
+    def _step(self, send_value: Any) -> None:
+        try:
+            target = self._gen.send(send_value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process yielded {type(target).__name__}, expected an Event"
+            )
+        target.add_callback(lambda ev: self._step(ev.value))
+
+
+class SlotResource:
+    """A counted resource with FIFO (optionally first-fit) granting.
+
+    Models the HDSS memory: ``capacity`` chunk slots; a repair round
+    requests ``count`` slots and holds them for the duration of the round.
+
+    Requests carry a priority (lower value = more urgent; default 0).
+    Waiters are served in (priority, arrival) order under two policies:
+
+        * ``"fifo"`` — strict order; a blocked request blocks everything
+          behind it (conservative, no overtaking);
+        * ``"first-fit"`` — a blocked request lets *equal-priority*
+          requests overtake when they fit, but bars all lower-priority
+          ones — so background repair rounds cannot starve a blocked
+          foreground read, while repair rounds still pack among
+          themselves.
+    """
+
+    def __init__(self, engine: "Engine", capacity: int, policy: str = "fifo") -> None:
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        if policy not in ("fifo", "first-fit"):
+            raise SimulationError(f"unknown grant policy {policy!r}")
+        self.engine = engine
+        self.capacity = capacity
+        self.policy = policy
+        self.in_use = 0
+        self._seq = 0
+        #: sorted by (priority, seq): (priority, seq, count, event)
+        self._waiters: List[Tuple[int, int, int, Event]] = []
+        #: (time, slots-in-use) samples for utilisation accounting.
+        self.occupancy_log: List[Tuple[float, int]] = [(0.0, 0)]
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    def _log(self) -> None:
+        self.occupancy_log.append((self.engine.now, self.in_use))
+
+    def request(self, count: int, priority: int = 0) -> Event:
+        """Return an event that fires once ``count`` slots are granted.
+
+        ``priority``: lower is more urgent; ties are FIFO.
+        """
+        if count <= 0:
+            raise SimulationError(f"slot request must be positive, got {count}")
+        if count > self.capacity:
+            raise SimulationError(
+                f"request for {count} slots exceeds capacity {self.capacity}"
+            )
+        event = Event(self.engine)
+        entry = (priority, self._seq, count, event)
+        self._seq += 1
+        # insert keeping (priority, seq) order; appends dominate in practice
+        idx = len(self._waiters)
+        while idx > 0 and self._waiters[idx - 1][:2] > entry[:2]:
+            idx -= 1
+        self._waiters.insert(idx, entry)
+        self._dispatch()
+        return event
+
+    def release(self, count: int) -> None:
+        """Return ``count`` slots to the pool and wake eligible waiters."""
+        if count <= 0:
+            raise SimulationError(f"slot release must be positive, got {count}")
+        if count > self.in_use:
+            raise SimulationError(
+                f"releasing {count} slots but only {self.in_use} are in use"
+            )
+        self.in_use -= count
+        self._log()
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        granted = True
+        while granted and self._waiters:
+            granted = False
+            if self.policy == "fifo":
+                _prio, _seq, count, event = self._waiters[0]
+                if count <= self.available:
+                    self._waiters.pop(0)
+                    self.in_use += count
+                    self._log()
+                    event.succeed(count)
+                    granted = True
+            else:  # first-fit with a priority barrier
+                blocked_priority: "int | None" = None
+                for idx, (prio, _seq, count, event) in enumerate(self._waiters):
+                    if blocked_priority is not None and prio > blocked_priority:
+                        break  # never overtake a blocked higher-priority waiter
+                    if count <= self.available:
+                        del self._waiters[idx]
+                        self.in_use += count
+                        self._log()
+                        event.succeed(count)
+                        granted = True
+                        break
+                    if blocked_priority is None:
+                        blocked_priority = prio
+
+    def utilization(self, until: Optional[float] = None) -> float:
+        """Time-averaged fraction of slots in use over [0, until]."""
+        end = self.engine.now if until is None else until
+        if end <= 0:
+            return 0.0
+        area = 0.0
+        log = self.occupancy_log
+        for (t0, occ), (t1, _) in zip(log, log[1:]):
+            area += occ * (min(t1, end) - min(t0, end))
+        last_t, last_occ = log[-1]
+        if last_t < end:
+            area += last_occ * (end - last_t)
+        return area / (self.capacity * end)
+
+
+class Engine:
+    """The event loop: a time-ordered heap of scheduled callbacks."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, Callable[..., None], tuple]] = []
+        self._counter = itertools.count()
+        self._step_limit: Optional[int] = None
+
+    # ------------------------------------------------------------- scheduling
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        heapq.heappush(self._heap, (self.now + delay, next(self._counter), fn, args))
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator[Event, Any, Any]) -> Process:
+        return Process(self, gen)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def slot_resource(self, capacity: int, policy: str = "fifo") -> SlotResource:
+        return SlotResource(self, capacity, policy)
+
+    # -------------------------------------------------------------- execution
+    def run(self, until: Optional[float] = None, max_steps: int = 50_000_000) -> float:
+        """Drain the event heap; returns the final simulated time.
+
+        Args:
+            until: stop once the next event lies strictly beyond this time.
+            max_steps: safety valve against runaway schedules.
+        """
+        steps = 0
+        while self._heap:
+            time, _seq, fn, args = self._heap[0]
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            if time < self.now - 1e-12:
+                raise SimulationError(f"time went backwards: {time} < {self.now}")
+            self.now = max(self.now, time)
+            fn(*args)
+            steps += 1
+            if steps > max_steps:
+                raise SimulationError(f"exceeded {max_steps} simulation steps")
+        return self.now

@@ -1,0 +1,126 @@
+"""Foreground degraded reads competing with background repair.
+
+While a disk rebuilds, clients keep reading — and reads of lost chunks
+degrade into k-survivor decodes that need memory slots just like repair
+rounds do. This module generates a Poisson stream of such degraded reads
+and measures their sojourn times under a given repair schedule, so the
+benchmark suite can report what each repair scheme does to user-visible
+latency (a dimension the paper leaves implicit in "memory competition").
+
+Foreground jobs carry ``priority=-1``: they bypass the repair scheme's
+stripe-admission cap and contend for memory slots directly (first-fit), as
+a real degraded read would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.metrics import TransferReport
+from repro.sim.transfer import ChunkTransfer, StripeJob
+from repro.utils.rng import RngLike, make_rng
+from repro.utils.validation import check_positive
+
+
+def generate_degraded_reads(
+    rate_per_second: float,
+    duration: float,
+    k: int,
+    chunk_time_mean: float,
+    chunk_time_std: float = 0.0,
+    seed: RngLike = None,
+    id_prefix: str = "read",
+) -> List[StripeJob]:
+    """Poisson stream of single-round k-chunk degraded reads.
+
+    Args:
+        rate_per_second: arrival rate lambda.
+        duration: generate arrivals over [0, duration).
+        k: chunks each degraded read must fetch.
+        chunk_time_mean / chunk_time_std: per-chunk transfer times
+            (normal, floored at 1% of the mean).
+        seed: RNG seed.
+        id_prefix: job ids are ``(id_prefix, i)``.
+    """
+    check_positive("rate_per_second", rate_per_second)
+    check_positive("duration", duration)
+    check_positive("k", k)
+    check_positive("chunk_time_mean", chunk_time_mean)
+    if chunk_time_std < 0:
+        raise ConfigurationError(f"chunk_time_std must be >= 0, got {chunk_time_std}")
+    rng = make_rng(seed)
+    jobs: List[StripeJob] = []
+    t = 0.0
+    i = 0
+    while True:
+        t += float(rng.exponential(1.0 / rate_per_second))
+        if t >= duration:
+            break
+        times = np.maximum(
+            rng.normal(chunk_time_mean, chunk_time_std, size=k),
+            chunk_time_mean * 0.01,
+        )
+        chunks = [
+            ChunkTransfer((id_prefix, i, j), float(times[j])) for j in range(k)
+        ]
+        jobs.append(
+            StripeJob(
+                job_id=(id_prefix, i),
+                rounds=[chunks],
+                arrival_time=t,
+                priority=-1,
+            )
+        )
+        i += 1
+    return jobs
+
+
+@dataclass
+class ForegroundLatency:
+    """Sojourn-time statistics of the foreground reads."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.max,
+        }
+
+
+def foreground_latency(
+    report: TransferReport,
+    foreground_jobs: Sequence[StripeJob],
+) -> ForegroundLatency:
+    """Extract foreground sojourn times (finish - arrival) from a report."""
+    arrivals = {job.job_id: job.arrival_time for job in foreground_jobs}
+    sojourns = []
+    for job_id, arrival in arrivals.items():
+        finish = report.job_finish_times.get(job_id)
+        if finish is None:
+            raise ConfigurationError(f"foreground job {job_id!r} missing from report")
+        sojourns.append(finish - arrival)
+    if not sojourns:
+        return ForegroundLatency(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    arr = np.asarray(sojourns)
+    return ForegroundLatency(
+        count=len(sojourns),
+        mean=float(arr.mean()),
+        p50=float(np.percentile(arr, 50)),
+        p95=float(np.percentile(arr, 95)),
+        p99=float(np.percentile(arr, 99)),
+        max=float(arr.max()),
+    )

@@ -1,0 +1,90 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the same rows the paper's figures plot; this
+module renders them as aligned ASCII/Markdown tables without any third-party
+dependency so reports work in CI logs and EXPERIMENTS.md alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Optional, Sequence
+
+
+def _cell(value: Any, float_fmt: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+@dataclass
+class AsciiTable:
+    """Accumulate rows then render as an aligned text or Markdown table.
+
+    Example:
+        >>> t = AsciiTable(["scheme", "time (s)"], title="Exp 1")
+        >>> t.add_row(["FSR", 12.5])
+        >>> print(t.render())  # doctest: +SKIP
+    """
+
+    headers: Sequence[str]
+    title: Optional[str] = None
+    float_fmt: str = ".3f"
+    rows: List[List[str]] = field(default_factory=list)
+
+    def add_row(self, values: Iterable[Any]) -> "AsciiTable":
+        row = [_cell(v, self.float_fmt) for v in values]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+        return self
+
+    def _widths(self) -> List[int]:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        return widths
+
+    def render(self, markdown: bool = False) -> str:
+        """Render the table; ``markdown=True`` emits GitHub-flavoured pipes."""
+        widths = self._widths()
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        if markdown:
+            lines.append("| " + " | ".join(h.ljust(w) for h, w in zip(self.headers, widths)) + " |")
+            lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+            for row in self.rows:
+                lines.append("| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) + " |")
+        else:
+            sep = "+".join("-" * (w + 2) for w in widths)
+            sep = "+" + sep + "+"
+            lines.append(sep)
+            lines.append("| " + " | ".join(h.ljust(w) for h, w in zip(self.headers, widths)) + " |")
+            lines.append(sep)
+            for row in self.rows:
+                lines.append("| " + " | ".join(c.rjust(w) for c, w in zip(row, widths)) + " |")
+            lines.append(sep)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Iterable[Any]],
+    title: Optional[str] = None,
+    markdown: bool = False,
+    float_fmt: str = ".3f",
+) -> str:
+    """One-shot helper: build and render an :class:`AsciiTable`."""
+    table = AsciiTable(list(headers), title=title, float_fmt=float_fmt)
+    for row in rows:
+        table.add_row(row)
+    return table.render(markdown=markdown)

@@ -1,0 +1,108 @@
+"""Binary size units and human-readable formatting.
+
+The paper speaks in MiB chunks and GiB disks; internally everything is plain
+``int`` bytes. This module is the single place where strings like
+``"64MiB"`` are converted to bytes and back, so experiments and configs can
+use the paper's notation verbatim.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ConfigurationError
+
+#: One kibibyte (2**10 bytes).
+KiB: int = 1024
+#: One mebibyte (2**20 bytes) — the paper's chunk sizes are multiples of this.
+MiB: int = 1024 * KiB
+#: One gibibyte (2**30 bytes) — the paper's disk sizes are multiples of this.
+GiB: int = 1024 * MiB
+#: One tebibyte (2**40 bytes).
+TiB: int = 1024 * GiB
+
+_UNIT_FACTORS = {
+    "": 1,
+    "b": 1,
+    "k": KiB,
+    "kb": KiB,
+    "kib": KiB,
+    "m": MiB,
+    "mb": MiB,
+    "mib": MiB,
+    "g": GiB,
+    "gb": GiB,
+    "gib": GiB,
+    "t": TiB,
+    "tb": TiB,
+    "tib": TiB,
+}
+
+_SIZE_RE = re.compile(r"^\s*([0-9]+(?:\.[0-9]+)?)\s*([a-zA-Z]*)\s*$")
+
+
+def parse_size(text: "str | int | float") -> int:
+    """Parse a human size (``"64MiB"``, ``"1.5GiB"``, ``4096``) into bytes.
+
+    Integers and floats pass through (floats must be integral byte counts).
+    Unit suffixes are case-insensitive; bare ``K``/``M``/``G``/``T`` are
+    binary (powers of 1024), matching the paper's KiB/MiB/GiB usage.
+
+    Raises:
+        ConfigurationError: on unknown units, negative values, or
+            non-integral byte counts.
+    """
+    if isinstance(text, bool):  # bool is an int subclass; reject explicitly
+        raise ConfigurationError("size must be a number or string, not bool")
+    if isinstance(text, int):
+        if text < 0:
+            raise ConfigurationError(f"size must be non-negative, got {text}")
+        return text
+    if isinstance(text, float):
+        if text < 0 or text != int(text):
+            raise ConfigurationError(
+                f"float size must be a non-negative integer byte count, got {text}"
+            )
+        return int(text)
+    match = _SIZE_RE.match(str(text))
+    if match is None:
+        raise ConfigurationError(f"cannot parse size {text!r}")
+    value = float(match.group(1))
+    unit = match.group(2).lower()
+    if unit not in _UNIT_FACTORS:
+        raise ConfigurationError(f"unknown size unit {match.group(2)!r} in {text!r}")
+    total = value * _UNIT_FACTORS[unit]
+    if total != int(total):
+        raise ConfigurationError(f"size {text!r} is not a whole number of bytes")
+    return int(total)
+
+
+def format_bytes(num_bytes: "int | float", precision: int = 2) -> str:
+    """Render a byte count with the largest binary unit that keeps value >= 1.
+
+    >>> format_bytes(64 * MiB)
+    '64.00 MiB'
+    """
+    if num_bytes < 0:
+        return "-" + format_bytes(-num_bytes, precision)
+    for unit, factor in (("TiB", TiB), ("GiB", GiB), ("MiB", MiB), ("KiB", KiB)):
+        if num_bytes >= factor:
+            return f"{num_bytes / factor:.{precision}f} {unit}"
+    return f"{int(num_bytes)} B"
+
+
+def format_duration(seconds: float, precision: int = 2) -> str:
+    """Render a duration in the most natural unit (us/ms/s/min/h)."""
+    if seconds < 0:
+        return "-" + format_duration(-seconds, precision)
+    if seconds == 0:
+        return "0 s"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.{precision}f} us"
+    if seconds < 1:
+        return f"{seconds * 1e3:.{precision}f} ms"
+    if seconds < 120:
+        return f"{seconds:.{precision}f} s"
+    if seconds < 7200:
+        return f"{seconds / 60:.{precision}f} min"
+    return f"{seconds / 3600:.{precision}f} h"

@@ -1,0 +1,34 @@
+"""Workload generation: transfer-time matrices, experiment scenarios, traces."""
+
+from repro.workloads.generator import (
+    TransferTimeWorkload,
+    disk_heterogeneous_transfer_times,
+    normal_transfer_times,
+    uniform_transfer_times,
+)
+from repro.workloads.scenarios import (
+    EXP1_GRID,
+    PAPER_CODES,
+    PAPER_DISK_SIZES,
+    build_exp_server,
+    stripes_for,
+)
+from repro.workloads.staleness import DriftOutcome, StalenessModel, drift_transfer_times
+from repro.workloads.traces import load_trace, save_trace
+
+__all__ = [
+    "TransferTimeWorkload",
+    "disk_heterogeneous_transfer_times",
+    "normal_transfer_times",
+    "uniform_transfer_times",
+    "PAPER_CODES",
+    "PAPER_DISK_SIZES",
+    "EXP1_GRID",
+    "build_exp_server",
+    "stripes_for",
+    "save_trace",
+    "load_trace",
+    "StalenessModel",
+    "DriftOutcome",
+    "drift_transfer_times",
+]

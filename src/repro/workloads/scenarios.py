@@ -1,0 +1,104 @@
+"""Canned experiment scenarios matching the paper's evaluation setup (§5.2).
+
+Testbed: 36-disk server (EC2 ``d3en.12xlarge``), RS codes (6,4) / (9,6) /
+(14,10), 64 MiB chunks, failed-disk data sizes 100/150/200 GiB. The
+builders here assemble :class:`~repro.hdss.server.HighDensityStorageServer`
+instances whose stripe population puts exactly the requested amount of data
+on the disk that will fail.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.hdss.profiles import BimodalSlowProfile, SpeedProfile
+from repro.hdss.server import HDSSConfig, HighDensityStorageServer
+from repro.utils.units import GiB, MiB, parse_size
+
+#: RS parameters evaluated in the paper: RAID6, QFS, Facebook f4.
+PAPER_CODES: List[Tuple[int, int]] = [(6, 4), (9, 6), (14, 10)]
+
+#: Failed-disk data sizes evaluated in the paper.
+PAPER_DISK_SIZES: List[int] = [100 * GiB, 150 * GiB, 200 * GiB]
+
+#: The full Experiment-1 grid: (n, k) x failed-disk size.
+EXP1_GRID: List[Tuple[Tuple[int, int], int]] = [
+    (nk, size) for nk in PAPER_CODES for size in PAPER_DISK_SIZES
+]
+
+#: Nominal SATA bandwidth of a d3en-class disk (approximate; only ratios
+#: between disks matter to the repair schedules).
+DEFAULT_BANDWIDTH = 180e6
+
+
+def stripes_for(disk_size: "int | str", chunk_size: "int | str", num_disks: int, n: int) -> int:
+    """How many stripes put ``disk_size`` bytes of chunks on one disk.
+
+    Stride-1 rotating placement loads every disk identically only when the
+    stripe count is a multiple of ``num_disks`` (each full rotation puts
+    exactly ``n`` chunks on each disk), so this returns
+    ``round(per_disk_chunks / n) * num_disks`` — every disk then holds
+    within ``n/2`` chunks of the requested ``disk_size`` (<1% off at the
+    paper's scales of 1600+ chunks per disk).
+    """
+    disk_size = parse_size(disk_size)
+    chunk_size = parse_size(chunk_size)
+    if disk_size % chunk_size:
+        raise ConfigurationError("disk_size must be a multiple of chunk_size")
+    per_disk = disk_size // chunk_size
+    rotations = max(1, round(per_disk / n))
+    return rotations * num_disks
+
+
+def build_exp_server(
+    n: int,
+    k: int,
+    disk_size: "int | str" = 100 * GiB,
+    chunk_size: "int | str" = 64 * MiB,
+    num_disks: int = 36,
+    memory_chunks: Optional[int] = None,
+    ros: float = 0.1,
+    slow_factor: float = 4.0,
+    jitter: float = 0.05,
+    seed: int = 0,
+    with_data: bool = False,
+    profile: Optional[SpeedProfile] = None,
+    placement: str = "rotating",
+) -> HighDensityStorageServer:
+    """A paper-style server, provisioned and ready for failure injection.
+
+    Args:
+        n, k: RS parameters.
+        disk_size: data to be repaired per failed disk (drives stripe count).
+        chunk_size: chunk size (paper default 64 MiB).
+        num_disks: chassis size (paper: 36).
+        memory_chunks: repair memory capacity ``c``; default ``2 * k``
+            (enough for two concurrent FSR stripes — the memory-competition
+            regime of Figure 1(a)).
+        ros: fraction of *disks* that are slow.
+        slow_factor: how much slower the slow disks run.
+        jitter: per-transfer noise.
+        seed: master seed.
+        with_data: RS-encode real random bytes (slow; for data-path tests).
+        profile: override the disk speed profile entirely.
+    """
+    chunk_size = parse_size(chunk_size)
+    disk_size = parse_size(disk_size)
+    if profile is None:
+        profile = BimodalSlowProfile(DEFAULT_BANDWIDTH, ros=ros, slow_factor=slow_factor)
+    config = HDSSConfig(
+        num_disks=num_disks,
+        n=n,
+        k=k,
+        chunk_size=chunk_size,
+        memory_chunks=memory_chunks if memory_chunks is not None else 2 * k,
+        profile=profile,
+        jitter=jitter,
+        placement=placement,
+        seed=seed,
+    )
+    server = HighDensityStorageServer(config)
+    server.provision_stripes(stripes_for(disk_size, chunk_size, num_disks, n), with_data=with_data)
+    return server
+

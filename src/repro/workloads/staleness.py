@@ -1,0 +1,131 @@
+"""Probe staleness: disk speeds drift between probing and repairing.
+
+The paper motivates HD-PSR-PA (§4.3) by noting that active probing costs
+resources *and* reflects the disk's speed at probe time only. This module
+models what happens in between: by the time chunks actually move, some
+disks have drifted (load changes) and some have entered fresh slow
+episodes (background scrubbing, remapping) the probe never saw.
+
+Given a probed matrix ``L`` and the per-chunk source disks,
+:func:`drift_transfer_times` produces the *execution-time* matrix: each
+disk gets a multiplicative log-normal drift plus, with some probability, a
+transient slowdown episode. Active schemes plan on the stale ``L`` and pay
+the drifted reality; HD-PSR-PA's timers observe the reality directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import RngLike, make_rng
+from repro.utils.validation import check_non_negative, check_probability
+
+
+@dataclass
+class StalenessModel:
+    """Parameters of the probe-to-repair drift.
+
+    Attributes:
+        drift_sigma: sigma of the per-disk log-normal drift factor
+            (0 = speeds frozen since probing).
+        episode_prob: probability that a disk entered a *new* slow episode
+            after probing.
+        episode_factor: slowdown of such an episode (4 = paper-style slow
+            disk).
+        recovery_prob: probability that a disk the probe saw as slow has
+            *recovered* (its chunks speed up by ``episode_factor``) —
+            staleness cuts both ways.
+    """
+
+    drift_sigma: float = 0.0
+    episode_prob: float = 0.0
+    episode_factor: float = 4.0
+    recovery_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_non_negative("drift_sigma", self.drift_sigma)
+        check_probability("episode_prob", self.episode_prob)
+        check_probability("recovery_prob", self.recovery_prob)
+        if self.episode_factor < 1.0:
+            raise ConfigurationError(
+                f"episode_factor must be >= 1, got {self.episode_factor}"
+            )
+
+
+@dataclass
+class DriftOutcome:
+    """The drifted matrix plus ground truth about what changed."""
+
+    L_actual: np.ndarray
+    #: Per-disk multiplicative factor applied to transfer times.
+    disk_factors: Dict[int, float] = field(default_factory=dict)
+    #: Disks that entered a new slow episode after probing.
+    new_slow_disks: "list[int]" = field(default_factory=list)
+    #: Previously-slow disks that recovered.
+    recovered_disks: "list[int]" = field(default_factory=list)
+
+
+def drift_transfer_times(
+    L_probed: np.ndarray,
+    disk_ids: np.ndarray,
+    model: StalenessModel,
+    slow_threshold: "float | None" = None,
+    seed: RngLike = None,
+) -> DriftOutcome:
+    """Produce the execution-time matrix after probe-to-repair drift.
+
+    Args:
+        L_probed: s x k matrix of transfer times as measured at probe time.
+        disk_ids: s x k matrix of the source disk of each chunk (drift is
+            per *disk*, so all chunks of one disk move together).
+        model: the staleness parameters.
+        slow_threshold: transfer time above which a disk counted as slow at
+            probe time (for recovery sampling); default 2 x median.
+        seed: RNG seed.
+    """
+    L_probed = np.asarray(L_probed, dtype=np.float64)
+    disk_ids = np.asarray(disk_ids)
+    if L_probed.shape != disk_ids.shape:
+        raise ConfigurationError(
+            f"L {L_probed.shape} and disk_ids {disk_ids.shape} must match"
+        )
+    rng = make_rng(seed)
+    if slow_threshold is None:
+        slow_threshold = 2.0 * float(np.median(L_probed))
+
+    # Probe-time view of which disks were slow (max chunk time per disk).
+    disk_list = sorted({int(d) for d in disk_ids.flatten()})
+    was_slow = {}
+    for d in disk_list:
+        mask = disk_ids == d
+        was_slow[d] = bool(L_probed[mask].max() > slow_threshold)
+
+    factors: Dict[int, float] = {}
+    new_slow: "list[int]" = []
+    recovered: "list[int]" = []
+    for d in disk_list:
+        factor = float(np.exp(rng.normal(0.0, model.drift_sigma))) if model.drift_sigma else 1.0
+        if was_slow[d]:
+            if rng.random() < model.recovery_prob:
+                factor /= model.episode_factor
+                recovered.append(d)
+        else:
+            if rng.random() < model.episode_prob:
+                factor *= model.episode_factor
+                new_slow.append(d)
+        factors[d] = factor
+
+    L_actual = L_probed.copy()
+    for d, factor in factors.items():
+        if factor != 1.0:
+            L_actual[disk_ids == d] *= factor
+    return DriftOutcome(
+        L_actual=L_actual,
+        disk_factors=factors,
+        new_slow_disks=new_slow,
+        recovered_disks=recovered,
+    )

@@ -1,0 +1,59 @@
+"""Trace persistence: save/load transfer-time workloads.
+
+Traces are ``.npz`` archives (matrix + slow mask) with a JSON metadata
+sidecar embedded in the archive, so an experiment's exact ``L_{s×k}`` can
+be replayed across machines and versions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads.generator import TransferTimeWorkload
+
+TRACE_FORMAT_VERSION = 1
+
+
+def save_trace(workload: TransferTimeWorkload, path: Union[str, Path]) -> Path:
+    """Write a workload to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz") if path.suffix else path.with_suffix(".npz")
+    meta = dict(workload.params)
+    meta["format_version"] = TRACE_FORMAT_VERSION
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        L=workload.L,
+        slow_mask=workload.slow_mask,
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+    )
+    return path
+
+
+def load_trace(path: Union[str, Path]) -> TransferTimeWorkload:
+    """Load a workload previously written by :func:`save_trace`."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"trace {path} does not exist")
+    with np.load(path) as archive:
+        try:
+            L = archive["L"]
+            slow_mask = archive["slow_mask"]
+            meta_bytes = archive["meta"].tobytes()
+        except KeyError as exc:
+            raise ConfigurationError(f"trace {path} is missing field {exc}") from exc
+    meta = json.loads(meta_bytes.decode())
+    version = meta.pop("format_version", None)
+    if version != TRACE_FORMAT_VERSION:
+        raise ConfigurationError(
+            f"trace {path} has format version {version}, expected {TRACE_FORMAT_VERSION}"
+        )
+    if L.shape != slow_mask.shape:
+        raise ConfigurationError(f"trace {path}: L {L.shape} vs slow_mask {slow_mask.shape}")
+    return TransferTimeWorkload(L=L, slow_mask=slow_mask.astype(bool), params=meta)

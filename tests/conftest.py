@@ -1,0 +1,62 @@
+"""Shared fixtures for the HD-PSR test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import HDSSConfig, HighDensityStorageServer, MiB
+from repro.hdss.profiles import BimodalSlowProfile, UniformProfile
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_config() -> HDSSConfig:
+    """A tiny, fast server config: 12 disks, RS(6,4), 64 KiB chunks."""
+    return HDSSConfig(
+        num_disks=12,
+        n=6,
+        k=4,
+        chunk_size=64 * 1024,
+        memory_chunks=8,
+        spares=2,
+        profile=UniformProfile(100e6),
+        seed=42,
+    )
+
+
+@pytest.fixture
+def small_server(small_config) -> HighDensityStorageServer:
+    server = HighDensityStorageServer(small_config)
+    server.provision_stripes(20, with_data=True)
+    return server
+
+
+@pytest.fixture
+def hetero_server() -> HighDensityStorageServer:
+    """Server with slow disks injected (10% at 4x slower)."""
+    config = HDSSConfig(
+        num_disks=20,
+        n=9,
+        k=6,
+        chunk_size=64 * 1024,
+        memory_chunks=12,
+        spares=2,
+        profile=BimodalSlowProfile(100e6, ros=0.15, slow_factor=4.0),
+        seed=7,
+    )
+    server = HighDensityStorageServer(config)
+    server.provision_stripes(40, with_data=False)
+    return server
+
+
+@pytest.fixture
+def metadata_server(small_config) -> HighDensityStorageServer:
+    """Metadata-only server (no chunk bytes) for scheduling tests."""
+    server = HighDensityStorageServer(small_config)
+    server.provision_stripes(30, with_data=False)
+    return server

@@ -1,0 +1,114 @@
+"""CLI smoke and behaviour tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestRepair:
+    def test_all_algorithms(self, capsys):
+        code, out = run(
+            capsys, "repair", "--disk-size", "128MiB", "--chunk-size", "32MiB",
+            "--num-disks", "12", "--seed", "1",
+        )
+        assert code == 0
+        for name in ("fsr", "hd-psr-ap", "hd-psr-as", "hd-psr-pa"):
+            assert name in out
+        assert "baseline" in out
+
+    def test_timeline_export(self, capsys, tmp_path):
+        target = tmp_path / "tl.csv"
+        code, out = run(
+            capsys, "repair", "--disk-size", "128MiB", "--chunk-size", "32MiB",
+            "--num-disks", "12", "--algorithm", "fsr",
+            "--timeline", str(target),
+        )
+        assert code == 0
+        assert (tmp_path / "tl-fsr.csv").exists()
+
+    def test_single_algorithm(self, capsys):
+        code, out = run(
+            capsys, "repair", "--disk-size", "128MiB", "--chunk-size", "32MiB",
+            "--num-disks", "12", "--algorithm", "fsr",
+        )
+        assert code == 0
+        assert "hd-psr-ap" not in out
+
+    def test_deterministic(self, capsys):
+        def simulated_columns(text):
+            # drop the wall-clock "selection" column (last cell per row)
+            return [
+                line.rsplit("|", 2)[0]
+                for line in text.splitlines()
+                if line.startswith("|")
+            ]
+
+        _, a = run(capsys, "repair", "--disk-size", "128MiB", "--chunk-size",
+                   "32MiB", "--num-disks", "12", "--seed", "7")
+        _, b = run(capsys, "repair", "--disk-size", "128MiB", "--chunk-size",
+                   "32MiB", "--num-disks", "12", "--seed", "7")
+        assert simulated_columns(a) == simulated_columns(b)
+
+
+class TestMulti:
+    def test_naive_and_cooperative(self, capsys):
+        code, out = run(
+            capsys, "multi", "--failed", "2", "--disk-size", "128MiB",
+            "--chunk-size", "32MiB", "--num-disks", "12",
+            "--algorithm", "hd-psr-as",
+        )
+        assert code == 0
+        assert "naive" in out and "cooperative" in out
+
+
+class TestObserve:
+    def test_tables_printed(self, capsys):
+        code, out = run(capsys, "observe", "--stripes", "20", "--k", "6",
+                        "--memory", "6")
+        assert code == 0
+        assert "Observation 1" in out
+        assert "Observation 2" in out
+        assert "Observation 3" in out
+
+
+class TestDurability:
+    def test_table_printed(self, capsys):
+        code, out = run(
+            capsys, "durability", "--disk-size", "128MiB", "--chunk-size",
+            "32MiB", "--num-disks", "12", "--trials", "20", "--afr", "1.0",
+            "--amplify", "50000",
+        )
+        assert code == 0
+        assert "MTTDL" in out and "fsr" in out
+
+    def test_weibull_option(self, capsys):
+        code, out = run(
+            capsys, "durability", "--disk-size", "128MiB", "--chunk-size",
+            "32MiB", "--num-disks", "12", "--trials", "10",
+            "--weibull-shape", "1.2", "--algorithm", "fsr",
+        )
+        assert code == 0
+        assert "weibull" in out
+
+
+class TestMisc:
+    def test_version(self, capsys):
+        code, out = run(capsys, "version")
+        assert code == 0
+        assert out.startswith("hdpsr ")
+
+    def test_no_command_prints_help(self, capsys):
+        code = main([])
+        assert code == 2
+        assert "usage" in capsys.readouterr().out
+
+    def test_parser_rejects_unknown_algorithm(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["repair", "--algorithm", "bogus"])

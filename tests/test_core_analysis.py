@@ -1,0 +1,93 @@
+"""Observation analytics (Figures 3 and 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import (
+    acwt_curve_vs_pa,
+    acwt_for_schedule,
+    observation1_table,
+    rounds_curve_vs_pr,
+    total_time_curve_vs_pa,
+    uniform_pa_plan,
+)
+from repro.errors import ConfigurationError
+from repro.workloads import normal_transfer_times
+
+
+@pytest.fixture
+def paper_L():
+    """The Figure-4 workload: s=100, k=12, N(2, 4), ROS 5%."""
+    return normal_transfer_times(100, 12, mean=2.0, variance=4.0, ros=0.05, seed=0).L
+
+
+class TestUniformPaPlan:
+    def test_valid(self, paper_L):
+        uniform_pa_plan(paper_L, pa=3, pr=4).validate(12)
+
+    def test_sorted_rows(self, paper_L):
+        plan = uniform_pa_plan(paper_L, pa=4, pr=3, sort_rows=True)
+        cols = plan.stripe_plans[0].rounds
+        flat = [c for r in cols for c in r]
+        times = paper_L[0, flat]
+        assert np.all(np.diff(times) >= 0)
+
+    def test_bad_pa(self, paper_L):
+        with pytest.raises(ConfigurationError):
+            uniform_pa_plan(paper_L, pa=13, pr=1)
+
+
+class TestObservation2:
+    def test_acwt_increases_with_pa(self, paper_L):
+        """Figure 4(a): ACWT and P_a are positively correlated."""
+        curve = acwt_curve_vs_pa(paper_L, c=12, pa_values=[1, 2, 3, 4, 6, 12])
+        values = list(curve.values())
+        assert values[0] == 0.0  # P_a = 1: nothing ever waits
+        # overall trend upward: last >> first, and Spearman-ish monotonicity
+        assert values[-1] > values[1]
+        assert all(curve[a] <= curve[12] + 1e-9 for a in [1, 2, 3, 4, 6])
+
+    def test_acwt_increases_with_ros(self):
+        """Figure 4(a), second finding: more slow chunks -> higher ACWT."""
+        acwts = []
+        for ros in (0.02, 0.05, 0.08, 0.10):
+            L = normal_transfer_times(100, 12, ros=ros, seed=1).L
+            acwts.append(acwt_for_schedule(L, pa=12, c=12).acwt)
+        assert acwts[0] < acwts[-1]
+
+    def test_pr_or_c_required(self, paper_L):
+        with pytest.raises(ConfigurationError):
+            acwt_for_schedule(paper_L, pa=3)
+
+
+class TestObservation3:
+    def test_rounds_increase_with_pr(self):
+        """Figure 4(b): P_r and TR are positively correlated."""
+        curve = rounds_curve_vs_pr(k=12, c=12)
+        values = list(curve.values())
+        assert values == sorted(values)
+        assert curve[1] == 1      # P_r=1 -> P_a=12 -> 1 round (FSR)
+        assert curve[12] == 12    # P_r=12 -> P_a=1 -> 12 rounds
+
+    def test_custom_pr_values(self):
+        curve = rounds_curve_vs_pr(k=6, c=12, pr_values=[2, 6])
+        assert curve == {2: 1, 6: 3}
+
+
+class TestObservation1:
+    def test_table_matches_equation3(self):
+        table = observation1_table(c=4)
+        assert (4, 1) in table and (2, 2) in table and (1, 4) in table
+
+    def test_product_at_least_c(self):
+        for pa, pr in observation1_table(c=12):
+            assert pa * pr >= 12  # ceil can overcommit, never undercommit
+
+
+class TestTradeoff:
+    def test_total_time_has_interior_optimum_with_slowers(self):
+        """§3.3: neither P_a=k (FSR) nor P_a=1 is optimal with slow chunks."""
+        L = normal_transfer_times(200, 12, ros=0.08, slow_factor=6.0, seed=3).L
+        curve = total_time_curve_vs_pa(L, c=12, sort_rows=True)
+        best_pa = min(curve, key=curve.get)
+        assert curve[best_pa] < curve[12]  # beats FSR

@@ -1,0 +1,52 @@
+"""FSR baseline plan shape."""
+
+import numpy as np
+import pytest
+
+from repro.core.fsr import FullStripeRepair
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def L():
+    return np.random.default_rng(0).uniform(1, 3, size=(10, 6))
+
+
+class TestFSRPlan:
+    def test_single_round_all_k(self, L):
+        plan = FullStripeRepair().build_plan(L, c=12)
+        assert plan.algorithm == "fsr"
+        for sp in plan.stripe_plans:
+            assert sp.num_rounds == 1
+            assert sorted(sp.rounds[0]) == list(range(6))
+            assert sp.accumulator_chunks == 0
+
+    def test_pa_is_k(self, L):
+        plan = FullStripeRepair().build_plan(L, c=12)
+        assert plan.pa == 6
+
+    def test_pr_is_floor_c_over_k(self, L):
+        assert FullStripeRepair().build_plan(L, c=12).pr == 2
+        assert FullStripeRepair().build_plan(L, c=13).pr == 2
+        assert FullStripeRepair().build_plan(L, c=6).pr == 1
+
+    def test_no_selection_cost(self, L):
+        assert FullStripeRepair().build_plan(L, c=12).selection_seconds == 0.0
+
+    def test_one_plan_per_stripe(self, L):
+        plan = FullStripeRepair().build_plan(L, c=12)
+        assert plan.num_stripes == 10
+        assert [sp.stripe_index for sp in plan.stripe_plans] == list(range(10))
+
+    def test_memory_smaller_than_k_rejected(self, L):
+        with pytest.raises(ConfigurationError):
+            FullStripeRepair().build_plan(L, c=5)
+
+    def test_bad_L_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FullStripeRepair().build_plan(np.array([[1.0, -2.0]]), c=4)
+        with pytest.raises(ConfigurationError):
+            FullStripeRepair().build_plan(np.empty((0, 4)), c=4)
+
+    def test_validates(self, L):
+        FullStripeRepair().build_plan(L, c=12).validate(6)

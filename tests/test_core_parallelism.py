@@ -1,0 +1,98 @@
+"""Observation-1 arithmetic and round splitting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parallelism import pa_for_pr, pr_for_pa, rounds_for, split_rounds
+from repro.errors import ConfigurationError
+
+
+class TestObservation1:
+    def test_paper_figure3_examples(self):
+        """Figure 3: c=4 -> (Pa=4, Pr=1) and (Pa=2, Pr=2)."""
+        assert pr_for_pa(4, 4) == 1
+        assert pr_for_pa(4, 2) == 2
+        assert pa_for_pr(4, 1) == 4
+        assert pa_for_pr(4, 2) == 2
+
+    def test_ceil_policy_default(self):
+        assert pr_for_pa(12, 5) == 3  # ceil(12/5)
+
+    def test_floor_policy(self):
+        assert pr_for_pa(12, 5, policy="floor") == 2
+        assert pr_for_pa(3, 5, policy="floor") == 1  # never below 1
+
+    def test_mutual_restriction_monotonic(self):
+        prs = [pr_for_pa(12, pa) for pa in range(1, 13)]
+        assert prs == sorted(prs, reverse=True)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            pr_for_pa(4, 2, policy="round")
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, True])
+    def test_bad_inputs(self, bad):
+        with pytest.raises(ConfigurationError):
+            pr_for_pa(bad, 2)
+        with pytest.raises(ConfigurationError):
+            pa_for_pr(4, bad)
+
+    @given(c=st.integers(1, 100), pa=st.integers(1, 100))
+    @settings(max_examples=100, deadline=None)
+    def test_floor_never_overcommits(self, c, pa):
+        pr = pr_for_pa(c, pa, policy="floor")
+        assert pr >= 1
+        assert pr == 1 or pr * pa <= c
+
+    @given(c=st.integers(1, 100), pr=st.integers(1, 100))
+    @settings(max_examples=100, deadline=None)
+    def test_equation3_roundtrip(self, c, pr):
+        """pa = ceil(c/pr) implies pr_for_pa(c, pa) <= pr stays feasible."""
+        pa = pa_for_pr(c, pr)
+        assert 1 <= pa <= c
+        assert pr_for_pa(c, pa) <= pr or pa == 1
+
+
+class TestRounds:
+    def test_paper_example(self):
+        """§3.2: k=6, Pa=2 -> 3 rounds."""
+        assert rounds_for(6, 2) == 3
+
+    def test_fsr_single_round(self):
+        assert rounds_for(10, 10) == 1
+
+    def test_ceiling(self):
+        assert rounds_for(10, 3) == 4
+
+    @given(k=st.integers(1, 64), pa=st.integers(1, 64))
+    @settings(max_examples=100, deadline=None)
+    def test_rounds_cover_k(self, k, pa):
+        tr = rounds_for(k, pa)
+        assert (tr - 1) * pa < k <= tr * pa
+
+
+class TestSplitRounds:
+    def test_exact_split(self):
+        assert split_rounds([0, 1, 2, 3], 2) == [[0, 1], [2, 3]]
+
+    def test_ragged_tail(self):
+        assert split_rounds([0, 1, 2, 3, 4], 2) == [[0, 1], [2, 3], [4]]
+
+    def test_single_round(self):
+        assert split_rounds([2, 0, 1], 5) == [[2, 0, 1]]
+
+    def test_order_preserved(self):
+        assert split_rounds([3, 1, 2, 0], 2) == [[3, 1], [2, 0]]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            split_rounds([], 2)
+
+    @given(k=st.integers(1, 40), pa=st.integers(1, 40))
+    @settings(max_examples=100, deadline=None)
+    def test_partition_property(self, k, pa):
+        rounds = split_rounds(list(range(k)), pa)
+        assert [x for r in rounds for x in r] == list(range(k))
+        assert all(len(r) <= pa for r in rounds)
+        assert all(len(r) == pa for r in rounds[:-1])

@@ -1,0 +1,110 @@
+"""HD-PSR-AS: slower classification, partitioning, clamped P_a."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import RepairContext
+from repro.core.psr_as import (
+    ActiveSlowerFirstRepair,
+    classify_slow_chunks,
+    slower_first_order,
+)
+
+
+class TestClassification:
+    def test_threshold(self):
+        L = np.array([[1.0, 3.0], [2.0, 0.5]])
+        slow = classify_slow_chunks(L, threshold=1.5)
+        assert slow.tolist() == [[False, True], [True, False]]
+
+    def test_boundary_not_slow(self):
+        assert not classify_slow_chunks(np.array([[2.0]]), 2.0)[0, 0]
+
+
+class TestSlowerFirstOrder:
+    def test_slowers_front_stable(self):
+        slow = np.array([[False, True, False, True]])
+        order = slower_first_order(slow)
+        assert order.tolist() == [[1, 3, 0, 2]]
+
+    def test_all_fast(self):
+        order = slower_first_order(np.zeros((1, 4), dtype=bool))
+        assert order.tolist() == [[0, 1, 2, 3]]
+
+    def test_all_slow(self):
+        order = slower_first_order(np.ones((1, 3), dtype=bool))
+        assert order.tolist() == [[0, 1, 2]]
+
+    def test_position_zero_slow_counted(self):
+        """The paper's pseudocode misses a slow chunk at position 0; we must not."""
+        slow = np.array([[True, False, True, False]])
+        order = slower_first_order(slow)
+        assert order.tolist() == [[0, 2, 1, 3]]
+
+
+class TestSelect:
+    def test_equation5_clamping(self):
+        algo = ActiveSlowerFirstRepair()
+        k = 8
+        L = np.full((4, k), 1.0)
+        # 0 slowers -> clamp up to 2
+        pa, pr, max_slow, _ = algo.select(L, c=16, threshold=2.0)
+        assert (pa, max_slow) == (2, 0)
+        # 6 slowers in one stripe -> clamp down to k//2 = 4
+        L2 = L.copy()
+        L2[0, :6] = 10.0
+        pa, _, max_slow, _ = algo.select(L2, c=16, threshold=2.0)
+        assert (pa, max_slow) == (4, 6)
+        # 3 slowers -> pa = 3
+        L3 = L.copy()
+        L3[1, :3] = 10.0
+        pa, _, max_slow, _ = algo.select(L3, c=16, threshold=2.0)
+        assert (pa, max_slow) == (3, 3)
+
+    def test_pr_from_pa(self):
+        algo = ActiveSlowerFirstRepair()
+        L = np.full((4, 8), 1.0)
+        L[0, :3] = 10.0
+        pa, pr, _, _ = algo.select(L, c=16, threshold=2.0)
+        assert pr == -(-16 // pa)
+
+    def test_timed(self):
+        algo = ActiveSlowerFirstRepair()
+        _, _, _, seconds = algo.select(np.ones((100, 8)), c=16, threshold=2.0)
+        assert seconds > 0
+
+
+class TestPlan:
+    def test_slowers_grouped_in_early_rounds(self):
+        L = np.full((1, 8), 1.0)
+        L[0, [1, 4, 6]] = 10.0  # 3 slowers
+        plan = ActiveSlowerFirstRepair().build_plan(L, c=16, context=RepairContext(slow_threshold=2.0))
+        assert plan.pa == 3
+        first_round = plan.stripe_plans[0].rounds[0]
+        assert sorted(first_round) == [1, 4, 6]
+
+    def test_default_threshold_from_median(self):
+        rng = np.random.default_rng(0)
+        L = rng.uniform(1.0, 1.5, size=(20, 6))
+        L[3, 2] = 50.0
+        plan = ActiveSlowerFirstRepair().build_plan(L, c=12)
+        assert plan.metadata["total_slow_chunks"] == 1
+        assert plan.metadata["max_slow_per_stripe"] == 1
+
+    def test_plan_valid(self):
+        rng = np.random.default_rng(1)
+        L = rng.uniform(1, 4, size=(25, 9))
+        plan = ActiveSlowerFirstRepair().build_plan(L, c=18)
+        plan.validate(9)
+        assert plan.algorithm == "hd-psr-as"
+
+    def test_stripe_order_preserved(self):
+        L = np.random.default_rng(2).uniform(1, 4, size=(10, 6))
+        plan = ActiveSlowerFirstRepair().build_plan(L, c=12)
+        assert [sp.stripe_index for sp in plan.stripe_plans] == list(range(10))
+
+    def test_accumulators_only_multi_round(self):
+        L = np.ones((5, 6))
+        plan = ActiveSlowerFirstRepair().build_plan(L, c=12, context=RepairContext(slow_threshold=9.0))
+        for sp in plan.stripe_plans:
+            assert sp.accumulator_chunks == (1 if sp.num_rounds > 1 else 0)

@@ -1,0 +1,108 @@
+"""HD-PSR-PA: passive marking, two-round remediation, adaptivity."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import RepairContext
+from repro.core.psr_pa import PassiveRepair
+from repro.errors import ConfigurationError
+from repro.hdss.prober import PassiveMonitor
+
+
+def disk_matrix(s, k, base=0):
+    """Each column j lives on disk base+j (uniform layout for tests)."""
+    return np.tile(np.arange(base, base + k), (s, 1))
+
+
+class TestRequirements:
+    def test_needs_disk_ids(self):
+        with pytest.raises(ConfigurationError):
+            PassiveRepair().build_plan(np.ones((2, 4)), c=8)
+
+    def test_disk_ids_shape_checked(self):
+        ctx = RepairContext(disk_ids=np.zeros((2, 3)))
+        with pytest.raises(ConfigurationError):
+            PassiveRepair().build_plan(np.ones((2, 4)), c=8, context=ctx)
+
+
+class TestStaticMarks:
+    def test_no_marks_means_fsr(self):
+        L = np.ones((3, 4))
+        ctx = RepairContext(disk_ids=disk_matrix(3, 4), monitor=PassiveMonitor(threshold=100.0))
+        plan = PassiveRepair(adaptive=False).build_plan(L, c=8, context=ctx)
+        for sp in plan.stripe_plans:
+            assert sp.num_rounds == 1
+            assert sorted(sp.rounds[0]) == [0, 1, 2, 3]
+
+    def test_premarked_disk_two_rounds(self):
+        L = np.ones((2, 4))
+        mon = PassiveMonitor(threshold=0.5)
+        mon.observe(2, 1.0)  # mark disk 2 slow
+        ctx = RepairContext(disk_ids=disk_matrix(2, 4), monitor=mon)
+        plan = PassiveRepair(adaptive=False).build_plan(L, c=8, context=ctx)
+        for sp in plan.stripe_plans:
+            assert sp.num_rounds == 2
+            assert sp.rounds[0] == [2]          # slow chunks first
+            assert sorted(sp.rounds[1]) == [0, 1, 3]
+            assert sp.accumulator_chunks == 1
+
+    def test_all_disks_slow_single_round(self):
+        L = np.ones((1, 3))
+        mon = PassiveMonitor(threshold=0.5)
+        for d in range(3):
+            mon.observe(d, 1.0)
+        ctx = RepairContext(disk_ids=disk_matrix(1, 3), monitor=mon)
+        plan = PassiveRepair(adaptive=False).build_plan(L, c=6, context=ctx)
+        assert plan.stripe_plans[0].num_rounds == 1
+
+
+class TestAdaptive:
+    def test_learning_from_earlier_stripes(self):
+        """Stripe 0 hits the slow disk at FSR cost; later stripes remediate."""
+        s, k = 6, 4
+        L = np.ones((s, k))
+        L[:, 1] = 8.0  # column 1 = disk 1 is slow everywhere
+        ctx = RepairContext(disk_ids=disk_matrix(s, k), monitor=PassiveMonitor(threshold=2.0))
+        plan = PassiveRepair().build_plan(L, c=8, context=ctx)
+        assert plan.stripe_plans[0].num_rounds == 1  # paid full FSR
+        for sp in plan.stripe_plans[1:]:
+            assert sp.num_rounds == 2
+            assert sp.rounds[0] == [1]
+        assert plan.metadata["slow_disks"] == [1]
+        assert plan.metadata["remediated_stripes"] == s - 1
+
+    def test_derived_threshold_learns(self):
+        """With no explicit threshold, the running median finds the slow disk."""
+        s, k = 20, 6
+        rng = np.random.default_rng(0)
+        L = rng.uniform(0.9, 1.1, size=(s, k))
+        L[:, 3] = 9.0
+        ctx = RepairContext(disk_ids=disk_matrix(s, k))
+        plan = PassiveRepair().build_plan(L, c=12, context=ctx)
+        assert 3 in plan.metadata["slow_disks"]
+        assert plan.metadata["remediated_stripes"] >= s - 2
+
+    def test_no_slow_disks_all_fsr(self):
+        L = np.ones((5, 4))
+        ctx = RepairContext(disk_ids=disk_matrix(5, 4))
+        plan = PassiveRepair().build_plan(L, c=8, context=ctx)
+        assert all(sp.num_rounds == 1 for sp in plan.stripe_plans)
+        assert plan.metadata["remediated_stripes"] == 0
+
+    def test_zero_selection_time(self):
+        L = np.ones((3, 4))
+        ctx = RepairContext(disk_ids=disk_matrix(3, 4))
+        plan = PassiveRepair().build_plan(L, c=8, context=ctx)
+        assert plan.selection_seconds == 0.0
+
+    def test_plan_valid(self):
+        rng = np.random.default_rng(1)
+        L = rng.uniform(1, 4, size=(15, 6))
+        ctx = RepairContext(disk_ids=disk_matrix(15, 6))
+        PassiveRepair().build_plan(L, c=12, context=ctx).validate(6)
+
+    def test_pa_pr_undeclared(self):
+        L = np.ones((2, 4))
+        ctx = RepairContext(disk_ids=disk_matrix(2, 4))
+        plan = PassiveRepair().build_plan(L, c=8, context=ctx)
+        assert plan.pa is None and plan.pr is None

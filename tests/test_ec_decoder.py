@@ -1,0 +1,132 @@
+"""Full-stripe reconstruction: the MDS property, targets, error paths."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.ec import RSCode
+from repro.ec.decoder import decode_matrix_for, reconstruction_coefficients
+from repro.errors import CodingError, InsufficientShardsError
+from repro.gf import gf_identity, gf_mat_mul
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(21)
+
+
+@pytest.fixture
+def code():
+    return RSCode(6, 4)
+
+
+@pytest.fixture
+def shards(code, rng):
+    data = rng.integers(0, 256, size=4 * 256, dtype=np.uint8).tobytes()
+    return code.encode(code.split(data))
+
+
+class TestDecodeMatrix:
+    def test_data_survivors_give_identity(self, code):
+        assert np.array_equal(decode_matrix_for(code, [0, 1, 2, 3]), gf_identity(4))
+
+    def test_inverse_property(self, code):
+        ids = [1, 3, 4, 5]
+        dec = decode_matrix_for(code, ids)
+        assert np.array_equal(gf_mat_mul(dec, code.matrix[ids]), gf_identity(4))
+
+    def test_wrong_count(self, code):
+        with pytest.raises(InsufficientShardsError):
+            decode_matrix_for(code, [0, 1, 2])
+
+    def test_duplicates_rejected(self, code):
+        with pytest.raises(CodingError):
+            decode_matrix_for(code, [0, 0, 1, 2])
+
+    def test_out_of_range(self, code):
+        with pytest.raises(CodingError):
+            decode_matrix_for(code, [0, 1, 2, 9])
+
+
+class TestReconstructionCoefficients:
+    def test_rebuild_data_shard(self, code, shards):
+        coeffs = reconstruction_coefficients(code, [1, 2, 3, 4], target=0)
+        acc = np.zeros_like(shards[0])
+        for sid, c in coeffs.items():
+            from repro.gf import gf_mul_add_scalar
+
+            gf_mul_add_scalar(acc, c, shards[sid])
+        assert np.array_equal(acc, shards[0])
+
+    def test_rebuild_parity_shard(self, code, shards):
+        coeffs = reconstruction_coefficients(code, [0, 1, 2, 3], target=5)
+        acc = np.zeros_like(shards[0])
+        from repro.gf import gf_mul_add_scalar
+
+        for sid, c in coeffs.items():
+            gf_mul_add_scalar(acc, c, shards[sid])
+        assert np.array_equal(acc, shards[5])
+
+    def test_bad_target(self, code):
+        with pytest.raises(CodingError):
+            reconstruction_coefficients(code, [0, 1, 2, 3], target=6)
+
+
+class TestReconstructMDS:
+    def test_any_two_erasures(self, code, shards):
+        """Exhaustive MDS check: every erasure pattern up to m=2 decodes."""
+        for lost in combinations(range(6), 2):
+            holed = [None if j in lost else shards[j] for j in range(6)]
+            rebuilt = code.reconstruct(holed)
+            for j in range(6):
+                assert np.array_equal(rebuilt[j], shards[j]), (lost, j)
+
+    def test_single_erasure(self, code, shards):
+        for lost in range(6):
+            holed = [None if j == lost else shards[j] for j in range(6)]
+            rebuilt = code.reconstruct(holed)
+            assert np.array_equal(rebuilt[lost], shards[lost])
+
+    def test_three_erasures_unrecoverable(self, code, shards):
+        holed = [None, None, None] + list(shards[3:])
+        with pytest.raises(InsufficientShardsError):
+            code.reconstruct(holed)
+
+    def test_targets_subset(self, code, shards):
+        holed = [None, shards[1], None, shards[3], shards[4], shards[5]]
+        out = code.reconstruct(holed, targets=[0])
+        assert np.array_equal(out[0], shards[0])
+        assert out[2] is None  # not requested
+
+    def test_target_not_missing_rejected(self, code, shards):
+        with pytest.raises(CodingError):
+            code.reconstruct(list(shards), targets=[0])
+
+    def test_nothing_missing_noop(self, code, shards):
+        out = code.reconstruct(list(shards))
+        for a, b in zip(out, shards):
+            assert np.array_equal(a, b)
+
+    def test_wrong_length(self, code, shards):
+        with pytest.raises(CodingError):
+            code.reconstruct(list(shards[:5]))
+
+    def test_differing_sizes_rejected(self, code, shards):
+        holed = list(shards)
+        holed[0] = None
+        holed[1] = np.zeros(7, dtype=np.uint8)
+        with pytest.raises(CodingError):
+            code.reconstruct(holed)
+
+
+class TestLargerCode:
+    def test_14_10_max_erasures(self, rng):
+        code = RSCode(14, 10)
+        data = rng.integers(0, 256, size=10 * 64, dtype=np.uint8).tobytes()
+        shards = code.encode(code.split(data))
+        lost = [0, 4, 9, 13]
+        holed = [None if j in lost else shards[j] for j in range(14)]
+        rebuilt = code.reconstruct(holed)
+        for j in lost:
+            assert np.array_equal(rebuilt[j], shards[j])

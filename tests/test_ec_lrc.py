@@ -1,0 +1,177 @@
+"""LRC codes: encode/verify, local vs global repair, cost accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ec.lrc import LRCCode
+from repro.errors import CodingError, ConfigurationError, InsufficientShardsError
+
+
+@pytest.fixture
+def code():
+    return LRCCode(k=6, l=2, g=2)  # Azure LRC(6,2,2): n=10
+
+
+@pytest.fixture
+def shards(code):
+    rng = np.random.default_rng(0)
+    data = [rng.integers(0, 256, size=128, dtype=np.uint8) for _ in range(code.k)]
+    return code.encode(data)
+
+
+class TestConstruction:
+    def test_layout(self, code):
+        assert code.n == 10
+        assert code.group_size == 3
+        assert code.group_members(0) == [0, 1, 2]
+        assert code.group_members(1) == [3, 4, 5]
+        assert code.local_parity_index(0) == 6
+        assert code.global_parity_indices() == [8, 9]
+
+    def test_shard_kinds(self, code):
+        assert code.shard_kind(0) == "data"
+        assert code.shard_kind(6) == "local"
+        assert code.shard_kind(9) == "global"
+
+    def test_storage_overhead(self, code):
+        assert code.storage_overhead == pytest.approx(10 / 6)
+
+    def test_k_not_divisible_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LRCCode(k=7, l=2, g=2)
+
+    def test_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            LRCCode(k=6, l=0, g=2)
+
+
+class TestEncodeVerify:
+    def test_local_parity_is_group_xor(self, code, shards):
+        for group in range(code.l):
+            acc = np.zeros_like(shards[0])
+            for idx in code.group_members(group):
+                acc ^= shards[idx]
+            assert np.array_equal(shards[code.local_parity_index(group)], acc)
+
+    def test_verify_consistent(self, code, shards):
+        assert code.verify(shards)
+
+    def test_verify_detects_corruption(self, code, shards):
+        bad = list(shards)
+        bad[7] = bad[7].copy()
+        bad[7][0] ^= 1
+        assert not code.verify(bad)
+
+    def test_unequal_shards_rejected(self, code):
+        data = [np.zeros(8, dtype=np.uint8)] * 5 + [np.zeros(9, dtype=np.uint8)]
+        with pytest.raises(CodingError):
+            code.encode(data)
+
+
+class TestLocalRepair:
+    def test_single_data_loss_uses_group(self, code, shards):
+        available = set(range(code.n)) - {1}
+        plan = code.repair_plan_for([1], available)
+        assert sorted(plan[1]) == [0, 2, 6]  # group peers + local parity
+
+    def test_single_local_parity_loss(self, code, shards):
+        available = set(range(code.n)) - {6}
+        plan = code.repair_plan_for([6], available)
+        assert sorted(plan[6]) == [0, 1, 2]
+
+    def test_repair_cost_single(self, code):
+        # LRC: 3 reads instead of RS(8,6)'s 6
+        assert code.repair_cost([1]) == 3
+
+    def test_two_losses_same_group_go_global(self, code):
+        cost = code.repair_cost([0, 1])
+        assert cost == code.k  # global decode
+
+    def test_two_losses_different_groups_stay_local(self, code):
+        assert code.repair_cost([0, 3]) == 6  # two local circles of 3
+
+
+class TestReconstruct:
+    @pytest.mark.parametrize("lost", [[0], [5], [6], [9], [0, 3], [0, 9], [6, 7]])
+    def test_patterns_rebuild_exactly(self, code, shards, lost):
+        holed = [None if j in lost else shards[j] for j in range(code.n)]
+        rebuilt = code.reconstruct(holed)
+        for j in range(code.n):
+            assert np.array_equal(rebuilt[j], shards[j]), (lost, j)
+
+    def test_g_plus_one_tolerance(self, code, shards):
+        """g+1 = 3 failures with at most one per group + globals decode."""
+        lost = [0, 8, 9]
+        holed = [None if j in lost else shards[j] for j in range(code.n)]
+        rebuilt = code.reconstruct(holed)
+        for j in lost:
+            assert np.array_equal(rebuilt[j], shards[j])
+
+    def test_heavy_pattern_recoverable_with_locals(self, code, shards):
+        """4 losses can still decode when locals carry enough info."""
+        lost = [0, 3, 8, 9]  # one per group + both globals
+        holed = [None if j in lost else shards[j] for j in range(code.n)]
+        rebuilt = code.reconstruct(holed)
+        for j in lost:
+            assert np.array_equal(rebuilt[j], shards[j])
+
+    def test_unrecoverable_pattern_raises(self, code, shards):
+        # whole group 0 + its local parity + a global: 3 data shards of one
+        # group gone with only 2 global parities -> undecodable.
+        lost = [0, 1, 2, 6, 8]
+        holed = [None if j in lost else shards[j] for j in range(code.n)]
+        with pytest.raises(InsufficientShardsError):
+            code.reconstruct(holed)
+
+    def test_wrong_length_rejected(self, code):
+        with pytest.raises(CodingError):
+            code.reconstruct([None] * 5)
+
+
+class TestRecoverability:
+    def test_all_three_erasure_patterns_decode(self, code, shards):
+        """Azure LRC guarantee: every g+1 = 3 erasure pattern decodes."""
+        from itertools import combinations
+
+        for lost in combinations(range(code.n), 3):
+            holed = [None if j in lost else shards[j] for j in range(code.n)]
+            rebuilt = code.reconstruct(holed)
+            for j in lost:
+                assert np.array_equal(rebuilt[j], shards[j]), lost
+
+    def test_four_erasure_recoverability_ratio(self, code, shards):
+        """~85% of 4-erasure patterns are information-theoretically decodable."""
+        from itertools import combinations
+
+        ok = total = 0
+        for lost in combinations(range(code.n), 4):
+            total += 1
+            holed = [None if j in lost else shards[j] for j in range(code.n)]
+            try:
+                rebuilt = code.reconstruct(holed)
+            except InsufficientShardsError:
+                continue
+            if all(np.array_equal(rebuilt[j], shards[j]) for j in lost):
+                ok += 1
+        assert 0.80 < ok / total < 0.90
+
+
+class TestPropertyRoundtrip:
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        lost_count=st.integers(1, 3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_any_g_plus_one_pattern(self, seed, lost_count):
+        """Any pattern of up to g+1 = 3 erasures decodes byte-exactly."""
+        rng = np.random.default_rng(seed)
+        code = LRCCode(k=6, l=2, g=2)
+        data = [rng.integers(0, 256, size=32, dtype=np.uint8) for _ in range(6)]
+        shards = code.encode(data)
+        lost = sorted(rng.choice(code.n, size=lost_count, replace=False).tolist())
+        holed = [None if j in lost else shards[j] for j in range(code.n)]
+        rebuilt = code.reconstruct(holed)
+        for j in lost:
+            assert np.array_equal(rebuilt[j], shards[j])

@@ -1,0 +1,159 @@
+"""PartialDecoder: the RecoverWithSomeShards analogue at PSR's core."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ec import PartialDecoder, RSCode
+from repro.errors import CodingError
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(5)
+
+
+@pytest.fixture
+def code():
+    return RSCode(9, 6)
+
+
+@pytest.fixture
+def shards(code, rng):
+    data = rng.integers(0, 256, size=6 * 128, dtype=np.uint8).tobytes()
+    return code.encode(code.split(data))
+
+
+SURVIVORS = [0, 2, 3, 5, 6, 8]
+TARGETS = [1, 4, 7]
+
+
+class TestLifecycle:
+    def test_round_grouping_invariance(self, code, shards):
+        """Any grouping of the k survivors into rounds gives the same bytes."""
+        groupings = [
+            [[0], [2], [3], [5], [6], [8]],                 # P_a = 1
+            [[0, 2], [3, 5], [6, 8]],                       # P_a = 2
+            [[0, 2, 3], [5, 6, 8]],                         # P_a = 3
+            [[0, 2, 3, 5, 6, 8]],                           # FSR
+            [[8, 0], [6, 2], [5, 3]],                       # arbitrary order
+            [[0, 2, 3, 5, 6], [8]],                         # ragged
+        ]
+        reference = None
+        for rounds in groupings:
+            pd = PartialDecoder(code, SURVIVORS, TARGETS)
+            for rnd in rounds:
+                pd.feed({j: shards[j] for j in rnd})
+            result = {t: pd.result(t) for t in TARGETS}
+            if reference is None:
+                reference = result
+            for t in TARGETS:
+                assert np.array_equal(result[t], reference[t]), (rounds, t)
+        for t in TARGETS:
+            assert np.array_equal(reference[t], shards[t])
+
+    def test_pending_and_complete(self, code, shards):
+        pd = PartialDecoder(code, SURVIVORS, [1])
+        assert pd.pending == sorted(SURVIVORS)
+        assert not pd.complete
+        pd.feed({0: shards[0], 2: shards[2]})
+        assert pd.pending == [3, 5, 6, 8]
+        pd.feed({3: shards[3], 5: shards[5], 6: shards[6], 8: shards[8]})
+        assert pd.complete
+        assert pd.rounds_fed == 2
+
+    def test_memory_footprint_is_target_count(self, code, shards):
+        pd = PartialDecoder(code, SURVIVORS, TARGETS)
+        pd.feed({0: shards[0]})
+        assert pd.memory_chunks_held() == len(TARGETS)
+        pd.feed({j: shards[j] for j in [2, 3, 5, 6, 8]})
+        assert pd.memory_chunks_held() == len(TARGETS)
+
+    def test_results_dict(self, code, shards):
+        pd = PartialDecoder(code, SURVIVORS, TARGETS)
+        pd.feed({j: shards[j] for j in SURVIVORS})
+        results = pd.results()
+        assert set(results) == set(TARGETS)
+        for t in TARGETS:
+            assert np.array_equal(results[t], shards[t])
+
+
+class TestErrors:
+    def test_result_before_complete(self, code, shards):
+        pd = PartialDecoder(code, SURVIVORS, [1])
+        pd.feed({0: shards[0]})
+        with pytest.raises(CodingError):
+            pd.result(1)
+
+    def test_double_feed_rejected(self, code, shards):
+        pd = PartialDecoder(code, SURVIVORS, [1])
+        pd.feed({0: shards[0]})
+        with pytest.raises(CodingError):
+            pd.feed({0: shards[0]})
+
+    def test_undeclared_shard_rejected(self, code, shards):
+        pd = PartialDecoder(code, SURVIVORS, [1])
+        with pytest.raises(CodingError):
+            pd.feed({1: shards[1]})  # 1 is a target, not a survivor
+
+    def test_empty_feed_rejected(self, code):
+        pd = PartialDecoder(code, SURVIVORS, [1])
+        with pytest.raises(CodingError):
+            pd.feed({})
+
+    def test_no_targets_rejected(self, code):
+        with pytest.raises(CodingError):
+            PartialDecoder(code, SURVIVORS, [])
+
+    def test_duplicate_targets_rejected(self, code):
+        with pytest.raises(CodingError):
+            PartialDecoder(code, SURVIVORS, [1, 1])
+
+    def test_target_in_survivors_rejected(self, code):
+        with pytest.raises(CodingError):
+            PartialDecoder(code, SURVIVORS, [0])
+
+    def test_size_mismatch_rejected(self, code, shards):
+        pd = PartialDecoder(code, SURVIVORS, [1])
+        pd.feed({0: shards[0]})
+        with pytest.raises(CodingError):
+            pd.feed({2: shards[2][:-1]})
+
+    def test_2d_shard_rejected(self, code):
+        pd = PartialDecoder(code, SURVIVORS, [1])
+        with pytest.raises(CodingError):
+            pd.feed({0: np.zeros((2, 2), dtype=np.uint8)})
+
+    def test_result_for_non_target(self, code, shards):
+        pd = PartialDecoder(code, SURVIVORS, [1])
+        pd.feed({j: shards[j] for j in SURVIVORS})
+        with pytest.raises(CodingError):
+            pd.result(4)
+
+    def test_wrong_survivor_count(self, code):
+        with pytest.raises(Exception):
+            PartialDecoder(code, [0, 2, 3], [1])
+
+
+class TestEquivalenceWithFullDecode:
+    @given(seed=st.integers(0, 2**31 - 1), pa=st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_partial_equals_full(self, seed, pa):
+        """Property: PSR partial sums == FSR full decode, any P_a, any data."""
+        rng = np.random.default_rng(seed)
+        code = RSCode(9, 6)
+        data = rng.integers(0, 256, size=6 * 32, dtype=np.uint8).tobytes()
+        shards = code.encode(code.split(data))
+        lost = sorted(rng.choice(9, size=3, replace=False).tolist())
+        survivors = [j for j in range(9) if j not in lost][:6]
+
+        holed = [None if j in lost else shards[j] for j in range(9)]
+        full = code.reconstruct(holed, targets=lost)
+
+        pd = PartialDecoder(code, survivors, lost)
+        for i in range(0, 6, pa):
+            pd.feed({j: shards[j] for j in survivors[i : i + pa]})
+        for t in lost:
+            assert np.array_equal(pd.result(t), full[t])
+            assert np.array_equal(pd.result(t), shards[t])

@@ -1,0 +1,93 @@
+"""Stripe metadata and per-disk stripe sets."""
+
+import pytest
+
+from repro.ec.stripe import ChunkId, Stripe, StripeLayout
+from repro.errors import ConfigurationError
+
+
+class TestChunkId:
+    def test_ordering(self):
+        assert ChunkId(0, 1) < ChunkId(0, 2) < ChunkId(1, 0)
+
+    def test_hashable(self):
+        assert len({ChunkId(0, 1), ChunkId(0, 1), ChunkId(0, 2)}) == 2
+
+    def test_str(self):
+        assert str(ChunkId(3, 4)) == "S3,4"
+
+
+class TestStripe:
+    def test_basic(self):
+        s = Stripe(index=0, n=5, k=3, disks=(0, 1, 2, 3, 4))
+        assert s.m == 2
+        assert len(s.chunk_ids()) == 5
+
+    def test_duplicate_disk_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Stripe(index=0, n=3, k=2, disks=(0, 0, 1))
+
+    def test_wrong_disk_count(self):
+        with pytest.raises(ConfigurationError):
+            Stripe(index=0, n=3, k=2, disks=(0, 1))
+
+    def test_bad_nk(self):
+        with pytest.raises(ConfigurationError):
+            Stripe(index=0, n=3, k=3, disks=(0, 1, 2))
+
+    def test_shard_on_disk(self):
+        s = Stripe(index=0, n=3, k=2, disks=(5, 7, 9))
+        assert s.shard_on_disk(7) == 1
+        assert s.shard_on_disk(6) is None
+
+    def test_surviving_and_lost(self):
+        s = Stripe(index=0, n=5, k=3, disks=(0, 1, 2, 3, 4))
+        assert s.surviving_shards([3, 4]) == [0, 1, 2]
+        assert s.lost_shards([3, 4]) == [3, 4]
+        assert s.lost_shards([9]) == []
+
+
+class TestStripeLayout:
+    def _layout(self):
+        layout = StripeLayout()
+        # Figure 6: (5,3), six disks, three stripes
+        layout.add(Stripe(index=0, n=5, k=3, disks=(0, 1, 2, 3, 4)))
+        layout.add(Stripe(index=1, n=5, k=3, disks=(0, 1, 2, 3, 5)))
+        layout.add(Stripe(index=2, n=5, k=3, disks=(0, 1, 2, 4, 5)))
+        return layout
+
+    def test_len_iter_getitem(self):
+        layout = self._layout()
+        assert len(layout) == 3
+        assert [s.index for s in layout] == [0, 1, 2]
+        assert layout[1].index == 1
+
+    def test_stripe_sets(self):
+        layout = self._layout()
+        assert layout.stripe_set(3) == [0, 1]
+        assert layout.stripe_set(4) == [0, 2]
+        assert layout.stripe_set(5) == [1, 2]
+        assert layout.stripe_set(99) == []
+
+    def test_union_dedupes(self):
+        """The Figure-6 core claim: union of disk-4/5 stripe sets = {0,1,2}."""
+        layout = self._layout()
+        assert layout.stripes_touching([3, 4]) == [0, 1, 2]
+
+    def test_union_counts_each_stripe_once(self):
+        layout = self._layout()
+        union = layout.stripes_touching([3, 4, 5])
+        assert union == [0, 1, 2]
+
+    def test_out_of_order_add_rejected(self):
+        layout = StripeLayout()
+        with pytest.raises(ConfigurationError):
+            layout.add(Stripe(index=1, n=3, k=2, disks=(0, 1, 2)))
+
+    def test_disks(self):
+        assert self._layout().disks() == [0, 1, 2, 3, 4, 5]
+
+    def test_constructor_with_stripes(self):
+        stripes = [Stripe(index=0, n=3, k=2, disks=(0, 1, 2))]
+        layout = StripeLayout(stripes=stripes)
+        assert layout.stripe_set(0) == [0]

@@ -1,0 +1,106 @@
+"""Wide-stripe RS over GF(2^16)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ec.wide import WideRSCode
+from repro.errors import CodingError, ConfigurationError, InsufficientShardsError
+
+
+@pytest.fixture
+def code():
+    return WideRSCode(300, 256)  # impossible for GF(2^8)
+
+
+@pytest.fixture
+def small():
+    return WideRSCode(9, 6)
+
+
+class TestConstruction:
+    def test_beyond_gf256(self, code):
+        assert code.n == 300 and code.m == 44
+
+    def test_too_wide_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WideRSCode(70000, 100)
+
+    def test_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            WideRSCode(6, 6)
+
+    def test_repr(self, small):
+        assert "2^16" in repr(small)
+
+
+class TestSplitJoin:
+    def test_roundtrip(self, small):
+        data = bytes(range(256)) * 7 + b"x"  # odd length
+        shards = small.split(data)
+        assert len(shards) == 6
+        assert small.join(shards, len(data)) == data
+
+    def test_empty_rejected(self, small):
+        with pytest.raises(CodingError):
+            small.split(b"")
+
+    def test_symbols_are_uint16(self, small):
+        shards = small.split(b"hello world!")
+        assert all(s.dtype == np.uint16 for s in shards)
+
+
+class TestEncodeReconstruct:
+    def test_systematic(self, small):
+        rng = np.random.default_rng(0)
+        data = [rng.integers(0, 65536, size=50, dtype=np.uint16) for _ in range(6)]
+        shards = small.encode(data)
+        for i in range(6):
+            assert np.array_equal(shards[i], data[i])
+
+    def test_mds_small(self, small):
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 256, size=600, dtype=np.uint8).tobytes()
+        shards = small.encode(small.split(data))
+        for lost in ([0, 4, 8], [6, 7, 8], [0, 1, 2]):
+            holed = [None if j in lost else shards[j] for j in range(9)]
+            rebuilt = small.reconstruct(holed)
+            for j in lost:
+                assert np.array_equal(rebuilt[j], shards[j]), lost
+        assert small.join(rebuilt[:6], len(data)) == data
+
+    def test_wide_stripe_repair(self):
+        """A stripe wider than 256 shards — the GF(2^16) point."""
+        rng = np.random.default_rng(2)
+        code = WideRSCode(300, 280)
+        data = [rng.integers(0, 65536, size=8, dtype=np.uint16) for _ in range(280)]
+        shards = code.encode(data)
+        lost = sorted(rng.choice(300, size=15, replace=False).tolist())
+        holed = [None if j in lost else shards[j] for j in range(300)]
+        rebuilt = code.reconstruct(holed)
+        for j in lost:
+            assert np.array_equal(rebuilt[j], shards[j])
+
+    def test_insufficient_shards(self, small):
+        holed = [None] * 4 + [np.zeros(4, dtype=np.uint16)] * 5
+        with pytest.raises(InsufficientShardsError):
+            small.reconstruct(holed)
+
+    def test_unequal_shards_rejected(self, small):
+        data = [np.zeros(4, dtype=np.uint16)] * 5 + [np.zeros(5, dtype=np.uint16)]
+        with pytest.raises(CodingError):
+            small.encode(data)
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_roundtrip_property(self, seed):
+        rng = np.random.default_rng(seed)
+        code = WideRSCode(12, 8)
+        size = int(rng.integers(1, 400))
+        data = rng.integers(0, 256, size=size, dtype=np.uint8).tobytes()
+        shards = code.encode(code.split(data))
+        lost = sorted(rng.choice(12, size=4, replace=False).tolist())
+        holed = [None if j in lost else shards[j] for j in range(12)]
+        rebuilt = code.reconstruct(holed)
+        assert code.join(rebuilt[:8], size) == data

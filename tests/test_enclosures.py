@@ -1,0 +1,75 @@
+"""Enclosure topology and correlated (backplane) failure injection."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hdss import HDSSConfig, HighDensityStorageServer
+
+
+@pytest.fixture
+def server():
+    cfg = HDSSConfig(
+        num_disks=12, n=6, k=4, chunk_size=1024, memory_chunks=8, spares=2,
+        enclosure_size=4, seed=3,
+    )
+    srv = HighDensityStorageServer(cfg)
+    srv.provision_stripes(20)
+    return srv
+
+
+class TestTopology:
+    def test_enclosure_of(self, server):
+        assert server.enclosure_of(0) == 0
+        assert server.enclosure_of(3) == 0
+        assert server.enclosure_of(4) == 1
+        assert server.enclosure_of(11) == 2
+
+    def test_enclosure_disks(self, server):
+        assert server.enclosure_disks(1) == [4, 5, 6, 7]
+        # spares land in the last (partial) enclosure
+        assert server.enclosure_disks(3) == [12, 13]
+
+    def test_unknown_enclosure(self, server):
+        with pytest.raises(ConfigurationError):
+            server.enclosure_disks(9)
+
+    def test_unconfigured_rejected(self, small_server):
+        with pytest.raises(ConfigurationError):
+            small_server.enclosure_of(0)
+
+    def test_bad_size_config(self):
+        with pytest.raises(ConfigurationError):
+            HDSSConfig(enclosure_size=0)
+
+
+class TestFailEnclosure:
+    def test_total_loss(self, server):
+        failed = server.fail_enclosure(0)
+        assert failed == [0, 1, 2, 3]
+        assert server.failed_disks() == [0, 1, 2, 3]
+
+    def test_partial_survival_seeded(self, server):
+        failed = server.fail_enclosure(1, survival_prob=0.5)
+        assert set(failed) <= {4, 5, 6, 7}
+        assert server.failed_disks() == failed
+
+    def test_already_failed_skipped(self, server):
+        server.fail_disk(0)
+        failed = server.fail_enclosure(0)
+        assert 0 not in failed
+        assert set(failed) == {1, 2, 3}
+
+    def test_cooperative_repair_after_backplane_event(self):
+        """A backplane event within the code's tolerance is repairable."""
+        from repro.core import FullStripeRepair, cooperative_multi_disk_repair
+
+        cfg = HDSSConfig(
+            num_disks=18, n=9, k=6, chunk_size=1024, memory_chunks=12,
+            spares=3, enclosure_size=3, seed=5, placement="random",
+        )
+        srv = HighDensityStorageServer(cfg)
+        srv.provision_stripes(40)
+        failed = srv.fail_enclosure(2)  # 3 disks <= m = 3
+        out = cooperative_multi_disk_repair(srv, FullStripeRepair, failed)
+        assert out.chunks_rebuilt > 0
+        assert out.time_to_safety is not None

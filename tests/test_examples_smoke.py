@@ -1,0 +1,45 @@
+"""Smoke-run the fast example scripts so they cannot rot silently."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "observation_explorer.py",
+    "filestore_durability.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script, tmp_path):
+    args = [sys.executable, str(EXAMPLES / script)]
+    if script == "filestore_durability.py":
+        args.append(str(tmp_path / "store"))
+    proc = subprocess.run(args, capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout  # produced a report
+
+
+def test_quickstart_runs_clean():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "Figure 2 motivation" in proc.stdout
+    assert "Single-disk recovery" in proc.stdout
+    # the Figure-2 numbers must be in the output verbatim
+    assert "7.000" in proc.stdout and "5.000" in proc.stdout
+
+
+def test_spec_files_are_valid():
+    from repro.experiment import expand_sweep
+    import json
+
+    for spec_path in (EXAMPLES / "specs").glob("*.json"):
+        specs = expand_sweep(json.loads(spec_path.read_text()))
+        assert specs, spec_path

@@ -1,0 +1,96 @@
+"""Foreground degraded reads: arrivals, priorities, latency accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, PlanError
+from repro.sim.foreground import (
+    ForegroundLatency,
+    foreground_latency,
+    generate_degraded_reads,
+)
+from repro.sim.transfer import ChunkTransfer, StripeJob, simulate_slot_schedule
+
+
+class TestGeneration:
+    def test_poisson_rate_roughly(self):
+        jobs = generate_degraded_reads(10.0, 100.0, k=4, chunk_time_mean=0.1, seed=0)
+        assert 800 < len(jobs) < 1200  # ~1000 arrivals
+
+    def test_arrivals_sorted_and_bounded(self):
+        jobs = generate_degraded_reads(5.0, 10.0, k=3, chunk_time_mean=0.1, seed=1)
+        arrivals = [j.arrival_time for j in jobs]
+        assert arrivals == sorted(arrivals)
+        assert all(0 < a < 10.0 for a in arrivals)
+
+    def test_jobs_shape(self):
+        jobs = generate_degraded_reads(5.0, 5.0, k=4, chunk_time_mean=0.2, seed=2)
+        for job in jobs:
+            assert len(job.rounds) == 1
+            assert len(job.rounds[0]) == 4
+            assert job.priority == -1
+
+    def test_deterministic(self):
+        a = generate_degraded_reads(5.0, 5.0, k=2, chunk_time_mean=0.1, seed=7)
+        b = generate_degraded_reads(5.0, 5.0, k=2, chunk_time_mean=0.1, seed=7)
+        assert [j.arrival_time for j in a] == [j.arrival_time for j in b]
+
+    def test_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            generate_degraded_reads(0.0, 1.0, 2, 0.1)
+        with pytest.raises(ConfigurationError):
+            generate_degraded_reads(1.0, 1.0, 2, 0.1, chunk_time_std=-1)
+
+
+class TestArrivalSemantics:
+    def test_job_waits_for_arrival(self):
+        job = StripeJob("a", [[ChunkTransfer(("a", 0), 1.0)]], arrival_time=5.0)
+        rep = simulate_slot_schedule([job], capacity=2)
+        assert rep.total_time == pytest.approx(6.0)
+
+    def test_negative_arrival_rejected(self):
+        job = StripeJob("a", [[ChunkTransfer(("a", 0), 1.0)]], arrival_time=-1.0)
+        with pytest.raises(PlanError):
+            simulate_slot_schedule([job], capacity=2)
+
+    def test_foreground_bypasses_admission_cap(self):
+        repair = [
+            StripeJob(("r", i), [[ChunkTransfer(("r", i, 0), 5.0)]])
+            for i in range(2)
+        ]
+        fg = StripeJob(("f", 0), [[ChunkTransfer(("f", 0, 0), 1.0)]],
+                       arrival_time=0.5, priority=-1)
+        # admission cap 1 serialises the two repair jobs; the foreground
+        # read slips into the free memory slot immediately on arrival.
+        rep = simulate_slot_schedule(repair + [fg], capacity=3, max_concurrent=1)
+        assert rep.job_finish_times[("f", 0)] == pytest.approx(1.5)
+        assert rep.job_finish_times[("r", 1)] == pytest.approx(10.0)
+
+
+class TestLatency:
+    def test_latency_stats(self):
+        fg = generate_degraded_reads(2.0, 20.0, k=2, chunk_time_mean=0.5, seed=3)
+        rep = simulate_slot_schedule(fg, capacity=8)
+        lat = foreground_latency(rep, fg)
+        assert lat.count == len(fg)
+        assert 0 < lat.p50 <= lat.p95 <= lat.p99 <= lat.max
+        assert lat.mean >= 0.4  # at least one chunk's transfer time
+
+    def test_contention_raises_latency(self):
+        fg = generate_degraded_reads(4.0, 10.0, k=4, chunk_time_mean=0.3, seed=4)
+        roomy = foreground_latency(simulate_slot_schedule(fg, capacity=64), fg)
+        tight = foreground_latency(simulate_slot_schedule(fg, capacity=4), fg)
+        assert tight.p95 >= roomy.p95
+
+    def test_missing_job_rejected(self):
+        fg = generate_degraded_reads(2.0, 5.0, k=2, chunk_time_mean=0.1, seed=5)
+        rep = simulate_slot_schedule(fg[:-1], capacity=8)
+        with pytest.raises(ConfigurationError):
+            foreground_latency(rep, fg)
+
+    def test_empty(self):
+        lat = foreground_latency(
+            simulate_slot_schedule([], capacity=4), []
+        )
+        assert lat.count == 0
+        assert lat.summary()["p99"] == 0.0

@@ -1,0 +1,119 @@
+"""Parametrised binary fields: GF(2^16) and cross-checks against GF(2^8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CodingError, ConfigurationError
+from repro.gf import gf_mul
+from repro.gf.bigfield import GF256, GF65536, BinaryField
+
+
+class TestConstruction:
+    def test_gf256_parameters(self):
+        assert GF256.order == 256 and GF256.dtype == np.uint8
+
+    def test_gf65536_parameters(self):
+        assert GF65536.order == 65536 and GF65536.dtype == np.uint16
+
+    def test_non_primitive_poly_rejected(self):
+        # x^8 + 1 is not primitive
+        with pytest.raises(ConfigurationError):
+            BinaryField(8, 0x101)
+
+    def test_wrong_degree_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BinaryField(8, 0x1D)
+
+    def test_bits_range(self):
+        with pytest.raises(ConfigurationError):
+            BinaryField(17, 1 << 17 | 1)
+
+    def test_small_field(self):
+        gf16 = BinaryField(4, 0x13)  # GF(2^4), x^4+x+1
+        a = np.arange(16, dtype=np.uint8)
+        nz = a[1:]
+        assert np.all(gf16.mul(nz, gf16.inv(nz)) == 1)
+
+
+class TestCrossCheckWithSpecialisedGF256:
+    def test_mul_agrees(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 256, size=2000, dtype=np.uint8)
+        b = rng.integers(0, 256, size=2000, dtype=np.uint8)
+        assert np.array_equal(GF256.mul(a, b), gf_mul(a, b))
+
+    def test_matrix_agrees(self):
+        from repro.gf import gf_rs_encoding_matrix
+
+        assert np.array_equal(
+            GF256.rs_encoding_matrix(9, 6), gf_rs_encoding_matrix(9, 6)
+        )
+
+
+class TestGF65536Axioms:
+    @given(a=st.integers(0, 65535), b=st.integers(0, 65535), c=st.integers(0, 65535))
+    @settings(max_examples=150, deadline=None)
+    def test_mul_associative_distributive(self, a, b, c):
+        f = GF65536
+        assert int(f.mul(f.mul(a, b), c)) == int(f.mul(a, f.mul(b, c)))
+        assert int(f.mul(a, f.add(b, c))) == int(f.add(f.mul(a, b), f.mul(a, c)))
+
+    @given(a=st.integers(1, 65535))
+    @settings(max_examples=150, deadline=None)
+    def test_inverse(self, a):
+        assert int(GF65536.mul(a, GF65536.inv(a))) == 1
+
+    def test_fermat_sampled(self):
+        rng = np.random.default_rng(1)
+        samples = rng.integers(1, 65536, size=500, dtype=np.uint16)
+        assert np.all(GF65536.pow(samples, 65535) == 1)
+
+    def test_zero_rules(self):
+        assert int(GF65536.mul(0, 12345)) == 0
+        with pytest.raises(ZeroDivisionError):
+            GF65536.inv(0)
+        with pytest.raises(ZeroDivisionError):
+            GF65536.div(5, 0)
+
+
+class TestMatrixOps:
+    def test_inverse_roundtrip(self):
+        rng = np.random.default_rng(2)
+        m = rng.integers(0, 65536, size=(8, 8), dtype=np.uint16)
+        try:
+            inv = GF65536.mat_inv(m)
+        except CodingError:
+            pytest.skip("singular draw")
+        assert np.array_equal(GF65536.mat_mul(m, inv), GF65536.identity(8))
+
+    def test_singular_raises(self):
+        m = np.array([[1, 2], [1, 2]], dtype=np.uint16)
+        with pytest.raises(CodingError):
+            GF65536.mat_inv(m)
+
+    def test_rs_matrix_systematic(self):
+        m = GF65536.rs_encoding_matrix(300, 250)
+        assert m.shape == (300, 250)
+        assert np.array_equal(m[:250], GF65536.identity(250))
+
+
+class TestBufferKernels:
+    def test_mul_scalar(self):
+        rng = np.random.default_rng(3)
+        buf = rng.integers(0, 65536, size=500, dtype=np.uint16)
+        out = GF65536.mul_scalar(777, buf)
+        assert np.array_equal(out, GF65536.mul(777, buf))
+
+    def test_mul_add_scalar_in_place(self):
+        rng = np.random.default_rng(4)
+        acc = rng.integers(0, 65536, size=64, dtype=np.uint16)
+        buf = rng.integers(0, 65536, size=64, dtype=np.uint16)
+        expected = acc ^ GF65536.mul(99, buf)
+        GF65536.mul_add_scalar(acc, 99, buf)
+        assert np.array_equal(acc, expected)
+
+    def test_bad_coeff(self):
+        with pytest.raises(ValueError):
+            GF65536.mul_scalar(70000, np.zeros(4, dtype=np.uint16))

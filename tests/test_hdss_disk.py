@@ -1,0 +1,128 @@
+"""Disk model: transfer times, states, probing."""
+
+import pytest
+
+from repro.errors import ConfigurationError, DiskFailedError
+from repro.hdss.disk import Disk, DiskState
+
+
+class TestConstruction:
+    def test_defaults(self):
+        d = Disk(0, bandwidth=100e6)
+        assert d.state is DiskState.HEALTHY
+        assert d.current_bandwidth == 100e6
+
+    def test_bad_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            Disk(0, bandwidth=0)
+
+    def test_bad_id(self):
+        with pytest.raises(ConfigurationError):
+            Disk(-1, bandwidth=1.0)
+
+    def test_bad_jitter(self):
+        with pytest.raises(ConfigurationError):
+            Disk(0, bandwidth=1.0, jitter=1.0)
+
+
+class TestTransferTime:
+    def test_deterministic_without_jitter(self):
+        d = Disk(0, bandwidth=100.0)
+        assert d.transfer_time(200) == pytest.approx(2.0)
+
+    def test_zero_size(self):
+        assert Disk(0, bandwidth=10.0).transfer_time(0) == 0.0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Disk(0, bandwidth=10.0).transfer_time(-1)
+
+    def test_jitter_bounded(self):
+        d = Disk(0, bandwidth=100.0, jitter=0.1, seed=3)
+        base = 200 / 100.0
+        for _ in range(100):
+            t = d.transfer_time(200)
+            assert base * 0.9 <= t <= base * 1.1
+
+    def test_jitter_seeded_reproducible(self):
+        a = Disk(0, bandwidth=100.0, jitter=0.1, seed=5)
+        b = Disk(0, bandwidth=100.0, jitter=0.1, seed=5)
+        assert [a.transfer_time(100) for _ in range(5)] == [
+            b.transfer_time(100) for _ in range(5)
+        ]
+
+    def test_unjittered_flag(self):
+        d = Disk(0, bandwidth=100.0, jitter=0.3, seed=1)
+        assert d.transfer_time(100, jittered=False) == pytest.approx(1.0)
+
+
+class TestStates:
+    def test_degrade_slows(self):
+        d = Disk(0, bandwidth=100.0)
+        d.degrade(4.0)
+        assert d.is_slow
+        assert d.current_bandwidth == pytest.approx(25.0)
+        assert d.transfer_time(100) == pytest.approx(4.0)
+
+    def test_degrade_factor_one_stays_healthy(self):
+        d = Disk(0, bandwidth=100.0)
+        d.degrade(1.0)
+        assert not d.is_slow
+
+    def test_heal(self):
+        d = Disk(0, bandwidth=100.0)
+        d.degrade(4.0)
+        d.heal()
+        assert d.state is DiskState.HEALTHY
+        assert d.current_bandwidth == 100.0
+
+    def test_fail_blocks_io(self):
+        d = Disk(0, bandwidth=100.0)
+        d.fail()
+        assert d.is_failed
+        with pytest.raises(DiskFailedError):
+            d.transfer_time(1)
+        with pytest.raises(DiskFailedError):
+            d.probe()
+
+    def test_degrade_failed_rejected(self):
+        d = Disk(0, bandwidth=100.0)
+        d.fail()
+        with pytest.raises(DiskFailedError):
+            d.degrade(2.0)
+
+
+class TestProbe:
+    def test_probe_near_truth(self):
+        d = Disk(0, bandwidth=100e6, seed=0)
+        measured = d.probe(1024, noise=0.0)
+        assert measured == pytest.approx(100e6)
+
+    def test_probe_noise(self):
+        d = Disk(0, bandwidth=100e6, seed=0)
+        samples = [d.probe(1024, noise=0.05) for _ in range(50)]
+        assert min(samples) != max(samples)
+        assert all(abs(s - 100e6) / 100e6 < 0.5 for s in samples)
+
+    def test_probe_counts_traffic(self):
+        d = Disk(0, bandwidth=100e6)
+        d.probe(2048)
+        assert d.bytes_read == 2048
+        assert d.read_ops == 1
+
+    def test_probe_sees_degradation(self):
+        d = Disk(0, bandwidth=100e6, seed=0)
+        d.degrade(4.0)
+        assert d.probe(1024, noise=0.0) == pytest.approx(25e6)
+
+
+class TestTelemetry:
+    def test_record_read(self):
+        d = Disk(0, bandwidth=1.0)
+        d.record_read(100)
+        d.record_read(50)
+        assert d.bytes_read == 150
+        assert d.read_ops == 2
+
+    def test_repr(self):
+        assert "Disk" in repr(Disk(3, bandwidth=5e6))

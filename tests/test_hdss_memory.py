@@ -1,0 +1,92 @@
+"""ChunkMemory: capacity enforcement and telemetry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, MemoryCapacityError, StorageError
+from repro.hdss.memory import ChunkMemory
+
+
+@pytest.fixture
+def mem():
+    return ChunkMemory(capacity_chunks=4, chunk_size=16)
+
+
+class TestAdmit:
+    def test_zeroed_buffer(self, mem):
+        buf = mem.admit("a")
+        assert buf.shape == (16,)
+        assert np.all(buf == 0)
+
+    def test_data_copied_in(self, mem):
+        data = np.arange(16, dtype=np.uint8)
+        buf = mem.admit("a", data)
+        assert np.array_equal(buf, data)
+        data[0] = 99
+        assert mem.get("a")[0] == 0
+
+    def test_capacity_enforced(self, mem):
+        for i in range(4):
+            mem.admit(i)
+        with pytest.raises(MemoryCapacityError):
+            mem.admit("overflow")
+
+    def test_duplicate_handle_rejected(self, mem):
+        mem.admit("a")
+        with pytest.raises(StorageError):
+            mem.admit("a")
+
+    def test_wrong_size_rejected(self, mem):
+        with pytest.raises(StorageError):
+            mem.admit("a", np.zeros(15, dtype=np.uint8))
+
+
+class TestReleaseAndState:
+    def test_release_frees_slot(self, mem):
+        for i in range(4):
+            mem.admit(i)
+        mem.release(0)
+        mem.admit("new")  # must not raise
+
+    def test_release_unknown_rejected(self, mem):
+        with pytest.raises(StorageError):
+            mem.release("ghost")
+
+    def test_get_unknown_rejected(self, mem):
+        with pytest.raises(StorageError):
+            mem.get("ghost")
+
+    def test_occupancy_and_available(self, mem):
+        assert mem.occupancy == 0 and mem.available == 4
+        mem.admit("a")
+        assert mem.occupancy == 1 and mem.available == 3
+
+    def test_holds(self, mem):
+        mem.admit("a")
+        assert mem.holds("a") and not mem.holds("b")
+
+    def test_release_all(self, mem):
+        mem.admit("a")
+        mem.admit("b")
+        assert mem.release_all() == 2
+        assert mem.occupancy == 0
+
+    def test_peak_tracking(self, mem):
+        mem.admit("a")
+        mem.admit("b")
+        mem.release("a")
+        mem.admit("c")
+        assert mem.peak_occupancy == 2
+        assert mem.total_admissions == 3
+
+    def test_capacity_bytes(self, mem):
+        assert mem.capacity_bytes == 64
+
+    def test_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            ChunkMemory(0, 16)
+        with pytest.raises(ConfigurationError):
+            ChunkMemory(4, 0)
+
+    def test_repr(self, mem):
+        assert "ChunkMemory" in repr(mem)

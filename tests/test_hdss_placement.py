@@ -1,0 +1,63 @@
+"""Stripe placement strategies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hdss.placement import random_placement, rotating_placement
+
+
+class TestRotating:
+    def test_distinct_disks_per_stripe(self):
+        layout = rotating_placement(num_disks=10, num_stripes=50, n=6, k=4)
+        for stripe in layout:
+            assert len(set(stripe.disks)) == 6
+
+    def test_even_load(self):
+        layout = rotating_placement(num_disks=12, num_stripes=120, n=6, k=4)
+        counts = [len(layout.stripe_set(d)) for d in range(12)]
+        # 120 stripes x 6 shards / 12 disks = 60 per disk exactly
+        assert counts == [60] * 12
+
+    def test_deterministic(self):
+        a = rotating_placement(10, 20, 5, 3)
+        b = rotating_placement(10, 20, 5, 3)
+        assert all(x.disks == y.disks for x, y in zip(a, b))
+
+    def test_n_exceeds_disks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rotating_placement(4, 10, 6, 4)
+
+    def test_zero_stripes(self):
+        assert len(rotating_placement(10, 0, 5, 3)) == 0
+
+    def test_bad_nk(self):
+        with pytest.raises(ConfigurationError):
+            rotating_placement(10, 5, 4, 4)
+
+
+class TestRandom:
+    def test_distinct_disks_per_stripe(self):
+        layout = random_placement(num_disks=10, num_stripes=50, n=6, k=4, seed=0)
+        for stripe in layout:
+            assert len(set(stripe.disks)) == 6
+
+    def test_seeded_reproducible(self):
+        a = random_placement(10, 20, 5, 3, seed=4)
+        b = random_placement(10, 20, 5, 3, seed=4)
+        assert all(x.disks == y.disks for x, y in zip(a, b))
+
+    def test_seeds_differ(self):
+        a = random_placement(10, 20, 5, 3, seed=4)
+        b = random_placement(10, 20, 5, 3, seed=5)
+        assert any(x.disks != y.disks for x, y in zip(a, b))
+
+    def test_roughly_balanced(self):
+        layout = random_placement(num_disks=10, num_stripes=2000, n=5, k=3, seed=1)
+        counts = np.array([len(layout.stripe_set(d)) for d in range(10)])
+        expected = 2000 * 5 / 10
+        assert np.all(np.abs(counts - expected) < expected * 0.15)
+
+    def test_negative_stripes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            random_placement(10, -1, 5, 3)

@@ -1,0 +1,129 @@
+"""Chunk stores: in-memory and file-backed backends, identical contract."""
+
+import numpy as np
+import pytest
+
+from repro.ec.stripe import ChunkId
+from repro.errors import ChunkNotFoundError, StorageError
+from repro.hdss.store import FileChunkStore, InMemoryChunkStore
+
+
+@pytest.fixture(params=["memory", "file"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        return InMemoryChunkStore()
+    return FileChunkStore(tmp_path / "chunks")
+
+
+def chunk(size=64, fill=7):
+    return np.full(size, fill, dtype=np.uint8)
+
+
+class TestContract:
+    def test_put_get_roundtrip(self, store):
+        cid = ChunkId(3, 1)
+        store.put(0, cid, chunk(fill=9))
+        out = store.get(0, cid)
+        assert np.array_equal(out, chunk(fill=9))
+
+    def test_get_missing_raises(self, store):
+        with pytest.raises(ChunkNotFoundError):
+            store.get(0, ChunkId(0, 0))
+
+    def test_contains(self, store):
+        cid = ChunkId(1, 2)
+        assert not store.contains(5, cid)
+        store.put(5, cid, chunk())
+        assert store.contains(5, cid)
+        assert (5, cid) in store
+
+    def test_overwrite(self, store):
+        cid = ChunkId(0, 0)
+        store.put(0, cid, chunk(fill=1))
+        store.put(0, cid, chunk(fill=2))
+        assert store.get(0, cid)[0] == 2
+
+    def test_delete(self, store):
+        cid = ChunkId(0, 0)
+        store.put(0, cid, chunk())
+        store.delete(0, cid)
+        assert not store.contains(0, cid)
+
+    def test_delete_missing_raises(self, store):
+        with pytest.raises(ChunkNotFoundError):
+            store.delete(0, ChunkId(9, 9))
+
+    def test_chunks_on_disk_sorted(self, store):
+        ids = [ChunkId(2, 0), ChunkId(0, 1), ChunkId(0, 0)]
+        for cid in ids:
+            store.put(1, cid, chunk())
+        assert store.chunks_on_disk(1) == sorted(ids)
+        assert store.chunks_on_disk(99) == []
+
+    def test_drop_disk(self, store):
+        for j in range(4):
+            store.put(2, ChunkId(0, j), chunk())
+        store.put(3, ChunkId(0, 0), chunk())
+        assert store.drop_disk(2) == 4
+        assert store.chunks_on_disk(2) == []
+        assert store.contains(3, ChunkId(0, 0))
+        assert store.drop_disk(2) == 0
+
+    def test_same_chunk_different_disks(self, store):
+        cid = ChunkId(0, 0)
+        store.put(0, cid, chunk(fill=1))
+        store.put(1, cid, chunk(fill=2))
+        assert store.get(0, cid)[0] == 1
+        assert store.get(1, cid)[0] == 2
+
+    def test_2d_rejected(self, store):
+        with pytest.raises(StorageError):
+            store.put(0, ChunkId(0, 0), np.zeros((2, 2), dtype=np.uint8))
+
+    def test_get_returns_copy(self, store):
+        cid = ChunkId(0, 0)
+        store.put(0, cid, chunk(fill=5))
+        out = store.get(0, cid)
+        out[0] = 99
+        assert store.get(0, cid)[0] == 5
+
+
+class TestInMemorySpecific:
+    def test_total_chunks(self):
+        store = InMemoryChunkStore()
+        store.put(0, ChunkId(0, 0), chunk())
+        store.put(1, ChunkId(0, 1), chunk())
+        assert store.total_chunks() == 2
+
+    def test_iter_all(self):
+        store = InMemoryChunkStore()
+        store.put(0, ChunkId(0, 0), chunk())
+        store.put(1, ChunkId(1, 0), chunk())
+        assert sorted(store.iter_all()) == [(0, ChunkId(0, 0)), (1, ChunkId(1, 0))]
+
+    def test_put_copies(self):
+        store = InMemoryChunkStore()
+        buf = chunk(fill=1)
+        store.put(0, ChunkId(0, 0), buf)
+        buf[0] = 42
+        assert store.get(0, ChunkId(0, 0))[0] == 1
+
+
+class TestFileSpecific:
+    def test_layout_on_disk(self, tmp_path):
+        store = FileChunkStore(tmp_path / "root")
+        store.put(7, ChunkId(12, 3), chunk())
+        expected = tmp_path / "root" / "disk-007" / "s000012.003.chunk"
+        assert expected.exists()
+
+    def test_foreign_files_ignored(self, tmp_path):
+        store = FileChunkStore(tmp_path)
+        store.put(0, ChunkId(0, 0), chunk())
+        (tmp_path / "disk-000" / "junk.txt").write_text("x")
+        (tmp_path / "disk-000" / "bad.chunk").write_bytes(b"")
+        assert store.chunks_on_disk(0) == [ChunkId(0, 0)]
+
+    def test_no_tmp_left_behind(self, tmp_path):
+        store = FileChunkStore(tmp_path)
+        store.put(0, ChunkId(0, 0), chunk())
+        assert not list(tmp_path.rglob("*.tmp"))

@@ -1,0 +1,59 @@
+"""Meta-consistency checks between benchmarks, reporting, and docs.
+
+These guard the reproduction pipeline itself: every benchmark artefact a
+module writes must be registered in the EXPERIMENTS.md generator, and the
+canonical experiment ids stay in sync.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.reporting import ORDER, PAPER_CLAIMS, TITLES
+
+ROOT = Path(__file__).parent.parent
+BENCHMARKS = ROOT / "benchmarks"
+
+
+def artefact_ids_in_benchmarks():
+    """Every results_sink("<id>", ...) call across the bench modules."""
+    ids = set()
+    for path in BENCHMARKS.glob("bench_*.py"):
+        for match in re.finditer(r"results_sink\(\s*['\"]([\w-]+)['\"]", path.read_text()):
+            ids.add(match.group(1))
+    return ids
+
+
+class TestPipelineConsistency:
+    def test_every_artefact_registered_in_reporting(self):
+        ids = artefact_ids_in_benchmarks()
+        assert ids, "no benchmarks found?"
+        unregistered = ids - set(ORDER)
+        assert not unregistered, (
+            f"benchmarks write artefacts {sorted(unregistered)} that "
+            f"EXPERIMENTS.md generation would bury in the 'extra' section; "
+            f"register them in repro.reporting.ORDER/TITLES/PAPER_CLAIMS"
+        )
+
+    def test_every_registered_id_has_title_and_claim(self):
+        for exp_id in ORDER:
+            assert exp_id in TITLES, exp_id
+            assert exp_id in PAPER_CLAIMS, exp_id
+
+    def test_no_stale_registrations(self):
+        ids = artefact_ids_in_benchmarks()
+        stale = set(ORDER) - ids
+        assert not stale, (
+            f"reporting registers {sorted(stale)} but no benchmark writes them"
+        )
+
+    def test_paper_experiments_all_covered(self):
+        """The paper's five experiments and both observation figures."""
+        required = {"fig4a", "fig4b", "exp1", "exp2", "exp3", "exp4", "exp5"}
+        assert required <= set(ORDER)
+
+    def test_bench_modules_have_docstrings_naming_their_figure(self):
+        for path in BENCHMARKS.glob("bench_exp*.py"):
+            head = path.read_text().split('"""')[1]
+            assert "Figure" in head or "figure" in head, path.name

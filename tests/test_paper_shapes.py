@@ -1,0 +1,106 @@
+"""Fast regression tests pinning the paper's qualitative claims.
+
+These mirror the benchmark assertions at unit-test scale, so a code change
+that silently breaks a headline result fails `pytest tests/` in seconds
+rather than only in a benchmark run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ActivePreliminaryRepair,
+    ActiveSlowerFirstRepair,
+    FullStripeRepair,
+    PassiveRepair,
+    RepairContext,
+    execute_plan,
+)
+from repro.core.analysis import acwt_curve_vs_pa, rounds_curve_vs_pr
+from repro.utils.timer import time_call
+from repro.workloads import disk_heterogeneous_transfer_times, normal_transfer_times
+
+S, K, C = 240, 6, 12
+NUM_DISKS = 36
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return disk_heterogeneous_transfer_times(
+        S, K, NUM_DISKS, ros=0.10, slow_factor=4.0, seed=11
+    )
+
+
+@pytest.fixture(scope="module")
+def repair_times(workload):
+    w, disk_ids = workload
+    times = {}
+    for algo in (FullStripeRepair(), ActivePreliminaryRepair(),
+                 ActiveSlowerFirstRepair(), PassiveRepair()):
+        ctx = RepairContext(disk_ids=disk_ids)
+        plan = algo.build_plan(w.L, C, context=ctx)
+        times[algo.name] = execute_plan(plan, w.L, C, disk_ids=disk_ids).total_time
+    return times
+
+
+class TestExperiment1Shape:
+    def test_every_hdpsr_scheme_beats_fsr(self, repair_times):
+        for name in ("hd-psr-ap", "hd-psr-as", "hd-psr-pa"):
+            assert repair_times[name] < repair_times["fsr"], name
+
+    def test_reductions_are_substantial(self, repair_times):
+        best = min(v for k, v in repair_times.items() if k != "fsr")
+        assert (1 - best / repair_times["fsr"]) > 0.15
+
+    def test_gap_widens_with_k(self):
+        """Paper: 'the larger the k, the greater the reduction'."""
+        reductions = {}
+        for (n, k) in ((6, 4), (14, 10)):
+            w, disks = disk_heterogeneous_transfer_times(
+                200, k, NUM_DISKS, ros=0.10, slow_factor=4.0, seed=3
+            )
+            fsr = execute_plan(FullStripeRepair().build_plan(w.L, 2 * k), w.L, 2 * k).total_time
+            ap = execute_plan(
+                ActivePreliminaryRepair().build_plan(w.L, 2 * k), w.L, 2 * k
+            ).total_time
+            reductions[k] = 1 - ap / fsr
+        assert reductions[10] > reductions[4] - 0.05
+
+
+class TestExperiment2Shape:
+    def test_as_selection_cheaper_than_ap(self):
+        L = normal_transfer_times(1500, 10, ros=0.08, seed=5).L
+        ap = ActivePreliminaryRepair()
+        as_ = ActiveSlowerFirstRepair()
+        # take the best of a few calls to tame timer noise
+        ap_time = min(time_call(ap.select, L, 20)[1] for _ in range(3))
+        as_time = min(time_call(as_.select, L, 20, 2.0 * float(L.mean()))[1] for _ in range(3))
+        assert as_time < ap_time
+
+    def test_pa_has_no_selection_cost(self, workload):
+        w, disk_ids = workload
+        plan = PassiveRepair().build_plan(w.L, C, context=RepairContext(disk_ids=disk_ids))
+        assert plan.selection_seconds == 0.0
+
+
+class TestObservationShapes:
+    def test_acwt_monotone_in_pa(self):
+        L = normal_transfer_times(100, 12, ros=0.05, seed=1).L
+        curve = acwt_curve_vs_pa(L, 12, pa_values=[1, 3, 6, 12])
+        values = list(curve.values())
+        assert values == sorted(values)
+
+    def test_tr_monotone_in_pr(self):
+        values = list(rounds_curve_vs_pr(12, 12).values())
+        assert values == sorted(values)
+
+
+class TestHomogeneousBaseline:
+    def test_no_heterogeneity_no_gain(self):
+        """With identical disks there is nothing for HD-PSR to exploit."""
+        w, disk_ids = disk_heterogeneous_transfer_times(
+            150, K, NUM_DISKS, ros=0.0, base_std=0.0, seed=2
+        )
+        fsr = execute_plan(FullStripeRepair().build_plan(w.L, C), w.L, C).total_time
+        ap = execute_plan(ActivePreliminaryRepair().build_plan(w.L, C), w.L, C).total_time
+        assert ap == pytest.approx(fsr, rel=0.05)

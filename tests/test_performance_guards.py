@@ -1,0 +1,66 @@
+"""Performance guardrails: the vectorised hot paths must stay vectorised.
+
+These are generous upper bounds (10x headroom on a slow CI box), meant to
+catch an accidental O(s*k) Python loop sneaking into a kernel, not to
+benchmark.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import ActivePreliminaryRepair, ActiveSlowerFirstRepair, FullStripeRepair, execute_plan
+from repro.gf import gf_mul_add_scalar, gf_mul_scalar
+from repro.utils.units import MiB
+from repro.workloads import normal_transfer_times
+
+
+def elapsed(fn, *args, **kwargs):
+    t0 = time.perf_counter()
+    fn(*args, **kwargs)
+    return time.perf_counter() - t0
+
+
+class TestSelectionScaling:
+    def test_ap_select_10k_stripes_under_a_second(self):
+        L = normal_transfer_times(10_000, 14, ros=0.08, seed=0).L
+        algo = ActivePreliminaryRepair()
+        assert elapsed(algo.select, L, 28) < 1.0
+
+    def test_as_select_10k_stripes_under_100ms(self):
+        L = normal_transfer_times(10_000, 14, ros=0.08, seed=0).L
+        algo = ActiveSlowerFirstRepair()
+        assert elapsed(algo.select, L, 28, 2.0 * float(L.mean())) < 0.1
+
+
+class TestCodecThroughput:
+    def test_gf_kernel_throughput(self):
+        """A 16 MiB chunk-scalar multiply must run at table-gather speed."""
+        rng = np.random.default_rng(0)
+        buf = rng.integers(0, 256, size=16 * MiB, dtype=np.uint8)
+        t = elapsed(gf_mul_scalar, 37, buf)
+        assert t < 1.0  # vectorised: ~100ms; a Python loop would take minutes
+
+    def test_gf_fma_in_place(self):
+        rng = np.random.default_rng(1)
+        acc = rng.integers(0, 256, size=16 * MiB, dtype=np.uint8)
+        buf = rng.integers(0, 256, size=16 * MiB, dtype=np.uint8)
+        assert elapsed(gf_mul_add_scalar, acc, 99, buf) < 1.0
+
+
+class TestSimulatorScaling:
+    def test_slot_sim_3200_stripes(self):
+        """Full paper scale (200 GiB / 64 MiB) in single-digit seconds."""
+        L = normal_transfer_times(3200, 10, ros=0.08, seed=2).L
+        plan = FullStripeRepair().build_plan(L, 20)
+        assert elapsed(execute_plan, plan, L, 20) < 10.0
+
+    def test_interval_sim_is_fast(self):
+        from repro.core.scheduler import ExecutionOptions
+
+        L = normal_transfer_times(3200, 10, ros=0.08, seed=3).L
+        plan = FullStripeRepair().build_plan(L, 20)
+        assert elapsed(
+            execute_plan, plan, L, 20, options=ExecutionOptions(model="interval")
+        ) < 3.0

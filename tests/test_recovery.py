@@ -1,0 +1,60 @@
+"""The one-call recovery workflow."""
+
+import numpy as np
+import pytest
+
+from repro.core import ActiveSlowerFirstRepair, FullStripeRepair, PassiveRepair
+from repro.core.recovery import recover_disk
+from repro.errors import StorageError
+
+
+@pytest.mark.parametrize(
+    "algorithm", [FullStripeRepair(), ActiveSlowerFirstRepair(), PassiveRepair()],
+    ids=["fsr", "as", "pa"],
+)
+class TestRecoverDisk:
+    def test_certified_recovery(self, small_server, algorithm):
+        lost_count = len(small_server.store.chunks_on_disk(0))
+        small_server.fail_disk(0)
+        result = recover_disk(small_server, algorithm, 0)
+        assert result.certified
+        assert result.data_path.chunks_rebuilt == lost_count
+        assert result.remapped == lost_count
+        assert small_server.layout.stripe_set(0) == []
+
+    def test_objects_survive(self, small_server, algorithm):
+        originals = {
+            idx: small_server.read_object(idx) for idx in range(len(small_server.layout))
+        }
+        small_server.fail_disk(0)
+        recover_disk(small_server, algorithm, 0)
+        for idx, data in originals.items():
+            assert small_server.read_object(idx) == data
+
+
+class TestRecoverDiskErrors:
+    def test_healthy_disk_rejected(self, small_server):
+        with pytest.raises(StorageError):
+            recover_disk(small_server, FullStripeRepair(), 0)
+
+    def test_metadata_only_rejected(self, metadata_server):
+        metadata_server.fail_disk(0)
+        with pytest.raises(StorageError, match="no chunk bytes"):
+            recover_disk(metadata_server, FullStripeRepair(), 0)
+
+    def test_summary_keys(self, small_server):
+        small_server.fail_disk(1)
+        result = recover_disk(small_server, FullStripeRepair(), 1)
+        s = result.summary()
+        assert s["certified"] is True
+        assert s["chunks_rebuilt"] > 0
+        assert s["repair_time"] > 0
+
+    def test_second_failure_after_recovery(self, small_server):
+        """Recover disk 0, then disk 1 — spares and remaps hold up."""
+        small_server.fail_disk(0)
+        first = recover_disk(small_server, FullStripeRepair(), 0)
+        assert first.certified
+        small_server.fail_disk(1)
+        second = recover_disk(small_server, ActiveSlowerFirstRepair(), 1)
+        assert second.certified

@@ -1,0 +1,237 @@
+"""Durability Monte-Carlo: lifetimes, loss detection, MTTDL shapes."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ec.stripe import Stripe, StripeLayout
+from repro.errors import ConfigurationError
+from repro.hdss.placement import rotating_placement
+from repro.reliability import (
+    ExponentialLifetime,
+    WeibullLifetime,
+    estimate_repair_seconds,
+    simulate_durability,
+)
+from repro.reliability.lifetimes import YEAR_SECONDS
+
+
+class TestLifetimes:
+    def test_exponential_mean(self):
+        model = ExponentialLifetime(mttf_seconds=1000.0)
+        samples = model.sample(50_000, rng=0)
+        assert abs(samples.mean() - 1000.0) / 1000.0 < 0.03
+        assert model.mean() == 1000.0
+
+    def test_afr_conversion(self):
+        model = ExponentialLifetime(afr=0.5)  # half the fleet per year
+        assert model.mttf_seconds == pytest.approx(2 * YEAR_SECONDS)
+
+    def test_exactly_one_parameter(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialLifetime()
+        with pytest.raises(ConfigurationError):
+            ExponentialLifetime(mttf_seconds=1.0, afr=0.1)
+
+    def test_weibull_shape1_is_exponential(self):
+        model = WeibullLifetime(scale_seconds=500.0, shape=1.0)
+        assert model.mean() == pytest.approx(500.0)
+
+    def test_weibull_mean_formula(self):
+        model = WeibullLifetime(scale_seconds=100.0, shape=2.0)
+        assert model.mean() == pytest.approx(100.0 * math.gamma(1.5))
+
+    def test_sampling_seeded(self):
+        m = WeibullLifetime(100.0, 1.2)
+        assert np.array_equal(m.sample(10, rng=3), m.sample(10, rng=3))
+
+    def test_describe(self):
+        assert "exponential" in ExponentialLifetime(afr=0.02).describe()
+        assert "weibull" in WeibullLifetime(1.0, 1.0).describe()
+
+
+def small_layout(num_disks=8, stripes=16, n=5, k=3):
+    return rotating_placement(num_disks, stripes, n, k)
+
+
+class TestSimulateDurability:
+    def test_fast_repair_never_loses(self):
+        """Repair far faster than the failure interarrival: no losses."""
+        layout = small_layout()
+        result = simulate_durability(
+            layout, num_disks=8,
+            lifetime=ExponentialLifetime(mttf_seconds=100 * YEAR_SECONDS),
+            repair_seconds=60.0,  # one minute
+            mission_years=5, trials=200, seed=1,
+        )
+        assert result.losses == 0
+        assert result.loss_probability == 0.0
+        assert result.mttdl_seconds == float("inf")
+
+    def test_absurdly_slow_repair_loses(self):
+        """Repair slower than the mission: failures pile up and exceed m."""
+        layout = small_layout()
+        result = simulate_durability(
+            layout, num_disks=8,
+            lifetime=ExponentialLifetime(mttf_seconds=0.5 * YEAR_SECONDS),
+            repair_seconds=100 * YEAR_SECONDS,
+            mission_years=10, trials=200, seed=2,
+        )
+        assert result.losses > 150
+        assert result.mean_time_to_loss is not None
+        assert result.mttdl_seconds < 10 * YEAR_SECONDS
+
+    def test_faster_repair_more_durable(self):
+        """The central claim: cutting repair time cuts loss probability."""
+        layout = small_layout(num_disks=12, stripes=24, n=6, k=4)
+        kwargs = dict(
+            num_disks=12,
+            lifetime=ExponentialLifetime(mttf_seconds=0.8 * YEAR_SECONDS),
+            mission_years=10,
+            trials=400,
+            seed=7,
+        )
+        slow = simulate_durability(layout, repair_seconds=30 * 24 * 3600.0, **kwargs)
+        fast = simulate_durability(layout, repair_seconds=3 * 24 * 3600.0, **kwargs)
+        assert fast.loss_probability < slow.loss_probability
+
+    def test_wilson_interval_brackets_estimate(self):
+        layout = small_layout()
+        result = simulate_durability(
+            layout, num_disks=8,
+            lifetime=ExponentialLifetime(mttf_seconds=0.5 * YEAR_SECONDS),
+            repair_seconds=30 * 24 * 3600.0,
+            mission_years=10, trials=100, seed=3,
+        )
+        low, high = result.ci95
+        assert low <= result.loss_probability <= high
+        assert 0.0 <= low <= high <= 1.0
+
+    def test_deterministic(self):
+        layout = small_layout()
+        kwargs = dict(
+            num_disks=8,
+            lifetime=ExponentialLifetime(mttf_seconds=1 * YEAR_SECONDS),
+            repair_seconds=7 * 24 * 3600.0,
+            mission_years=5, trials=100, seed=11,
+        )
+        a = simulate_durability(layout, **kwargs)
+        b = simulate_durability(layout, **kwargs)
+        assert a.losses == b.losses
+        assert a.loss_probability == b.loss_probability
+
+    def test_empty_layout_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simulate_durability(
+                StripeLayout(), num_disks=4,
+                lifetime=ExponentialLifetime(afr=0.02),
+                repair_seconds=1.0,
+            )
+
+    def test_summary_keys(self):
+        layout = small_layout()
+        result = simulate_durability(
+            layout, num_disks=8,
+            lifetime=ExponentialLifetime(mttf_seconds=YEAR_SECONDS),
+            repair_seconds=3600.0, mission_years=1, trials=50, seed=4,
+        )
+        assert set(result.summary()) >= {"trials", "losses", "loss_probability", "mttdl_years"}
+
+    def test_single_fatal_stripe_detected(self):
+        """m=1 code: two overlapping failures on one stripe are fatal."""
+        layout = StripeLayout()
+        layout.add(Stripe(index=0, n=3, k=2, disks=(0, 1, 2)))
+        result = simulate_durability(
+            layout, num_disks=3,
+            lifetime=ExponentialLifetime(mttf_seconds=0.2 * YEAR_SECONDS),
+            repair_seconds=60 * 24 * 3600.0,  # two months
+            mission_years=10, trials=200, seed=5,
+        )
+        assert result.losses > 0
+
+
+class TestCorrelatedFailures:
+    def _base_kwargs(self):
+        return dict(
+            num_disks=12,
+            lifetime=ExponentialLifetime(mttf_seconds=1.5 * YEAR_SECONDS),
+            repair_seconds=10 * 24 * 3600.0,
+            mission_years=10,
+            trials=300,
+            seed=31,
+        )
+
+    def test_correlation_hurts_durability(self):
+        layout = small_layout(num_disks=12, stripes=24, n=6, k=4)
+        independent = simulate_durability(layout, **self._base_kwargs())
+        correlated = simulate_durability(
+            layout, enclosure_size=4, correlated_prob=0.4, **self._base_kwargs()
+        )
+        assert correlated.loss_probability > independent.loss_probability
+
+    def test_zero_probability_matches_independent(self):
+        layout = small_layout(num_disks=12, stripes=24, n=6, k=4)
+        a = simulate_durability(layout, **self._base_kwargs())
+        b = simulate_durability(
+            layout, enclosure_size=4, correlated_prob=0.0, **self._base_kwargs()
+        )
+        assert a.loss_probability == b.loss_probability
+
+    def test_correlation_needs_enclosures(self):
+        layout = small_layout()
+        with pytest.raises(ConfigurationError):
+            simulate_durability(
+                layout, num_disks=8,
+                lifetime=ExponentialLifetime(afr=0.1),
+                repair_seconds=1.0, correlated_prob=0.5,
+            )
+
+    def test_bad_probability(self):
+        layout = small_layout()
+        with pytest.raises(ConfigurationError):
+            simulate_durability(
+                layout, num_disks=8,
+                lifetime=ExponentialLifetime(afr=0.1),
+                repair_seconds=1.0, enclosure_size=4, correlated_prob=1.5,
+            )
+
+    def test_deterministic(self):
+        layout = small_layout(num_disks=12, stripes=24, n=6, k=4)
+        kwargs = self._base_kwargs()
+        a = simulate_durability(layout, enclosure_size=4, correlated_prob=0.3, **kwargs)
+        b = simulate_durability(layout, enclosure_size=4, correlated_prob=0.3, **kwargs)
+        assert a.losses == b.losses
+
+    def test_fast_repair_still_mitigates_correlation(self):
+        """Even under backplane events, a repair window below the
+        correlated-failure spread escapes the burst — the quantitative
+        case for fast cooperative multi-disk repair."""
+        layout = small_layout(num_disks=12, stripes=24, n=6, k=4)
+        kwargs = self._base_kwargs()
+        kwargs.pop("repair_seconds")
+        common = dict(
+            enclosure_size=4, correlated_prob=0.25,
+            correlated_delay_seconds=7 * 24 * 3600.0, **kwargs,
+        )
+        slow = simulate_durability(layout, repair_seconds=14 * 24 * 3600.0, **common)
+        fast = simulate_durability(layout, repair_seconds=0.5 * 24 * 3600.0, **common)
+        assert fast.loss_probability < slow.loss_probability
+
+
+class TestEstimateRepairSeconds:
+    def test_matches_repair_single_disk(self, hetero_server):
+        from repro.core import FullStripeRepair, repair_single_disk
+
+        algo = FullStripeRepair()
+        estimated = estimate_repair_seconds(hetero_server, algo, disk=0)
+        assert estimated > 0
+        # the server was not mutated
+        assert hetero_server.failed_disks() == []
+
+    def test_psr_estimate_not_worse(self, hetero_server):
+        from repro.core import ActivePreliminaryRepair, FullStripeRepair
+
+        fsr = estimate_repair_seconds(hetero_server, FullStripeRepair(), disk=0)
+        ap = estimate_repair_seconds(hetero_server, ActivePreliminaryRepair(), disk=0)
+        assert ap <= fsr * 1.05

@@ -1,0 +1,81 @@
+"""EXPERIMENTS.md rendering from benchmark artefacts."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.reporting import ORDER, load_results, render_report, write_report
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    d = tmp_path / "results"
+    d.mkdir()
+    (d / "exp1.json").write_text(json.dumps({
+        "experiment": "exp1",
+        "meta": {"scale": 4},
+        "rows": [
+            {"n": 6, "k": 4, "fsr": 10.0, "hd-psr-ap": 7.0, "reduction_hd-psr-ap": 30.0},
+        ],
+    }))
+    (d / "custom.json").write_text(json.dumps({
+        "experiment": "custom",
+        "rows": [{"x": 1}],
+    }))
+    return d
+
+
+class TestLoadResults:
+    def test_keyed_by_experiment(self, results_dir):
+        results = load_results(results_dir)
+        assert set(results) == {"exp1", "custom"}
+
+    def test_empty_dir(self, tmp_path):
+        assert load_results(tmp_path) == {}
+
+
+class TestRenderReport:
+    def test_includes_measured_table(self, results_dir):
+        text = render_report(results_dir)
+        assert "Experiment 1" in text
+        assert "| n" in text  # markdown table headers
+        assert "30.000" in text
+
+    def test_missing_artefacts_flagged(self, results_dir):
+        text = render_report(results_dir)
+        assert text.count("artefact missing") == len(ORDER) - 1
+
+    def test_paper_claims_present(self, results_dir):
+        text = render_report(results_dir)
+        assert "-71.7%" in text  # exp1 paper peak
+        assert "-52.5%" in text  # exp5 paper peak
+
+    def test_extra_experiments_appended(self, results_dir):
+        assert "## custom" in render_report(results_dir)
+
+    def test_preamble(self, results_dir):
+        text = render_report(results_dir, preamble="Hello preamble.")
+        assert "Hello preamble." in text
+
+    def test_write_report(self, results_dir, tmp_path):
+        out = write_report(results_dir, tmp_path / "EXPERIMENTS.md")
+        assert out.exists()
+        assert "paper vs measured" in out.read_text()
+
+
+class TestCliReport:
+    def test_stdout(self, results_dir, capsys):
+        code = main(["report", "--results", str(results_dir)])
+        assert code == 0
+        assert "Experiment 1" in capsys.readouterr().out
+
+    def test_output_file(self, results_dir, tmp_path, capsys):
+        target = tmp_path / "EXP.md"
+        code = main(["report", "--results", str(results_dir), "--output", str(target)])
+        assert code == 0
+        assert target.exists()
+
+    def test_missing_dir(self, tmp_path, capsys):
+        code = main(["report", "--results", str(tmp_path / "nope")])
+        assert code == 1

@@ -1,0 +1,83 @@
+"""TransferReport metrics: ACWT, TR, summaries."""
+
+import math
+
+import pytest
+
+from repro.sim.metrics import ChunkRecord, TransferReport, build_report
+
+
+def rec(key, start, end, round_end, job="j", rnd=0):
+    return ChunkRecord(
+        key=key, job_id=job, round_index=rnd, disk=None,
+        start=start, end=end, round_end=round_end,
+    )
+
+
+class TestChunkRecord:
+    def test_duration_and_wait(self):
+        r = rec("a", 0.0, 2.0, 5.0)
+        assert r.duration == 2.0
+        assert r.wait == 3.0
+
+    def test_zero_wait_for_slowest(self):
+        r = rec("a", 0.0, 5.0, 5.0)
+        assert r.wait == 0.0
+
+
+class TestTransferReport:
+    def _report(self):
+        records = [rec("a", 0, 1, 3), rec("b", 0, 3, 3), rec("c", 3, 4, 4)]
+        return build_report(records, {"j": 2}, {"j": 4.0})
+
+    def test_acwt(self):
+        rep = self._report()
+        assert rep.acwt == pytest.approx(2.0 / 3.0)
+        assert rep.total_waiting_time == pytest.approx(2.0)
+
+    def test_counts(self):
+        rep = self._report()
+        assert rep.chunk_count == 3
+        assert rep.total_rounds == 2
+        assert rep.max_rounds_per_stripe == 2
+
+    def test_total_time_from_finish_times(self):
+        rep = self._report()
+        assert rep.total_time == 4.0
+
+    def test_records_sorted_by_end(self):
+        rep = self._report()
+        ends = [r.end for r in rep.records]
+        assert ends == sorted(ends)
+
+    def test_empty_report(self):
+        rep = build_report([], {}, {})
+        assert rep.acwt == 0.0
+        assert rep.total_time == 0.0
+        assert rep.max_rounds_per_stripe == 0
+
+    def test_summary_keys(self):
+        s = self._report().summary()
+        assert set(s) >= {"total_time", "acwt", "chunks_read", "total_rounds"}
+        assert math.isnan(s["memory_utilization"])
+
+    def test_summary_with_utilization(self):
+        rep = build_report([rec("a", 0, 1, 1)], {"j": 1}, {"j": 1.0}, memory_utilization=0.8)
+        assert rep.summary()["memory_utilization"] == pytest.approx(0.8)
+
+    def test_waits_list(self):
+        # records are ordered by transfer end time: a (end 1), b (3), c (4)
+        assert self._report().waits() == [2.0, 0.0, 0.0]
+
+    def test_to_csv_roundtrip(self, tmp_path):
+        import csv
+
+        rep = self._report()
+        path = rep.to_csv(tmp_path / "nested" / "timeline.csv")
+        assert path.exists()
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 3
+        assert rows[0]["key"] == "a"
+        assert float(rows[0]["wait"]) == 2.0
+        assert {r["job_id"] for r in rows} == {"j"}

@@ -1,0 +1,93 @@
+"""Slice-level repair pipelining."""
+
+import numpy as np
+import pytest
+
+from repro.core.sliced import simulate_sliced_repair, sliced_jobs
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def L():
+    rng = np.random.default_rng(0)
+    M = rng.uniform(1.0, 1.4, size=(30, 6))
+    M[:, 0] = 6.0  # one slow chunk per stripe
+    return M
+
+
+class TestSlicedJobs:
+    def test_slice_counts(self, L):
+        jobs = sliced_jobs(L, slice_factor=4, pa=2)
+        job = jobs[0]
+        # ceil(6/2)=3 groups x 4 slices = 12 rounds, 2 slices each
+        assert len(job.rounds) == 12
+        assert all(len(r) == 2 for r in job.rounds)
+        assert job.chunk_count == 6 * 4
+
+    def test_durations_divided(self, L):
+        jobs = sliced_jobs(L, slice_factor=4, pa=6)
+        total = sum(c.duration for r in jobs[0].rounds for c in r)
+        assert total == pytest.approx(L[0].sum())
+
+    def test_overhead_added(self, L):
+        base = sliced_jobs(L, 4, 6)[0]
+        with_ovh = sliced_jobs(L, 4, 6, per_slice_overhead=0.05)[0]
+        t0 = sum(c.duration for r in base.rounds for c in r)
+        t1 = sum(c.duration for r in with_ovh.rounds for c in r)
+        assert t1 == pytest.approx(t0 + 6 * 4 * 0.05)
+
+    def test_slice_factor_one_is_plain_psr(self, L):
+        jobs = sliced_jobs(L, 1, 2)
+        assert len(jobs[0].rounds) == 3
+        assert jobs[0].chunk_count == 6
+
+    def test_keys_unique(self, L):
+        job = sliced_jobs(L, 3, 2)[0]
+        keys = [c.key for r in job.rounds for c in r]
+        assert len(keys) == len(set(keys))
+
+    def test_stripe_indices_respected(self, L):
+        jobs = sliced_jobs(L, 2, 2, stripe_indices=list(range(100, 130)))
+        assert jobs[0].job_id == 100
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5])
+    def test_bad_slice_factor(self, L, bad):
+        with pytest.raises(ConfigurationError):
+            sliced_jobs(L, bad, 2)
+
+    def test_bad_overhead(self, L):
+        with pytest.raises(ConfigurationError):
+            sliced_jobs(L, 2, 2, per_slice_overhead=-0.1)
+
+
+class TestSimulateSlicedRepair:
+    def test_zero_overhead_never_slower_with_more_slices(self, L):
+        """Without seek cost, finer slicing weakly reduces repair time."""
+        t1 = simulate_sliced_repair(L, c=12, slice_factor=1, pa=2).total_time
+        t4 = simulate_sliced_repair(L, c=12, slice_factor=4, pa=2).total_time
+        assert t4 <= t1 * 1.01
+
+    def test_overhead_creates_interior_optimum(self, L):
+        """With real per-request cost the slice factor has a sweet spot:
+        moderate v beats both no slicing and extreme slicing."""
+        times = {
+            v: simulate_sliced_repair(
+                L, c=12, slice_factor=v, pa=2, per_slice_overhead=0.3
+            ).total_time
+            for v in (1, 4, 16)
+        }
+        assert times[4] < times[1]    # slicing relieves memory competition
+        assert times[4] < times[16]   # seek cost punishes extreme slicing
+
+    def test_waiting_shrinks_with_slices(self, L):
+        coarse = simulate_sliced_repair(L, c=12, slice_factor=1, pa=6)
+        fine = simulate_sliced_repair(L, c=12, slice_factor=8, pa=6)
+        assert fine.acwt < coarse.acwt
+
+    def test_memory_accounting_in_slices(self, L):
+        rep = simulate_sliced_repair(L, c=6, slice_factor=2, pa=6)
+        assert rep.total_time > 0
+
+    def test_bad_c(self, L):
+        with pytest.raises(ConfigurationError):
+            simulate_sliced_repair(L, c=0, slice_factor=2, pa=2)

@@ -1,0 +1,90 @@
+"""Probe-staleness drift model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.staleness import DriftOutcome, StalenessModel, drift_transfer_times
+
+
+@pytest.fixture
+def setup():
+    rng = np.random.default_rng(0)
+    L = rng.uniform(1.0, 1.5, size=(30, 6))
+    disks = rng.integers(0, 12, size=(30, 6))
+    return L, disks
+
+
+class TestModelValidation:
+    def test_defaults_identity(self):
+        StalenessModel()
+
+    def test_bad_factor(self):
+        with pytest.raises(ConfigurationError):
+            StalenessModel(episode_factor=0.5)
+
+    def test_bad_probs(self):
+        with pytest.raises(ConfigurationError):
+            StalenessModel(episode_prob=1.5)
+        with pytest.raises(ConfigurationError):
+            StalenessModel(drift_sigma=-0.1)
+
+
+class TestDrift:
+    def test_identity_model_no_change(self, setup):
+        L, disks = setup
+        out = drift_transfer_times(L, disks, StalenessModel(), seed=1)
+        assert np.array_equal(out.L_actual, L)
+        assert out.new_slow_disks == [] and out.recovered_disks == []
+        assert all(f == 1.0 for f in out.disk_factors.values())
+
+    def test_per_disk_coherence(self, setup):
+        """All chunks on one disk drift by the same factor."""
+        L, disks = setup
+        out = drift_transfer_times(
+            L, disks, StalenessModel(drift_sigma=0.3, episode_prob=0.2), seed=2
+        )
+        ratio = out.L_actual / L
+        for d, factor in out.disk_factors.items():
+            mask = disks == d
+            assert np.allclose(ratio[mask], factor)
+
+    def test_episodes_slow_down(self, setup):
+        L, disks = setup
+        out = drift_transfer_times(
+            L, disks, StalenessModel(episode_prob=1.0, episode_factor=4.0), seed=3
+        )
+        # every previously-fast disk entered an episode
+        assert len(out.new_slow_disks) == len(out.disk_factors)
+        assert np.all(out.L_actual >= L * 3.9)
+
+    def test_recovery_speeds_up(self):
+        L = np.ones((10, 4))
+        L[:, 0] = 8.0  # column 0 = slow disk 0
+        disks = np.tile(np.array([0, 1, 2, 3]), (10, 1))
+        out = drift_transfer_times(
+            L, disks, StalenessModel(recovery_prob=1.0, episode_factor=4.0), seed=4
+        )
+        assert out.recovered_disks == [0]
+        assert np.allclose(out.L_actual[:, 0], 2.0)
+
+    def test_deterministic(self, setup):
+        L, disks = setup
+        model = StalenessModel(drift_sigma=0.2, episode_prob=0.3)
+        a = drift_transfer_times(L, disks, model, seed=9)
+        b = drift_transfer_times(L, disks, model, seed=9)
+        assert np.array_equal(a.L_actual, b.L_actual)
+
+    def test_shape_mismatch_rejected(self, setup):
+        L, disks = setup
+        with pytest.raises(ConfigurationError):
+            drift_transfer_times(L, disks[:, :3], StalenessModel())
+
+    def test_times_stay_positive(self, setup):
+        L, disks = setup
+        out = drift_transfer_times(
+            L, disks,
+            StalenessModel(drift_sigma=0.5, episode_prob=0.5, recovery_prob=0.5),
+            seed=11,
+        )
+        assert np.all(out.L_actual > 0)

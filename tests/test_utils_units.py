@@ -1,0 +1,108 @@
+"""Unit tests for repro.utils.units."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.units import GiB, KiB, MiB, TiB, format_bytes, format_duration, parse_size
+
+
+class TestConstants:
+    def test_values(self):
+        assert KiB == 2**10
+        assert MiB == 2**20
+        assert GiB == 2**30
+        assert TiB == 2**40
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("64MiB", 64 * MiB),
+            ("64 MiB", 64 * MiB),
+            ("64mib", 64 * MiB),
+            ("64M", 64 * MiB),
+            ("64MB", 64 * MiB),
+            ("1KiB", KiB),
+            ("1.5GiB", int(1.5 * GiB)),
+            ("2TiB", 2 * TiB),
+            ("100GiB", 100 * GiB),
+            ("512", 512),
+            ("512b", 512),
+            ("0", 0),
+        ],
+    )
+    def test_strings(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_int_passthrough(self):
+        assert parse_size(4096) == 4096
+
+    def test_float_integral(self):
+        assert parse_size(4096.0) == 4096
+
+    def test_float_fractional_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_size(0.5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_size(-1)
+
+    def test_bool_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_size(True)
+
+    @pytest.mark.parametrize("bad", ["", "abc", "12XB", "1.2.3MiB", "MiB"])
+    def test_garbage_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            parse_size(bad)
+
+    def test_non_integral_bytes_rejected(self):
+        # 0.3 KiB = 307.2 bytes
+        with pytest.raises(ConfigurationError):
+            parse_size("0.3KiB")
+
+
+class TestFormatBytes:
+    def test_mib(self):
+        assert format_bytes(64 * MiB) == "64.00 MiB"
+
+    def test_gib(self):
+        assert format_bytes(2 * GiB) == "2.00 GiB"
+
+    def test_small(self):
+        assert format_bytes(100) == "100 B"
+
+    def test_negative(self):
+        assert format_bytes(-KiB).startswith("-")
+
+    def test_precision(self):
+        assert format_bytes(int(1.5 * MiB), precision=1) == "1.5 MiB"
+
+
+class TestFormatDuration:
+    def test_zero(self):
+        assert format_duration(0) == "0 s"
+
+    def test_microseconds(self):
+        assert "us" in format_duration(5e-6)
+
+    def test_milliseconds(self):
+        assert "ms" in format_duration(0.005)
+
+    def test_seconds(self):
+        assert format_duration(12.5) == "12.50 s"
+
+    def test_minutes(self):
+        assert "min" in format_duration(600)
+
+    def test_hours(self):
+        assert "h" in format_duration(10_000)
+
+    def test_negative(self):
+        assert format_duration(-1.0).startswith("-")
+
+    def test_roundtrip_monotone(self):
+        # formatted magnitudes should not decrease as input grows
+        assert format_duration(1.0) != format_duration(100.0)

@@ -1,0 +1,65 @@
+"""Disk-level heterogeneous workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import disk_heterogeneous_transfer_times
+
+
+class TestDiskHeterogeneous:
+    def test_shapes_aligned(self):
+        w, disks = disk_heterogeneous_transfer_times(50, 6, 20, seed=0)
+        assert w.L.shape == (50, 6)
+        assert disks.shape == (50, 6)
+
+    def test_distinct_disks_per_stripe(self):
+        _, disks = disk_heterogeneous_transfer_times(40, 6, 20, seed=1)
+        for row in disks:
+            assert len(set(row.tolist())) == 6
+
+    def test_slowness_is_per_disk(self):
+        """All chunks from one disk are slow together, or none are."""
+        w, disks = disk_heterogeneous_transfer_times(
+            100, 6, 20, ros=0.2, slow_factor=4.0, seed=2
+        )
+        for d in range(20):
+            mask = disks == d
+            if mask.sum() == 0:
+                continue
+            flags = set(w.slow_mask[mask].tolist())
+            assert len(flags) == 1, f"disk {d} is inconsistently slow"
+
+    def test_slow_disk_count(self):
+        w, disks = disk_heterogeneous_transfer_times(
+            200, 6, 20, ros=0.25, slow_factor=4.0, seed=3
+        )
+        slow_disks = {int(d) for d in np.unique(disks[w.slow_mask])}
+        assert len(slow_disks) == 5  # 25% of 20
+
+    def test_slow_factor_applied(self):
+        w, disks = disk_heterogeneous_transfer_times(
+            300, 6, 20, ros=0.2, slow_factor=5.0, base_std=0.0, seed=4
+        )
+        slow_mean = w.L[w.slow_mask].mean()
+        fast_mean = w.L[~w.slow_mask].mean()
+        assert slow_mean == pytest.approx(fast_mean * 5.0, rel=0.01)
+
+    def test_deterministic(self):
+        a = disk_heterogeneous_transfer_times(20, 4, 10, ros=0.2, seed=9)
+        b = disk_heterogeneous_transfer_times(20, 4, 10, ros=0.2, seed=9)
+        assert np.array_equal(a[0].L, b[0].L)
+        assert np.array_equal(a[1], b[1])
+
+    def test_k_exceeds_disks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            disk_heterogeneous_transfer_times(5, 8, 6)
+
+    def test_ros_zero(self):
+        w, _ = disk_heterogeneous_transfer_times(30, 4, 10, ros=0.0, seed=5)
+        assert not w.slow_mask.any()
+
+    def test_params_recorded(self):
+        w, _ = disk_heterogeneous_transfer_times(10, 4, 12, ros=0.1, seed=6)
+        assert w.params["kind"] == "disk-heterogeneous"
+        assert w.params["num_disks"] == 12

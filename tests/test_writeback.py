@@ -1,0 +1,73 @@
+"""Write-back tail-time modelling (extension beyond the paper's reads-only accounting)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExecutionOptions, FullStripeRepair, execute_plan
+from repro.core.analysis import uniform_pa_plan
+from repro.errors import PlanError
+from repro.sim.transfer import (
+    ChunkTransfer,
+    StripeJob,
+    simulate_interval_schedule,
+    simulate_slot_schedule,
+)
+
+
+def one_job(tail_id="a"):
+    return StripeJob(tail_id, [[ChunkTransfer((tail_id, 0), 2.0)]])
+
+
+class TestIntervalTail:
+    def test_tail_extends_finish(self):
+        rep = simulate_interval_schedule([one_job()], 1, tail_time_per_job=0.5)
+        assert rep.total_time == pytest.approx(2.5)
+
+    def test_tail_occupies_interval(self):
+        jobs = [one_job("a"), one_job("b")]
+        rep = simulate_interval_schedule(jobs, 1, tail_time_per_job=1.0)
+        # serial: (2 + 1) + (2 + 1)
+        assert rep.total_time == pytest.approx(6.0)
+
+    def test_negative_tail_rejected(self):
+        with pytest.raises(PlanError):
+            simulate_interval_schedule([one_job()], 1, tail_time_per_job=-1.0)
+
+
+class TestSlotTail:
+    def test_tail_extends_finish(self):
+        rep = simulate_slot_schedule([one_job()], capacity=2, tail_time_per_job=0.5)
+        assert rep.total_time == pytest.approx(2.5)
+
+    def test_tail_does_not_hold_slots(self):
+        # capacity 1: job B's transfer can start while A is writing back.
+        jobs = [one_job("a"), one_job("b")]
+        rep = simulate_slot_schedule(jobs, capacity=1, tail_time_per_job=10.0)
+        # A: transfer [0,2], tail to 12; B: transfer [2,4], tail to 14.
+        assert rep.total_time == pytest.approx(14.0)
+        assert rep.job_finish_times["b"] == pytest.approx(14.0)
+
+    def test_negative_tail_rejected(self):
+        with pytest.raises(PlanError):
+            simulate_slot_schedule([one_job()], capacity=1, tail_time_per_job=-0.1)
+
+
+class TestExecutionOptionsWireUp:
+    def test_writeback_increases_total(self):
+        L = np.random.default_rng(0).uniform(1, 3, size=(10, 4))
+        plan = FullStripeRepair().build_plan(L, c=8)
+        plain = execute_plan(plan, L, c=8)
+        with_wb = execute_plan(
+            plan, L, c=8, options=ExecutionOptions(writeback_seconds=0.7)
+        )
+        assert with_wb.total_time > plain.total_time
+
+    def test_both_models_supported(self):
+        L = np.random.default_rng(1).uniform(1, 3, size=(6, 4))
+        plan = uniform_pa_plan(L, pa=2, pr=4)
+        for model in ("slot", "interval"):
+            rep = execute_plan(
+                plan, L, c=8,
+                options=ExecutionOptions(model=model, writeback_seconds=0.5),
+            )
+            assert rep.total_time > 0
