@@ -71,6 +71,16 @@ from repro.core import (
 # Wall-clock I/O
 from repro.io import PacedDisk, PacedDiskArray, WallClockRepairExecutor
 
+# Observability
+from repro.obs import (
+    MetricsRegistry,
+    RecordingTracer,
+    use_registry,
+    use_tracer,
+    write_chrome_trace,
+    write_prometheus,
+)
+
 # Reliability
 from repro.reliability import (
     ExponentialLifetime,
@@ -154,6 +164,13 @@ __all__ = [
     "PacedDisk",
     "PacedDiskArray",
     "WallClockRepairExecutor",
+    # obs
+    "MetricsRegistry",
+    "RecordingTracer",
+    "use_tracer",
+    "use_registry",
+    "write_chrome_trace",
+    "write_prometheus",
     # reliability
     "ExponentialLifetime",
     "WeibullLifetime",

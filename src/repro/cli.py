@@ -24,9 +24,55 @@ from repro.core import (
 )
 from repro.core.analysis import acwt_curve_vs_pa, observation1_table, rounds_curve_vs_pr
 from repro.utils.tables import AsciiTable
-from repro.utils.units import format_bytes, format_duration, parse_size
+from repro.utils.units import format_bytes, format_duration
 from repro.version import __version__
 from repro.workloads import build_exp_server, normal_transfer_times
+
+
+def _add_observability_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="capture a structured trace: .json = Chrome trace_event "
+             "(chrome://tracing, Perfetto), .jsonl = one event per line")
+    parser.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="dump the metrics registry in Prometheus text format")
+
+
+def _observed(fn):
+    """Wrap a subcommand so --trace/--metrics capture its execution."""
+
+    def run(args: argparse.Namespace) -> int:
+        trace_path = getattr(args, "trace", None)
+        metrics_path = getattr(args, "metrics", None)
+        if not trace_path and not metrics_path:
+            return fn(args)
+        from repro.obs import (
+            MetricsRegistry,
+            RecordingTracer,
+            use_registry,
+            use_tracer,
+            write_chrome_trace,
+            write_jsonl,
+            write_prometheus,
+        )
+
+        tracer = RecordingTracer()
+        registry = MetricsRegistry()
+        with use_tracer(tracer), use_registry(registry):
+            rc = fn(args)
+        if trace_path:
+            if str(trace_path).endswith(".jsonl"):
+                path = write_jsonl(tracer, trace_path)
+            else:
+                path = write_chrome_trace(tracer, trace_path)
+            print(f"trace written: {path} ({len(tracer.events)} events)")
+        if metrics_path:
+            path = write_prometheus(registry, metrics_path)
+            print(f"metrics written: {path}")
+        return rc
+
+    return run
 
 
 def _add_server_args(parser: argparse.ArgumentParser) -> None:
@@ -193,7 +239,6 @@ def cmd_run(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
 
-    from repro.errors import ConfigurationError
     from repro.experiment import run_sweep, save_rows
 
     spec_path = Path(args.spec)
@@ -264,14 +309,16 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=["all"] + list(ALGORITHMS))
     p_repair.add_argument("--timeline", default=None,
                           help="write per-chunk timelines as CSV (one file per scheme)")
-    p_repair.set_defaults(func=cmd_repair)
+    _add_observability_args(p_repair)
+    p_repair.set_defaults(func=_observed(cmd_repair))
 
     p_multi = sub.add_parser("multi", help="multi-disk recovery, naive vs cooperative")
     _add_server_args(p_multi)
     p_multi.add_argument("--failed", type=int, default=2, help="number of failed disks")
     p_multi.add_argument("--algorithm", default="all",
                          choices=["all"] + list(ALGORITHMS))
-    p_multi.set_defaults(func=cmd_multi)
+    _add_observability_args(p_multi)
+    p_multi.set_defaults(func=_observed(cmd_multi))
 
     p_obs = sub.add_parser("observe", help="print the Observation 1-3 tables")
     p_obs.add_argument("--stripes", type=int, default=100)
@@ -299,7 +346,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="run a JSON experiment spec")
     p_run.add_argument("spec", help="path to the experiment spec (JSON)")
     p_run.add_argument("--output", default=None, help="write result rows to this JSON file")
-    p_run.set_defaults(func=cmd_run)
+    _add_observability_args(p_run)
+    p_run.set_defaults(func=_observed(cmd_run))
 
     p_report = sub.add_parser(
         "report", help="render EXPERIMENTS.md from benchmark artefacts"

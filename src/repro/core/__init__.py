@@ -82,6 +82,8 @@ __all__ = [
     "cooperative_multi_disk_repair",
     "DataPathExecutor",
     "DataPathStats",
+    "RecoveryResult",
+    "recover_disk",
     "acwt_curve_vs_pa",
     "acwt_for_schedule",
     "observation1_table",

@@ -8,7 +8,7 @@ paper's motivating figures are produced (s=100, k=12, c=12, transfer times
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 

@@ -18,7 +18,7 @@ stripe's true footprint.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -27,6 +27,7 @@ from repro.ec.partial import PartialDecoder
 from repro.ec.stripe import ChunkId
 from repro.errors import StorageError
 from repro.hdss.server import HighDensityStorageServer
+from repro.obs.context import current_registry, current_tracer
 
 
 @dataclass
@@ -88,6 +89,7 @@ class DataPathExecutor:
             raise StorageError(f"repair memory is not empty: {memory!r}")
         stats = DataPathStats()
         chunk_size = server.config.chunk_size
+        tracer = current_tracer()
 
         for sp in plan.stripe_plans:
             row = sp.stripe_index
@@ -103,46 +105,64 @@ class DataPathExecutor:
 
             acc_handles = [("acc", global_index, t) for t in targets]
             multi_round = sp.num_rounds > 1
-            if multi_round:
-                # Accumulators are resident for the stripe's whole repair.
-                for handle in acc_handles:
-                    memory.admit(handle)
+            with tracer.span("stripe", f"stripe {global_index}",
+                             track="datapath", rounds=sp.num_rounds):
+                if multi_round:
+                    # Accumulators are resident for the stripe's whole repair.
+                    for handle in acc_handles:
+                        memory.admit(handle)
 
-            for rnd in sp.rounds:
-                fed: Dict[int, np.ndarray] = {}
-                handles = []
-                for col in rnd:
-                    shard_idx = shards[col]
-                    disk_id = stripe.disks[shard_idx]
-                    disk = server.disk(disk_id)
-                    data = server.store.get(disk_id, ChunkId(global_index, shard_idx))
-                    handle = ("xfer", global_index, shard_idx)
-                    buf = memory.admit(handle, data)
-                    handles.append(handle)
-                    disk.record_read(data.size)
-                    stats.chunks_read += 1
-                    stats.bytes_read += int(data.size)
-                    fed[shard_idx] = buf
-                decoder.feed(fed)
-                for handle in handles:
-                    memory.release(handle)
+                for round_index, rnd in enumerate(sp.rounds):
+                    fed: Dict[int, np.ndarray] = {}
+                    handles = []
+                    with tracer.span("round", f"stripe {global_index} round {round_index}",
+                                     track="datapath", chunks=len(rnd)):
+                        with tracer.span("read", "fetch survivors", track="datapath"):
+                            for col in rnd:
+                                shard_idx = shards[col]
+                                disk_id = stripe.disks[shard_idx]
+                                disk = server.disk(disk_id)
+                                data = server.store.get(disk_id, ChunkId(global_index, shard_idx))
+                                handle = ("xfer", global_index, shard_idx)
+                                buf = memory.admit(handle, data)
+                                handles.append(handle)
+                                disk.record_read(data.size)
+                                stats.chunks_read += 1
+                                stats.bytes_read += int(data.size)
+                                fed[shard_idx] = buf
+                        with tracer.span("decode", "partial decode", track="datapath"):
+                            decoder.feed(fed)
+                        for handle in handles:
+                            memory.release(handle)
 
-            # Single-round plans decode in place: the accumulator result is
-            # materialised only after the round's slots are released.
-            results = decoder.results()
-            for target in targets:
-                rebuilt = results[target]
-                if self.write_back:
-                    # never land two shards of one stripe on the same disk
-                    spare = server.pick_spare(exclude=stripe.disks)
-                    server.store.put(spare, ChunkId(global_index, target), rebuilt)
-                    stats.writebacks.append((global_index, target, spare))
-                stats.chunks_rebuilt += 1
-                stats.bytes_written += int(rebuilt.size) if self.write_back else 0
-            if multi_round:
-                for handle in acc_handles:
-                    memory.release(handle)
-            stats.stripes_repaired += 1
+                # Single-round plans decode in place: the accumulator result
+                # is materialised only after the round's slots are released.
+                results = decoder.results()
+                with tracer.span("writeback", f"stripe {global_index} writeback",
+                                 track="datapath", targets=len(targets)):
+                    for target in targets:
+                        rebuilt = results[target]
+                        if self.write_back:
+                            # never land two shards of one stripe on the same disk
+                            spare = server.pick_spare(exclude=stripe.disks)
+                            server.store.put(spare, ChunkId(global_index, target), rebuilt)
+                            stats.writebacks.append((global_index, target, spare))
+                        stats.chunks_rebuilt += 1
+                        stats.bytes_written += int(rebuilt.size) if self.write_back else 0
+                if multi_round:
+                    for handle in acc_handles:
+                        memory.release(handle)
+                stats.stripes_repaired += 1
 
         stats.peak_memory_chunks = memory.peak_occupancy
+        registry = current_registry()
+        registry.counter(
+            "hdpsr_datapath_bytes_read_total", "Survivor bytes read on the data path"
+        ).inc(stats.bytes_read)
+        registry.counter(
+            "hdpsr_datapath_bytes_written_total", "Rebuilt bytes written back"
+        ).inc(stats.bytes_written)
+        registry.counter(
+            "hdpsr_datapath_chunks_rebuilt_total", "Chunks rebuilt on the data path"
+        ).inc(stats.chunks_rebuilt)
         return stats

@@ -24,13 +24,15 @@ import numpy as np
 from repro.core.base import RepairAlgorithm, RepairContext
 from repro.core.scheduler import (
     ExecutionOptions,
-    RepairOutcome,
     _disk_id_matrix,
     execute_plan,
 )
 from repro.errors import StorageError
 from repro.hdss.prober import ActiveProber, PassiveMonitor
 from repro.hdss.server import HighDensityStorageServer
+from repro.obs.context import current_registry, current_tracer, use_tracer
+from repro.obs.profiling import profile
+from repro.obs.tracer import OffsetTracer
 from repro.sim.metrics import TransferReport
 
 
@@ -132,7 +134,8 @@ def _run_phase(
     if ctx.monitor is None and algorithm.name == "hd-psr-pa":
         ctx.monitor = PassiveMonitor(threshold_ratio=ctx.slow_threshold_ratio)
     c = server.config.memory_chunks
-    plan = algorithm.build_plan(L_plan, c, context=ctx)
+    with profile(f"plan/{algorithm.name}", stripes=len(stripe_indices)):
+        plan = algorithm.build_plan(L_plan, c, context=ctx)
     if order == "vulnerability":
         # Admit the most exposed stripes (fewest remaining erasures until
         # data loss) first, stably, overriding the algorithm's order.
@@ -190,6 +193,7 @@ def naive_multi_disk_repair(
     chunks_rebuilt = 0
     reports: List[TransferReport] = []
     stripes_per_phase: List[int] = []
+    tracer = current_tracer()
     for disk in failed:
         stripe_indices = server.layout.stripe_set(disk)
         if not stripe_indices:
@@ -197,16 +201,25 @@ def naive_multi_disk_repair(
             continue
         # A fresh algorithm instance per phase: passive marks do carry over
         # in reality, so reuse the same monitor via context if desired.
-        report, read = _run_phase(
-            server, algorithm, list(stripe_indices), select, options,
-            probe_noise, prober, None,
-        )
+        # Each phase simulates from t=0; shift its trace onto the shared
+        # timeline at the phase's true start so the sequential structure
+        # is visible.
+        with use_tracer(OffsetTracer(tracer, total_time)):
+            report, read = _run_phase(
+                server, algorithm, list(stripe_indices), select, options,
+                probe_noise, prober, None,
+            )
+        if tracer.enabled:
+            tracer.complete(
+                "phase", f"repair disk {disk}", total_time, report.total_time,
+                track="phases", disk=disk, stripes=len(stripe_indices),
+            )
         total_time += report.total_time
         chunks_read += report.chunk_count
         chunks_rebuilt += len(stripe_indices)
         reports.append(report)
         stripes_per_phase.append(len(stripe_indices))
-    return MultiDiskOutcome(
+    outcome = MultiDiskOutcome(
         algorithm=algorithm.name,
         cooperative=False,
         failed_disks=failed,
@@ -216,6 +229,8 @@ def naive_multi_disk_repair(
         reports=reports,
         stripes_per_phase=stripes_per_phase,
     )
+    _record_multi_metrics(outcome)
+    return outcome
 
 
 def cooperative_multi_disk_repair(
@@ -245,10 +260,16 @@ def cooperative_multi_disk_repair(
     stripe_indices = server.stripes_needing_repair(failed)
     if not stripe_indices:
         raise StorageError(f"disks {failed} hold no stripes; nothing to repair")
+    tracer = current_tracer()
     report, _ = _run_phase(
         server, algorithm, stripe_indices, select, options,
         probe_noise, prober, None, order=order, failed=failed,
     )
+    if tracer.enabled:
+        tracer.complete(
+            "phase", f"cooperative repair of disks {failed}", 0.0,
+            report.total_time, track="phases", stripes=len(stripe_indices),
+        )
     lost_per_stripe = {
         si: len(server.layout[si].lost_shards(failed)) for si in stripe_indices
     }
@@ -259,7 +280,7 @@ def cooperative_multi_disk_repair(
         for si, lost in lost_per_stripe.items()
         if lost == max_lost
     )
-    return MultiDiskOutcome(
+    outcome = MultiDiskOutcome(
         algorithm=algorithm.name,
         cooperative=True,
         failed_disks=failed,
@@ -270,3 +291,24 @@ def cooperative_multi_disk_repair(
         stripes_per_phase=[len(stripe_indices)],
         time_to_safety=time_to_safety,
     )
+    _record_multi_metrics(outcome)
+    return outcome
+
+
+def _record_multi_metrics(outcome: MultiDiskOutcome) -> None:
+    """Feed the metrics registry after a multi-disk recovery."""
+    registry = current_registry()
+    labels = {
+        "algorithm": outcome.algorithm,
+        "mode": "cooperative" if outcome.cooperative else "naive",
+    }
+    registry.counter(
+        "hdpsr_multi_disk_repairs_total", "Multi-disk recoveries"
+    ).labels(**labels).inc()
+    registry.counter(
+        "hdpsr_multi_disk_chunks_read_total",
+        "Surviving chunks read during multi-disk recoveries",
+    ).labels(**labels).inc(outcome.chunks_read)
+    registry.histogram(
+        "hdpsr_multi_disk_repair_seconds", "Simulated multi-disk repair time"
+    ).labels(**labels).observe(outcome.total_time)

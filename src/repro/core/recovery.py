@@ -10,7 +10,7 @@ placement remap, and scrubs the affected stripes to certify the outcome.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 from repro.core.base import RepairAlgorithm, RepairContext
 from repro.core.executor import DataPathExecutor, DataPathStats

@@ -32,6 +32,8 @@ from repro.core.plans import RepairPlan, plan_to_jobs
 from repro.errors import ConfigurationError, StorageError
 from repro.hdss.prober import ActiveProber, PassiveMonitor
 from repro.hdss.server import HighDensityStorageServer
+from repro.obs.context import current_registry, current_tracer
+from repro.obs.profiling import profile
 from repro.sim.metrics import TransferReport
 from repro.sim.transfer import simulate_interval_schedule, simulate_slot_schedule
 
@@ -80,6 +82,7 @@ def execute_plan(
     error costs an active scheme real time.
     """
     options = options or ExecutionOptions()
+    tracer = current_tracer()
     jobs = plan_to_jobs(
         plan, L, stripe_indices, survivor_ids, disk_ids,
         charge_accumulators=options.charge_accumulators,
@@ -90,22 +93,49 @@ def execute_plan(
             # Plans without a declared P_r (HD-PSR-PA): intervals must be
             # wide enough for the largest per-stripe footprint.
             num_intervals = max(1, c // max(j.max_round_size() + j.accumulator_slots for j in jobs))
-        return simulate_interval_schedule(
+        report = simulate_interval_schedule(
             jobs,
             num_intervals,
             compute_time_per_round=options.compute_time_per_round,
             tail_time_per_job=options.writeback_seconds,
+            tracer=tracer,
         )
-    cap = options.max_concurrent if options.max_concurrent is not None else plan.pr
-    return simulate_slot_schedule(
-        jobs,
-        capacity=c,
-        policy=options.slot_policy,
-        max_concurrent=cap,
-        compute_time_per_round=options.compute_time_per_round,
-        tail_time_per_job=options.writeback_seconds,
-        disk_contention=options.disk_contention,
-    )
+    else:
+        cap = options.max_concurrent if options.max_concurrent is not None else plan.pr
+        report = simulate_slot_schedule(
+            jobs,
+            capacity=c,
+            policy=options.slot_policy,
+            max_concurrent=cap,
+            compute_time_per_round=options.compute_time_per_round,
+            tail_time_per_job=options.writeback_seconds,
+            disk_contention=options.disk_contention,
+            tracer=tracer,
+        )
+    _record_execution_metrics(plan, report, options.model)
+    return report
+
+
+def _record_execution_metrics(plan: RepairPlan, report: TransferReport,
+                              model: str) -> None:
+    """Feed the process metrics registry after one plan execution."""
+    registry = current_registry()
+    labels = {"algorithm": plan.algorithm, "model": model}
+    registry.counter(
+        "hdpsr_plan_executions_total", "Repair plans executed"
+    ).labels(**labels).inc()
+    registry.counter(
+        "hdpsr_stripes_scheduled_total", "Stripes scheduled across executions"
+    ).labels(**labels).inc(plan.num_stripes)
+    registry.counter(
+        "hdpsr_rounds_scheduled_total", "Repair rounds scheduled"
+    ).labels(**labels).inc(plan.total_rounds())
+    registry.counter(
+        "hdpsr_chunks_transferred_total", "Surviving chunks moved into memory"
+    ).labels(**labels).inc(report.chunk_count)
+    registry.histogram(
+        "hdpsr_repair_sim_seconds", "Simulated makespan per execution"
+    ).labels(**labels).observe(report.total_time)
 
 
 @dataclass
@@ -213,7 +243,24 @@ def repair_single_disk(
         ctx.monitor = PassiveMonitor(threshold_ratio=ctx.slow_threshold_ratio)
 
     c = server.config.memory_chunks
-    plan = algorithm.build_plan(L_plan, c, context=ctx)
+    with profile(f"plan/{algorithm.name}", stripes=len(stripe_indices)):
+        plan = algorithm.build_plan(L_plan, c, context=ctx)
+    tracer = current_tracer()
+    if tracer.enabled:
+        tracer.instant(
+            "plan", f"plan built ({algorithm.name})",
+            pa=plan.pa, pr=plan.pr, stripes=plan.num_stripes,
+            rounds=plan.total_rounds(),
+        )
+    registry = current_registry()
+    registry.histogram(
+        "hdpsr_selection_seconds", "Wall-clock spent choosing P_a",
+        buckets=(1e-5, 1e-4, 1e-3, 0.01, 0.1, 1.0, 10.0),
+    ).labels(algorithm=algorithm.name).observe(plan.selection_seconds)
+    if probe_bytes:
+        registry.counter(
+            "hdpsr_probe_bytes_total", "Bytes issued by active probing"
+        ).labels(algorithm=algorithm.name).inc(probe_bytes)
     report = execute_plan(
         plan,
         L_oracle,

@@ -9,13 +9,38 @@ path and never loop in Python.
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Dict, Union
 
 import numpy as np
 
-from repro.gf.tables import GROUP_ORDER, _EXP, _LOG
+from repro.gf.tables import FIELD_SIZE, GROUP_ORDER, _EXP, _LOG
 
 ArrayLike = Union[int, np.ndarray]
+
+#: Memoised per-scalar product rows: _PRODUCT_TABLES[c][x] == c * x.
+#: At most 256 rows of 256 bytes (64 KiB); rows build lazily and are
+#: immutable, so concurrent duplicate construction is harmless.
+_PRODUCT_TABLES: Dict[int, np.ndarray] = {}
+
+
+def gf_product_table(coeff: int) -> np.ndarray:
+    """The 256-entry row ``table[x] == coeff * x`` in GF(2^8).
+
+    Chunk-scalar multiplication with this row is a *single* ``np.take``
+    gather — no log/exp double lookup, no zero masking (the row already
+    maps 0 to 0). The row is read-only and cached per scalar.
+    """
+    table = _PRODUCT_TABLES.get(coeff)
+    if table is None:
+        if not 0 <= int(coeff) <= 255:
+            raise ValueError(f"coefficient {coeff} outside GF(2^8)")
+        table = np.zeros(FIELD_SIZE, dtype=np.uint8)
+        if coeff:
+            nz = np.arange(1, FIELD_SIZE)
+            table[1:] = _EXP[_LOG[nz] + int(_LOG[coeff])]
+        table.flags.writeable = False
+        _PRODUCT_TABLES[int(coeff)] = table
+    return table
 
 
 def _as_u8(x: ArrayLike) -> np.ndarray:
@@ -95,7 +120,8 @@ def gf_mul_scalar(coeff: int, buf: np.ndarray) -> np.ndarray:
     """Multiply a whole uint8 buffer by one field scalar (vectorised).
 
     This is the per-chunk kernel of RS encode/decode: ``coeff * buf`` for a
-    64 MiB chunk is two table gathers over the buffer.
+    64 MiB chunk is one gather through the scalar's cached 256-entry
+    product row (:func:`gf_product_table`).
     """
     buf8 = _as_u8(buf)
     if not 0 <= int(coeff) <= 255:
@@ -104,10 +130,7 @@ def gf_mul_scalar(coeff: int, buf: np.ndarray) -> np.ndarray:
         return np.zeros_like(buf8)
     if coeff == 1:
         return buf8.copy()
-    lc = int(_LOG[coeff])
-    out = _EXP[_LOG[buf8] + lc].astype(np.uint8)
-    out[buf8 == 0] = 0
-    return out
+    return np.take(gf_product_table(coeff), buf8)
 
 
 def gf_mul_add_scalar(acc: np.ndarray, coeff: int, buf: np.ndarray) -> np.ndarray:
@@ -123,5 +146,8 @@ def gf_mul_add_scalar(acc: np.ndarray, coeff: int, buf: np.ndarray) -> np.ndarra
         raise ValueError(f"shape mismatch: acc {acc.shape} vs buf {np.shape(buf)}")
     if coeff == 0:
         return acc
-    np.bitwise_xor(acc, gf_mul_scalar(coeff, buf), out=acc)
+    if coeff == 1:
+        np.bitwise_xor(acc, _as_u8(buf), out=acc)
+        return acc
+    np.bitwise_xor(acc, np.take(gf_product_table(coeff), _as_u8(buf)), out=acc)
     return acc

@@ -14,7 +14,7 @@ used to cross-check the two implementations in the test suite.
 
 from __future__ import annotations
 
-from typing import List, Union
+from typing import Union
 
 import numpy as np
 

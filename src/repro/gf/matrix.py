@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import CodingError
-from repro.gf.arithmetic import gf_div, gf_inv, gf_mul, gf_pow
+from repro.gf.arithmetic import gf_inv, gf_mul, gf_pow
 
 
 def gf_identity(size: int) -> np.ndarray:

@@ -11,9 +11,7 @@ measured speeds.
 from __future__ import annotations
 
 import enum
-from typing import Optional
 
-import numpy as np
 
 from repro.errors import ConfigurationError, DiskFailedError
 from repro.utils.rng import RngLike, make_rng

@@ -23,7 +23,7 @@ import numpy as np
 from repro.ec.encoder import RSCode
 from repro.ec.stripe import ChunkId, Stripe, StripeLayout
 from repro.errors import ConfigurationError, DiskFailedError, StorageError
-from repro.hdss.disk import Disk, DiskState
+from repro.hdss.disk import Disk
 from repro.hdss.memory import ChunkMemory
 from repro.hdss.placement import random_placement, rotating_placement
 from repro.hdss.profiles import SpeedProfile, UniformProfile, build_disks

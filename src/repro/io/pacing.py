@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable
 
 from repro.errors import ConfigurationError, DiskFailedError
 from repro.utils.validation import check_positive

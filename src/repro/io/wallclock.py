@@ -14,9 +14,8 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
-import numpy as np
 
 from repro.core.plans import RepairPlan
 from repro.ec.encoder import RSCode
@@ -25,6 +24,8 @@ from repro.ec.stripe import ChunkId, StripeLayout
 from repro.errors import ConfigurationError, StorageError
 from repro.hdss.store import ChunkStore
 from repro.io.pacing import PacedDiskArray
+from repro.obs.context import current_registry, current_tracer
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 
 class _SlotAllocator:
@@ -115,28 +116,43 @@ class WallClockRepairExecutor:
         io_pool: ThreadPoolExecutor,
         stats_lock: threading.Lock,
         stats: WallClockStats,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         stripe = self.layout[global_index]
         decoder = PartialDecoder(self.code, list(survivors), list(targets))
+        # contextvars don't cross thread-pool boundaries: the submitting
+        # thread captured the tracer and hands it down; each worker traces
+        # onto its own track so concurrent stripes get separate lanes.
+        track = threading.current_thread().name
 
         def fetch(col: int) -> "tuple[int, np.ndarray]":
             shard_idx = survivors[col]
             disk_id = stripe.disks[shard_idx]
-            data = self.store.get(disk_id, ChunkId(global_index, shard_idx))
-            self.disks[disk_id].read(int(data.size))
+            with tracer.span("read", f"chunk ({global_index}, {shard_idx})",
+                             track=f"io-{threading.current_thread().name}",
+                             disk=disk_id):
+                data = self.store.get(disk_id, ChunkId(global_index, shard_idx))
+                self.disks[disk_id].read(int(data.size))
             return shard_idx, data
 
-        for rnd in sp.rounds:
-            self.memory.acquire(len(rnd))
-            try:
-                results = list(io_pool.map(fetch, rnd))
-                decoder.feed(dict(results))
-                with stats_lock:
-                    stats.chunks_read += len(results)
-                    stats.bytes_read += sum(int(d.size) for _, d in results)
-            finally:
-                self.memory.release(len(rnd))
-        rebuilt = decoder.results()
+        with tracer.span("stripe", f"stripe {global_index}", track=track,
+                         rounds=sp.num_rounds):
+            for round_index, rnd in enumerate(sp.rounds):
+                with tracer.span("wait", "memory-acquire", track=track,
+                                 slots=len(rnd)):
+                    self.memory.acquire(len(rnd))
+                try:
+                    with tracer.span("round", f"stripe {global_index} round {round_index}",
+                                     track=track, chunks=len(rnd)):
+                        results = list(io_pool.map(fetch, rnd))
+                        with tracer.span("decode", "partial decode", track=track):
+                            decoder.feed(dict(results))
+                    with stats_lock:
+                        stats.chunks_read += len(results)
+                        stats.bytes_read += sum(int(d.size) for _, d in results)
+                finally:
+                    self.memory.release(len(rnd))
+            rebuilt = decoder.results()
         with stats_lock:
             for target, buf in rebuilt.items():
                 stats.rebuilt[(global_index, target)] = buf
@@ -169,6 +185,7 @@ class WallClockRepairExecutor:
         )
         stats_lock = threading.Lock()
         failed = list(failed_disks)
+        tracer = current_tracer()
 
         start = time.perf_counter()
         with ThreadPoolExecutor(max_workers=max(4, cap * 4), thread_name_prefix="io") as io_pool:
@@ -183,11 +200,21 @@ class WallClockRepairExecutor:
                     futures.append(
                         stripe_pool.submit(
                             self._repair_stripe, sp, global_index, survivors,
-                            targets, io_pool, stats_lock, stats,
+                            targets, io_pool, stats_lock, stats, tracer,
                         )
                     )
                 for future in futures:
                     future.result()  # re-raise worker failures
         stats.elapsed_seconds = time.perf_counter() - start
         stats.peak_memory_chunks = self.memory.peak_in_use
+        registry = current_registry()
+        registry.counter(
+            "hdpsr_wallclock_repairs_total", "Wall-clock repair executions"
+        ).inc()
+        registry.counter(
+            "hdpsr_wallclock_bytes_read_total", "Bytes read by wall-clock repairs"
+        ).inc(stats.bytes_read)
+        registry.histogram(
+            "hdpsr_wallclock_repair_seconds", "Measured elapsed repair time"
+        ).observe(stats.elapsed_seconds)
         return stats

@@ -1,0 +1,90 @@
+"""``repro.obs`` — observability for the repair stack.
+
+Structured tracing (:mod:`~repro.obs.tracer`), a process-wide metrics
+registry (:mod:`~repro.obs.metrics`), exporters for Chrome
+``trace_event`` / JSONL / Prometheus text (:mod:`~repro.obs.exporters`),
+profiling hooks (:mod:`~repro.obs.profiling`), and context threading so
+instrumented call sites stay parameter-free (:mod:`~repro.obs.context`).
+
+Typical capture:
+
+    from repro.obs import RecordingTracer, use_tracer, write_chrome_trace
+
+    tracer = RecordingTracer()
+    with use_tracer(tracer):
+        repair_single_disk(server, ActivePreliminaryRepair(), 0)
+    write_chrome_trace(tracer, "repair-trace.json")   # chrome://tracing
+
+Everything defaults off: the ambient tracer is :data:`NULL_TRACER` and
+instrumented hot loops guard on ``tracer.enabled``, so the disabled cost
+is one attribute read per round.
+"""
+
+from repro.obs.context import (
+    current_registry,
+    current_tracer,
+    use_registry,
+    use_tracer,
+)
+from repro.obs.exporters import (
+    chrome_trace,
+    events_to_jsonl,
+    parse_prometheus_text,
+    prometheus_text,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+from repro.obs.profiling import ProfileRecord, profile, profiled
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    OffsetTracer,
+    RecordingTracer,
+    TraceEvent,
+    Tracer,
+)
+
+__all__ = [
+    # tracer
+    "TraceEvent",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "RecordingTracer",
+    "OffsetTracer",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+    "DEFAULT_TIME_BUCKETS",
+    # exporters
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "events_to_jsonl",
+    "write_jsonl",
+    "prometheus_text",
+    "write_prometheus",
+    "parse_prometheus_text",
+    # profiling
+    "profile",
+    "profiled",
+    "ProfileRecord",
+    # context
+    "current_tracer",
+    "current_registry",
+    "use_tracer",
+    "use_registry",
+]

@@ -1,0 +1,67 @@
+"""Trace/metrics context threading.
+
+Call sites deep in the stack (the plan executors, the data path, the
+wall-clock workers) fetch their tracer and registry from here instead of
+taking extra parameters, so enabling observability is a wrapper at the
+entry point:
+
+    tracer = RecordingTracer()
+    with use_tracer(tracer):
+        repair_single_disk(server, algo, 0)
+    write_chrome_trace(tracer, "out.json")
+
+Backed by :mod:`contextvars`, so nested scopes restore cleanly and
+``asyncio``-style contexts are isolated. Worker threads spawned inside a
+scope do **not** inherit the context variable automatically — thread-using
+call sites (:mod:`repro.io.wallclock`) capture ``current_tracer()`` once
+on the submitting thread and pass it down explicitly.
+
+Defaults: :data:`~repro.obs.tracer.NULL_TRACER` and the process-wide
+:func:`~repro.obs.metrics.default_registry`.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+_tracer_var: contextvars.ContextVar[Tracer] = contextvars.ContextVar(
+    "repro_obs_tracer", default=NULL_TRACER
+)
+_registry_var: contextvars.ContextVar[MetricsRegistry] = contextvars.ContextVar(
+    "repro_obs_registry", default=None
+)
+
+
+def current_tracer() -> Tracer:
+    """The tracer in scope (the inert :data:`NULL_TRACER` by default)."""
+    return _tracer_var.get()
+
+
+def current_registry() -> MetricsRegistry:
+    """The metrics registry in scope (process default unless overridden)."""
+    return _registry_var.get() or default_registry()
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Install ``tracer`` as the current tracer for the ``with`` body."""
+    token = _tracer_var.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _tracer_var.reset(token)
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Install ``registry`` as the current registry for the ``with`` body."""
+    token = _registry_var.set(registry)
+    try:
+        yield registry
+    finally:
+        _registry_var.reset(token)

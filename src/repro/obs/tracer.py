@@ -1,0 +1,252 @@
+"""Structured event tracing for the repair stack.
+
+A *trace* is an ordered list of :class:`TraceEvent`: **spans** (an interval
+with a duration — a chunk transfer, a repair round, a decode) and
+**instants** (a point occurrence — a slot grant, a plan admission). Events
+carry a free-form ``category`` (the conventional ones are ``read``,
+``decode``, ``round``, ``stripe``, ``writeback``, ``wait``, ``phase``,
+``profile``), a ``track`` (one timeline lane, e.g. a worker thread or the
+disk array) and a ``domain`` separating clock bases: ``"sim"`` timestamps
+are simulated seconds from the event kernel, ``"wall"`` timestamps are
+``time.perf_counter()`` seconds. Exporters keep domains on separate
+process rows so the two time bases never get visually conflated.
+
+The default tracer is :data:`NULL_TRACER`, whose every method is a no-op —
+instrumented call sites guard hot loops with ``tracer.enabled`` so the
+disabled path costs one attribute read. :class:`RecordingTracer` collects
+events in memory (thread-safe, globally sequenced) for export via
+:mod:`repro.obs.exporters`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+#: Conventional span/instant categories used by the built-in call sites.
+CATEGORIES = ("read", "decode", "round", "stripe", "writeback", "wait",
+              "phase", "profile", "slot", "plan")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record.
+
+    Attributes:
+        name: human-readable event name (``"stripe-17/round-2"``).
+        category: coarse grouping used for filtering (see :data:`CATEGORIES`).
+        ts: start timestamp in seconds (domain-relative, see ``domain``).
+        duration: span length in seconds; ``None`` marks an instant event.
+        track: timeline lane (thread name, ``"disks"``, ``"multi"``, ...).
+        domain: clock base — ``"sim"`` or ``"wall"``.
+        depth: nesting level of context-manager spans (0 for top level and
+            for spans emitted post-hoc via :meth:`Tracer.complete`).
+        seq: global emission order, ties in ``ts`` break deterministically.
+        args: free-form payload (stripe index, chunk count, disk id...).
+    """
+
+    name: str
+    category: str
+    ts: float
+    duration: Optional[float] = None
+    track: str = "main"
+    domain: str = "wall"
+    depth: int = 0
+    seq: int = 0
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_span(self) -> bool:
+        return self.duration is not None
+
+    @property
+    def end(self) -> float:
+        return self.ts + (self.duration or 0.0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (one JSONL line)."""
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "cat": self.category,
+            "ts": self.ts,
+            "track": self.track,
+            "domain": self.domain,
+            "depth": self.depth,
+            "seq": self.seq,
+        }
+        if self.duration is not None:
+            out["dur"] = self.duration
+        if self.args:
+            out["args"] = self.args
+        return out
+
+
+class Tracer:
+    """Tracer interface; the base class is inert (every method no-ops).
+
+    Subclasses override :meth:`_emit`. Call sites use three verbs:
+
+    * :meth:`span` — a ``with`` block measured on the wall clock;
+    * :meth:`complete` — a span whose start/duration the caller already
+      knows (the simulators, which live in simulated time);
+    * :meth:`instant` — a point event.
+    """
+
+    #: Fast guard for hot loops: ``if tracer.enabled: tracer.complete(...)``.
+    enabled: bool = False
+
+    def _emit(self, event: TraceEvent) -> None:  # pragma: no cover - inert
+        pass
+
+    @contextmanager
+    def span(self, category: str, name: str, track: str = "main",
+             **args: Any) -> Iterator[None]:
+        """Wall-clock span covering the ``with`` body."""
+        yield
+
+    def complete(self, category: str, name: str, start: float,
+                 duration: float, track: str = "main", domain: str = "sim",
+                 **args: Any) -> None:
+        """Record an already-finished span with explicit timestamps."""
+
+    def instant(self, category: str, name: str, ts: Optional[float] = None,
+                track: str = "main", domain: str = "wall",
+                **args: Any) -> None:
+        """Record a point event (``ts=None`` reads the wall clock)."""
+
+
+class NullTracer(Tracer):
+    """The default tracer: does nothing, costs (almost) nothing."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "NullTracer()"
+
+
+#: Process-wide inert tracer; shared singleton.
+NULL_TRACER = NullTracer()
+
+
+class RecordingTracer(Tracer):
+    """Collects events in memory; thread-safe; export via ``exporters``.
+
+    Args:
+        clock: wall-clock source for :meth:`span`/:meth:`instant`
+            (default ``time.perf_counter``; injectable for tests).
+    """
+
+    enabled = True
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._depths: Dict[Any, int] = {}  # (thread ident, track) -> depth
+        self.events: List[TraceEvent] = []
+
+    def _emit(self, event: TraceEvent) -> None:
+        with self._lock:
+            object.__setattr__(event, "seq", self._seq)
+            self._seq += 1
+            self.events.append(event)
+
+    @contextmanager
+    def span(self, category: str, name: str, track: str = "main",
+             **args: Any) -> Iterator[None]:
+        key = (threading.get_ident(), track)
+        with self._lock:
+            depth = self._depths.get(key, 0)
+            self._depths[key] = depth + 1
+        start = self._clock()
+        try:
+            yield
+        finally:
+            duration = self._clock() - start
+            with self._lock:
+                self._depths[key] = depth
+            self._emit(TraceEvent(
+                name=name, category=category, ts=start, duration=duration,
+                track=track, domain="wall", depth=depth, args=args,
+            ))
+
+    def complete(self, category: str, name: str, start: float,
+                 duration: float, track: str = "main", domain: str = "sim",
+                 **args: Any) -> None:
+        self._emit(TraceEvent(
+            name=name, category=category, ts=start, duration=duration,
+            track=track, domain=domain, args=args,
+        ))
+
+    def instant(self, category: str, name: str, ts: Optional[float] = None,
+                track: str = "main", domain: str = "wall",
+                **args: Any) -> None:
+        self._emit(TraceEvent(
+            name=name, category=category,
+            ts=self._clock() if ts is None else ts,
+            track=track, domain=domain, args=args,
+        ))
+
+    # ------------------------------------------------------------- queries
+    def spans(self, category: Optional[str] = None) -> List[TraceEvent]:
+        """Span events, emission-ordered, optionally category-filtered."""
+        return [e for e in self.events
+                if e.is_span and (category is None or e.category == category)]
+
+    def instants(self, category: Optional[str] = None) -> List[TraceEvent]:
+        """Instant events, emission-ordered, optionally filtered."""
+        return [e for e in self.events
+                if not e.is_span and (category is None or e.category == category)]
+
+    def clear(self) -> None:
+        with self._lock:
+            self.events.clear()
+            self._depths.clear()
+            self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return f"RecordingTracer({len(self.events)} events)"
+
+
+class OffsetTracer(Tracer):
+    """Delegates to another tracer, shifting explicit timestamps.
+
+    Used when a caller replays several independently-simulated phases on
+    one timeline (e.g. naive multi-disk repair runs one simulation per
+    failed disk, each starting at simulated t=0): wrap the real tracer
+    with the phase's cumulative start offset and nested ``complete``/
+    ``instant`` events land at their true position.
+
+    Wall-clock ``span`` blocks pass through unshifted — they are already
+    on a monotonic shared clock.
+    """
+
+    def __init__(self, inner: Tracer, offset: float) -> None:
+        self.inner = inner
+        self.offset = float(offset)
+        self.enabled = inner.enabled
+
+    def span(self, category: str, name: str, track: str = "main", **args: Any):
+        return self.inner.span(category, name, track=track, **args)
+
+    def complete(self, category: str, name: str, start: float,
+                 duration: float, track: str = "main", domain: str = "sim",
+                 **args: Any) -> None:
+        self.inner.complete(category, name, start + self.offset, duration,
+                            track=track, domain=domain, **args)
+
+    def instant(self, category: str, name: str, ts: Optional[float] = None,
+                track: str = "main", domain: str = "wall",
+                **args: Any) -> None:
+        self.inner.instant(category, name,
+                           ts=None if ts is None else ts + self.offset,
+                           track=track, domain=domain, **args)
+
+    def __repr__(self) -> str:
+        return f"OffsetTracer(+{self.offset}, {self.inner!r})"

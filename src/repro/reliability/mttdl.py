@@ -19,7 +19,6 @@ import math
 from dataclasses import dataclass
 from typing import Optional
 
-import numpy as np
 
 from repro.core.base import RepairAlgorithm, RepairContext
 from repro.core.scheduler import ExecutionOptions, _disk_id_matrix, execute_plan

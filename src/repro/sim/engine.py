@@ -138,7 +138,8 @@ class SlotResource:
           themselves.
     """
 
-    def __init__(self, engine: "Engine", capacity: int, policy: str = "fifo") -> None:
+    def __init__(self, engine: "Engine", capacity: int, policy: str = "fifo",
+                 name: str = "slots") -> None:
         if capacity <= 0:
             raise SimulationError(f"capacity must be positive, got {capacity}")
         if policy not in ("fifo", "first-fit"):
@@ -146,10 +147,11 @@ class SlotResource:
         self.engine = engine
         self.capacity = capacity
         self.policy = policy
+        self.name = name
         self.in_use = 0
         self._seq = 0
-        #: sorted by (priority, seq): (priority, seq, count, event)
-        self._waiters: List[Tuple[int, int, int, Event]] = []
+        #: sorted by (priority, seq): (priority, seq, count, event, t_req)
+        self._waiters: List[Tuple[int, int, int, Event, float]] = []
         #: (time, slots-in-use) samples for utilisation accounting.
         self.occupancy_log: List[Tuple[float, int]] = [(0.0, 0)]
 
@@ -172,7 +174,7 @@ class SlotResource:
                 f"request for {count} slots exceeds capacity {self.capacity}"
             )
         event = Event(self.engine)
-        entry = (priority, self._seq, count, event)
+        entry = (priority, self._seq, count, event, self.engine.now)
         self._seq += 1
         # insert keeping (priority, seq) order; appends dominate in practice
         idx = len(self._waiters)
@@ -192,30 +194,49 @@ class SlotResource:
             )
         self.in_use -= count
         self._log()
+        tracer = self.engine.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.instant(
+                "slot", f"{self.name}-release", ts=self.engine.now,
+                track=self.name, domain="sim", count=count, in_use=self.in_use,
+            )
         self._dispatch()
+
+    def _grant(self, count: int, event: Event, t_req: float) -> None:
+        self.in_use += count
+        self._log()
+        tracer = self.engine.tracer
+        if tracer is not None and tracer.enabled:
+            now = self.engine.now
+            if now > t_req:
+                tracer.complete(
+                    "wait", f"{self.name}-wait", t_req, now - t_req,
+                    track=self.name, domain="sim", count=count,
+                )
+            tracer.instant(
+                "slot", f"{self.name}-acquire", ts=now,
+                track=self.name, domain="sim", count=count, in_use=self.in_use,
+            )
+        event.succeed(count)
 
     def _dispatch(self) -> None:
         granted = True
         while granted and self._waiters:
             granted = False
             if self.policy == "fifo":
-                _prio, _seq, count, event = self._waiters[0]
+                _prio, _seq, count, event, t_req = self._waiters[0]
                 if count <= self.available:
                     self._waiters.pop(0)
-                    self.in_use += count
-                    self._log()
-                    event.succeed(count)
+                    self._grant(count, event, t_req)
                     granted = True
             else:  # first-fit with a priority barrier
                 blocked_priority: "int | None" = None
-                for idx, (prio, _seq, count, event) in enumerate(self._waiters):
+                for idx, (prio, _seq, count, event, t_req) in enumerate(self._waiters):
                     if blocked_priority is not None and prio > blocked_priority:
                         break  # never overtake a blocked higher-priority waiter
                     if count <= self.available:
                         del self._waiters[idx]
-                        self.in_use += count
-                        self._log()
-                        event.succeed(count)
+                        self._grant(count, event, t_req)
                         granted = True
                         break
                     if blocked_priority is None:
@@ -237,10 +258,17 @@ class SlotResource:
 
 
 class Engine:
-    """The event loop: a time-ordered heap of scheduled callbacks."""
+    """The event loop: a time-ordered heap of scheduled callbacks.
 
-    def __init__(self) -> None:
+    ``tracer`` (a :class:`repro.obs.tracer.Tracer`, or None) makes slot
+    resources emit acquire/release instants and wait spans in simulated
+    time; executors layer transfer/round/stripe spans on top. None (the
+    default) keeps the kernel observability-free and overhead-free.
+    """
+
+    def __init__(self, tracer=None) -> None:
         self.now: float = 0.0
+        self.tracer = tracer if (tracer is not None and tracer.enabled) else None
         self._heap: List[Tuple[float, int, Callable[..., None], tuple]] = []
         self._counter = itertools.count()
         self._step_limit: Optional[int] = None
@@ -261,8 +289,9 @@ class Engine:
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
 
-    def slot_resource(self, capacity: int, policy: str = "fifo") -> SlotResource:
-        return SlotResource(self, capacity, policy)
+    def slot_resource(self, capacity: int, policy: str = "fifo",
+                      name: str = "slots") -> SlotResource:
+        return SlotResource(self, capacity, policy, name=name)
 
     # -------------------------------------------------------------- execution
     def run(self, until: Optional[float] = None, max_steps: int = 50_000_000) -> float:

@@ -102,6 +102,7 @@ def simulate_interval_schedule(
     num_intervals: int,
     compute_time_per_round: float = 0.0,
     tail_time_per_job: float = 0.0,
+    tracer=None,
 ) -> TransferReport:
     """Execute jobs on ``P_r`` memory intervals, FIFO job admission.
 
@@ -115,6 +116,10 @@ def simulate_interval_schedule(
 
     The memory-utilisation figure assumes each interval is as wide as the
     job's current round (chunks occupy slots only while their round runs).
+
+    ``tracer`` (optional): a :class:`repro.obs.tracer.Tracer`; when
+    enabled, each interval becomes a trace track carrying its stripes'
+    ``stripe``/``round``/``read``/``decode``/``writeback`` spans.
     """
     if num_intervals <= 0:
         raise PlanError(f"num_intervals must be positive, got {num_intervals}")
@@ -124,6 +129,7 @@ def simulate_interval_schedule(
         raise PlanError("tail_time_per_job must be >= 0")
     for job in jobs:
         job.validate()
+    trace = tracer is not None and tracer.enabled
 
     # Min-heap of (free_time, interval_id) — FIFO jobs go to earliest-free.
     intervals = [(0.0, i) for i in range(num_intervals)]
@@ -137,6 +143,7 @@ def simulate_interval_schedule(
     for job in jobs:
         free_at, interval_id = heapq.heappop(intervals)
         t = free_at
+        track = f"interval-{interval_id}"
         for round_index, rnd in enumerate(job.rounds):
             round_time = max(c.duration for c in rnd) + compute_time_per_round
             round_end = t + round_time
@@ -153,8 +160,32 @@ def simulate_interval_schedule(
                     )
                 )
                 busy_slot_area += chunk.duration
+                if trace:
+                    tracer.complete(
+                        "read", f"chunk {chunk.key}", t, chunk.duration,
+                        track=track, disk=chunk.disk, stripe=job.job_id,
+                    )
+            if trace:
+                tracer.complete(
+                    "round", f"stripe {job.job_id} round {round_index}",
+                    t, round_time, track=track,
+                    stripe=job.job_id, chunks=len(rnd),
+                )
+                if compute_time_per_round > 0:
+                    tracer.complete(
+                        "decode", "decode", round_end - compute_time_per_round,
+                        compute_time_per_round, track=track, stripe=job.job_id,
+                    )
             t = round_end
+        if trace and tail_time_per_job > 0:
+            tracer.complete("writeback", "writeback", t, tail_time_per_job,
+                            track=track, stripe=job.job_id)
         t += tail_time_per_job
+        if trace:
+            tracer.complete(
+                "stripe", f"stripe {job.job_id}", free_at, t - free_at,
+                track=track, stripe=job.job_id, rounds=len(job.rounds),
+            )
         rounds_per_job[job.job_id] = len(job.rounds)
         finish_times[job.job_id] = t
         heapq.heappush(intervals, (t, interval_id))
@@ -202,6 +233,7 @@ def simulate_slot_schedule(
     compute_time_per_round: float = 0.0,
     tail_time_per_job: float = 0.0,
     disk_contention: bool = False,
+    tracer=None,
 ) -> TransferReport:
     """Execute jobs against a ``capacity``-slot memory on the event kernel.
 
@@ -223,6 +255,11 @@ def simulate_slot_schedule(
             :class:`~repro.io.pacing.PacedDisk` semantics; without it,
             disks have infinite internal parallelism (the paper's
             L-matrix abstraction).
+
+        tracer: optional :class:`repro.obs.tracer.Tracer`; when enabled,
+            every stripe becomes a trace track with ``stripe``/``round``/
+            ``read``/``decode``/``writeback`` spans plus memory-wait
+            spans, and the slot resources emit acquire/release instants.
 
     Per-job ``accumulator_slots`` are claimed with the first round and
     held until the job ends (PSR's partial-sum residency).
@@ -249,10 +286,11 @@ def simulate_slot_schedule(
         cap = max(1, min(max_concurrent, cap))
     max_concurrent = cap
 
-    engine = Engine()
-    memory = engine.slot_resource(capacity, policy=policy)
+    trace = tracer is not None and tracer.enabled
+    engine = Engine(tracer=tracer if trace else None)
+    memory = engine.slot_resource(capacity, policy=policy, name="memory")
     admission = (
-        engine.slot_resource(max_concurrent, policy="fifo")
+        engine.slot_resource(max_concurrent, policy="fifo", name="admission")
         if max_concurrent is not None
         else None
     )
@@ -265,7 +303,7 @@ def simulate_slot_schedule(
     def _disk_resource(disk: Any):
         res = disk_resources.get(disk)
         if res is None:
-            res = engine.slot_resource(1, policy="fifo")
+            res = engine.slot_resource(1, policy="fifo", name=f"disk-{disk}")
             disk_resources[disk] = res
         return res
 
@@ -285,13 +323,21 @@ def simulate_slot_schedule(
         gated = admission is not None and job.priority >= 0
         if gated:
             yield admission.request(1)
+        admitted = engine.now
+        track = f"stripe-{job.job_id}"
         held_acc = 0
         for round_index, rnd in enumerate(job.rounds):
             # The first round also claims the persistent accumulator slots.
             extra = job.accumulator_slots if round_index == 0 else 0
+            requested = engine.now
             yield memory.request(len(rnd) + extra, priority=job.priority)
             held_acc += extra
             start = engine.now
+            if trace and start > requested:
+                tracer.complete(
+                    "wait", "memory-wait", requested, start - requested,
+                    track=track, stripe=job.job_id, slots=len(rnd) + extra,
+                )
             if disk_contention:
                 procs = [
                     engine.process(chunk_process(c, job.priority))
@@ -309,7 +355,13 @@ def simulate_slot_schedule(
                 yield engine.all_of(transfers)
                 ends = [start + c.duration for c in rnd]
             if compute_time_per_round > 0:
+                decode_start = engine.now
                 yield engine.timeout(compute_time_per_round)
+                if trace:
+                    tracer.complete(
+                        "decode", "decode", decode_start, compute_time_per_round,
+                        track=track, stripe=job.job_id,
+                    )
             round_end = engine.now
             for chunk, end in zip(rnd, ends):
                 records.append(
@@ -323,13 +375,34 @@ def simulate_slot_schedule(
                         round_end=round_end,
                     )
                 )
+                if trace:
+                    tracer.complete(
+                        "read", f"chunk {chunk.key}", start, end - start,
+                        track=track, disk=chunk.disk, stripe=job.job_id,
+                    )
+            if trace:
+                tracer.complete(
+                    "round", f"stripe {job.job_id} round {round_index}",
+                    start, round_end - start, track=track,
+                    stripe=job.job_id, chunks=len(rnd),
+                )
             memory.release(len(rnd))
         if held_acc:
             memory.release(held_acc)
         if tail_time_per_job > 0:
+            tail_start = engine.now
             yield engine.timeout(tail_time_per_job)
+            if trace:
+                tracer.complete("writeback", "writeback", tail_start,
+                                tail_time_per_job, track=track, stripe=job.job_id)
         rounds_per_job[job.job_id] = len(job.rounds)
         finish_times[job.job_id] = engine.now
+        if trace:
+            tracer.complete(
+                "stripe", f"stripe {job.job_id}", admitted,
+                engine.now - admitted, track=track,
+                stripe=job.job_id, rounds=len(job.rounds),
+            )
         if gated:
             admission.release(1)
 

@@ -13,7 +13,7 @@ Terminal-friendly renderings of a :class:`~repro.sim.metrics.TransferReport`
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 

@@ -9,7 +9,7 @@ on the disk that will fail.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.hdss.profiles import BimodalSlowProfile, SpeedProfile

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import HDSSConfig, HighDensityStorageServer, MiB
+from repro import HDSSConfig, HighDensityStorageServer
 from repro.hdss.profiles import BimodalSlowProfile, UniformProfile
 
 

@@ -1,7 +1,6 @@
 """HD-PSR-AS: slower classification, partitioning, clamped P_a."""
 
 import numpy as np
-import pytest
 
 from repro.core.base import RepairContext
 from repro.core.psr_as import (

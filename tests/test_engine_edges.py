@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.engine import AllOf, Engine, Event, Process, Timeout
+from repro.sim.engine import AllOf, Engine, Event
 
 
 class TestRunGuards:

@@ -1,14 +1,9 @@
 """Foreground degraded reads: arrivals, priorities, latency accounting."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError, PlanError
-from repro.sim.foreground import (
-    ForegroundLatency,
-    foreground_latency,
-    generate_degraded_reads,
-)
+from repro.sim.foreground import foreground_latency, generate_degraded_reads
 from repro.sim.transfer import ChunkTransfer, StripeJob, simulate_slot_schedule
 
 

@@ -7,7 +7,6 @@ chunk byte-exact, memory bound respected, placement consistent.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -3,10 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.ec.stripe import ChunkId
 from repro.errors import ConfigurationError, DiskFailedError, StorageError
 from repro.hdss import HDSSConfig, HighDensityStorageServer
-from repro.hdss.profiles import BimodalSlowProfile, UniformProfile
+from repro.hdss.profiles import BimodalSlowProfile
 
 
 class TestConfig:

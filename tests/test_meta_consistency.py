@@ -8,7 +8,6 @@ canonical experiment ids stay in sync.
 import re
 from pathlib import Path
 
-import pytest
 
 from repro.reporting import ORDER, PAPER_CLAIMS, TITLES
 

@@ -1,6 +1,5 @@
 """Multi-disk repair: naive vs cooperative, including the Figure 6 example."""
 
-import numpy as np
 import pytest
 
 from repro.core import (

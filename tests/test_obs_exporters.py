@@ -1,0 +1,166 @@
+"""Exporters: JSONL, Chrome trace_event schema, Prometheus round-trip."""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.obs.exporters import (
+    chrome_trace,
+    events_to_jsonl,
+    parse_prometheus_text,
+    prometheus_text,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import RecordingTracer, TraceEvent
+
+
+def sample_tracer() -> RecordingTracer:
+    t = RecordingTracer()
+    t.complete("round", "stripe 0 round 0", 0.0, 2.0, track="stripe-0")
+    t.complete("read", "chunk (0, 1)", 0.5, 1.0, track="stripe-0", disk=1)
+    t.instant("slot", "acquire", ts=0.5, domain="sim", track="memory")
+    with t.span("profile", "plan/fsr", track="profile"):
+        pass
+    return t
+
+
+class TestJsonl:
+    def test_one_object_per_line_lossless(self):
+        t = sample_tracer()
+        lines = events_to_jsonl(t).splitlines()
+        assert len(lines) == len(t.events)
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0]["cat"] == "round"
+        assert parsed[0]["dur"] == 2.0
+        assert parsed[1]["args"] == {"disk": 1}
+        assert "dur" not in parsed[2]  # instant
+
+    def test_write_jsonl(self, tmp_path):
+        path = write_jsonl(sample_tracer(), tmp_path / "t.jsonl")
+        body = path.read_text()
+        assert body.endswith("\n")
+        assert len(body.splitlines()) == 4
+
+    def test_empty_trace(self, tmp_path):
+        path = write_jsonl(RecordingTracer(), tmp_path / "e.jsonl")
+        assert path.read_text() == ""
+
+
+class TestChromeTrace:
+    def test_schema_valid(self):
+        doc = chrome_trace(sample_tracer())
+        assert validate_chrome_trace(doc) == []
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_domains_become_pids_and_ts_rebased(self):
+        doc = chrome_trace(sample_tracer())
+        events = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        # sim and wall events sit in different processes.
+        pids = {e["pid"] for e in events}
+        assert len(pids) == 2
+        # Per-domain re-basing: every domain's earliest event is at ts 0.
+        for pid in pids:
+            assert min(e["ts"] for e in events if e["pid"] == pid) == 0.0
+        # Microsecond scale: the 2 s round span becomes 2e6 us.
+        round_evt = next(e for e in events if e["cat"] == "round")
+        assert round_evt["ph"] == "X"
+        assert round_evt["dur"] == 2.0e6
+
+    def test_metadata_names_processes_and_threads(self):
+        doc = chrome_trace(sample_tracer())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {e["name"] for e in meta}
+        assert names == {"process_name", "thread_name"}
+        thread_names = {e["args"]["name"] for e in meta
+                        if e["name"] == "thread_name"}
+        assert {"stripe-0", "memory", "profile"} <= thread_names
+
+    def test_written_file_is_loadable_json(self, tmp_path):
+        path = write_chrome_trace(sample_tracer(), tmp_path / "t.json")
+        doc = json.loads(path.read_text())
+        assert validate_chrome_trace(doc) == []
+
+    def test_validator_flags_problems(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({}) != []
+        bad = {"traceEvents": [
+            {"ph": "Z", "name": "x", "pid": 1, "tid": 1, "ts": 0},
+            {"ph": "X", "name": "y", "pid": 1, "tid": 1, "ts": -1,
+             "dur": math.nan},
+            {"ph": "i", "pid": "one", "tid": 1, "ts": 0},
+        ]}
+        problems = validate_chrome_trace(bad)
+        assert any("bad phase" in p for p in problems)
+        assert any("bad ts" in p for p in problems)
+        assert any("bad dur" in p for p in problems)
+        assert any("missing name" in p for p in problems)
+        assert any("missing integer pid" in p for p in problems)
+
+
+def sample_registry() -> MetricsRegistry:
+    r = MetricsRegistry()
+    r.counter("hdpsr_rounds_total", "rounds").labels(algorithm="fsr").inc(27)
+    r.counter("hdpsr_rounds_total").labels(algorithm="hd-psr-ap").inc(9)
+    r.gauge("hdpsr_slots_in_use").set(4)
+    h = r.histogram("hdpsr_repair_seconds", "sim time", buckets=(1.0, 10.0))
+    h.labels(algorithm="fsr").observe(0.5)
+    h.labels(algorithm="fsr").observe(42.0)
+    return r
+
+
+class TestPrometheus:
+    def test_text_format_structure(self):
+        text = prometheus_text(sample_registry())
+        lines = text.splitlines()
+        assert "# HELP hdpsr_rounds_total rounds" in lines
+        assert "# TYPE hdpsr_rounds_total counter" in lines
+        assert 'hdpsr_rounds_total{algorithm="fsr"} 27' in lines
+        assert "hdpsr_slots_in_use 4" in lines
+        assert 'hdpsr_repair_seconds_bucket{algorithm="fsr",le="+Inf"} 2' in lines
+        assert 'hdpsr_repair_seconds_count{algorithm="fsr"} 2' in lines
+
+    def test_round_trip(self, tmp_path):
+        registry = sample_registry()
+        path = write_prometheus(registry, tmp_path / "m.prom")
+        parsed = parse_prometheus_text(path.read_text())
+        assert parsed[("hdpsr_rounds_total", (("algorithm", "fsr"),))] == 27
+        assert parsed[("hdpsr_rounds_total", (("algorithm", "hd-psr-ap"),))] == 9
+        assert parsed[("hdpsr_slots_in_use", ())] == 4
+        assert parsed[(
+            "hdpsr_repair_seconds_bucket",
+            (("algorithm", "fsr"), ("le", "1.0")),
+        )] == 1
+        assert parsed[(
+            "hdpsr_repair_seconds_bucket",
+            (("algorithm", "fsr"), ("le", "+Inf")),
+        )] == 2
+        assert parsed[(
+            "hdpsr_repair_seconds_sum", (("algorithm", "fsr"),)
+        )] == 42.5
+
+    def test_untouched_bare_series_omitted(self):
+        text = prometheus_text(sample_registry())
+        # Label-fanned counter: no bare "hdpsr_rounds_total 0" sample.
+        bare = [line for line in text.splitlines()
+                if line.startswith("hdpsr_rounds_total ")]
+        assert bare == []
+
+    def test_empty_registry(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_inf_value_round_trips(self):
+        parsed = parse_prometheus_text("x_bucket{le=\"+Inf\"} +Inf\n")
+        assert parsed[("x_bucket", (("le", "+Inf"),))] == math.inf
+
+
+class TestEventListInput:
+    def test_exporters_accept_plain_sequences(self):
+        events = [TraceEvent(name="a", category="round", ts=0.0, duration=1.0,
+                             domain="sim")]
+        assert len(events_to_jsonl(events).splitlines()) == 1
+        assert validate_chrome_trace(chrome_trace(events)) == []

@@ -5,7 +5,6 @@ that silently breaks a headline result fails `pytest tests/` in seconds
 rather than only in a benchmark run.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import (

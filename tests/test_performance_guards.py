@@ -8,7 +8,6 @@ benchmark.
 import time
 
 import numpy as np
-import pytest
 
 from repro.core import ActivePreliminaryRepair, ActiveSlowerFirstRepair, FullStripeRepair, execute_plan
 from repro.gf import gf_mul_add_scalar, gf_mul_scalar
@@ -20,6 +19,23 @@ def elapsed(fn, *args, **kwargs):
     t0 = time.perf_counter()
     fn(*args, **kwargs)
     return time.perf_counter() - t0
+
+
+def best_of(n, fn, *args, **kwargs):
+    """Best-of-n wall time: robust to CI hosts with noisy neighbours."""
+    return min(elapsed(fn, *args, **kwargs) for _ in range(n))
+
+
+def gather_baseline(buf: np.ndarray) -> float:
+    """Measured cost of one raw 256-entry ``np.take`` gather over ``buf``.
+
+    The GF chunk kernels are a constant number of such gathers, so
+    bounding them as a *ratio* of this baseline calibrates the guard to
+    the host instead of hard-coding wall-clock seconds (which fails on
+    slow or heavily loaded CI machines).
+    """
+    table = np.arange(256, dtype=np.uint8)
+    return best_of(3, np.take, table, buf)
 
 
 class TestSelectionScaling:
@@ -35,18 +51,32 @@ class TestSelectionScaling:
 
 
 class TestCodecThroughput:
+    """GF kernels must stay within a small constant factor of one raw
+    table gather on the same buffer — the bound is measured per host, so
+    a loaded CI box moves the baseline and the kernel together, while an
+    accidental Python loop (thousands of times slower) still fails."""
+
+    # One gather for the multiply, gather+xor for the FMA; 10x covers
+    # allocation of the output buffer plus scheduler noise. The absolute
+    # floor absorbs timer jitter when the baseline itself is microscopic.
+    RATIO = 10.0
+    FLOOR_SECONDS = 0.25
+
     def test_gf_kernel_throughput(self):
         """A 16 MiB chunk-scalar multiply must run at table-gather speed."""
         rng = np.random.default_rng(0)
         buf = rng.integers(0, 256, size=16 * MiB, dtype=np.uint8)
-        t = elapsed(gf_mul_scalar, 37, buf)
-        assert t < 1.0  # vectorised: ~100ms; a Python loop would take minutes
+        baseline = gather_baseline(buf)
+        t = best_of(3, gf_mul_scalar, 37, buf)
+        assert t < max(self.RATIO * baseline, self.FLOOR_SECONDS)
 
     def test_gf_fma_in_place(self):
         rng = np.random.default_rng(1)
         acc = rng.integers(0, 256, size=16 * MiB, dtype=np.uint8)
         buf = rng.integers(0, 256, size=16 * MiB, dtype=np.uint8)
-        assert elapsed(gf_mul_add_scalar, acc, 99, buf) < 1.0
+        baseline = gather_baseline(buf)
+        t = best_of(3, gf_mul_add_scalar, acc, 99, buf)
+        assert t < max(self.RATIO * baseline, self.FLOOR_SECONDS)
 
 
 class TestSimulatorScaling:

@@ -13,7 +13,6 @@ from repro.core import (
     RepairContext,
     execute_plan,
 )
-from repro.core.plans import plan_to_jobs
 from repro.core.psr_ap import window_makespan
 from repro.ec import PartialDecoder, RSCode
 from repro.sim.transfer import simulate_interval_schedule, simulate_slot_schedule

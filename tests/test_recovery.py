@@ -1,6 +1,5 @@
 """The one-call recovery workflow."""
 
-import numpy as np
 import pytest
 
 from repro.core import ActiveSlowerFirstRepair, FullStripeRepair, PassiveRepair

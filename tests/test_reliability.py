@@ -221,7 +221,7 @@ class TestCorrelatedFailures:
 
 class TestEstimateRepairSeconds:
     def test_matches_repair_single_disk(self, hetero_server):
-        from repro.core import FullStripeRepair, repair_single_disk
+        from repro.core import FullStripeRepair
 
         algo = FullStripeRepair()
         estimated = estimate_repair_seconds(hetero_server, algo, disk=0)

@@ -1,6 +1,5 @@
 """Parity scrubbing: silent-corruption and degradation detection."""
 
-import numpy as np
 import pytest
 
 from repro.ec.stripe import ChunkId

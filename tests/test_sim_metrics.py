@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.sim.metrics import ChunkRecord, TransferReport, build_report
+from repro.sim.metrics import ChunkRecord, build_report
 
 
 def rec(key, start, end, round_end, job="j", rnd=0):

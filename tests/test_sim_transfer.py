@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import PlanError, SimulationError
+from repro.errors import PlanError
 from repro.sim.transfer import (
     ChunkTransfer,
     StripeJob,

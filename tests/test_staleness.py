@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.workloads.staleness import DriftOutcome, StalenessModel, drift_transfer_times
+from repro.workloads.staleness import StalenessModel, drift_transfer_times
 
 
 @pytest.fixture

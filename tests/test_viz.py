@@ -1,6 +1,5 @@
 """Text timeline visualisations."""
 
-import numpy as np
 import pytest
 
 from repro.core import ActivePreliminaryRepair, FullStripeRepair, execute_plan
