@@ -64,7 +64,7 @@ def run_grid():
             repair_finish = max(
                 report.job_finish_times[j.job_id] for j in repair_jobs
             )
-            lat = foreground_latency(report, fg)
+            lat = foreground_latency(report, fg, algorithm=algo.name)
             agg["repair"] += repair_finish
             agg["p50"] += lat.p50
             agg["p95"] += lat.p95

@@ -2,7 +2,29 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+from typing import Optional
+
 
 def emit(title: str, text: str) -> None:
     """Print a benchmark table with a separator (shown with pytest -s)."""
     print(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{text}")
+
+
+def write_metrics_dump(experiment_id: str, results_dir: Path) -> Optional[Path]:
+    """Dump the ambient metrics registry as ``<id>.prom`` next to the JSON.
+
+    Returns None (and writes nothing) when the run recorded no metrics, so
+    artefact directories only carry dumps with content. The dump is the
+    Prometheus text format — diffable against another run with
+    ``hdpsr trace diff old.prom new.prom``.
+    """
+    from repro.obs import prometheus_text
+    from repro.obs.context import current_registry
+
+    text = prometheus_text(current_registry())
+    if not text:
+        return None
+    path = Path(results_dir) / f"{experiment_id}.prom"
+    path.write_text(text)
+    return path

@@ -34,14 +34,34 @@ def scale() -> int:
     return value
 
 
+@pytest.fixture(autouse=True)
+def fresh_metrics_registry():
+    """Give every benchmark its own metrics registry.
+
+    The repair stack records into the ambient registry; scoping one per
+    test keeps each experiment's Prometheus dump to that experiment's
+    metrics instead of a process-cumulative blur.
+    """
+    from repro.obs import MetricsRegistry, use_registry
+
+    with use_registry(MetricsRegistry()) as registry:
+        yield registry
+
+
 @pytest.fixture(scope="session")
 def results_sink():
-    """Callable: results_sink(experiment_id, rows) -> writes JSON artefact."""
+    """Callable: results_sink(experiment_id, rows) -> writes JSON artefact.
+
+    Also drops a ``<id>.prom`` Prometheus dump of the run's metrics next
+    to the JSON when any were recorded (see benchutil.write_metrics_dump).
+    """
+    from benchutil import write_metrics_dump
 
     def sink(experiment_id: str, rows: List[Dict[str, Any]], meta: Dict[str, Any] = None) -> Path:
         path = RESULTS_DIR / f"{experiment_id}.json"
         payload = {"experiment": experiment_id, "meta": meta or {}, "rows": rows}
         path.write_text(json.dumps(payload, indent=2, default=str))
+        write_metrics_dump(experiment_id, RESULTS_DIR)
         return path
 
     return sink

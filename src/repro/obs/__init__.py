@@ -20,6 +20,18 @@ instrumented hot loops guard on ``tracer.enabled``, so the disabled cost
 is one attribute read per round.
 """
 
+from repro.obs.analysis import (
+    DiffResult,
+    DiskBlame,
+    MemoryOccupancy,
+    RoundTimeline,
+    TraceAnalysis,
+    analyze_trace,
+    diff_metrics,
+    flatten_summary,
+    load_run_metrics,
+    summarize_trace,
+)
 from repro.obs.context import (
     current_registry,
     current_tracer,
@@ -28,9 +40,11 @@ from repro.obs.context import (
 )
 from repro.obs.exporters import (
     chrome_trace,
+    events_from_jsonl,
     events_to_jsonl,
     parse_prometheus_text,
     prometheus_text,
+    read_jsonl,
     validate_chrome_trace,
     write_chrome_trace,
     write_jsonl,
@@ -42,9 +56,11 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    Summary,
     default_registry,
 )
 from repro.obs.profiling import ProfileRecord, profile, profiled
+from repro.obs.quantiles import DEFAULT_QUANTILES, P2Quantile, QuantileSketch
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -66,18 +82,36 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Summary",
     "MetricsRegistry",
     "default_registry",
     "DEFAULT_TIME_BUCKETS",
+    # quantiles
+    "DEFAULT_QUANTILES",
+    "P2Quantile",
+    "QuantileSketch",
     # exporters
     "chrome_trace",
     "write_chrome_trace",
     "validate_chrome_trace",
     "events_to_jsonl",
+    "events_from_jsonl",
+    "read_jsonl",
     "write_jsonl",
     "prometheus_text",
     "write_prometheus",
     "parse_prometheus_text",
+    # analysis
+    "TraceAnalysis",
+    "RoundTimeline",
+    "DiskBlame",
+    "MemoryOccupancy",
+    "analyze_trace",
+    "summarize_trace",
+    "flatten_summary",
+    "diff_metrics",
+    "DiffResult",
+    "load_run_metrics",
     # profiling
     "profile",
     "profiled",

@@ -1,0 +1,557 @@
+"""Repair-domain trace analytics.
+
+:mod:`repro.obs.tracer` records what happened; this module says what it
+*means*. It consumes the JSONL traces and Prometheus dumps the capture
+layer emits and derives the paper's quantities:
+
+* **round timelines** — every repair round reconstructed from its
+  ``round``/``read`` spans, with the *critical chunk* (the slowest read,
+  the one every other chunk of the round waited for) identified;
+* **bottleneck attribution** — a per-disk blame table: how many rounds
+  each disk was critical for and how much waiting it induced (the ACWT
+  numerator, decomposed by the disk that caused it), plus per-disk
+  busy/idle utilisation from merged read intervals;
+* **memory occupancy** — the slots-held-vs-time curve from the memory
+  resource's acquire/release instants, with peak / time-averaged mean /
+  slot-seconds area, so FSR-vs-PSR memory behaviour is a number rather
+  than a picture;
+* **run-to-run diffing** — flatten two runs (trace JSONL, summary JSON,
+  benchmark artefact, or Prometheus dump) into metric dicts and compare
+  them with relative-delta thresholds; ``hdpsr trace diff`` turns the
+  result into a CI perf gate.
+
+Everything operates on plain :class:`~repro.obs.tracer.TraceEvent` lists,
+so it works identically on a live :class:`RecordingTracer` and on a
+trace file read back with :func:`~repro.obs.exporters.read_jsonl`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.exporters import parse_prometheus_text, read_jsonl
+from repro.obs.tracer import RecordingTracer, TraceEvent
+
+TraceSource = Any  # RecordingTracer | Sequence[TraceEvent]
+
+
+def _events(trace: TraceSource) -> List[TraceEvent]:
+    if isinstance(trace, RecordingTracer):
+        return list(trace.events)
+    return list(trace)
+
+
+# --------------------------------------------------------------------------
+# Trace model
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RoundTimeline:
+    """One reconstructed repair round and its critical chunk.
+
+    ``stall_seconds`` is the waiting the round's slowest read induced on
+    the others: ``sum(last_end - end_j)`` over the non-critical chunks —
+    the slice of the ACWT numerator this round contributes.
+    """
+
+    stripe: Any
+    round_index: Optional[int]
+    track: str
+    start: float
+    end: float
+    chunks: int
+    critical_disk: Any
+    critical_chunk: str
+    critical_end: float
+    stall_seconds: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class DiskBlame:
+    """Attribution record for one source disk."""
+
+    disk: Any
+    reads: int = 0
+    read_seconds: float = 0.0      # summed read durations (demand)
+    busy_seconds: float = 0.0      # merged union of read intervals
+    utilization: float = 0.0       # busy_seconds / makespan
+    critical_rounds: int = 0
+    induced_wait_seconds: float = 0.0
+    blame_share: float = 0.0       # induced wait / total induced wait
+
+
+@dataclass
+class MemoryOccupancy:
+    """Slots-held-vs-time curve from the memory resource instants."""
+
+    curve: List[Tuple[float, int]] = field(default_factory=list)
+    peak_slots: int = 0
+    mean_slots: float = 0.0        # time-averaged over the sim horizon
+    slot_seconds: float = 0.0      # area under the curve
+    samples: int = 0
+
+
+@dataclass
+class TraceAnalysis:
+    """Everything derived from one trace."""
+
+    events: int = 0
+    sim_start: float = 0.0
+    sim_end: float = 0.0
+    stripes: int = 0
+    reads: int = 0
+    read_seconds: float = 0.0
+    rounds: List[RoundTimeline] = field(default_factory=list)
+    disks: Dict[Any, DiskBlame] = field(default_factory=dict)
+    memory: Optional[MemoryOccupancy] = None
+    total_wait_seconds: float = 0.0    # ACWT numerator
+    resource_waits: Dict[str, float] = field(default_factory=dict)
+    stripe_memory_wait_seconds: float = 0.0
+    categories: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> float:
+        return self.sim_end - self.sim_start
+
+    @property
+    def acwt(self) -> float:
+        """Average chunk waiting time over every read in the trace."""
+        return self.total_wait_seconds / self.reads if self.reads else 0.0
+
+
+def _merged_length(intervals: List[Tuple[float, float]]) -> float:
+    """Total length of the union of ``(start, end)`` intervals."""
+    if not intervals:
+        return 0.0
+    intervals.sort()
+    total = 0.0
+    cur_start, cur_end = intervals[0]
+    for start, end in intervals[1:]:
+        if start > cur_end:
+            total += cur_end - cur_start
+            cur_start, cur_end = start, end
+        else:
+            cur_end = max(cur_end, end)
+    return total + (cur_end - cur_start)
+
+
+def _round_key(event: TraceEvent) -> Optional[Tuple]:
+    stripe = event.args.get("stripe")
+    rnd = event.args.get("round")
+    if stripe is None or rnd is None:
+        return None
+    # Stripe ids survive JSON round-trips as lists; normalise for hashing.
+    if isinstance(stripe, list):
+        stripe = tuple(stripe)
+    return (event.track, stripe, rnd)
+
+
+def analyze_trace(trace: TraceSource) -> TraceAnalysis:
+    """Reconstruct round timelines and attribute bottlenecks.
+
+    Works on the simulated-clock (``domain="sim"``) portion of the trace:
+    ``round`` spans are matched to their ``read`` spans first by the
+    ``(track, stripe, round)`` args the executors emit, falling back to
+    interval containment on the same track for older traces.
+    """
+    events = _events(trace)
+    analysis = TraceAnalysis(events=len(events))
+    for e in events:
+        analysis.categories[e.category] = analysis.categories.get(e.category, 0) + 1
+
+    sim_spans = [e for e in events if e.is_span and e.domain == "sim"]
+    if sim_spans:
+        analysis.sim_start = min(e.ts for e in sim_spans)
+        analysis.sim_end = max(e.end for e in sim_spans)
+
+    rounds = sorted((e for e in sim_spans if e.category == "round"),
+                    key=lambda e: (e.ts, e.seq))
+    reads = sorted((e for e in sim_spans if e.category == "read"),
+                   key=lambda e: (e.ts, e.seq))
+    analysis.stripes = len([e for e in sim_spans if e.category == "stripe"])
+    analysis.reads = len(reads)
+    analysis.read_seconds = sum(e.duration for e in reads)
+
+    # Primary association: the (track, stripe, round) key both span kinds
+    # carry; fallback: reads contained in the round's interval on its track.
+    # A key can repeat when one trace holds several replayed simulations
+    # (e.g. `hdpsr repair` runs every algorithm under one tracer, each
+    # starting at sim t=0); reads are always emitted before their round
+    # span, so emission order (seq) splits the collisions.
+    reads_by_key: Dict[Tuple, List[TraceEvent]] = {}
+    loose_by_track: Dict[str, List[TraceEvent]] = {}
+    for e in reads:
+        key = _round_key(e)
+        if key is not None:
+            reads_by_key.setdefault(key, []).append(e)
+        else:
+            loose_by_track.setdefault(e.track, []).append(e)
+
+    rounds_by_key: Dict[Tuple, List[TraceEvent]] = {}
+    for e in rounds:
+        key = _round_key(e)
+        if key is not None:
+            rounds_by_key.setdefault(key, []).append(e)
+
+    # members_by_round: (key, round seq) -> its reads. For a collided key,
+    # walk rounds and reads in seq order, giving each round the reads
+    # emitted since the previous round span.
+    members_by_round: Dict[Tuple, List[TraceEvent]] = {}
+    for key, key_rounds in rounds_by_key.items():
+        pool = sorted(reads_by_key.get(key, []), key=lambda e: e.seq)
+        if len(key_rounds) == 1:
+            members_by_round[(key, key_rounds[0].seq)] = pool
+            continue
+        idx = 0
+        for rnd in sorted(key_rounds, key=lambda e: e.seq):
+            members: List[TraceEvent] = []
+            while idx < len(pool) and pool[idx].seq < rnd.seq:
+                members.append(pool[idx])
+                idx += 1
+            members_by_round[(key, rnd.seq)] = members
+
+    disks: Dict[Any, DiskBlame] = {}
+    intervals_by_disk: Dict[Any, List[Tuple[float, float]]] = {}
+
+    def _disk(d: Any) -> DiskBlame:
+        blame = disks.get(d)
+        if blame is None:
+            blame = disks[d] = DiskBlame(disk=d)
+        return blame
+
+    for e in reads:
+        blame = _disk(e.args.get("disk"))
+        blame.reads += 1
+        blame.read_seconds += e.duration
+        intervals_by_disk.setdefault(blame.disk, []).append((e.ts, e.end))
+
+    eps = max(1e-9, 1e-9 * abs(analysis.sim_end))
+    total_induced = 0.0
+    for rnd in rounds:
+        key = _round_key(rnd)
+        members = members_by_round.get((key, rnd.seq), []) if key is not None else []
+        if not members:
+            members = [e for e in loose_by_track.get(rnd.track, [])
+                       if e.ts >= rnd.ts - eps and e.end <= rnd.end + eps]
+        if members:
+            last_end = max(e.end for e in members)
+            critical = max(members, key=lambda e: (e.end, -e.seq))
+            stall = sum(last_end - e.end for e in members if e is not critical)
+            analysis.total_wait_seconds += sum(last_end - e.end for e in members)
+            blame = _disk(critical.args.get("disk"))
+            blame.critical_rounds += 1
+            blame.induced_wait_seconds += stall
+            total_induced += stall
+            critical_disk, critical_name, critical_end = (
+                critical.args.get("disk"), critical.name, critical.end)
+        else:
+            stall = 0.0
+            critical_disk, critical_name, critical_end = None, "", rnd.end
+        analysis.rounds.append(RoundTimeline(
+            stripe=rnd.args.get("stripe"),
+            round_index=rnd.args.get("round"),
+            track=rnd.track,
+            start=rnd.ts,
+            end=rnd.end,
+            chunks=len(members) or int(rnd.args.get("chunks", 0)),
+            critical_disk=critical_disk,
+            critical_chunk=critical_name,
+            critical_end=critical_end,
+            stall_seconds=stall,
+        ))
+
+    makespan = analysis.makespan
+    for disk, blame in disks.items():
+        blame.busy_seconds = _merged_length(intervals_by_disk[disk])
+        blame.utilization = blame.busy_seconds / makespan if makespan > 0 else 0.0
+        blame.blame_share = (
+            blame.induced_wait_seconds / total_induced if total_induced > 0 else 0.0
+        )
+
+    analysis.disks = disks
+
+    # Wait accounting: resource-side spans live on the resource's own track
+    # ("memory", "admission", "disk-N"); the executors' per-stripe
+    # memory-wait spans are the same waits viewed from the stripe and are
+    # kept separate to avoid double counting.
+    for e in sim_spans:
+        if e.category != "wait":
+            continue
+        if e.track == "memory" or e.track == "admission":
+            analysis.resource_waits[e.track] = (
+                analysis.resource_waits.get(e.track, 0.0) + e.duration)
+        elif e.track.startswith("disk-"):
+            analysis.resource_waits["disk"] = (
+                analysis.resource_waits.get("disk", 0.0) + e.duration)
+        else:
+            analysis.stripe_memory_wait_seconds += e.duration
+
+    analysis.memory = _memory_occupancy(events, analysis.sim_start, analysis.sim_end)
+    return analysis
+
+
+def _memory_occupancy(events: Sequence[TraceEvent], sim_start: float,
+                      sim_end: float) -> Optional[MemoryOccupancy]:
+    samples = sorted(
+        (e for e in events
+         if not e.is_span and e.category == "slot" and e.track == "memory"
+         and "in_use" in e.args),
+        key=lambda e: (e.ts, e.seq),
+    )
+    if not samples:
+        return None
+    curve: List[Tuple[float, int]] = [(sim_start, 0)]
+    for e in samples:
+        curve.append((e.ts, int(e.args["in_use"])))
+    horizon = max(sim_end, curve[-1][0])
+    area = 0.0
+    for (t0, occ), (t1, _) in zip(curve, curve[1:]):
+        area += occ * max(0.0, t1 - t0)
+    area += curve[-1][1] * max(0.0, horizon - curve[-1][0])
+    span = horizon - sim_start
+    return MemoryOccupancy(
+        curve=curve,
+        peak_slots=max(occ for _, occ in curve),
+        mean_slots=area / span if span > 0 else 0.0,
+        slot_seconds=area,
+        samples=len(samples),
+    )
+
+
+# --------------------------------------------------------------------------
+# Summaries
+# --------------------------------------------------------------------------
+
+
+def summarize_trace(trace: TraceSource) -> Dict[str, Any]:
+    """One JSON-able dict of everything ``analyze_trace`` derives."""
+    analysis = trace if isinstance(trace, TraceAnalysis) else analyze_trace(trace)
+    durations = [r.duration for r in analysis.rounds]
+    chunks = [r.chunks for r in analysis.rounds]
+    out: Dict[str, Any] = {
+        "events": analysis.events,
+        "makespan_seconds": analysis.makespan,
+        "stripes": analysis.stripes,
+        "reads": {"count": analysis.reads, "seconds": analysis.read_seconds},
+        "rounds": {
+            "count": len(analysis.rounds),
+            "duration_mean_seconds": (
+                sum(durations) / len(durations) if durations else 0.0),
+            "duration_max_seconds": max(durations) if durations else 0.0,
+            "chunks_mean": sum(chunks) / len(chunks) if chunks else 0.0,
+        },
+        "acwt": {
+            "total_wait_seconds": analysis.total_wait_seconds,
+            "acwt_seconds": analysis.acwt,
+        },
+        "waits": {
+            **{f"{k}_seconds": v for k, v in sorted(analysis.resource_waits.items())},
+            "stripe_memory_seconds": analysis.stripe_memory_wait_seconds,
+        },
+        "disks": {
+            str(d): {
+                "reads": b.reads,
+                "busy_seconds": b.busy_seconds,
+                "utilization": b.utilization,
+                "critical_rounds": b.critical_rounds,
+                "induced_wait_seconds": b.induced_wait_seconds,
+                "blame_share": b.blame_share,
+            }
+            for d, b in sorted(analysis.disks.items(), key=lambda kv: str(kv[0]))
+        },
+    }
+    if analysis.memory is not None:
+        out["memory"] = {
+            "peak_slots": analysis.memory.peak_slots,
+            "mean_slots": analysis.memory.mean_slots,
+            "slot_seconds": analysis.memory.slot_seconds,
+            "samples": analysis.memory.samples,
+        }
+    return out
+
+
+def flatten_summary(data: Any, prefix: str = "") -> Dict[str, float]:
+    """Collapse nested dicts/lists into ``dot.path -> float`` leaves."""
+    out: Dict[str, float] = {}
+    if isinstance(data, dict):
+        for key, value in data.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            out.update(flatten_summary(value, path))
+    elif isinstance(data, (list, tuple)):
+        for i, value in enumerate(data):
+            out.update(flatten_summary(value, f"{prefix}.{i}" if prefix else str(i)))
+    elif isinstance(data, bool):
+        pass
+    elif isinstance(data, (int, float)) and math.isfinite(data):
+        out[prefix] = float(data)
+    return out
+
+
+# --------------------------------------------------------------------------
+# Run loading and diffing
+# --------------------------------------------------------------------------
+
+#: Key substrings that mark a metric as neutral (no regression direction).
+NEUTRAL_TOKENS = (
+    "count", "share", "utilization", "samples", "events", "stripes",
+    "chunks", "reads",
+)
+
+#: Key substrings where a relative increase is a regression.
+LOWER_IS_BETTER_TOKENS = (
+    "seconds", "time", "wait", "acwt", "duration", "makespan", "latency",
+    "stall", "p50", "p90", "p95", "p99", "peak", "occupancy", "slot",
+)
+
+
+def metric_direction(key: str) -> str:
+    """``"lower"`` if an increase in ``key`` counts as a regression."""
+    lowered = key.lower()
+    if any(tok in lowered for tok in NEUTRAL_TOKENS):
+        return "neutral"
+    if any(tok in lowered for tok in LOWER_IS_BETTER_TOKENS):
+        return "lower"
+    return "neutral"
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    key: str
+    old: float
+    new: float
+    delta: float
+    rel: Optional[float]        # None when old == 0 and new == 0
+    direction: str              # "lower" or "neutral"
+    regressed: bool
+    improved: bool
+
+
+@dataclass
+class DiffResult:
+    entries: List[DiffEntry] = field(default_factory=list)
+    missing: List[str] = field(default_factory=list)   # in old only
+    extra: List[str] = field(default_factory=list)     # in new only
+
+    @property
+    def regressions(self) -> List[DiffEntry]:
+        return [e for e in self.entries if e.regressed]
+
+    @property
+    def improvements(self) -> List[DiffEntry]:
+        return [e for e in self.entries if e.improved]
+
+    @property
+    def changed(self) -> List[DiffEntry]:
+        return [e for e in self.entries if e.delta != 0.0]
+
+
+def diff_metrics(old: Dict[str, float], new: Dict[str, float],
+                 threshold: float = 0.05,
+                 only: Optional[str] = None) -> DiffResult:
+    """Compare two flat metric dicts with a relative-delta threshold.
+
+    A key regresses when its direction is lower-is-better and the new
+    value exceeds the old by more than ``threshold`` (relative; a move
+    off zero always trips). ``only`` restricts the comparison to keys
+    containing that substring.
+    """
+    if threshold < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold}")
+    result = DiffResult(
+        missing=sorted(k for k in old if k not in new
+                       and (not only or only in k)),
+        extra=sorted(k for k in new if k not in old
+                     and (not only or only in k)),
+    )
+    for key in sorted(set(old) & set(new)):
+        if only and only not in key:
+            continue
+        a, b = old[key], new[key]
+        delta = b - a
+        if a != 0:
+            rel: Optional[float] = delta / abs(a)
+        else:
+            rel = None if delta == 0 else math.copysign(math.inf, delta)
+        direction = metric_direction(key)
+        regressed = bool(direction == "lower" and rel is not None and rel > threshold)
+        improved = bool(direction == "lower" and rel is not None and rel < -threshold)
+        result.entries.append(DiffEntry(
+            key=key, old=a, new=b, delta=delta, rel=rel,
+            direction=direction, regressed=regressed, improved=improved,
+        ))
+    return result
+
+
+def load_run_metrics(path) -> Dict[str, float]:
+    """Load one run artefact as a flat metric dict for diffing.
+
+    Accepts, by suffix:
+
+    * ``.jsonl`` — a trace; analyzed and summarized first;
+    * ``.prom`` — a Prometheus text dump (histogram ``_bucket`` samples
+      are skipped — cumulative bucket counts have no stable direction);
+    * ``.json`` — either a benchmark artefact (``{"experiment", "rows"}``,
+      rows keyed by their algorithm/scheme column) or a summary written
+      by ``hdpsr trace summarize --output``.
+    """
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".jsonl":
+        return flatten_summary(summarize_trace(read_jsonl(path)))
+    if suffix == ".prom":
+        out: Dict[str, float] = {}
+        for (name, labels), value in parse_prometheus_text(path.read_text()).items():
+            if name.endswith("_bucket"):
+                continue
+            if labels:
+                body = ",".join(f"{k}={v}" for k, v in labels)
+                out[f"{name}{{{body}}}"] = value
+            else:
+                out[name] = value
+        return out
+    if suffix == ".json":
+        data = json.loads(path.read_text())
+        if isinstance(data, dict) and isinstance(data.get("rows"), list):
+            out = {}
+            for i, row in enumerate(data["rows"]):
+                if not isinstance(row, dict):
+                    continue
+                label = None
+                for key in ("algorithm", "scheme", "name", "label"):
+                    if isinstance(row.get(key), str):
+                        label = row[key]
+                        break
+                tag = label if label is not None else str(i)
+                if "mode" in row and isinstance(row["mode"], str):
+                    tag = f"{tag}/{row['mode']}"
+                out.update(flatten_summary(row, f"rows.{tag}"))
+            return out
+        return flatten_summary(data)
+    raise ValueError(
+        f"unsupported artefact {path.name!r}: expected .jsonl, .json or .prom"
+    )
+
+
+__all__ = [
+    "RoundTimeline",
+    "DiskBlame",
+    "MemoryOccupancy",
+    "TraceAnalysis",
+    "analyze_trace",
+    "summarize_trace",
+    "flatten_summary",
+    "metric_direction",
+    "DiffEntry",
+    "DiffResult",
+    "diff_metrics",
+    "load_run_metrics",
+]

@@ -55,6 +55,38 @@ def write_jsonl(trace: TraceSource, path) -> Path:
     return path
 
 
+def events_from_jsonl(text: str) -> List[TraceEvent]:
+    """Parse JSONL trace text back into events (inverse of ``events_to_jsonl``)."""
+    events: List[TraceEvent] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            d = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"line {lineno}: not valid JSON ({exc})") from exc
+        if not isinstance(d, dict) or "name" not in d or "ts" not in d:
+            raise ValueError(f"line {lineno}: not a trace event record")
+        events.append(TraceEvent(
+            name=d["name"],
+            category=d.get("cat", ""),
+            ts=float(d["ts"]),
+            duration=None if d.get("dur") is None else float(d["dur"]),
+            track=d.get("track", "main"),
+            domain=d.get("domain", "wall"),
+            depth=int(d.get("depth", 0)),
+            seq=int(d.get("seq", 0)),
+            args=d.get("args", {}) or {},
+        ))
+    return events
+
+
+def read_jsonl(path) -> List[TraceEvent]:
+    """Load a ``write_jsonl`` trace file back into :class:`TraceEvent`\\ s."""
+    return events_from_jsonl(Path(path).read_text())
+
+
 # --------------------------------------------------------------------------
 # Chrome trace_event
 # --------------------------------------------------------------------------
@@ -189,6 +221,12 @@ def prometheus_text(registry: MetricsRegistry) -> str:
                     lines.append(f"{name}_bucket{_fmt_labels(le)} {count}")
                 lines.append(f"{name}_sum{_fmt_labels(labels)} {_fmt_value(series['sum'])}")
                 lines.append(f"{name}_count{_fmt_labels(labels)} {series['count']}")
+            elif data["type"] == "summary":
+                for q, value in series["quantiles"].items():
+                    ql = dict(labels, quantile=q)
+                    lines.append(f"{name}{_fmt_labels(ql)} {_fmt_value(value)}")
+                lines.append(f"{name}_sum{_fmt_labels(labels)} {_fmt_value(series['sum'])}")
+                lines.append(f"{name}_count{_fmt_labels(labels)} {series['count']}")
             else:
                 lines.append(f"{name}{_fmt_labels(labels)} {_fmt_value(series['value'])}")
     return "\n".join(lines) + "\n" if lines else ""
@@ -232,6 +270,8 @@ def parse_prometheus_text(
 
 __all__ = [
     "events_to_jsonl",
+    "events_from_jsonl",
+    "read_jsonl",
     "write_jsonl",
     "chrome_trace",
     "write_chrome_trace",

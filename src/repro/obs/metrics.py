@@ -24,6 +24,7 @@ import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
+from repro.obs.quantiles import DEFAULT_QUANTILES, QuantileSketch
 
 #: Edges (seconds) covering chunk transfers through whole-disk repairs.
 DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
@@ -199,6 +200,50 @@ class Histogram(Metric):
         return out
 
 
+class Summary(Metric):
+    """Streaming quantiles over an unbounded observation stream.
+
+    Backed by a :class:`~repro.obs.quantiles.QuantileSketch` (P² markers,
+    no sample retention), so it is safe to feed every foreground sojourn
+    time of a long run through it. Exposition follows the Prometheus
+    summary type: ``name{quantile="0.5"}`` samples plus ``_sum``/``_count``.
+    """
+
+    kind = "summary"
+
+    def __init__(self, name: str, help: str = "",
+                 quantiles: Sequence[float] = DEFAULT_QUANTILES) -> None:
+        super().__init__(name, help)
+        self._sketch = QuantileSketch(quantiles)
+
+    def _new_child(self) -> "Summary":
+        return Summary(self.name, self.help, self._sketch.targets)
+
+    def _touched(self) -> bool:
+        return self._sketch.count > 0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._sketch.observe(value)
+
+    @property
+    def sum(self) -> float:
+        return self._sketch.sum
+
+    @property
+    def count(self) -> int:
+        return self._sketch.count
+
+    def quantile(self, q: float) -> float:
+        with self._lock:
+            return self._sketch.quantile(q)
+
+    def quantiles(self) -> Dict[float, float]:
+        """Tracked quantiles, ascending and monotone (see QuantileSketch)."""
+        with self._lock:
+            return self._sketch.quantiles()
+
+
 class MetricsRegistry:
     """Named metric store; get-or-create accessors are idempotent."""
 
@@ -229,6 +274,10 @@ class MetricsRegistry:
                   buckets: Sequence[float] = DEFAULT_TIME_BUCKETS) -> Histogram:
         return self._get_or_create(Histogram, name, help, buckets=buckets)
 
+    def summary(self, name: str, help: str = "",
+                quantiles: Sequence[float] = DEFAULT_QUANTILES) -> Summary:
+        return self._get_or_create(Summary, name, help, quantiles=quantiles)
+
     def get(self, name: str) -> Optional[Metric]:
         return self._metrics.get(name)
 
@@ -241,7 +290,9 @@ class MetricsRegistry:
 
         Returns ``{name: {"type", "help", "series": [{"labels", ...}]}}``;
         counter/gauge series carry ``"value"``, histogram series carry
-        ``"buckets"`` (edge -> cumulative count), ``"sum"`` and ``"count"``.
+        ``"buckets"`` (edge -> cumulative count), ``"sum"`` and ``"count"``,
+        summary series carry ``"quantiles"`` (q -> estimate), ``"sum"``
+        and ``"count"``.
         """
         out: Dict[str, Dict] = {}
         for metric in self.metrics():
@@ -253,6 +304,12 @@ class MetricsRegistry:
                     entry["buckets"] = {
                         **{str(edge): c for edge, c in zip(child.buckets, cum)},
                         "+Inf": cum[-1],
+                    }
+                    entry["sum"] = child.sum
+                    entry["count"] = child.count
+                elif isinstance(child, Summary):
+                    entry["quantiles"] = {
+                        f"{q:g}": v for q, v in child.quantiles().items()
                     }
                     entry["sum"] = child.sum
                     entry["count"] = child.count

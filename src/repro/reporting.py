@@ -124,6 +124,38 @@ def _rows_to_markdown(rows: List[Dict[str, Any]]) -> str:
     return render_table(headers, body, markdown=True, float_fmt=".3f")
 
 
+def _quantile_table(prom_path: Path) -> Optional[str]:
+    """Render the streaming-quantile samples of a ``.prom`` dump.
+
+    Summary metrics (e.g. the foreground sojourn-time sketch) expose
+    ``metric{quantile="0.5"}`` samples; pivot them into one row per
+    metric/label-set with p50/p95/p99 columns. Returns None when the dump
+    has no quantile samples.
+    """
+    from repro.obs import parse_prometheus_text
+
+    pivoted: Dict[tuple, Dict[str, float]] = {}
+    for (name, labels), value in parse_prometheus_text(prom_path.read_text()).items():
+        label_map = dict(labels)
+        q = label_map.pop("quantile", None)
+        if q is None:
+            continue
+        rest = tuple(sorted(label_map.items()))
+        pivoted.setdefault((name, rest), {})[q] = value
+    if not pivoted:
+        return None
+    quantile_keys = sorted(
+        {q for values in pivoted.values() for q in values}, key=float
+    )
+    headers = ["metric"] + [f"p{float(q) * 100:g}" for q in quantile_keys]
+    body = []
+    for (name, rest), values in sorted(pivoted.items()):
+        label_str = "".join(f" {k}={v}" for k, v in rest)
+        body.append([f"{name}{label_str}"]
+                    + [values.get(q, "") for q in quantile_keys])
+    return render_table(headers, body, markdown=True, float_fmt=".3f")
+
+
 def render_report(results_dir: Path, preamble: Optional[str] = None) -> str:
     """Render the full EXPERIMENTS.md body."""
     results = load_results(results_dir)
@@ -161,6 +193,15 @@ def render_report(results_dir: Path, preamble: Optional[str] = None) -> str:
         lines.append("")
         lines.append(_rows_to_markdown(payload.get("rows", [])))
         lines.append("")
+        prom_path = Path(results_dir) / f"{exp_id}.prom"
+        if prom_path.exists():
+            quantiles = _quantile_table(prom_path)
+            if quantiles:
+                lines.append("**Latency percentiles** (streaming P² sketch, "
+                             f"from `{prom_path.name}`):")
+                lines.append("")
+                lines.append(quantiles)
+                lines.append("")
     extra = sorted(set(results) - set(ORDER))
     for exp_id in extra:
         lines.append(f"## {exp_id}")

@@ -15,15 +15,22 @@ a real degraded read would.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs.context import current_registry
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.quantiles import QuantileSketch
 from repro.sim.metrics import TransferReport
 from repro.sim.transfer import ChunkTransfer, StripeJob
 from repro.utils.rng import RngLike, make_rng
 from repro.utils.validation import check_positive
+
+#: Registry metric names fed by :func:`foreground_latency`.
+SOJOURN_HISTOGRAM = "hdpsr_foreground_sojourn_seconds"
+SOJOURN_SUMMARY = "hdpsr_foreground_sojourn_quantile_seconds"
 
 
 def generate_degraded_reads(
@@ -104,23 +111,47 @@ class ForegroundLatency:
 def foreground_latency(
     report: TransferReport,
     foreground_jobs: Sequence[StripeJob],
+    registry: Optional[MetricsRegistry] = None,
+    algorithm: Optional[str] = None,
 ) -> ForegroundLatency:
-    """Extract foreground sojourn times (finish - arrival) from a report."""
-    arrivals = {job.job_id: job.arrival_time for job in foreground_jobs}
-    sojourns = []
-    for job_id, arrival in arrivals.items():
-        finish = report.job_finish_times.get(job_id)
+    """Stream foreground sojourn times (finish - arrival) from a report.
+
+    Accounting is fully streaming — each sojourn is fed one at a time into
+    a P² :class:`~repro.obs.quantiles.QuantileSketch`, so no sample array
+    is retained regardless of how many reads the run served. The same
+    observations also land in the ambient metrics registry (override with
+    ``registry``) as the :data:`SOJOURN_HISTOGRAM` histogram and the
+    :data:`SOJOURN_SUMMARY` streaming-quantile summary, so CLI/benchmark
+    Prometheus dumps carry the latency percentiles. Pass ``algorithm`` to
+    fan both metrics out by an ``algorithm`` label (one series per repair
+    scheme in the same registry).
+    """
+    registry = current_registry() if registry is None else registry
+    histogram = registry.histogram(
+        SOJOURN_HISTOGRAM, "foreground degraded-read sojourn time")
+    summary = registry.summary(
+        SOJOURN_SUMMARY, "streaming p50/p95/p99 of degraded-read sojourn time")
+    if algorithm is not None:
+        histogram = histogram.labels(algorithm=algorithm)
+        summary = summary.labels(algorithm=algorithm)
+    sketch = QuantileSketch((0.5, 0.95, 0.99))
+    for job in foreground_jobs:
+        finish = report.job_finish_times.get(job.job_id)
         if finish is None:
-            raise ConfigurationError(f"foreground job {job_id!r} missing from report")
-        sojourns.append(finish - arrival)
-    if not sojourns:
+            raise ConfigurationError(
+                f"foreground job {job.job_id!r} missing from report")
+        sojourn = finish - job.arrival_time
+        sketch.observe(sojourn)
+        histogram.observe(sojourn)
+        summary.observe(sojourn)
+    if sketch.count == 0:
         return ForegroundLatency(0, 0.0, 0.0, 0.0, 0.0, 0.0)
-    arr = np.asarray(sojourns)
+    quantiles = sketch.quantiles()
     return ForegroundLatency(
-        count=len(sojourns),
-        mean=float(arr.mean()),
-        p50=float(np.percentile(arr, 50)),
-        p95=float(np.percentile(arr, 95)),
-        p99=float(np.percentile(arr, 99)),
-        max=float(arr.max()),
+        count=sketch.count,
+        mean=sketch.mean,
+        p50=quantiles[0.5],
+        p95=quantiles[0.95],
+        p99=quantiles[0.99],
+        max=sketch.max,
     )

@@ -97,6 +97,52 @@ class TransferReport:
         """All waiting times, in record order."""
         return [r.wait for r in self.records]
 
+    def disk_blame(self) -> Dict[Any, Dict[str, float]]:
+        """Bottleneck attribution per source disk, from the chunk records.
+
+        For each executed round the *critical chunk* is the one that
+        finished last; its disk is blamed for the waiting it induced on
+        the round's other chunks (``sum(last_end - end_j)``). Mirrors the
+        trace-level attribution in :mod:`repro.obs.analysis` so the two
+        paths can cross-check each other. Returns, per disk:
+        ``{"reads", "read_seconds", "critical_rounds",
+        "induced_wait_seconds", "blame_share"}``.
+        """
+        by_round: Dict[Any, List[ChunkRecord]] = {}
+        for r in self.records:
+            by_round.setdefault((r.job_id, r.round_index), []).append(r)
+
+        blame: Dict[Any, Dict[str, float]] = {}
+
+        def _entry(disk: Any) -> Dict[str, float]:
+            entry = blame.get(disk)
+            if entry is None:
+                entry = blame[disk] = {
+                    "reads": 0.0, "read_seconds": 0.0,
+                    "critical_rounds": 0.0, "induced_wait_seconds": 0.0,
+                    "blame_share": 0.0,
+                }
+            return entry
+
+        for r in self.records:
+            entry = _entry(r.disk)
+            entry["reads"] += 1
+            entry["read_seconds"] += r.duration
+
+        total_induced = 0.0
+        for members in by_round.values():
+            last_end = max(m.end for m in members)
+            critical = max(members, key=lambda m: (m.end, str(m.key)))
+            induced = sum(last_end - m.end for m in members if m is not critical)
+            entry = _entry(critical.disk)
+            entry["critical_rounds"] += 1
+            entry["induced_wait_seconds"] += induced
+            total_induced += induced
+        if total_induced > 0:
+            for entry in blame.values():
+                entry["blame_share"] = entry["induced_wait_seconds"] / total_induced
+        return blame
+
     def summary(self) -> Dict[str, float]:
         """Compact dictionary for tables and EXPERIMENTS.md rows."""
         return {

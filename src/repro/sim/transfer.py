@@ -164,12 +164,13 @@ def simulate_interval_schedule(
                     tracer.complete(
                         "read", f"chunk {chunk.key}", t, chunk.duration,
                         track=track, disk=chunk.disk, stripe=job.job_id,
+                        round=round_index,
                     )
             if trace:
                 tracer.complete(
                     "round", f"stripe {job.job_id} round {round_index}",
                     t, round_time, track=track,
-                    stripe=job.job_id, chunks=len(rnd),
+                    stripe=job.job_id, round=round_index, chunks=len(rnd),
                 )
                 if compute_time_per_round > 0:
                     tracer.complete(
@@ -379,12 +380,13 @@ def simulate_slot_schedule(
                     tracer.complete(
                         "read", f"chunk {chunk.key}", start, end - start,
                         track=track, disk=chunk.disk, stripe=job.job_id,
+                        round=round_index,
                     )
             if trace:
                 tracer.complete(
                     "round", f"stripe {job.job_id} round {round_index}",
                     start, round_end - start, track=track,
-                    stripe=job.job_id, chunks=len(rnd),
+                    stripe=job.job_id, round=round_index, chunks=len(rnd),
                 )
             memory.release(len(rnd))
         if held_acc:

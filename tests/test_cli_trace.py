@@ -1,0 +1,135 @@
+"""`hdpsr trace` subcommands and the durability observability flags."""
+
+import json
+
+from repro.cli import main
+
+REPAIR = ["repair", "--disk-size", "64MiB", "--chunk-size", "32MiB",
+          "--num-disks", "12", "--algorithm", "fsr", "--seed", "11"]
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def capture_trace(capsys, tmp_path, name="run.jsonl", extra=()):
+    path = tmp_path / name
+    code, _, _ = run(capsys, *REPAIR, *extra, "--trace", str(path))
+    assert code == 0
+    assert path.exists()
+    return path
+
+
+class TestSummarize:
+    def test_tables_printed(self, capsys, tmp_path):
+        trace = capture_trace(capsys, tmp_path)
+        code, out, _ = run(capsys, "trace", "summarize", str(trace))
+        assert code == 0
+        assert "Trace summary" in out
+        assert "ACWT" in out
+        assert "Bottleneck attribution" in out
+        assert "blame share" in out
+
+    def test_json_output(self, capsys, tmp_path):
+        trace = capture_trace(capsys, tmp_path)
+        code, out, _ = run(capsys, "trace", "summarize", str(trace), "--json")
+        assert code == 0
+        summary = json.loads(out)
+        assert summary["reads"]["count"] > 0
+        assert summary["acwt"]["acwt_seconds"] >= 0
+        assert "disks" in summary
+
+    def test_output_file(self, capsys, tmp_path):
+        trace = capture_trace(capsys, tmp_path)
+        dest = tmp_path / "summary.json"
+        code, _, _ = run(capsys, "trace", "summarize", str(trace),
+                         "--output", str(dest))
+        assert code == 0
+        assert json.loads(dest.read_text())["makespan_seconds"] > 0
+
+    def test_missing_file_exits_2(self, capsys, tmp_path):
+        code, _, err = run(capsys, "trace", "summarize",
+                           str(tmp_path / "nope.jsonl"))
+        assert code == 2
+        assert "does not exist" in err
+
+    def test_wrong_suffix_exits_2(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text("{}")
+        code, _, err = run(capsys, "trace", "summarize", str(path))
+        assert code == 2
+        assert "not a .jsonl trace" in err
+
+
+class TestBlame:
+    def test_top_limits_rows(self, capsys, tmp_path):
+        trace = capture_trace(capsys, tmp_path)
+        code, out, _ = run(capsys, "trace", "blame", str(trace), "--top", "3")
+        assert code == 0
+        rows = [line for line in out.splitlines()
+                if line.startswith("|") and "disk" not in line]
+        assert 0 < len(rows) <= 3
+
+
+class TestDiff:
+    def test_same_run_exits_0(self, capsys, tmp_path):
+        trace = capture_trace(capsys, tmp_path)
+        code, out, _ = run(capsys, "trace", "diff", str(trace), str(trace))
+        assert code == 0
+        assert "no regressions" in out
+
+    def test_degraded_run_exits_1(self, capsys, tmp_path):
+        good = capture_trace(capsys, tmp_path, "good.jsonl")
+        bad = capture_trace(capsys, tmp_path, "bad.jsonl",
+                            extra=("--slow-factor", "8"))
+        code, out, _ = run(capsys, "trace", "diff", str(good), str(bad))
+        assert code == 1
+        assert "REGRESSED" in out
+        assert "regression(s)" in out
+
+    def test_summary_json_files(self, capsys, tmp_path):
+        # diff also accepts the JSON summaries `summarize --output` writes
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps({"acwt": {"acwt_seconds": 1.0}}))
+        new.write_text(json.dumps({"acwt": {"acwt_seconds": 2.0}}))
+        code, out, _ = run(capsys, "trace", "diff", str(old), str(new))
+        assert code == 1
+        assert "acwt.acwt_seconds" in out
+
+    def test_json_mode(self, capsys, tmp_path):
+        trace = capture_trace(capsys, tmp_path)
+        code, out, _ = run(capsys, "trace", "diff", str(trace), str(trace),
+                           "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["regressions"] == []
+        assert payload["entries"]
+
+    def test_unreadable_input_exits_2(self, capsys, tmp_path):
+        trace = capture_trace(capsys, tmp_path)
+        code, _, err = run(capsys, "trace", "diff", str(trace),
+                           str(tmp_path / "missing.jsonl"))
+        assert code == 2
+        assert err.strip()
+
+
+class TestDurabilityObservability:
+    def test_trace_and_metrics_flags(self, capsys, tmp_path):
+        trace = tmp_path / "dur.jsonl"
+        prom = tmp_path / "dur.prom"
+        code, out, _ = run(
+            capsys, "durability", "--disk-size", "64MiB", "--chunk-size",
+            "32MiB", "--num-disks", "12", "--trace", str(trace),
+            "--metrics", str(prom),
+        )
+        assert code == 0
+        assert trace.exists() and trace.stat().st_size > 0
+        assert prom.exists()
+        assert "hdpsr_" in prom.read_text()
+        # the captured trace is analyzable
+        code, out, _ = run(capsys, "trace", "summarize", str(trace), "--json")
+        assert code == 0
+        assert json.loads(out)["reads"]["count"] > 0
