@@ -4,11 +4,18 @@ Subcommands:
 
 * ``hdpsr repair``  — single-disk recovery comparison (FSR vs HD-PSR-*);
 * ``hdpsr multi``   — multi-disk recovery, naive vs cooperative;
+* ``hdpsr faults``  — generate a reproducible fault-injection spec (JSON);
 * ``hdpsr observe`` — print the Observation 1-3 tables (Figures 3-4);
 * ``hdpsr trace``   — analyze captured traces: summarize / blame / diff;
 * ``hdpsr version`` — print the package version.
 
 Every stochastic element is seeded via ``--seed`` for reproducible output.
+
+``repair`` and ``multi`` accept ``--faults spec.json`` plus read-hardening
+knobs (``--read-timeout``, ``--retries``, ``--hedge``); with any of those
+the command runs the byte-exact data path under injected faults and its
+exit code reports the outcome: 0 = clean recovery, 0 with a warning when
+re-planning was needed, 3 when data was lost.
 """
 
 from __future__ import annotations
@@ -76,6 +83,84 @@ def _observed(fn):
     return run
 
 
+def _add_fault_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults", default=None, metavar="SPEC.json",
+        help="inject faults from this schedule (see `hdpsr faults`); runs "
+             "the byte-exact data path and reports per-stripe outcomes")
+    parser.add_argument(
+        "--read-timeout", type=float, default=None, metavar="SECONDS",
+        help="abandon + retry survivor reads slower than this (modeled time)")
+    parser.add_argument(
+        "--retries", type=int, default=3,
+        help="retry budget per read before hedging/forcing (default 3)")
+    parser.add_argument(
+        "--hedge", action="store_true",
+        help="after retries, re-plan the read onto a different survivor")
+
+
+def _fault_setup(args: argparse.Namespace):
+    """Parse --faults/--read-timeout/--retries/--hedge into (schedule, policy).
+
+    Returns ``(None, None)`` when no hardening was requested — callers use
+    that to keep the plain timing-comparison behavior.
+    """
+    from repro.core import ReadPolicy
+    from repro.faults import FaultSchedule
+
+    schedule = None
+    if args.faults:
+        schedule = FaultSchedule.from_json(args.faults)
+    policy = None
+    if args.read_timeout is not None or args.hedge:
+        policy = ReadPolicy(
+            timeout_seconds=args.read_timeout,
+            max_retries=args.retries,
+            hedge=args.hedge,
+        )
+    return schedule, policy
+
+
+def _loss_table(name: str, result) -> "AsciiTable":
+    """Per-stripe outcome table for one hardened recovery."""
+    loss = result.loss
+    table = AsciiTable(
+        ["metric", "value"],
+        title=f"{name}: fault-hardened recovery outcomes",
+    )
+    table.add_row(["stripes", len(loss.stripes)])
+    table.add_row(["recovered", len(loss.recovered)])
+    table.add_row(["recovered after replan", len(loss.replanned)])
+    table.add_row(["lost", len(loss.lost)])
+    for kind, count in sorted(loss.faults_injected.items()):
+        table.add_row([f"faults injected ({kind})", count])
+    table.add_row(["read timeouts", loss.timeouts])
+    table.add_row(["read retries", loss.retries])
+    table.add_row(["hedged reads", loss.hedged_reads])
+    table.add_row(["salvage replans", loss.replans])
+    table.add_row(["fresh restarts", loss.fresh_restarts])
+    table.add_row(["chunks salvaged", loss.salvaged_chunks])
+    table.add_row(["chunks re-read", loss.reread_chunks])
+    table.add_row(["chunks rebuilt", result.data_path.chunks_rebuilt])
+    table.add_row(["modeled seconds", format_duration(result.data_path.modeled_seconds)])
+    table.add_row(["certified", result.certified])
+    return table
+
+
+def _report_hardened(name: str, result) -> int:
+    """Print one hardened recovery's outcome; return its exit code."""
+    print(_loss_table(name, result).render())
+    loss = result.loss
+    if loss.has_loss:
+        print(f"DATA LOSS: {len(loss.lost)} stripe(s) unrecoverable: "
+              f"{loss.lost[:8]}{'...' if len(loss.lost) > 8 else ''}",
+              file=sys.stderr)
+    elif loss.degraded:
+        print(f"warning: recovery degraded — {len(loss.replanned)} stripe(s) "
+              f"re-planned, {loss.fresh_restarts} restart(s)", file=sys.stderr)
+    return loss.exit_code
+
+
 def _add_server_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--n", type=int, default=9, help="total shards per stripe")
     parser.add_argument("--k", type=int, default=6, help="data shards per stripe")
@@ -91,12 +176,12 @@ def _add_server_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="master RNG seed")
 
 
-def _build_server(args: argparse.Namespace):
+def _build_server(args: argparse.Namespace, with_data: bool = False):
     return build_exp_server(
         n=args.n, k=args.k, disk_size=args.disk_size, chunk_size=args.chunk_size,
         num_disks=args.num_disks, memory_chunks=args.memory,
         ros=args.ros, slow_factor=args.slow_factor, seed=args.seed,
-        placement=args.placement,
+        placement=args.placement, with_data=with_data,
     )
 
 
@@ -104,6 +189,20 @@ def cmd_repair(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     algos = list(ALGORITHMS) if args.algorithm == "all" else [args.algorithm]
+    schedule, policy = _fault_setup(args)
+    if schedule is not None or policy is not None:
+        from repro.core import recover_disk
+
+        rc = 0
+        for name in algos:
+            server = _build_server(args, with_data=True)
+            server.fail_disk(args.disk)
+            result = recover_disk(
+                server, ALGORITHMS[name](), args.disk,
+                faults=schedule, policy=policy,
+            )
+            rc = max(rc, _report_hardened(name, result))
+        return rc
     table = AsciiTable(
         ["scheme", "repair time", "vs FSR", "ACWT", "P_a", "P_r", "selection"],
         title=(f"Single-disk recovery: RS({args.n},{args.k}), "
@@ -137,6 +236,23 @@ def cmd_repair(args: argparse.Namespace) -> int:
 
 
 def cmd_multi(args: argparse.Namespace) -> int:
+    schedule, policy = _fault_setup(args)
+    if schedule is not None or policy is not None:
+        from repro.core import recover_disks
+
+        algos = list(ALGORITHMS) if args.algorithm == "all" else [args.algorithm]
+        failed = list(range(args.failed))
+        rc = 0
+        for name in algos:
+            server = _build_server(args, with_data=True)
+            for d in failed:
+                server.fail_disk(d)
+            result = recover_disks(
+                server, ALGORITHMS[name](), failed,
+                faults=schedule, policy=policy,
+            )
+            rc = max(rc, _report_hardened(f"{name} (cooperative)", result))
+        return rc
     table = AsciiTable(
         ["algorithm", "mode", "repair time", "chunks read", "data read"],
         title=(f"Multi-disk recovery: {args.failed} failed disk(s), "
@@ -159,6 +275,35 @@ def cmd_multi(args: argparse.Namespace) -> int:
                 format_bytes(out.chunks_read * server.config.chunk_size),
             ])
     print(table.render())
+    return 0
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.faults import FAULT_KINDS, generate_fault_schedule
+
+    kinds = [k.strip() for k in args.kinds.split(",") if k.strip()]
+    bad = [k for k in kinds if k not in FAULT_KINDS]
+    if bad:
+        print(f"unknown fault kind(s) {bad}; choose from {sorted(FAULT_KINDS)}",
+              file=sys.stderr)
+        return 2
+    schedule = generate_fault_schedule(
+        seed=args.seed,
+        num_events=args.events,
+        horizon=args.horizon,
+        num_disks=args.num_disks,
+        num_stripes=args.stripes,
+        num_shards=args.shards,
+        kinds=kinds,
+        max_disk_fails=args.max_disk_fails,
+    )
+    if args.output:
+        path = schedule.to_json(args.output)
+        print(f"fault spec written: {path} ({len(schedule.events)} events)")
+    else:
+        print(json.dumps(schedule.to_spec(), indent=2))
     return 0
 
 
@@ -275,7 +420,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_report(args: argparse.Namespace) -> int:
     from pathlib import Path
 
-    from repro.reporting import render_report, write_report
+    from repro.reporting import extract_preamble, render_report, write_report
 
     results = Path(args.results)
     if not results.exists():
@@ -283,7 +428,9 @@ def cmd_report(args: argparse.Namespace) -> int:
               f"run `pytest benchmarks/ --benchmark-only` first", file=sys.stderr)
         return 1
     if args.output:
-        path = write_report(results, args.output)
+        # keep any hand-written preamble already in the output file
+        path = write_report(results, args.output,
+                            preamble=extract_preamble(Path(args.output)))
         print(f"wrote {path}")
     else:
         print(render_report(results))
@@ -476,6 +623,7 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=["all"] + list(ALGORITHMS))
     p_repair.add_argument("--timeline", default=None,
                           help="write per-chunk timelines as CSV (one file per scheme)")
+    _add_fault_args(p_repair)
     _add_observability_args(p_repair)
     p_repair.set_defaults(func=_observed(cmd_repair))
 
@@ -484,8 +632,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_multi.add_argument("--failed", type=int, default=2, help="number of failed disks")
     p_multi.add_argument("--algorithm", default="all",
                          choices=["all"] + list(ALGORITHMS))
+    _add_fault_args(p_multi)
     _add_observability_args(p_multi)
     p_multi.set_defaults(func=_observed(cmd_multi))
+
+    p_faults = sub.add_parser(
+        "faults", help="generate a reproducible fault-injection spec (JSON)"
+    )
+    p_faults.add_argument("--seed", type=int, default=0, help="generator RNG seed")
+    p_faults.add_argument("--events", type=int, default=4,
+                          help="number of fault events to draw")
+    p_faults.add_argument("--horizon", type=float, default=10.0,
+                          help="events land in [0, horizon) modeled seconds")
+    p_faults.add_argument("--num-disks", type=int, default=36,
+                          help="disk-id range to target")
+    p_faults.add_argument("--stripes", type=int, default=0,
+                          help="stripe-id range for sector errors (0 disables them)")
+    p_faults.add_argument("--shards", type=int, default=9,
+                          help="shard-id range for sector errors (the code's n)")
+    p_faults.add_argument("--kinds", default=",".join(
+        ("disk_fail", "sector_error", "slow", "hang")),
+        help="comma-separated event kinds to draw from")
+    p_faults.add_argument("--max-disk-fails", type=int, default=1,
+                          help="cap on permanent disk failures (extras become slow)")
+    p_faults.add_argument("--output", default=None, metavar="SPEC.json",
+                          help="write the spec here (default: print to stdout)")
+    p_faults.set_defaults(func=cmd_faults)
 
     p_obs = sub.add_parser("observe", help="print the Observation 1-3 tables")
     p_obs.add_argument("--stripes", type=int, default=100)

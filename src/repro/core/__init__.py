@@ -38,8 +38,8 @@ from repro.core.multi_disk import (
     cooperative_multi_disk_repair,
     naive_multi_disk_repair,
 )
-from repro.core.executor import DataPathExecutor, DataPathStats
-from repro.core.recovery import RecoveryResult, recover_disk
+from repro.core.executor import DataPathExecutor, DataPathStats, ReadPolicy
+from repro.core.recovery import RecoveryResult, recover_disk, recover_disks
 from repro.core.analysis import (
     acwt_curve_vs_pa,
     acwt_for_schedule,
@@ -82,8 +82,10 @@ __all__ = [
     "cooperative_multi_disk_repair",
     "DataPathExecutor",
     "DataPathStats",
+    "ReadPolicy",
     "RecoveryResult",
     "recover_disk",
+    "recover_disks",
     "acwt_curve_vs_pa",
     "acwt_for_schedule",
     "observation1_table",

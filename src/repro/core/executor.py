@@ -13,21 +13,122 @@ timing concern (handled by :mod:`repro.sim`); the data path is sequential
 but holds, for each stripe, exactly the peak memory its plan declares
 (round chunks + accumulators), so ``memory.peak_occupancy`` reflects one
 stripe's true footprint.
+
+Fault hardening
+---------------
+
+The executor keeps a *logical clock*: every modeled read advances it by the
+disk's (unjittered) transfer time. A :class:`~repro.faults.injector.FaultInjector`
+bound to the executor fires schedule events as the clock passes them — at
+read boundaries, so reads are atomic. When a pending survivor dies
+mid-stripe the executor salvages the partial sums already accumulated
+(``PartialDecoder.replan``), falls back to a from-scratch decode when the
+salvage system is singular (``restart``), and finally records the stripe as
+*lost* in a :class:`~repro.faults.report.DataLossReport` when fewer than
+``k`` readable shards remain — never an unhandled exception.
+
+A :class:`ReadPolicy` adds per-read timeouts with capped exponential
+backoff (timeouts advance the clock, which lets transient slow/hang windows
+expire) and optional hedged reads: a read that keeps timing out is re-planned
+onto a different survivor. Timeouts alone never lose data — when no
+alternative survivor exists the read is forced through at degraded speed.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.core.plans import RepairPlan
+from repro.core.plans import RepairPlan, StripePlan
 from repro.ec.partial import PartialDecoder
-from repro.ec.stripe import ChunkId
-from repro.errors import StorageError
+from repro.ec.stripe import ChunkId, Stripe
+from repro.errors import (
+    ChunkNotFoundError,
+    CodingError,
+    ConfigurationError,
+    DiskFailedError,
+    LatentSectorError,
+    RetryExhaustedError,
+    StorageError,
+)
+from repro.faults.report import LOST, RECOVERED, REPLANNED, DataLossReport
 from repro.hdss.server import HighDensityStorageServer
+from repro.hdss.store import FaultyChunkStore
 from repro.obs.context import current_registry, current_tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injector import FaultInjector
+
+
+@dataclass(frozen=True)
+class ReadPolicy:
+    """Knobs for hardening survivor reads against slow and hung disks.
+
+    Attributes:
+        timeout_seconds: a read whose modeled duration exceeds this is
+            abandoned (the clock still pays the timeout) and retried after
+            backoff. ``None`` disables timeouts entirely.
+        max_retries: retry budget per read before giving up on the disk.
+        backoff_base: first backoff sleep, seconds; attempt ``i`` sleeps
+            ``backoff_base * 2**i`` (capped), letting transient windows end.
+        backoff_cap: upper bound on a single backoff sleep.
+        hedge: after the retry budget, re-plan the read onto a different
+            survivor instead of forcing it through the slow disk.
+        hedge_threshold_seconds: when set (with ``hedge``), a read slower
+            than this hedges immediately without burning retries.
+    """
+
+    timeout_seconds: Optional[float] = None
+    max_retries: int = 3
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    hedge: bool = False
+    hedge_threshold_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ConfigurationError(
+                f"timeout_seconds must be > 0, got {self.timeout_seconds}"
+            )
+        if self.max_retries < 0:
+            raise ConfigurationError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base < 0 or self.backoff_cap < self.backoff_base:
+            raise ConfigurationError(
+                f"need 0 <= backoff_base <= backoff_cap, got "
+                f"{self.backoff_base}/{self.backoff_cap}"
+            )
+        if self.hedge_threshold_seconds is not None and self.hedge_threshold_seconds <= 0:
+            raise ConfigurationError(
+                f"hedge_threshold_seconds must be > 0, got {self.hedge_threshold_seconds}"
+            )
+
+    def backoff(self, attempt: int) -> float:
+        """Backoff sleep before retry ``attempt`` (0-based), capped."""
+        return min(self.backoff_base * (2.0 ** attempt), self.backoff_cap)
+
+
+class _ShardDead(Exception):
+    """Internal: a survivor shard is permanently unreadable."""
+
+    def __init__(self, shard: int, cause: Exception) -> None:
+        super().__init__(str(cause))
+        self.shard = shard
+        self.cause = cause
+
+
+class _ShardSlow(RetryExhaustedError):
+    """A survivor read exhausted its retry budget (disk alive but slow).
+
+    Subclasses the public :class:`RetryExhaustedError` so the signal keeps a
+    meaningful type if it ever escapes the executor's hedging machinery.
+    """
+
+    def __init__(self, shard: int) -> None:
+        super().__init__(f"retries exhausted on shard {shard}")
+        self.shard = shard
 
 
 @dataclass
@@ -42,6 +143,27 @@ class DataPathStats:
     peak_memory_chunks: int = 0
     #: (stripe_index, shard_index, spare_disk) of every rebuilt chunk.
     writebacks: "List[tuple]" = None
+    #: Modeled seconds of transfer/backoff the repair spent (logical clock).
+    modeled_seconds: float = 0.0
+    #: Reads that hit the policy timeout at least once.
+    timeouts: int = 0
+    #: Retry attempts issued after a timeout.
+    retries: int = 0
+    #: Reads re-planned onto a different survivor because of slowness.
+    hedged_reads: int = 0
+    #: Mid-repair survivor-set changes that salvaged the partial sums.
+    replans: int = 0
+    #: Survivor-set changes that had to discard partial sums and restart.
+    fresh_restarts: int = 0
+    #: Chunks whose reads were preserved by a salvage replan.
+    salvaged_chunks: int = 0
+    #: Chunk reads issued more than once for the same stripe.
+    reread_chunks: int = 0
+    #: Stripes with fewer than k readable shards (recorded, not raised).
+    stripes_lost: int = 0
+    #: Per-stripe outcome report; None when the run was fault-free by
+    #: construction (no injector and no read policy).
+    loss: Optional[DataLossReport] = None
 
     def __post_init__(self) -> None:
         if self.writebacks is None:
@@ -49,12 +171,249 @@ class DataPathStats:
 
 
 class DataPathExecutor:
-    """Executes repair plans against real chunk bytes."""
+    """Executes repair plans against real chunk bytes.
 
-    def __init__(self, server: HighDensityStorageServer, write_back: bool = True) -> None:
+    Args:
+        server: the storage server to repair.
+        write_back: write rebuilt chunks to spare disks (default on).
+        policy: read-hardening knobs; ``None`` reads without timeouts.
+        injector: a :class:`~repro.faults.injector.FaultInjector` already
+            bound to ``server``; its schedule fires as the logical clock
+            advances past event times.
+    """
+
+    def __init__(
+        self,
+        server: HighDensityStorageServer,
+        write_back: bool = True,
+        policy: Optional[ReadPolicy] = None,
+        injector: Optional["FaultInjector"] = None,
+    ) -> None:
         self.server = server
         self.write_back = write_back
+        self.policy = policy
+        self.injector = injector
+        if injector is not None:
+            injector.attach()
+        #: Logical repair clock, seconds of modeled transfer + backoff.
+        self.clock = 0.0
 
+    # ------------------------------------------------------------------ reads
+    def _advance_faults(self) -> None:
+        if self.injector is not None:
+            self.injector.advance(self.clock)
+
+    def _transfer_seconds(self, disk, size: int) -> float:
+        # Unjittered so the clock is a pure function of state — jitter would
+        # consume RNG draws and perturb runs that share the server.
+        return disk.transfer_time(size, jittered=False)
+
+    def _read_survivor(
+        self,
+        stripe: Stripe,
+        global_index: int,
+        shard_idx: int,
+        stats: DataPathStats,
+        seen: Set[int],
+    ) -> np.ndarray:
+        """One hardened survivor read; advances the clock.
+
+        Raises:
+            _ShardDead: disk failed / chunk missing / latent sector error.
+            _ShardSlow: policy retries exhausted and hedging is enabled.
+        """
+        server = self.server
+        disk_id = stripe.disks[shard_idx]
+        policy = self.policy
+        attempt = 0
+        while True:
+            self._advance_faults()
+            disk = server.disk(disk_id)
+            if disk.is_failed:
+                raise _ShardDead(shard_idx, DiskFailedError(f"disk {disk_id} failed"))
+            duration = self._transfer_seconds(disk, server.config.chunk_size)
+            if policy is not None:
+                hedge_now = (
+                    policy.hedge
+                    and policy.hedge_threshold_seconds is not None
+                    and duration > policy.hedge_threshold_seconds
+                )
+                timed_out = (
+                    policy.timeout_seconds is not None
+                    and duration > policy.timeout_seconds
+                )
+                if hedge_now and not timed_out:
+                    raise _ShardSlow(shard_idx)
+                if timed_out:
+                    stats.timeouts += 1
+                    self.clock += policy.timeout_seconds
+                    if attempt >= policy.max_retries:
+                        if policy.hedge:
+                            raise _ShardSlow(shard_idx)
+                        duration = self._wait_out(disk_id)
+                        if duration is None:
+                            raise _ShardDead(
+                                shard_idx, DiskFailedError(f"disk {disk_id} failed")
+                            )
+                    else:
+                        stats.retries += 1
+                        self.clock += policy.backoff(attempt)
+                        attempt += 1
+                        continue
+            try:
+                data = server.store.get(disk_id, ChunkId(global_index, shard_idx))
+            except (LatentSectorError, ChunkNotFoundError) as exc:
+                raise _ShardDead(shard_idx, exc) from None
+            self.clock += duration
+            disk.record_read(data.size)
+            stats.chunks_read += 1
+            stats.bytes_read += int(data.size)
+            if shard_idx in seen:
+                stats.reread_chunks += 1
+            seen.add(shard_idx)
+            return data
+
+    def _forced_read(
+        self,
+        stripe: Stripe,
+        global_index: int,
+        shard_idx: int,
+        stats: DataPathStats,
+        seen: Set[int],
+    ) -> np.ndarray:
+        """Read a slow shard with no timeout (waiting out transient windows).
+
+        Raises:
+            _ShardDead: the disk failed while we waited, or the chunk is
+                gone/poisoned — the shard really is unreadable.
+        """
+        server = self.server
+        disk_id = stripe.disks[shard_idx]
+        self._advance_faults()
+        duration = self._wait_out(disk_id)
+        if duration is None:
+            raise _ShardDead(shard_idx, DiskFailedError(f"disk {disk_id} failed"))
+        try:
+            data = server.store.get(disk_id, ChunkId(global_index, shard_idx))
+        except (LatentSectorError, ChunkNotFoundError) as exc:
+            raise _ShardDead(shard_idx, exc) from None
+        self.clock += duration
+        server.disk(disk_id).record_read(data.size)
+        stats.chunks_read += 1
+        stats.bytes_read += int(data.size)
+        if shard_idx in seen:
+            stats.reread_chunks += 1
+        seen.add(shard_idx)
+        return data
+
+    def _wait_out(self, disk_id: int) -> Optional[float]:
+        """Forced read: wait for transient windows to close, then price it.
+
+        The last resort when retries are exhausted and hedging is off (or
+        impossible): block until the disk answers. Returns the final read
+        duration, or ``None`` if the disk failed while we waited.
+        """
+        server = self.server
+        while True:
+            disk = server.disk(disk_id)
+            if disk.is_failed:
+                return None
+            duration = self._transfer_seconds(disk, server.config.chunk_size)
+            horizon = (
+                self.injector.next_change_time()
+                if self.injector is not None
+                else math.inf
+            )
+            if not disk.is_slow or horizon <= self.clock or math.isinf(horizon):
+                return duration
+            self.clock = horizon
+            self._advance_faults()
+
+    # --------------------------------------------------------------- salvage
+    def _readable_shards(
+        self, stripe: Stripe, global_index: int, exclude: Set[int]
+    ) -> List[int]:
+        """Shards with a live disk and a readable chunk, fast disks first."""
+        server = self.server
+        store = server.store
+        out: List[Tuple[bool, int]] = []
+        for sid, disk_id in enumerate(stripe.disks):
+            if sid in exclude:
+                continue
+            disk = server.disks[disk_id]
+            if disk.is_failed:
+                continue
+            cid = ChunkId(global_index, sid)
+            if not store.contains(disk_id, cid):
+                continue
+            if isinstance(store, FaultyChunkStore) and (disk_id, cid) in store._bad:
+                continue
+            out.append((disk.is_slow, sid))
+        return [sid for _, sid in sorted(out)]
+
+    def _rounds_of(self, shard_ids: Sequence[int], per_round: int) -> List[List[int]]:
+        per_round = max(1, per_round)
+        return [
+            list(shard_ids[i : i + per_round])
+            for i in range(0, len(shard_ids), per_round)
+        ]
+
+    def _replan_rounds(
+        self,
+        decoder: PartialDecoder,
+        stripe: Stripe,
+        global_index: int,
+        bad_shard: int,
+        stats: DataPathStats,
+        per_round: int,
+        tracer,
+        allow_restart: bool = True,
+    ) -> Optional[List[List[int]]]:
+        """Re-plan a stripe around an unreadable (or hopelessly slow) shard.
+
+        Returns the new read rounds, or ``None`` when no viable plan exists.
+        Prefers :meth:`PartialDecoder.replan` (salvages every fed chunk, only
+        ``k - t`` reads remain); falls back to a from-scratch ``restart``
+        when the salvage system is singular. With ``allow_restart`` off
+        (hedging a slow-but-alive shard) only the salvage path is tried —
+        the caller forces the read through instead of discarding progress.
+        """
+        k, t = decoder.code.k, len(decoder.targets)
+        exclude = set(decoder.targets) | {bad_shard}
+        with tracer.span("replan", f"stripe {global_index} replan",
+                         track="datapath", bad_shard=bad_shard):
+            candidates = self._readable_shards(stripe, global_index, exclude)
+            fed = set(decoder.fed)
+            pending_alive = [s for s in decoder.pending if s in set(candidates)]
+            fresh = [
+                s for s in candidates
+                if s not in set(pending_alive) and s not in fed
+            ]
+            # Last choice: re-read fed shards (their reads repeat, but the
+            # accumulator still saves t reads versus a full restart).
+            refed = [s for s in candidates if s in fed]
+            new_reads = (pending_alive + fresh + refed)[: k - t]
+            if len(new_reads) == k - t:
+                try:
+                    decoder.replan(new_reads)
+                    stats.replans += 1
+                    stats.salvaged_chunks += len(decoder.fed)
+                    return self._rounds_of(decoder.pending, per_round)
+                except CodingError:
+                    pass  # singular salvage system; fall through to restart
+            if not allow_restart:
+                return None
+            survivors = list(candidates)  # fed shards are re-readable
+            if len(survivors) >= k:
+                decoder.restart(survivors[:k])
+                stats.fresh_restarts += 1
+                return self._rounds_of(decoder.pending, per_round)
+            stats.stripes_lost += 1
+            tracer.instant("replan", f"stripe {global_index} lost",
+                           readable=len(survivors), needed=k)
+            return None
+
+    # ----------------------------------------------------------------- repair
     def repair(
         self,
         plan: RepairPlan,
@@ -74,11 +433,15 @@ class DataPathExecutor:
 
         Returns:
             Byte-level statistics; rebuilt chunks live on spare disks (and
-            the store) afterwards when ``write_back`` is on.
+            the store) afterwards when ``write_back`` is on. Under faults
+            (injector or policy configured) ``stats.loss`` carries the
+            per-stripe :class:`DataLossReport` — unrecoverable stripes are
+            recorded there instead of raising.
 
         Raises:
             MemoryCapacityError: a round + accumulators exceeded ``c``.
-            StorageError / ChunkNotFoundError: survivors are unreadable.
+            StorageError / ChunkNotFoundError: survivors are unreadable and
+                no fault handling is configured.
         """
         server = self.server
         failed = list(failed_disks) if failed_disks is not None else server.failed_disks()
@@ -87,7 +450,10 @@ class DataPathExecutor:
         memory = server.memory
         if memory.occupancy:
             raise StorageError(f"repair memory is not empty: {memory!r}")
+        hardened = self.policy is not None or self.injector is not None
         stats = DataPathStats()
+        if hardened:
+            stats.loss = DataLossReport()
         chunk_size = server.config.chunk_size
         tracer = current_tracer()
 
@@ -101,60 +467,239 @@ class DataPathExecutor:
                 raise StorageError(
                     f"stripe {global_index} lost nothing on disks {failed}"
                 )
-            decoder = PartialDecoder(server.code, shards, targets, chunk_size=chunk_size)
-
-            acc_handles = [("acc", global_index, t) for t in targets]
-            multi_round = sp.num_rounds > 1
             with tracer.span("stripe", f"stripe {global_index}",
                              track="datapath", rounds=sp.num_rounds):
-                if multi_round:
-                    # Accumulators are resident for the stripe's whole repair.
-                    for handle in acc_handles:
-                        memory.admit(handle)
-
-                for round_index, rnd in enumerate(sp.rounds):
-                    fed: Dict[int, np.ndarray] = {}
-                    handles = []
-                    with tracer.span("round", f"stripe {global_index} round {round_index}",
-                                     track="datapath", chunks=len(rnd)):
-                        with tracer.span("read", "fetch survivors", track="datapath"):
-                            for col in rnd:
-                                shard_idx = shards[col]
-                                disk_id = stripe.disks[shard_idx]
-                                disk = server.disk(disk_id)
-                                data = server.store.get(disk_id, ChunkId(global_index, shard_idx))
-                                handle = ("xfer", global_index, shard_idx)
-                                buf = memory.admit(handle, data)
-                                handles.append(handle)
-                                disk.record_read(data.size)
-                                stats.chunks_read += 1
-                                stats.bytes_read += int(data.size)
-                                fed[shard_idx] = buf
-                        with tracer.span("decode", "partial decode", track="datapath"):
-                            decoder.feed(fed)
-                        for handle in handles:
-                            memory.release(handle)
-
-                # Single-round plans decode in place: the accumulator result
-                # is materialised only after the round's slots are released.
-                results = decoder.results()
-                with tracer.span("writeback", f"stripe {global_index} writeback",
-                                 track="datapath", targets=len(targets)):
-                    for target in targets:
-                        rebuilt = results[target]
-                        if self.write_back:
-                            # never land two shards of one stripe on the same disk
-                            spare = server.pick_spare(exclude=stripe.disks)
-                            server.store.put(spare, ChunkId(global_index, target), rebuilt)
-                            stats.writebacks.append((global_index, target, spare))
-                        stats.chunks_rebuilt += 1
-                        stats.bytes_written += int(rebuilt.size) if self.write_back else 0
-                if multi_round:
-                    for handle in acc_handles:
-                        memory.release(handle)
-                stats.stripes_repaired += 1
+                if hardened:
+                    self._repair_stripe_hardened(
+                        sp, stripe, global_index, shards, targets, stats, tracer
+                    )
+                else:
+                    self._repair_stripe(
+                        sp, stripe, global_index, shards, targets, stats
+                    )
 
         stats.peak_memory_chunks = memory.peak_occupancy
+        stats.modeled_seconds = self.clock
+        if stats.loss is not None and self.injector is not None:
+            for kind, n in self.injector.applied.items():
+                stats.loss.count_fault(kind, n)
+        self._export_metrics(stats)
+        return stats
+
+    # ------------------------------------------------------------ fault-free
+    def _repair_stripe(
+        self,
+        sp: StripePlan,
+        stripe: Stripe,
+        global_index: int,
+        shards: List[int],
+        targets: List[int],
+        stats: DataPathStats,
+    ) -> None:
+        """The plain data path: no timeouts, failures propagate."""
+        server = self.server
+        memory = server.memory
+        tracer = current_tracer()
+        decoder = PartialDecoder(
+            server.code, shards, targets, chunk_size=server.config.chunk_size
+        )
+        acc_handles = [("acc", global_index, t) for t in targets]
+        multi_round = sp.num_rounds > 1
+        if multi_round:
+            # Accumulators are resident for the stripe's whole repair.
+            for handle in acc_handles:
+                memory.admit(handle)
+
+        seen: Set[int] = set()
+        for round_index, rnd in enumerate(sp.rounds):
+            fed: Dict[int, np.ndarray] = {}
+            handles = []
+            with tracer.span("round", f"stripe {global_index} round {round_index}",
+                             track="datapath", chunks=len(rnd)):
+                with tracer.span("read", "fetch survivors", track="datapath"):
+                    for col in rnd:
+                        shard_idx = shards[col]
+                        try:
+                            data = self._read_survivor(
+                                stripe, global_index, shard_idx, stats, seen
+                            )
+                        except _ShardDead as exc:
+                            raise exc.cause  # plain path: surface the real error
+                        handle = ("xfer", global_index, shard_idx)
+                        buf = memory.admit(handle, data)
+                        handles.append(handle)
+                        fed[shard_idx] = buf
+                with tracer.span("decode", "partial decode", track="datapath"):
+                    decoder.feed(fed)
+                for handle in handles:
+                    memory.release(handle)
+
+        # Single-round plans decode in place: the accumulator result
+        # is materialised only after the round's slots are released.
+        self._write_back(decoder, stripe, global_index, targets, stats)
+        if multi_round:
+            for handle in acc_handles:
+                memory.release(handle)
+        stats.stripes_repaired += 1
+
+    # -------------------------------------------------------------- hardened
+    def _repair_stripe_hardened(
+        self,
+        sp: StripePlan,
+        stripe: Stripe,
+        global_index: int,
+        shards: List[int],
+        targets: List[int],
+        stats: DataPathStats,
+        tracer,
+    ) -> None:
+        """The fault-tolerant data path: salvage, restart, or record loss."""
+        server = self.server
+        memory = server.memory
+        decoder = PartialDecoder(
+            server.code, shards, targets, chunk_size=server.config.chunk_size
+        )
+        acc_handles = [("acc", global_index, t) for t in targets]
+        acc_admitted = False
+        # Post-failure rounds must fit alongside the accumulators even when
+        # the original plan was single-round (its budget had no acc slots).
+        per_round = max(1, sp.peak_memory_chunks() - len(targets))
+        outcome = RECOVERED
+        held: List[tuple] = []
+        seen: Set[int] = set()
+
+        def release_held() -> None:
+            while held:
+                memory.release(held.pop())
+
+        if sp.num_rounds > 1:
+            for handle in acc_handles:
+                memory.admit(handle)
+            acc_admitted = True
+
+        queue = [[shards[col] for col in rnd] for rnd in sp.rounds]
+        round_index = 0
+        while queue:
+            rnd = [s for s in queue.pop(0) if s in set(decoder.pending)]
+            if not rnd:
+                continue
+            fed: Dict[int, np.ndarray] = {}
+            fault: "Optional[Exception]" = None
+            rest: List[int] = []
+            with tracer.span("round", f"stripe {global_index} round {round_index}",
+                             track="datapath", chunks=len(rnd)):
+                for pos, shard_idx in enumerate(rnd):
+                    try:
+                        data = self._read_survivor(
+                            stripe, global_index, shard_idx, stats, seen
+                        )
+                    except (_ShardDead, _ShardSlow) as exc:
+                        fault = exc
+                        rest = rnd[pos + 1 :]
+                        break
+                    handle = ("xfer", global_index, shard_idx)
+                    buf = memory.admit(handle, data)
+                    held.append(handle)
+                    fed[shard_idx] = buf
+                # Salvage everything this round read successfully — fold it
+                # into the accumulators before the handles go away.
+                if fed:
+                    decoder.feed(fed)
+                release_held()
+            round_index += 1
+            if fault is None:
+                continue
+
+            # Mid-round fault: make sure decoder state can survive further
+            # rounds before re-planning the remaining reads.
+            if not acc_admitted and not decoder.complete:
+                for handle in acc_handles:
+                    memory.admit(handle)
+                acc_admitted = True
+
+            if isinstance(fault, _ShardSlow):
+                # Hedge: swap the slow shard for another survivor, keeping
+                # everything already accumulated. A slow disk still has the
+                # data, so never restart or lose the stripe over it — when
+                # no alternative exists, force the read through.
+                new_rounds = self._replan_rounds(
+                    decoder, stripe, global_index, fault.shard, stats,
+                    per_round, tracer, allow_restart=False,
+                )
+                if new_rounds is not None:
+                    stats.hedged_reads += 1
+                    outcome = REPLANNED
+                    queue = new_rounds
+                    continue
+                try:
+                    data = self._forced_read(
+                        stripe, global_index, fault.shard, stats, seen
+                    )
+                except _ShardDead as exc:
+                    fault = exc  # died while waiting; handle as dead below
+                else:
+                    handle = ("xfer", global_index, fault.shard)
+                    buf = memory.admit(handle, data)
+                    decoder.feed({fault.shard: buf})
+                    memory.release(handle)
+                    if rest:
+                        queue.insert(0, rest)
+                    continue
+
+            # A survivor is permanently unreadable: salvage, restart, or lose.
+            new_rounds = self._replan_rounds(
+                decoder, stripe, global_index, fault.shard, stats,
+                per_round, tracer, allow_restart=True,
+            )
+            if new_rounds is None:
+                outcome = LOST
+                break
+            outcome = REPLANNED
+            queue = new_rounds
+
+        if outcome == LOST:
+            release_held()
+            if acc_admitted:
+                for handle in acc_handles:
+                    memory.release(handle)
+            stats.loss.record(global_index, LOST)
+            return
+
+        self._write_back(decoder, stripe, global_index, targets, stats)
+        if acc_admitted:
+            for handle in acc_handles:
+                memory.release(handle)
+        stats.stripes_repaired += 1
+        stats.loss.record(global_index, outcome)
+
+    # -------------------------------------------------------------- plumbing
+    def _write_back(
+        self,
+        decoder: PartialDecoder,
+        stripe: Stripe,
+        global_index: int,
+        targets: List[int],
+        stats: DataPathStats,
+    ) -> None:
+        server = self.server
+        tracer = current_tracer()
+        results = decoder.results()
+        # never land two shards of one stripe on the same disk — including
+        # two *rebuilt* shards (multi-target cooperative repair).
+        exclude = list(stripe.disks)
+        with tracer.span("writeback", f"stripe {global_index} writeback",
+                         track="datapath", targets=len(targets)):
+            for target in targets:
+                rebuilt = results[target]
+                if self.write_back:
+                    spare = server.pick_spare(exclude=exclude)
+                    exclude.append(spare)
+                    server.store.put(spare, ChunkId(global_index, target), rebuilt)
+                    stats.writebacks.append((global_index, target, spare))
+                stats.chunks_rebuilt += 1
+                stats.bytes_written += int(rebuilt.size) if self.write_back else 0
+
+    def _export_metrics(self, stats: DataPathStats) -> None:
         registry = current_registry()
         registry.counter(
             "hdpsr_datapath_bytes_read_total", "Survivor bytes read on the data path"
@@ -165,4 +710,35 @@ class DataPathExecutor:
         registry.counter(
             "hdpsr_datapath_chunks_rebuilt_total", "Chunks rebuilt on the data path"
         ).inc(stats.chunks_rebuilt)
-        return stats
+        if stats.loss is None:
+            return
+        loss = stats.loss
+        loss.timeouts += stats.timeouts
+        loss.retries += stats.retries
+        loss.hedged_reads += stats.hedged_reads
+        loss.replans += stats.replans
+        loss.fresh_restarts += stats.fresh_restarts
+        loss.salvaged_chunks += stats.salvaged_chunks
+        loss.reread_chunks += stats.reread_chunks
+        for name, help_text, value in (
+            ("hdpsr_read_timeouts_total", "Survivor reads that hit the timeout", stats.timeouts),
+            ("hdpsr_read_retries_total", "Survivor read retries after backoff", stats.retries),
+            ("hdpsr_hedged_reads_total", "Reads re-planned off a slow disk", stats.hedged_reads),
+            ("hdpsr_replans_total", "Mid-repair salvage replans", stats.replans),
+            ("hdpsr_fresh_restarts_total", "Salvage-infeasible full restarts", stats.fresh_restarts),
+            ("hdpsr_chunks_salvaged_total", "Chunks preserved by salvage replans", stats.salvaged_chunks),
+            ("hdpsr_replan_reread_chunks_total", "Chunk reads repeated after faults", stats.reread_chunks),
+            ("hdpsr_stripes_lost_total", "Stripes recorded as unrecoverable", stats.stripes_lost),
+        ):
+            if value:
+                registry.counter(name, help_text).inc(value)
+
+
+# Backwards-compatible alias: the retry-exhaustion signal surfaced to users
+# when a forced read is impossible is the public RetryExhaustedError.
+__all__ = [
+    "DataPathExecutor",
+    "DataPathStats",
+    "ReadPolicy",
+    "RetryExhaustedError",
+]

@@ -16,7 +16,7 @@ reads 15 chunks, cooperative reads 9.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -28,6 +28,7 @@ from repro.core.scheduler import (
     execute_plan,
 )
 from repro.errors import StorageError
+from repro.faults.injector import SimFaultModel
 from repro.hdss.prober import ActiveProber, PassiveMonitor
 from repro.hdss.server import HighDensityStorageServer
 from repro.obs.context import current_registry, current_tracer, use_tracer
@@ -58,6 +59,13 @@ class MultiDiskOutcome:
     #: the most lost chunks) was secured; one more failure before this
     #: instant would have the highest chance of losing data.
     time_to_safety: Optional[float] = None
+    #: Stripes whose jobs were aborted by a mid-repair disk failure and
+    #: then completed in a later re-plan phase (cooperative + faults only).
+    replanned_stripes: List[int] = field(default_factory=list)
+    #: Stripes abandoned as unrecoverable (fewer than k survivors left).
+    lost_stripes: List[int] = field(default_factory=list)
+    #: Re-plan phases executed after mid-repair failures.
+    replan_phases: int = 0
 
     @property
     def total_acwt(self) -> float:
@@ -65,7 +73,7 @@ class MultiDiskOutcome:
         return float(np.mean(waits)) if waits else 0.0
 
     def summary(self) -> Dict[str, float]:
-        return {
+        out = {
             "algorithm": self.algorithm,
             "cooperative": self.cooperative,
             "failed_disks": float(len(self.failed_disks)),
@@ -73,6 +81,12 @@ class MultiDiskOutcome:
             "chunks_read": float(self.chunks_read),
             "chunks_rebuilt": float(self.chunks_rebuilt),
         }
+        if self.replan_phases:
+            out["replan_phases"] = float(self.replan_phases)
+            out["replanned_stripes"] = float(len(self.replanned_stripes))
+        if self.lost_stripes:
+            out["lost_stripes"] = float(len(self.lost_stripes))
+        return out
 
 
 def _plan_inputs(
@@ -252,6 +266,17 @@ def cooperative_multi_disk_repair(
     first (they are one or two failures from data loss), shrinking
     ``time_to_safety`` at a possible small cost in total time — an
     extension beyond the paper's FIFO ordering.
+
+    When ``options.faults`` carries a
+    :class:`~repro.faults.injector.SimFaultModel` and a disk dies
+    *mid-repair*, the aborted stripes are re-planned: the dead disk is
+    marked failed on the server (so it joins ``failed_disks`` and is
+    excluded from survivor selection), a fresh plan covering just the
+    aborted stripes runs as an additional phase starting at the abort
+    point, and stripes left with fewer than k survivors are recorded in
+    ``lost_stripes`` instead of raising. The outcome's ``failed_disks``
+    then includes mid-repair casualties, and ``time_to_safety`` is ``None``
+    whenever data was actually lost.
     """
     failed = _check_failed(server, failed_disks)
     algorithm = algorithm_factory()
@@ -261,6 +286,7 @@ def cooperative_multi_disk_repair(
     if not stripe_indices:
         raise StorageError(f"disks {failed} hold no stripes; nothing to repair")
     tracer = current_tracer()
+    options = options or ExecutionOptions()
     report, _ = _run_phase(
         server, algorithm, stripe_indices, select, options,
         probe_noise, prober, None, order=order, failed=failed,
@@ -270,26 +296,100 @@ def cooperative_multi_disk_repair(
             "phase", f"cooperative repair of disks {failed}", 0.0,
             report.total_time, track="phases", stripes=len(stripe_indices),
         )
+
+    reports: List[TransferReport] = [report]
+    stripes_per_phase: List[int] = [len(stripe_indices)]
+    chunks_read = report.chunk_count
+    finish_times: Dict[int, float] = dict(report.job_finish_times)
+    total_time = report.total_time
+    replanned: List[int] = []
+    lost: List[int] = []
+    replan_phases = 0
+    k = server.config.k
+    current = report
+    # Mid-repair failures: every iteration marks at least one new disk
+    # failed, so this terminates within the schedule's disk_fail budget.
+    while current.failed_jobs:
+        newly = {d for (_, d) in current.failed_jobs.values() if d is not None}
+        phase_start = total_time
+        # A round aborts on its *earliest* failing disk, so later failures
+        # can be absent from failed_jobs; anything scheduled to die before
+        # the re-plan phase begins has already happened by then.
+        if options.faults is not None:
+            for d, at in options.faults.schedule.disk_fail_times().items():
+                if at <= phase_start and d < len(server.disks):
+                    newly.add(d)
+        newly = sorted(d for d in newly if not server.disk(d).is_failed)
+        for d in newly:
+            server.fail_disk(d)
+        if not newly:
+            break
+        failed = list(dict.fromkeys(failed + newly))
+        aborted = sorted(current.failed_jobs)
+        recoverable: List[int] = []
+        for si in aborted:
+            stripe = server.layout[si]
+            survivors = len(stripe.disks) - len(stripe.lost_shards(failed))
+            if survivors >= k:
+                recoverable.append(si)
+            else:
+                lost.append(si)
+                if tracer.enabled:
+                    tracer.instant("data-loss", f"stripe {si} unrecoverable",
+                                   track="phases", stripe=si)
+        if not recoverable:
+            break
+        replan_phases += 1
+        phase_options = options
+        if options.faults is not None:
+            phase_options = replace(
+                options,
+                faults=SimFaultModel(options.faults.schedule.shifted(phase_start)),
+            )
+        with use_tracer(OffsetTracer(tracer, phase_start)):
+            rep, _ = _run_phase(
+                server, algorithm, recoverable, select, phase_options,
+                probe_noise, prober, None, order=order, failed=failed,
+            )
+        if tracer.enabled:
+            tracer.complete(
+                "phase", f"re-plan after disk {newly} failed mid-repair",
+                phase_start, rep.total_time, track="phases",
+                stripes=len(recoverable),
+            )
+        total_time = phase_start + rep.total_time
+        chunks_read += rep.chunk_count
+        reports.append(rep)
+        stripes_per_phase.append(len(recoverable))
+        for si, t in rep.job_finish_times.items():
+            finish_times[si] = phase_start + t
+            replanned.append(si)
+        current = rep
+
     lost_per_stripe = {
         si: len(server.layout[si].lost_shards(failed)) for si in stripe_indices
     }
-    rebuilt = sum(lost_per_stripe.values())
-    max_lost = max(lost_per_stripe.values())
-    time_to_safety = max(
-        report.job_finish_times[si]
-        for si, lost in lost_per_stripe.items()
-        if lost == max_lost
-    )
+    rebuilt = sum(lost_per_stripe[si] for si in finish_times)
+    time_to_safety: Optional[float] = None
+    if finish_times and not lost:
+        max_lost = max(lost_per_stripe[si] for si in finish_times)
+        time_to_safety = max(
+            t for si, t in finish_times.items()
+            if lost_per_stripe[si] == max_lost
+        )
     outcome = MultiDiskOutcome(
         algorithm=algorithm.name,
         cooperative=True,
         failed_disks=failed,
-        total_time=report.total_time,
-        chunks_read=report.chunk_count,
+        total_time=total_time,
+        chunks_read=chunks_read,
         chunks_rebuilt=rebuilt,
-        reports=[report],
-        stripes_per_phase=[len(stripe_indices)],
+        reports=reports,
+        stripes_per_phase=stripes_per_phase,
         time_to_safety=time_to_safety,
+        replanned_stripes=list(dict.fromkeys(replanned)),
+        lost_stripes=sorted(lost),
+        replan_phases=replan_phases,
     )
     _record_multi_metrics(outcome)
     return outcome
@@ -312,3 +412,13 @@ def _record_multi_metrics(outcome: MultiDiskOutcome) -> None:
     registry.histogram(
         "hdpsr_multi_disk_repair_seconds", "Simulated multi-disk repair time"
     ).labels(**labels).observe(outcome.total_time)
+    if outcome.replan_phases:
+        registry.counter(
+            "hdpsr_sim_replan_phases_total",
+            "Timing-plane re-plan phases after mid-repair disk failures",
+        ).labels(**labels).inc(outcome.replan_phases)
+    if outcome.lost_stripes:
+        registry.counter(
+            "hdpsr_sim_stripes_lost_total",
+            "Stripes abandoned as unrecoverable on the timing plane",
+        ).labels(**labels).inc(len(outcome.lost_stripes))

@@ -5,27 +5,44 @@ downstream operator wants: it plans with the chosen HD-PSR scheme,
 predicts the repair time on the simulated timeline, moves the actual bytes
 through the bounded memory, writes rebuilt chunks to spares, commits the
 placement remap, and scrubs the affected stripes to certify the outcome.
+
+:func:`recover_disks` is the multi-failure counterpart: it unions the
+failed disks' stripe sets and rebuilds every lost chunk of each affected
+stripe from a single k-survivor read (cooperative repair, §4.4) on the
+byte-exact plane.
+
+Both accept a :class:`~repro.faults.spec.FaultSchedule` (``faults=``) and a
+:class:`~repro.core.executor.ReadPolicy` (``policy=``); with either set the
+data path runs hardened — mid-repair failures are re-planned around, slow
+disks are retried or hedged, and unrecoverable stripes land in
+``result.loss`` instead of raising.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
 
 from repro.core.base import RepairAlgorithm, RepairContext
-from repro.core.executor import DataPathExecutor, DataPathStats
+from repro.core.executor import DataPathExecutor, DataPathStats, ReadPolicy
 from repro.core.scheduler import (
     ExecutionOptions,
     RepairOutcome,
+    _disk_id_matrix,
+    execute_plan,
     repair_single_disk,
 )
 from repro.errors import StorageError
+from repro.faults.injector import FaultInjector
+from repro.faults.report import DataLossReport
+from repro.faults.spec import FaultSchedule
+from repro.hdss.prober import ActiveProber
 from repro.hdss.server import HighDensityStorageServer, ScrubReport
 
 
 @dataclass
 class RecoveryResult:
-    """Everything one disk recovery produced, across all three planes."""
+    """Everything one recovery produced, across all three planes."""
 
     #: Simulated-timeline outcome (repair time, ACWT, the plan).
     outcome: RepairOutcome
@@ -33,16 +50,27 @@ class RecoveryResult:
     data_path: DataPathStats
     #: Shards remapped onto spares.
     remapped: int
-    #: Post-recovery scrub of the affected stripes.
+    #: Post-recovery scrub of the affected stripes (lost stripes excluded).
     scrub: ScrubReport
+    #: Per-stripe fault outcomes; ``None`` when the run was fault-free by
+    #: construction (no schedule and no read policy).
+    loss: Optional[DataLossReport] = None
 
     @property
     def certified(self) -> bool:
-        """True when every affected stripe scrubbed clean after commit."""
+        """True when no stripe was lost and every one scrubbed clean.
+
+        Strict by design: a disk that died *during* the repair leaves its
+        own chunks missing from otherwise-recovered stripes, so those
+        stripes scrub degraded and certification fails — the honest signal
+        that another recovery (for the new disk) is still owed.
+        """
+        if self.loss is not None and self.loss.has_loss:
+            return False
         return self.scrub.healthy and not self.scrub.unpopulated
 
     def summary(self) -> dict:
-        return {
+        out = {
             "algorithm": self.outcome.algorithm,
             "repair_time": self.outcome.transfer_time,
             "stripes": len(self.outcome.stripe_indices),
@@ -52,32 +80,21 @@ class RecoveryResult:
             "remapped": self.remapped,
             "certified": self.certified,
         }
+        if self.loss is not None:
+            out["faults"] = self.loss.summary()
+        return out
 
 
-def recover_disk(
+def _require_bytes(
     server: HighDensityStorageServer,
-    algorithm: RepairAlgorithm,
-    failed_disk: int,
-    options: Optional[ExecutionOptions] = None,
-    context: Optional[RepairContext] = None,
-) -> RecoveryResult:
-    """Fully recover one failed disk: plan, rebuild, commit, certify.
-
-    The disk must already be failed and the server must hold real chunk
-    bytes (``with_data=True`` provisioning or ``write_object``).
-
-    Raises:
-        StorageError: disk healthy / nothing to repair / store is
-            metadata-only (nothing to rebuild byte-for-byte).
-    """
-    outcome = repair_single_disk(
-        server, algorithm, failed_disk, options=options, context=context
-    )
-    # the data path needs actual survivor bytes
-    sample_stripe = server.layout[outcome.stripe_indices[0]]
-    sample_survivor = outcome.survivor_ids[0][0]
+    stripe_indices: Sequence[int],
+    survivor_ids: Sequence[Sequence[int]],
+) -> None:
+    """The data path needs actual survivor bytes, not metadata-only stripes."""
     from repro.ec.stripe import ChunkId
 
+    sample_stripe = server.layout[stripe_indices[0]]
+    sample_survivor = survivor_ids[0][0]
     if not server.store.contains(
         sample_stripe.disks[sample_survivor],
         ChunkId(sample_stripe.index, sample_survivor),
@@ -86,12 +103,156 @@ def recover_disk(
             "server holds no chunk bytes; provision with with_data=True "
             "(or use repair_single_disk for timing-only studies)"
         )
-    executor = DataPathExecutor(server)
+
+
+def _hardened_executor(
+    server: HighDensityStorageServer,
+    faults: Optional[FaultSchedule],
+    policy: Optional[ReadPolicy],
+) -> DataPathExecutor:
+    injector = FaultInjector(server, faults) if faults else None
+    return DataPathExecutor(server, policy=policy, injector=injector)
+
+
+def _scrub_surviving(
+    server: HighDensityStorageServer,
+    stripe_indices: Sequence[int],
+    stats: DataPathStats,
+) -> ScrubReport:
+    """Scrub the affected stripes, excluding those recorded as lost."""
+    lost = set(stats.loss.lost) if stats.loss is not None else set()
+    keep = [si for si in stripe_indices if si not in lost]
+    return server.scrub(stripe_indices=keep) if keep else ScrubReport()
+
+
+def recover_disk(
+    server: HighDensityStorageServer,
+    algorithm: RepairAlgorithm,
+    failed_disk: int,
+    options: Optional[ExecutionOptions] = None,
+    context: Optional[RepairContext] = None,
+    faults: Optional[FaultSchedule] = None,
+    policy: Optional[ReadPolicy] = None,
+) -> RecoveryResult:
+    """Fully recover one failed disk: plan, rebuild, commit, certify.
+
+    The disk must already be failed and the server must hold real chunk
+    bytes (``with_data=True`` provisioning or ``write_object``).
+
+    ``faults`` binds a :class:`~repro.faults.injector.FaultInjector` to the
+    data path (events fire as the logical clock advances); ``policy`` adds
+    per-read timeouts/retries/hedging. With either set, unrecoverable
+    stripes are recorded in ``result.loss`` instead of raising.
+
+    Raises:
+        StorageError: disk healthy / nothing to repair / store is
+            metadata-only (nothing to rebuild byte-for-byte).
+    """
+    outcome = repair_single_disk(
+        server, algorithm, failed_disk, options=options, context=context
+    )
+    _require_bytes(server, outcome.stripe_indices, outcome.survivor_ids)
+    executor = _hardened_executor(server, faults, policy)
     stats = executor.repair(
         outcome.plan, outcome.stripe_indices, outcome.survivor_ids
     )
     remapped = server.commit_writebacks(stats.writebacks)
-    scrub = server.scrub(stripe_indices=outcome.stripe_indices)
+    scrub = _scrub_surviving(server, outcome.stripe_indices, stats)
     return RecoveryResult(
-        outcome=outcome, data_path=stats, remapped=remapped, scrub=scrub
+        outcome=outcome, data_path=stats, remapped=remapped, scrub=scrub,
+        loss=stats.loss,
+    )
+
+
+def recover_disks(
+    server: HighDensityStorageServer,
+    algorithm: RepairAlgorithm,
+    failed_disks: Sequence[int],
+    options: Optional[ExecutionOptions] = None,
+    context: Optional[RepairContext] = None,
+    faults: Optional[FaultSchedule] = None,
+    policy: Optional[ReadPolicy] = None,
+    select: str = "first",
+    probe_noise: float = 0.02,
+) -> RecoveryResult:
+    """Cooperatively recover several failed disks on the byte-exact plane.
+
+    The failed disks' stripe sets are unioned and deduplicated; each
+    affected stripe is repaired exactly once, rebuilding *all* of its lost
+    chunks from a single k-survivor read (the multi-target capability of
+    :class:`~repro.ec.partial.PartialDecoder`). This is the data-path twin
+    of :func:`~repro.core.multi_disk.cooperative_multi_disk_repair`, which
+    covers the timing plane.
+
+    ``faults``/``policy`` harden the run exactly as in :func:`recover_disk`
+    — the scripted "second disk dies mid-round" scenario goes through here:
+    the injector really fails the disk, the executor salvages each stripe's
+    accumulated partial sums via ``PartialDecoder.replan``, and stripes
+    left with fewer than k readable shards are reported in ``result.loss``.
+
+    Raises:
+        StorageError: no failed disks, a listed disk is healthy, no
+            affected stripes, or the store is metadata-only.
+    """
+    failed: List[int] = list(dict.fromkeys(failed_disks))
+    if not failed:
+        raise StorageError("no failed disks given")
+    for d in failed:
+        if not server.disk(d).is_failed:
+            raise StorageError(f"disk {d} is healthy; fail it before repairing")
+
+    stripe_indices, survivor_ids, L_oracle = server.transfer_time_matrix(
+        failed, select=select
+    )
+    if not stripe_indices:
+        raise StorageError(f"disks {failed} hold no stripes; nothing to repair")
+    _require_bytes(server, stripe_indices, survivor_ids)
+    disk_ids = _disk_id_matrix(server, stripe_indices, survivor_ids)
+
+    probe_bytes = 0
+    if algorithm.requires_probing:
+        prober = ActiveProber(server, noise=probe_noise)
+        plan_rows = [
+            [prober.estimated_chunk_time(server.layout[si].disks[j]) for j in shards]
+            for si, shards in zip(stripe_indices, survivor_ids)
+        ]
+        import numpy as np
+
+        L_plan = np.asarray(plan_rows, dtype=np.float64)
+        probe_bytes = prober.probe_bytes_issued
+    else:
+        L_plan = L_oracle
+
+    ctx = context or RepairContext()
+    if ctx.disk_ids is None:
+        ctx.disk_ids = disk_ids
+    c = server.config.memory_chunks
+    plan = algorithm.build_plan(L_plan, c, context=ctx)
+    report = execute_plan(
+        plan,
+        L_oracle,
+        c,
+        stripe_indices=stripe_indices,
+        survivor_ids=survivor_ids,
+        disk_ids=disk_ids,
+        options=options,
+    )
+    outcome = RepairOutcome(
+        algorithm=algorithm.name,
+        plan=plan,
+        report=report,
+        stripe_indices=list(stripe_indices),
+        survivor_ids=[list(s) for s in survivor_ids],
+        L=L_oracle,
+        probe_bytes=probe_bytes,
+    )
+    executor = _hardened_executor(server, faults, policy)
+    stats = executor.repair(
+        plan, stripe_indices, survivor_ids, failed_disks=failed
+    )
+    remapped = server.commit_writebacks(stats.writebacks)
+    scrub = _scrub_surviving(server, stripe_indices, stats)
+    return RecoveryResult(
+        outcome=outcome, data_path=stats, remapped=remapped, scrub=scrub,
+        loss=stats.loss,
     )

@@ -23,7 +23,7 @@ times, and report the paper's metrics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -36,6 +36,9 @@ from repro.obs.context import current_registry, current_tracer
 from repro.obs.profiling import profile
 from repro.sim.metrics import TransferReport
 from repro.sim.transfer import simulate_interval_schedule, simulate_slot_schedule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injector import SimFaultModel
 
 
 @dataclass
@@ -60,6 +63,12 @@ class ExecutionOptions:
     #: only); False keeps the paper's L-matrix abstraction where a disk
     #: can feed any number of concurrent transfers at full speed.
     disk_contention: bool = False
+    #: Optional timing-plane fault model
+    #: (:class:`~repro.faults.injector.SimFaultModel`): slow/hang windows
+    #: stretch transfers; a permanent disk failure aborts the stripes
+    #: reading from it (surfaced in ``TransferReport.failed_jobs`` for the
+    #: caller — e.g. cooperative multi-disk repair — to re-plan).
+    faults: "Optional[SimFaultModel]" = None
 
     def __post_init__(self) -> None:
         if self.model not in ("slot", "interval"):
@@ -99,6 +108,7 @@ def execute_plan(
             compute_time_per_round=options.compute_time_per_round,
             tail_time_per_job=options.writeback_seconds,
             tracer=tracer,
+            faults=options.faults,
         )
     else:
         cap = options.max_concurrent if options.max_concurrent is not None else plan.pr
@@ -111,6 +121,7 @@ def execute_plan(
             tail_time_per_job=options.writeback_seconds,
             disk_contention=options.disk_contention,
             tracer=tracer,
+            faults=options.faults,
         )
     _record_execution_metrics(plan, report, options.model)
     return report

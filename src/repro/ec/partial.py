@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.errors import CodingError
 from repro.ec.decoder import reconstruction_coefficients
-from repro.gf import gf_mul_add_scalar
+from repro.gf import gf_mat_inv, gf_mat_mul, gf_mul, gf_mul_add_scalar
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.ec.encoder import RSCode
@@ -69,6 +69,15 @@ class PartialDecoder:
         self._chunk_size = chunk_size
         self._acc: Dict[int, np.ndarray] = {}
         self._fed_count = 0
+        self._fed: List[int] = []
+        # Per-target accumulator *row*: the length-k GF vector a_T with
+        # A_T = a_T @ message. Each feed of survivor i adds
+        # coeff * matrix[i]; once complete a_T equals the target's own
+        # encoding row. These rows are what make mid-repair re-planning
+        # possible: the accumulator is a virtual symbol with a known row.
+        self._rows: Dict[int, np.ndarray] = {
+            t: np.zeros(code.k, dtype=np.uint8) for t in self.targets
+        }
 
     # ----------------------------------------------------------------- state
     @property
@@ -80,6 +89,11 @@ class PartialDecoder:
     def complete(self) -> bool:
         """True once all k survivors have been folded."""
         return not self._pending
+
+    @property
+    def fed(self) -> List[int]:
+        """Survivor shard indices already folded in, in feed order."""
+        return list(self._fed)
 
     @property
     def rounds_fed(self) -> int:
@@ -124,9 +138,107 @@ class PartialDecoder:
                 if acc is None:
                     acc = np.zeros(self._chunk_size, dtype=np.uint8)
                     self._acc[target] = acc
-                gf_mul_add_scalar(acc, self._coeffs[target][sid], arr)
+                coeff = self._coeffs[target][sid]
+                gf_mul_add_scalar(acc, coeff, arr)
+                self._rows[target] ^= gf_mul(
+                    np.uint8(coeff), self.code.matrix[sid].astype(np.uint8)
+                )
             self._pending.discard(sid)
+            self._fed.append(sid)
         self._fed_count += 1
+        return self
+
+    # --------------------------------------------------------------- salvage
+    def replan(self, new_reads: Sequence[int]) -> "PartialDecoder":
+        """Swap the remaining read set without discarding fed data.
+
+        When a pending survivor dies mid-repair, each accumulator is a
+        *virtual symbol*: ``A_T = a_T @ message`` with known row ``a_T``
+        (tracked in :attr:`_rows`). Stacking the ``t`` accumulator rows with
+        the encoding rows of ``k - t`` replacement reads gives a k x k
+        system; if invertible, the old accumulators are re-mixed in place
+        and only the replacement chunks ever hit a disk — everything already
+        fed is salvaged.
+
+        Args:
+            new_reads: exactly ``k - len(targets)`` shard indices to read
+                from here on. They may keep still-alive pending survivors,
+                and may re-read already-fed shards when the pool of fresh
+                ones runs dry (the accumulator still saves ``t`` reads over
+                a restart; re-reading *every* fed shard makes the system
+                singular and is rejected).
+
+        Raises:
+            CodingError: if the stacked system is singular (notably when
+                fewer than ``len(targets)`` chunks have been fed, so the
+                accumulator rows cannot be independent). Callers fall back
+                to :meth:`restart`.
+        """
+        k, t = self.code.k, len(self.targets)
+        reads = [int(r) for r in new_reads]
+        if len(reads) != k - t:
+            raise CodingError(
+                f"replan needs exactly k - t = {k - t} new reads, got {len(reads)}"
+            )
+        if len(set(reads)) != len(reads):
+            raise CodingError(f"duplicate replan reads: {reads}")
+        bad = set(reads) & set(self.targets)
+        if bad:
+            raise CodingError(f"replan reads {sorted(bad)} are repair targets")
+        for r in reads:
+            if not 0 <= r < self.code.n:
+                raise CodingError(f"replan read {r} out of range [0, {self.code.n})")
+        mat = np.zeros((k, k), dtype=np.uint8)
+        for j, target in enumerate(self.targets):
+            mat[j] = self._rows[target]
+        for idx, r in enumerate(reads):
+            mat[t + idx] = self.code.matrix[r]
+        inv = gf_mat_inv(mat)  # CodingError when singular -> caller restarts
+        # y_T expresses shard T over [acc rows; replacement rows].
+        mix: Dict[int, np.ndarray] = {}
+        for target in self.targets:
+            mix[target] = gf_mat_mul(
+                self.code.matrix[target][None, :].astype(np.uint8), inv
+            )[0]
+        old_acc = {t_: a.copy() for t_, a in self._acc.items()}
+        old_rows = {t_: r.copy() for t_, r in self._rows.items()}
+        for target in self.targets:
+            y = mix[target]
+            if old_acc:
+                acc = np.zeros(self._chunk_size, dtype=np.uint8)
+                for j, src in enumerate(self.targets):
+                    gf_mul_add_scalar(acc, int(y[j]), old_acc[src])
+                self._acc[target] = acc
+            row = np.zeros(k, dtype=np.uint8)
+            for j, src in enumerate(self.targets):
+                row ^= gf_mul(y[j], old_rows[src])
+            self._rows[target] = row
+            self._coeffs[target] = {r: int(y[t + idx]) for idx, r in enumerate(reads)}
+        self._pending = set(reads)
+        self.survivor_ids = sorted(set(self._fed) | set(reads))
+        return self
+
+    def restart(self, new_survivors: Sequence[int]) -> "PartialDecoder":
+        """Discard all progress and start over on a fresh k-survivor set.
+
+        The fallback when :meth:`replan` is infeasible (accumulator rows
+        rank-deficient). Every previously fed chunk must be read again.
+        """
+        survivors = [int(s) for s in new_survivors]
+        overlap = set(survivors) & set(self.targets)
+        if overlap:
+            raise CodingError(f"survivors {sorted(overlap)} cannot also be targets")
+        self._coeffs = {
+            t: reconstruction_coefficients(self.code, survivors, t)
+            for t in self.targets
+        }
+        self.survivor_ids = survivors
+        self._pending = set(survivors)
+        self._acc = {}
+        self._fed = []
+        self._rows = {
+            t: np.zeros(self.code.k, dtype=np.uint8) for t in self.targets
+        }
         return self
 
     # ---------------------------------------------------------------- result

@@ -32,6 +32,18 @@ class DiskFailedError(StorageError):
     """An I/O was issued against a disk currently marked as failed."""
 
 
+class LatentSectorError(StorageError):
+    """A single chunk is unreadable (URE) while the rest of its disk serves I/O."""
+
+
+class RetryExhaustedError(StorageError):
+    """A read kept timing out and the retry budget (with backoff) ran out."""
+
+
+class DataLossError(StorageError):
+    """Fewer than ``k`` readable shards remain for at least one stripe."""
+
+
 class ChunkNotFoundError(StorageError, KeyError):
     """The requested chunk does not exist on the addressed disk."""
 

@@ -1,0 +1,49 @@
+"""``repro.faults`` — deterministic fault injection for the repair stack.
+
+A :class:`~repro.faults.spec.FaultSchedule` is a seed-reproducible list of
+timed :class:`~repro.faults.spec.FaultEvent` — permanent disk failures,
+latent sector errors on specific chunks, transient bandwidth collapses,
+hung I/O windows — expressed on the *logical repair clock* (seconds of
+modeled transfer time since the recovery started).
+
+Two consumers interpret the same schedule:
+
+* :class:`~repro.faults.injector.FaultInjector` binds a schedule to a live
+  :class:`~repro.hdss.server.HighDensityStorageServer` and mutates real
+  state (fails disks, degrades bandwidth, poisons chunks) as the byte-exact
+  data path advances its clock;
+* :class:`~repro.faults.injector.SimFaultModel` answers the timing
+  executors' questions (``fail_time``, ``effective_duration``) without any
+  server, so plan simulations see the same failure timeline.
+
+Recovery outcomes under faults land in a
+:class:`~repro.faults.report.DataLossReport` — per-stripe
+recovered / recovered-after-replan / lost — instead of an exception.
+"""
+
+from repro.faults.injector import FaultInjector, SimFaultModel
+from repro.faults.report import (
+    LOST,
+    RECOVERED,
+    REPLANNED,
+    DataLossReport,
+)
+from repro.faults.spec import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultSchedule,
+    generate_fault_schedule,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultSchedule",
+    "generate_fault_schedule",
+    "FaultInjector",
+    "SimFaultModel",
+    "DataLossReport",
+    "RECOVERED",
+    "REPLANNED",
+    "LOST",
+]

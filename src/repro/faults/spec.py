@@ -1,0 +1,282 @@
+"""Fault schedules: what goes wrong, where, and when.
+
+A schedule is deliberately dumb data — a sorted tuple of events with a JSON
+round-trip — so the same spec file drives both the byte-exact injector and
+the timing simulators, and a seed reproduces the identical failure story
+run after run.
+
+Event kinds:
+
+* ``disk_fail`` — the disk dies permanently at ``at``; its chunks are gone.
+* ``sector_error`` — one chunk (``stripe``/``shard``) on ``disk`` becomes
+  unreadable (a latent sector error / URE); the rest of the disk is fine.
+* ``slow`` — bandwidth collapses by ``factor`` for ``duration`` seconds
+  (transient contention, background scrub, vibration).
+* ``hang`` — the disk stops answering for ``duration`` seconds (firmware
+  stall); modeled as a near-total bandwidth collapse so per-read timeouts
+  and hedging are what save the repair.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import RngLike, make_rng
+
+#: Supported event kinds, in spec order.
+FAULT_KINDS = ("disk_fail", "sector_error", "slow", "hang")
+
+#: Bandwidth-collapse factor used to model a hung disk.
+HANG_FACTOR = 1e9
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    Attributes:
+        at: logical-clock time in seconds at which the fault strikes.
+        kind: one of :data:`FAULT_KINDS`.
+        disk: the disk the fault targets.
+        stripe, shard: chunk coordinates, required for ``sector_error``.
+        factor: bandwidth-collapse factor for ``slow`` (>= 1).
+        duration: window length for ``slow``/``hang``; ``None`` means the
+            degradation persists for the rest of the run.
+    """
+
+    at: float
+    kind: str
+    disk: int
+    stripe: Optional[int] = None
+    shard: Optional[int] = None
+    factor: float = 4.0
+    duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.at < 0:
+            raise ConfigurationError(f"fault time must be >= 0, got {self.at}")
+        if self.disk < 0:
+            raise ConfigurationError(f"fault disk must be >= 0, got {self.disk}")
+        if self.kind == "sector_error" and (self.stripe is None or self.shard is None):
+            raise ConfigurationError(
+                "sector_error events need explicit stripe and shard coordinates"
+            )
+        if self.kind == "slow" and self.factor < 1.0:
+            raise ConfigurationError(
+                f"slow factor must be >= 1 (a degradation), got {self.factor}"
+            )
+        if self.duration is not None and self.duration <= 0:
+            raise ConfigurationError(
+                f"fault duration must be > 0 when given, got {self.duration}"
+            )
+
+    @property
+    def window_end(self) -> float:
+        """End of a transient window (``inf`` for permanent events)."""
+        if self.duration is None:
+            return float("inf")
+        return self.at + self.duration
+
+    @property
+    def effective_factor(self) -> float:
+        """Bandwidth-collapse factor (hangs use :data:`HANG_FACTOR`)."""
+        return HANG_FACTOR if self.kind == "hang" else self.factor
+
+    def to_spec(self) -> Dict[str, object]:
+        spec: Dict[str, object] = {"at": self.at, "kind": self.kind, "disk": self.disk}
+        if self.stripe is not None:
+            spec["stripe"] = self.stripe
+        if self.shard is not None:
+            spec["shard"] = self.shard
+        if self.kind == "slow":
+            spec["factor"] = self.factor
+        if self.duration is not None:
+            spec["duration"] = self.duration
+        return spec
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, object]) -> "FaultEvent":
+        known = {"at", "kind", "disk", "stripe", "shard", "factor", "duration"}
+        extra = set(spec) - known
+        if extra:
+            raise ConfigurationError(f"unknown fault-event keys: {sorted(extra)}")
+        try:
+            return cls(
+                at=float(spec["at"]),
+                kind=str(spec["kind"]),
+                disk=int(spec["disk"]),
+                stripe=None if spec.get("stripe") is None else int(spec["stripe"]),
+                shard=None if spec.get("shard") is None else int(spec["shard"]),
+                factor=float(spec.get("factor", 4.0)),
+                duration=None if spec.get("duration") is None else float(spec["duration"]),
+            )
+        except KeyError as exc:
+            raise ConfigurationError(f"fault event missing key {exc.args[0]!r}") from None
+
+
+class FaultSchedule:
+    """An immutable, time-sorted sequence of :class:`FaultEvent`."""
+
+    def __init__(self, events: Sequence[FaultEvent] = ()) -> None:
+        self.events: Tuple[FaultEvent, ...] = tuple(
+            sorted(events, key=lambda e: (e.at, e.kind, e.disk))
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FaultSchedule) and self.events == other.events
+
+    def for_kind(self, kind: str) -> List[FaultEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def disk_fail_times(self) -> Dict[int, float]:
+        """Earliest permanent-failure time per disk."""
+        times: Dict[int, float] = {}
+        for e in self.events:
+            if e.kind == "disk_fail" and e.disk not in times:
+                times[e.disk] = e.at
+        return times
+
+    def shifted(self, origin: float) -> "FaultSchedule":
+        """Rebase the schedule so simulated time restarts at ``origin``.
+
+        Used when a timing-plane repair re-plans mid-run: the replacement
+        phase simulates from t=0 again, so every remaining event moves
+        earlier by ``origin``. Events entirely in the past are dropped
+        (they already happened to the server); transient windows straddling
+        the origin keep only their remaining duration.
+        """
+        if origin <= 0:
+            return self
+        out: List[FaultEvent] = []
+        for e in self.events:
+            if e.at >= origin:
+                out.append(FaultEvent(
+                    at=e.at - origin, kind=e.kind, disk=e.disk,
+                    stripe=e.stripe, shard=e.shard, factor=e.factor,
+                    duration=e.duration,
+                ))
+            elif e.kind in ("slow", "hang") and e.window_end > origin:
+                rest = None if e.duration is None else e.window_end - origin
+                out.append(FaultEvent(
+                    at=0.0, kind=e.kind, disk=e.disk,
+                    factor=e.factor, duration=rest,
+                ))
+        return FaultSchedule(out)
+
+    # ------------------------------------------------------------------ spec
+    def to_spec(self) -> Dict[str, object]:
+        return {"events": [e.to_spec() for e in self.events]}
+
+    @classmethod
+    def from_spec(cls, spec: "Dict[str, object] | Sequence[Dict[str, object]]") -> "FaultSchedule":
+        """Parse a schedule from a dict (``{"events": [...]}``) or bare list."""
+        if isinstance(spec, dict):
+            events = spec.get("events", [])
+        else:
+            events = spec
+        if not isinstance(events, (list, tuple)):
+            raise ConfigurationError("fault spec 'events' must be a list")
+        return cls([FaultEvent.from_spec(e) for e in events])
+
+    @classmethod
+    def from_json(cls, path: "str | Path") -> "FaultSchedule":
+        p = Path(path)
+        try:
+            data = json.loads(p.read_text())
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"fault spec {p} is not valid JSON: {exc}") from None
+        return cls.from_spec(data)
+
+    def to_json(self, path: "str | Path") -> Path:
+        p = Path(path)
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(json.dumps(self.to_spec(), indent=2, sort_keys=True) + "\n")
+        return p
+
+    def __repr__(self) -> str:
+        kinds = {k: len(self.for_kind(k)) for k in FAULT_KINDS if self.for_kind(k)}
+        return f"FaultSchedule({len(self.events)} events, {kinds})"
+
+
+def generate_fault_schedule(
+    seed: RngLike = 0,
+    num_events: int = 4,
+    horizon: float = 10.0,
+    num_disks: int = 36,
+    num_stripes: int = 0,
+    num_shards: int = 9,
+    kinds: Sequence[str] = FAULT_KINDS,
+    max_disk_fails: int = 1,
+    slow_factor_range: Tuple[float, float] = (2.0, 16.0),
+    duration_range: Tuple[float, float] = (0.5, 4.0),
+) -> FaultSchedule:
+    """Draw a reproducible random schedule (the ``hdpsr faults`` generator).
+
+    Args:
+        seed: RNG seed — identical seeds give identical schedules.
+        num_events: how many events to draw.
+        horizon: events land uniformly in ``[0, horizon)`` seconds.
+        num_disks: disk-id range to target.
+        num_stripes: stripe-id range for sector errors; when 0,
+            ``sector_error`` is dropped from the kind pool.
+        num_shards: shard-id range for sector errors (the code's ``n``).
+        kinds: allowed event kinds.
+        max_disk_fails: cap on permanent failures (keep the scenario inside
+            the code's tolerance; extra draws fall back to ``slow``).
+    """
+    if num_events < 0:
+        raise ConfigurationError(f"num_events must be >= 0, got {num_events}")
+    if horizon <= 0:
+        raise ConfigurationError(f"horizon must be > 0, got {horizon}")
+    pool = [k for k in kinds if k in FAULT_KINDS]
+    if not pool:
+        raise ConfigurationError(f"no valid kinds in {list(kinds)!r}")
+    if num_stripes <= 0:
+        pool = [k for k in pool if k != "sector_error"] or ["slow"]
+    rng = make_rng(seed)
+    events: List[FaultEvent] = []
+    fails = 0
+    for _ in range(num_events):
+        at = float(rng.uniform(0.0, horizon))
+        kind = pool[int(rng.integers(0, len(pool)))]
+        if kind == "disk_fail" and fails >= max_disk_fails:
+            kind = "hang" if "hang" in pool and "slow" not in pool else "slow"
+        disk = int(rng.integers(0, num_disks))
+        if kind == "disk_fail":
+            fails += 1
+            events.append(FaultEvent(at=at, kind="disk_fail", disk=disk))
+        elif kind == "sector_error":
+            events.append(FaultEvent(
+                at=at, kind="sector_error", disk=disk,
+                stripe=int(rng.integers(0, num_stripes)),
+                shard=int(rng.integers(0, num_shards)),
+            ))
+        else:
+            lo, hi = slow_factor_range
+            dlo, dhi = duration_range
+            # Hangs ignore ``factor`` (HANG_FACTOR applies); draw it only
+            # for slow events so spec round-trips stay exact.
+            factor = float(rng.uniform(lo, hi)) if kind == "slow" else 4.0
+            events.append(FaultEvent(
+                at=at, kind=kind, disk=disk,
+                factor=factor,
+                duration=float(rng.uniform(dlo, dhi)),
+            ))
+    return FaultSchedule(events)

@@ -84,8 +84,17 @@ class Disk:
         return self.state is DiskState.SLOW
 
     def degrade(self, factor: float) -> None:
-        """Mark the disk slow: bandwidth becomes ``nominal / factor``."""
+        """Mark the disk slow: bandwidth becomes ``nominal / factor``.
+
+        ``factor`` must be >= 1 — a degradation can only slow a disk down;
+        zero, negative, or sub-unity factors (which would divide by zero or
+        silently *speed the disk up*) raise :class:`ConfigurationError`.
+        """
         check_positive("factor", factor)
+        if factor < 1.0:
+            raise ConfigurationError(
+                f"degrade factor must be >= 1 (use heal() to restore), got {factor}"
+            )
         if self.is_failed:
             raise DiskFailedError(f"disk {self.disk_id} is failed")
         self._current_bandwidth = self.nominal_bandwidth / factor

@@ -22,7 +22,12 @@ import numpy as np
 
 from repro.ec.encoder import RSCode
 from repro.ec.stripe import ChunkId, Stripe, StripeLayout
-from repro.errors import ConfigurationError, DiskFailedError, StorageError
+from repro.errors import (
+    ConfigurationError,
+    DiskFailedError,
+    LatentSectorError,
+    StorageError,
+)
 from repro.hdss.disk import Disk
 from repro.hdss.memory import ChunkMemory
 from repro.hdss.placement import random_placement, rotating_placement
@@ -401,7 +406,13 @@ class HighDensityStorageServer:
                     shards.append(None)
                     degraded = True
                 else:
-                    shards.append(self.store.get(disk_id, cid))
+                    try:
+                        shards.append(self.store.get(disk_id, cid))
+                    except LatentSectorError:
+                        # an unreadable sector is a missing shard, not a
+                        # scrub crash — the stripe is degraded
+                        shards.append(None)
+                        degraded = True
             if all(s is None for s in shards):
                 report.unpopulated.append(si)
                 continue

@@ -20,7 +20,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 import numpy as np
 
 from repro.ec.stripe import ChunkId
-from repro.errors import ChunkNotFoundError, StorageError
+from repro.errors import ChunkNotFoundError, LatentSectorError, StorageError
 
 Key = Tuple[int, ChunkId]
 
@@ -100,6 +100,58 @@ class InMemoryChunkStore(ChunkStore):
         for disk_id, chunks in self._data.items():
             for chunk_id in chunks:
                 yield disk_id, chunk_id
+
+
+class FaultyChunkStore(ChunkStore):
+    """Decorates any store with injectable latent sector errors (UREs).
+
+    A chunk marked bad raises :class:`LatentSectorError` on ``get`` while
+    the rest of the disk keeps serving — the partial-failure mode a whole
+    ``drop_disk`` cannot express. Rewriting a bad chunk (``put``) clears
+    the mark, mirroring a sector remap on write.
+    """
+
+    def __init__(self, inner: ChunkStore) -> None:
+        self.inner = inner
+        self._bad: set = set()
+
+    # ------------------------------------------------------------- injection
+    def mark_bad(self, disk_id: int, chunk_id: ChunkId) -> None:
+        """Poison one chunk; subsequent reads raise until it is rewritten."""
+        self._bad.add((disk_id, chunk_id))
+
+    def bad_chunks(self) -> List[Key]:
+        return sorted(self._bad)
+
+    # ------------------------------------------------------------ delegation
+    def put(self, disk_id: int, chunk_id: ChunkId, data: np.ndarray) -> None:
+        self._bad.discard((disk_id, chunk_id))
+        self.inner.put(disk_id, chunk_id, data)
+
+    def get(self, disk_id: int, chunk_id: ChunkId) -> np.ndarray:
+        if (disk_id, chunk_id) in self._bad:
+            raise LatentSectorError(
+                f"unreadable sector: chunk {chunk_id} on disk {disk_id}"
+            )
+        return self.inner.get(disk_id, chunk_id)
+
+    def delete(self, disk_id: int, chunk_id: ChunkId) -> None:
+        self._bad.discard((disk_id, chunk_id))
+        self.inner.delete(disk_id, chunk_id)
+
+    def contains(self, disk_id: int, chunk_id: ChunkId) -> bool:
+        return self.inner.contains(disk_id, chunk_id)
+
+    def chunks_on_disk(self, disk_id: int) -> List[ChunkId]:
+        return self.inner.chunks_on_disk(disk_id)
+
+    def drop_disk(self, disk_id: int) -> int:
+        self._bad = {(d, c) for (d, c) in self._bad if d != disk_id}
+        return self.inner.drop_disk(disk_id)
+
+    def __getattr__(self, name: str):
+        # Backend-specific extras (total_chunks, iter_all, ...) pass through.
+        return getattr(self.inner, name)
 
 
 class FileChunkStore(ChunkStore):

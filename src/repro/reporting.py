@@ -74,6 +74,12 @@ PAPER_CLAIMS = {
         "Repo extension: after a backplane event, admitting the most-exposed stripes "
         "first slashes the time-to-safety at near-zero total-time cost."
     ),
+    "robustness": (
+        "Repo extension: recovery under injected mid-repair faults. Re-planning "
+        "salvages each stripe's accumulated partial sums, so the chunks re-read "
+        "after a casualty stay well below a full re-repair; unrecoverable stripes "
+        "are reported, never raised."
+    ),
 }
 
 TITLES = {
@@ -96,6 +102,7 @@ TITLES = {
     "ablation_slicing": "Related work — slice-level pipelining (RP) vs HD-PSR",
     "wide_stripes": "Extension — wide-stripe (k up to 128) regime",
     "vulnerability_order": "Extension — vulnerability-first multi-disk repair ordering",
+    "robustness": "Extension — recovery outcomes under injected faults",
 }
 
 ORDER = [
@@ -103,17 +110,79 @@ ORDER = [
     "ablation_memory", "ablation_ros", "ablation_ap_model", "ablation_threshold",
     "ablation_staleness", "durability", "wallclock", "lrc_comparison",
     "foreground_latency", "ablation_slicing", "wide_stripes",
-    "vulnerability_order",
+    "vulnerability_order", "robustness",
 ]
 
 
+def loss_report_rows(results: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Flatten named hardened recoveries into report rows.
+
+    ``results`` maps a scenario label to a
+    :class:`~repro.core.recovery.RecoveryResult` whose ``loss`` is set
+    (i.e. the run used ``faults=`` or ``policy=``). One row per scenario,
+    suitable for a ``benchmarks/results/robustness.json`` artefact.
+    """
+    rows: List[Dict[str, Any]] = []
+    for label, result in results.items():
+        loss = result.loss
+        if loss is None:
+            raise ValueError(
+                f"{label!r} was not a hardened recovery (result.loss is None)"
+            )
+        rows.append({
+            "scenario": label,
+            "algorithm": result.outcome.algorithm,
+            "stripes": len(loss.stripes),
+            "recovered": len(loss.recovered),
+            "replanned": len(loss.replanned),
+            "lost": len(loss.lost),
+            "faults": sum(loss.faults_injected.values()),
+            "replans": loss.replans,
+            "fresh_restarts": loss.fresh_restarts,
+            "chunks_salvaged": loss.salvaged_chunks,
+            "chunks_reread": loss.reread_chunks,
+            "chunks_rebuilt": result.data_path.chunks_rebuilt,
+            "certified": result.certified,
+            "exit_code": loss.exit_code,
+        })
+    return rows
+
+
 def load_results(results_dir: Path) -> Dict[str, Dict[str, Any]]:
-    """Load every ``*.json`` artefact keyed by experiment id."""
+    """Load every ``*.json`` benchmark artefact keyed by experiment id.
+
+    Files that aren't benchmark artefacts — e.g. the checked-in trace
+    baseline summary used by the CI regression gate — are skipped.
+    """
     out: Dict[str, Dict[str, Any]] = {}
     for path in sorted(Path(results_dir).glob("*.json")):
         payload = json.loads(path.read_text())
+        if not isinstance(payload, dict) or "rows" not in payload:
+            continue
         out[payload.get("experiment", path.stem)] = payload
     return out
+
+
+def extract_preamble(report_path: Path) -> Optional[str]:
+    """Pull the hand-written preamble out of an existing report.
+
+    The preamble is whatever sits between the ``# EXPERIMENTS`` title and
+    the generated ``Generated by ...`` marker line; re-rendering keeps it.
+    """
+    if not Path(report_path).exists():
+        return None
+    lines = Path(report_path).read_text().splitlines()
+    start = end = None
+    for i, line in enumerate(lines):
+        if start is None and line.startswith("# "):
+            start = i + 1
+        elif line.startswith("Generated by `python -m repro report`"):
+            end = i
+            break
+    if start is None or end is None:
+        return None
+    text = "\n".join(lines[start:end]).strip()
+    return text or None
 
 
 def _rows_to_markdown(rows: List[Dict[str, Any]]) -> str:

@@ -19,11 +19,16 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, List, Optional, Sequence
+from typing import (
+    TYPE_CHECKING, Any, Dict, Generator, List, Optional, Sequence, Tuple,
+)
 
 from repro.errors import PlanError, SimulationError
 from repro.sim.engine import Engine, Event
 from repro.sim.metrics import ChunkRecord, TransferReport, build_report
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injector import SimFaultModel
 
 
 @dataclass(frozen=True)
@@ -93,6 +98,41 @@ class StripeJob:
 
 
 # --------------------------------------------------------------------------
+# Fault overlay
+# --------------------------------------------------------------------------
+
+
+def _faulted_round(
+    faults: "Optional[SimFaultModel]",
+    rnd: Sequence[ChunkTransfer],
+    start: float,
+) -> "Tuple[List[float], Optional[float], Optional[int]]":
+    """Per-chunk effective durations + earliest failure instant of a round.
+
+    A chunk's duration is stretched through any slow/hang windows its disk
+    crosses; if the disk permanently fails before the transfer completes,
+    the round (and its job) aborts at the failure instant. Fault windows are
+    evaluated against the round's start time — the same read-boundary
+    approximation the byte-exact injector documents.
+    """
+    durations: List[float] = []
+    fail_at: Optional[float] = None
+    fail_disk: Optional[int] = None
+    for chunk in rnd:
+        if faults is None or chunk.disk is None:
+            durations.append(chunk.duration)
+            continue
+        dur = faults.effective_duration(chunk.disk, start, chunk.duration)
+        fail = faults.fail_time(chunk.disk)
+        if fail is not None and fail < start + dur:
+            instant = max(start, fail)
+            if fail_at is None or instant < fail_at:
+                fail_at, fail_disk = instant, chunk.disk
+        durations.append(dur)
+    return durations, fail_at, fail_disk
+
+
+# --------------------------------------------------------------------------
 # Interval model (paper §4.2.1 Step 2)
 # --------------------------------------------------------------------------
 
@@ -103,6 +143,7 @@ def simulate_interval_schedule(
     compute_time_per_round: float = 0.0,
     tail_time_per_job: float = 0.0,
     tracer=None,
+    faults: "Optional[SimFaultModel]" = None,
 ) -> TransferReport:
     """Execute jobs on ``P_r`` memory intervals, FIFO job admission.
 
@@ -120,6 +161,11 @@ def simulate_interval_schedule(
     ``tracer`` (optional): a :class:`repro.obs.tracer.Tracer`; when
     enabled, each interval becomes a trace track carrying its stripes'
     ``stripe``/``round``/``read``/``decode``/``writeback`` spans.
+
+    ``faults`` (optional): a :class:`~repro.faults.injector.SimFaultModel`;
+    slow/hang windows stretch chunk durations, and a permanent disk failure
+    aborts the jobs reading from it (listed in ``report.failed_jobs`` for
+    the caller to re-plan).
     """
     if num_intervals <= 0:
         raise PlanError(f"num_intervals must be positive, got {num_intervals}")
@@ -138,16 +184,27 @@ def simulate_interval_schedule(
     records: List[ChunkRecord] = []
     rounds_per_job: Dict[Any, int] = {}
     finish_times: Dict[Any, float] = {}
+    failed_jobs: Dict[Any, tuple] = {}
     busy_slot_area = 0.0
 
     for job in jobs:
         free_at, interval_id = heapq.heappop(intervals)
         t = free_at
         track = f"interval-{interval_id}"
+        aborted = False
         for round_index, rnd in enumerate(job.rounds):
-            round_time = max(c.duration for c in rnd) + compute_time_per_round
+            durations, fail_at, fail_disk = _faulted_round(faults, rnd, t)
+            if fail_at is not None:
+                failed_jobs[job.job_id] = (fail_at, fail_disk)
+                if trace:
+                    tracer.instant("fault", f"stripe {job.job_id} aborted",
+                                   track=track, disk=fail_disk)
+                t = fail_at
+                aborted = True
+                break
+            round_time = max(durations) + compute_time_per_round
             round_end = t + round_time
-            for chunk in rnd:
+            for chunk, dur in zip(rnd, durations):
                 records.append(
                     ChunkRecord(
                         key=chunk.key,
@@ -155,14 +212,14 @@ def simulate_interval_schedule(
                         round_index=round_index,
                         disk=chunk.disk,
                         start=t,
-                        end=t + chunk.duration,
+                        end=t + dur,
                         round_end=round_end,
                     )
                 )
-                busy_slot_area += chunk.duration
+                busy_slot_area += dur
                 if trace:
                     tracer.complete(
-                        "read", f"chunk {chunk.key}", t, chunk.duration,
+                        "read", f"chunk {chunk.key}", t, dur,
                         track=track, disk=chunk.disk, stripe=job.job_id,
                         round=round_index,
                     )
@@ -178,6 +235,9 @@ def simulate_interval_schedule(
                         compute_time_per_round, track=track, stripe=job.job_id,
                     )
             t = round_end
+        if aborted:
+            heapq.heappush(intervals, (t, interval_id))
+            continue
         if trace and tail_time_per_job > 0:
             tracer.complete("writeback", "writeback", t, tail_time_per_job,
                             track=track, stripe=job.job_id)
@@ -197,7 +257,8 @@ def simulate_interval_schedule(
     widest = max((j.max_round_size() for j in jobs), default=0)
     capacity = num_intervals * widest
     utilization = busy_slot_area / (capacity * makespan) if capacity and makespan > 0 else None
-    return build_report(records, rounds_per_job, finish_times, utilization)
+    return build_report(records, rounds_per_job, finish_times, utilization,
+                        failed_jobs=failed_jobs)
 
 
 # --------------------------------------------------------------------------
@@ -235,6 +296,7 @@ def simulate_slot_schedule(
     tail_time_per_job: float = 0.0,
     disk_contention: bool = False,
     tracer=None,
+    faults: "Optional[SimFaultModel]" = None,
 ) -> TransferReport:
     """Execute jobs against a ``capacity``-slot memory on the event kernel.
 
@@ -261,6 +323,11 @@ def simulate_slot_schedule(
             every stripe becomes a trace track with ``stripe``/``round``/
             ``read``/``decode``/``writeback`` spans plus memory-wait
             spans, and the slot resources emit acquire/release instants.
+        faults: optional :class:`~repro.faults.injector.SimFaultModel`.
+            Slow/hang windows stretch chunk durations (evaluated against
+            each round's start time); a permanent disk failure aborts jobs
+            reading from it at the failure instant — slots are released and
+            the job lands in ``report.failed_jobs`` for re-planning.
 
     Per-job ``accumulator_slots`` are claimed with the first round and
     held until the job ends (PSR's partial-sum residency).
@@ -299,6 +366,7 @@ def simulate_slot_schedule(
     records: List[ChunkRecord] = []
     rounds_per_job: Dict[Any, int] = {}
     finish_times: Dict[Any, float] = {}
+    failed_jobs: Dict[Any, tuple] = {}
     disk_resources: Dict[Any, Any] = {}
 
     def _disk_resource(disk: Any):
@@ -308,11 +376,13 @@ def simulate_slot_schedule(
             disk_resources[disk] = res
         return res
 
-    def chunk_process(chunk: ChunkTransfer, priority: int) -> Generator[Event, Any, float]:
+    def chunk_process(
+        chunk: ChunkTransfer, priority: int, duration: float
+    ) -> Generator[Event, Any, float]:
         """One contended transfer; returns its completion time."""
         res = _disk_resource(chunk.disk)
         yield res.request(1, priority=priority)
-        yield engine.timeout(chunk.duration)
+        yield engine.timeout(duration)
         res.release(1)
         return engine.now
 
@@ -339,22 +409,37 @@ def simulate_slot_schedule(
                     "wait", "memory-wait", requested, start - requested,
                     track=track, stripe=job.job_id, slots=len(rnd) + extra,
                 )
+            durations, fail_at, fail_disk = _faulted_round(faults, rnd, start)
+            if fail_at is not None:
+                # One of the round's source disks dies before the round
+                # completes: hold the slots until the failure instant, then
+                # abort the job and hand everything back.
+                if fail_at > start:
+                    yield engine.timeout(fail_at - start)
+                failed_jobs[job.job_id] = (engine.now, fail_disk)
+                if trace:
+                    tracer.instant("fault", f"stripe {job.job_id} aborted",
+                                   track=track, disk=fail_disk)
+                memory.release(len(rnd) + held_acc)
+                if gated:
+                    admission.release(1)
+                return
             if disk_contention:
                 procs = [
-                    engine.process(chunk_process(c, job.priority))
+                    engine.process(chunk_process(c, job.priority, d))
                     if c.disk is not None
-                    else engine.timeout(c.duration, None)
-                    for c in rnd
+                    else engine.timeout(d, None)
+                    for c, d in zip(rnd, durations)
                 ]
                 results = yield engine.all_of(procs)
                 ends = [
-                    r if r is not None else start + c.duration
-                    for r, c in zip(results, rnd)
+                    r if r is not None else start + d
+                    for r, d in zip(results, durations)
                 ]
             else:
-                transfers = [engine.timeout(c.duration) for c in rnd]
+                transfers = [engine.timeout(d) for d in durations]
                 yield engine.all_of(transfers)
-                ends = [start + c.duration for c in rnd]
+                ends = [start + d for d in durations]
             if compute_time_per_round > 0:
                 decode_start = engine.now
                 yield engine.timeout(compute_time_per_round)
@@ -418,4 +503,5 @@ def simulate_slot_schedule(
             f"{'...' if len(unfinished) > 5 else ''}"
         )
     utilization = memory.utilization(until=engine.now) if engine.now > 0 else None
-    return build_report(records, rounds_per_job, finish_times, utilization)
+    return build_report(records, rounds_per_job, finish_times, utilization,
+                        failed_jobs=failed_jobs)

@@ -112,3 +112,90 @@ class TestMisc:
         parser = build_parser()
         with pytest.raises(SystemExit):
             parser.parse_args(["repair", "--algorithm", "bogus"])
+
+
+class TestFaultsCommand:
+    def test_writes_spec(self, capsys, tmp_path):
+        spec = tmp_path / "spec.json"
+        code, out = run(capsys, "faults", "--seed", "3", "--events", "5",
+                        "--output", str(spec))
+        assert code == 0
+        assert spec.exists()
+        from repro.faults import FaultSchedule
+        assert len(FaultSchedule.from_json(spec)) == 5
+
+    def test_prints_to_stdout_without_output(self, capsys):
+        import json
+        code, out = run(capsys, "faults", "--seed", "3", "--events", "2")
+        assert code == 0
+        assert len(json.loads(out)["events"]) == 2
+
+    def test_deterministic(self, capsys, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        run(capsys, "faults", "--seed", "9", "--output", str(a))
+        run(capsys, "faults", "--seed", "9", "--output", str(b))
+        assert a.read_text() == b.read_text()
+
+    def test_unknown_kind_rejected(self, capsys):
+        code = main(["faults", "--kinds", "meteor"])
+        assert code == 2
+
+
+class TestHardenedExitCodes:
+    """CLI convention: 0 clean, 0 + warning on replan, 3 on data loss."""
+
+    SERVER = ["--num-disks", "12", "--disk-size", "256KiB",
+              "--chunk-size", "64KiB", "--algorithm", "fsr"]
+
+    def write_spec(self, tmp_path, events):
+        import json
+        spec = tmp_path / "faults.json"
+        spec.write_text(json.dumps({"events": events}))
+        return str(spec)
+
+    def test_clean_recovery_exits_zero(self, capsys, tmp_path):
+        code = main(["repair", *self.SERVER, "--read-timeout", "100"])
+        err = capsys.readouterr().err
+        assert code == 0
+        assert "warning" not in err and "DATA LOSS" not in err
+
+    def test_midrepair_casualty_warns_but_exits_zero(self, capsys, tmp_path):
+        spec = self.write_spec(tmp_path, [
+            {"at": 2e-6, "kind": "disk_fail", "disk": 4},
+        ])
+        code = main(["repair", *self.SERVER, "--faults", spec])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "warning: recovery degraded" in captured.err
+        assert "re-planned" in captured.err
+
+    def test_data_loss_exits_three(self, capsys, tmp_path):
+        spec = self.write_spec(tmp_path, [
+            {"at": 1e-6, "kind": "disk_fail", "disk": 1},
+            {"at": 2e-6, "kind": "disk_fail", "disk": 2},
+            {"at": 3e-6, "kind": "disk_fail", "disk": 3},
+            {"at": 4e-6, "kind": "disk_fail", "disk": 4},
+        ])
+        code = main(["repair", *self.SERVER, "--faults", spec])
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "DATA LOSS" in captured.err
+
+    def test_multi_hardened_runs(self, capsys, tmp_path):
+        spec = self.write_spec(tmp_path, [
+            {"at": 2e-6, "kind": "disk_fail", "disk": 5},
+        ])
+        code = main(["multi", *self.SERVER, "--failed", "2", "--faults", spec])
+        out = capsys.readouterr().out
+        assert code in (0, 3)
+        assert "fault-hardened recovery outcomes" in out
+
+    def test_hardened_output_deterministic(self, capsys, tmp_path):
+        spec = self.write_spec(tmp_path, [
+            {"at": 2e-6, "kind": "disk_fail", "disk": 4},
+        ])
+        code_a = main(["repair", *self.SERVER, "--faults", spec])
+        a = capsys.readouterr().out
+        code_b = main(["repair", *self.SERVER, "--faults", spec])
+        b = capsys.readouterr().out
+        assert (code_a, a) == (code_b, b)

@@ -136,6 +136,130 @@ class TestErrors:
             PartialDecoder(code, [0, 2, 3], [1])
 
 
+class TestReplan:
+    def test_salvages_fed_rounds(self, code, shards):
+        """Swap a dead pending survivor mid-decode; fed chunks are kept."""
+        # Two targets leave shard 7 as a fresh replacement read.
+        pd = PartialDecoder(code, SURVIVORS, [1, 4])
+        pd.feed({j: shards[j] for j in [0, 2, 3]})
+        # pending survivor 5 "dies": keep still-alive 6 and 8, bring in
+        # fresh shard 7. The fed chunks stay folded into the accumulators.
+        pd.replan([6, 8, 7, 0])
+        assert pd.pending == [0, 6, 7, 8]
+        pd.feed({j: shards[j] for j in [6, 8, 7, 0]})
+        for t in (1, 4):
+            assert np.array_equal(pd.result(t), shards[t])
+
+    def test_replan_wrong_read_count(self, code, shards):
+        pd = PartialDecoder(code, SURVIVORS, TARGETS)
+        pd.feed({j: shards[j] for j in [0, 2, 3]})
+        with pytest.raises(CodingError):
+            pd.replan([6, 8])
+
+    def test_replan_duplicate_reads(self, code, shards):
+        pd = PartialDecoder(code, SURVIVORS, TARGETS)
+        pd.feed({j: shards[j] for j in [0, 2, 3]})
+        with pytest.raises(CodingError):
+            pd.replan([6, 6, 8])
+
+    def test_replan_target_rejected(self, code, shards):
+        pd = PartialDecoder(code, SURVIVORS, TARGETS)
+        pd.feed({j: shards[j] for j in [0, 2, 3]})
+        with pytest.raises(CodingError):
+            pd.replan([6, 8, 1])  # 1 is a repair target
+
+    def test_replan_out_of_range(self, code, shards):
+        pd = PartialDecoder(code, SURVIVORS, TARGETS)
+        pd.feed({j: shards[j] for j in [0, 2, 3]})
+        with pytest.raises(CodingError):
+            pd.replan([6, 8, 9])
+
+    def test_replan_before_enough_fed_is_singular(self, code, shards):
+        """With fewer than t fed chunks the accumulator rows are dependent."""
+        pd = PartialDecoder(code, SURVIVORS, TARGETS)  # t = 3 targets
+        pd.feed({0: shards[0]})  # only 1 fed < 3
+        with pytest.raises(CodingError):
+            pd.replan([2, 3, 5])
+
+    def test_replan_all_fed_rereads_singular(self, code, shards):
+        """Re-reading every fed shard duplicates rows -> singular."""
+        pd = PartialDecoder(code, SURVIVORS, TARGETS)
+        pd.feed({j: shards[j] for j in [0, 2, 3]})
+        with pytest.raises(CodingError):
+            pd.replan([0, 2, 3])
+
+    def test_replan_mixed_reread_allowed(self, code, shards):
+        """Re-reading a fed shard is fine when enough rounds are banked.
+
+        With t targets and r re-reads the stacked system has full rank only
+        when at least ``t + r`` chunks were fed — the accumulator rows plus
+        the re-read rows must span beyond the targets' worth of fold-down.
+        """
+        pd = PartialDecoder(code, SURVIVORS, [1, 4])  # t = 2
+        pd.feed({j: shards[j] for j in [0, 2, 3]})    # 3 fed >= t + 1 re-read
+        pd.replan([6, 8, 5, 0])  # keep 6/8/5, re-read 0
+        pd.feed({j: shards[j] for j in [6, 8, 5, 0]})
+        for t in (1, 4):
+            assert np.array_equal(pd.result(t), shards[t])
+
+    def test_replan_impossible_when_all_parity_targeted(self, code, shards):
+        """t = n - k leaves no fresh shard: losing an unfed survivor is fatal.
+
+        Only 5 readable symbols remain (3 fed + 2 alive unfed < k), so
+        every replacement read set is singular and callers must report the
+        stripe as lost rather than loop forever.
+        """
+        pd = PartialDecoder(code, SURVIVORS, TARGETS)
+        pd.feed({j: shards[j] for j in [0, 2, 3]})
+        # survivor 5 died; candidates avoiding it all fail
+        for reads in ([6, 8, 0], [6, 8, 2], [6, 8, 3]):
+            with pytest.raises(CodingError):
+                pd.replan(reads)
+
+    def test_restart_discards_everything(self, code, shards):
+        pd = PartialDecoder(code, SURVIVORS, TARGETS)
+        pd.feed({j: shards[j] for j in [0, 2, 3]})
+        pd.restart([0, 2, 3, 5, 6, 8])
+        assert pd.pending == [0, 2, 3, 5, 6, 8]
+        assert pd.fed == []
+        pd.feed({j: shards[j] for j in [0, 2, 3, 5, 6, 8]})
+        for t in TARGETS:
+            assert np.array_equal(pd.result(t), shards[t])
+
+    def test_restart_rejects_targets_as_survivors(self, code):
+        pd = PartialDecoder(code, SURVIVORS, TARGETS)
+        with pytest.raises(CodingError):
+            pd.restart([0, 2, 3, 5, 6, 1])
+
+    @given(seed=st.integers(0, 2**31 - 1), fed_count=st.integers(2, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_replan_equals_direct_decode(self, seed, fed_count):
+        """Property: salvage after any partial feed gives the exact shards."""
+        rng = np.random.default_rng(seed)
+        code = RSCode(9, 6)
+        data = rng.integers(0, 256, size=6 * 32, dtype=np.uint8).tobytes()
+        shards = code.encode(code.split(data))
+        targets = sorted(rng.choice(9, size=2, replace=False).tolist())
+        pool = [j for j in range(9) if j not in targets]
+        survivors = pool[:6]
+        spares = pool[6:]
+
+        pd = PartialDecoder(code, survivors, targets)
+        fed = survivors[:fed_count]
+        pd.feed({j: shards[j] for j in fed})
+        # the first not-yet-fed survivor dies; rebuild the read set from the
+        # still-alive pending shards, the spare, then re-reads of fed shards
+        dead = survivors[fed_count]
+        alive_pending = survivors[fed_count + 1:]
+        need = 6 - len(targets)
+        replacement = (alive_pending + spares + fed)[:need]
+        pd.replan(replacement)
+        assert dead not in pd.pending
+        pd.feed({j: shards[j] for j in pd.pending})
+        for t in targets:
+            assert np.array_equal(pd.result(t), shards[t])
+
+
 class TestEquivalenceWithFullDecode:
     @given(seed=st.integers(0, 2**31 - 1), pa=st.integers(1, 6))
     @settings(max_examples=30, deadline=None)

@@ -1,0 +1,323 @@
+"""repro.faults: schedules, the generator, and both schedule interpreters."""
+
+import numpy as np
+import pytest
+
+from repro.ec.stripe import ChunkId
+from repro.errors import ConfigurationError, LatentSectorError
+from repro.faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+    SimFaultModel,
+    generate_fault_schedule,
+)
+from repro.faults.spec import HANG_FACTOR
+from repro.hdss import HDSSConfig, HighDensityStorageServer
+from repro.hdss.store import FaultyChunkStore
+
+
+def make_server(seed=0, num_disks=12, stripes=6):
+    cfg = HDSSConfig(
+        num_disks=num_disks, n=9, k=6, chunk_size=1024,
+        memory_chunks=12, spares=3, seed=seed,
+    )
+    server = HighDensityStorageServer(cfg)
+    server.provision_stripes(stripes, with_data=True)
+    return server
+
+
+class TestFaultEvent:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(at=0.0, kind="meteor", disk=0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(at=-1.0, kind="disk_fail", disk=0)
+
+    def test_sector_error_needs_coordinates(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(at=0.0, kind="sector_error", disk=0)
+
+    def test_slow_factor_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(at=0.0, kind="slow", disk=0, factor=0.5)
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(at=0.0, kind="slow", disk=0, duration=0.0)
+
+    def test_window_end(self):
+        assert FaultEvent(at=1.0, kind="slow", disk=0, duration=2.0).window_end == 3.0
+        assert FaultEvent(at=1.0, kind="slow", disk=0).window_end == float("inf")
+
+    def test_hang_uses_hang_factor(self):
+        e = FaultEvent(at=0.0, kind="hang", disk=0, duration=1.0)
+        assert e.effective_factor == HANG_FACTOR
+
+
+class TestScheduleSpec:
+    def test_events_sorted_by_time(self):
+        sched = FaultSchedule([
+            FaultEvent(at=5.0, kind="disk_fail", disk=1),
+            FaultEvent(at=1.0, kind="slow", disk=2, duration=1.0),
+        ])
+        assert [e.at for e in sched] == [1.0, 5.0]
+
+    def test_spec_roundtrip(self):
+        sched = FaultSchedule([
+            FaultEvent(at=0.5, kind="disk_fail", disk=3),
+            FaultEvent(at=1.0, kind="sector_error", disk=2, stripe=4, shard=1),
+            FaultEvent(at=2.0, kind="slow", disk=0, factor=8.0, duration=3.0),
+            FaultEvent(at=2.5, kind="hang", disk=1, duration=0.5),
+        ])
+        assert FaultSchedule.from_spec(sched.to_spec()) == sched
+
+    def test_json_roundtrip(self, tmp_path):
+        sched = generate_fault_schedule(seed=3, num_events=6, num_stripes=10)
+        path = sched.to_json(tmp_path / "spec.json")
+        assert FaultSchedule.from_json(path) == sched
+
+    def test_bare_list_spec_accepted(self):
+        sched = FaultSchedule.from_spec([{"at": 1.0, "kind": "disk_fail", "disk": 0}])
+        assert len(sched) == 1
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSchedule.from_spec([{"at": 1.0, "kind": "disk_fail", "disk": 0,
+                                      "severity": "bad"}])
+
+    def test_invalid_json_rejected(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text("{nope")
+        with pytest.raises(ConfigurationError):
+            FaultSchedule.from_json(p)
+
+    def test_disk_fail_times_keeps_earliest(self):
+        sched = FaultSchedule([
+            FaultEvent(at=4.0, kind="disk_fail", disk=1),
+            FaultEvent(at=2.0, kind="disk_fail", disk=1),
+            FaultEvent(at=3.0, kind="disk_fail", disk=5),
+        ])
+        assert sched.disk_fail_times() == {1: 2.0, 5: 3.0}
+
+
+class TestShifted:
+    def test_nonpositive_origin_is_identity(self):
+        sched = FaultSchedule([FaultEvent(at=1.0, kind="disk_fail", disk=0)])
+        assert sched.shifted(0.0) is sched
+        assert sched.shifted(-1.0) is sched
+
+    def test_future_events_move_earlier(self):
+        sched = FaultSchedule([FaultEvent(at=5.0, kind="disk_fail", disk=0)])
+        out = sched.shifted(2.0)
+        assert [e.at for e in out] == [3.0]
+
+    def test_past_permanent_events_dropped(self):
+        sched = FaultSchedule([FaultEvent(at=1.0, kind="disk_fail", disk=0)])
+        assert len(sched.shifted(2.0)) == 0
+
+    def test_straddling_window_keeps_remaining_duration(self):
+        sched = FaultSchedule([
+            FaultEvent(at=1.0, kind="slow", disk=0, factor=4.0, duration=3.0),
+        ])
+        (ev,) = sched.shifted(2.0).events
+        assert ev.at == 0.0
+        assert ev.duration == pytest.approx(2.0)
+        assert ev.factor == 4.0
+
+    def test_expired_window_dropped(self):
+        sched = FaultSchedule([
+            FaultEvent(at=1.0, kind="slow", disk=0, duration=0.5),
+        ])
+        assert len(sched.shifted(2.0)) == 0
+
+    def test_unbounded_window_survives(self):
+        sched = FaultSchedule([FaultEvent(at=1.0, kind="slow", disk=0)])
+        (ev,) = sched.shifted(5.0).events
+        assert ev.at == 0.0
+        assert ev.duration is None
+
+
+class TestGenerator:
+    def test_same_seed_same_schedule(self):
+        a = generate_fault_schedule(seed=11, num_events=8, num_stripes=20)
+        b = generate_fault_schedule(seed=11, num_events=8, num_stripes=20)
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = generate_fault_schedule(seed=11, num_events=8)
+        b = generate_fault_schedule(seed=12, num_events=8)
+        assert a != b
+
+    def test_disk_fail_cap_respected(self):
+        sched = generate_fault_schedule(
+            seed=0, num_events=40, kinds=("disk_fail", "slow"), max_disk_fails=2
+        )
+        assert len(sched.for_kind("disk_fail")) <= 2
+
+    def test_no_sector_errors_without_stripes(self):
+        sched = generate_fault_schedule(seed=0, num_events=30, num_stripes=0)
+        assert not sched.for_kind("sector_error")
+
+    def test_sector_errors_carry_coordinates(self):
+        sched = generate_fault_schedule(
+            seed=1, num_events=30, num_stripes=10, kinds=("sector_error",)
+        )
+        assert sched.for_kind("sector_error")
+        for e in sched.for_kind("sector_error"):
+            assert 0 <= e.stripe < 10
+            assert 0 <= e.shard < 9
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_fault_schedule(num_events=-1)
+        with pytest.raises(ConfigurationError):
+            generate_fault_schedule(horizon=0.0)
+        with pytest.raises(ConfigurationError):
+            generate_fault_schedule(kinds=("meteor",))
+
+    def test_all_kinds_valid_events(self):
+        sched = generate_fault_schedule(
+            seed=5, num_events=50, num_stripes=10, horizon=2.0
+        )
+        for e in sched:
+            assert e.kind in FAULT_KINDS
+            assert 0.0 <= e.at < 2.0
+
+
+class TestSimFaultModel:
+    def test_fail_time(self):
+        model = SimFaultModel(FaultSchedule([
+            FaultEvent(at=3.0, kind="disk_fail", disk=2),
+        ]))
+        assert model.fail_time(2) == 3.0
+        assert model.fail_time(0) is None
+
+    def test_duration_unchanged_without_windows(self):
+        model = SimFaultModel(FaultSchedule())
+        assert model.effective_duration(0, 0.0, 2.0) == 2.0
+
+    def test_duration_inside_window_stretched(self):
+        model = SimFaultModel(FaultSchedule([
+            FaultEvent(at=0.0, kind="slow", disk=0, factor=4.0, duration=100.0),
+        ]))
+        assert model.effective_duration(0, 1.0, 2.0) == pytest.approx(8.0)
+
+    def test_duration_straddling_window_piecewise(self):
+        # Window [0, 2) at factor 2: first 2 s deliver 1 s of work, the
+        # remaining 1 s runs at nominal -> 3 s total.
+        model = SimFaultModel(FaultSchedule([
+            FaultEvent(at=0.0, kind="slow", disk=0, factor=2.0, duration=2.0),
+        ]))
+        assert model.effective_duration(0, 0.0, 2.0) == pytest.approx(3.0)
+
+    def test_transfer_after_window_unaffected(self):
+        model = SimFaultModel(FaultSchedule([
+            FaultEvent(at=0.0, kind="slow", disk=0, factor=8.0, duration=1.0),
+        ]))
+        assert model.effective_duration(0, 5.0, 2.0) == pytest.approx(2.0)
+
+    def test_other_disks_unaffected(self):
+        model = SimFaultModel(FaultSchedule([
+            FaultEvent(at=0.0, kind="slow", disk=0, factor=8.0, duration=10.0),
+        ]))
+        assert model.effective_duration(1, 0.0, 2.0) == pytest.approx(2.0)
+
+    def test_hang_effectively_stalls(self):
+        model = SimFaultModel(FaultSchedule([
+            FaultEvent(at=0.0, kind="hang", disk=0, duration=5.0),
+        ]))
+        # Work cannot meaningfully progress inside the hang window; the
+        # transfer completes only after the window closes.
+        assert model.effective_duration(0, 0.0, 1.0) >= 5.0
+
+
+class TestFaultInjector:
+    def test_disk_fail_really_fails(self):
+        server = make_server()
+        inj = FaultInjector(server, FaultSchedule([
+            FaultEvent(at=1.0, kind="disk_fail", disk=2),
+        ]))
+        assert inj.advance(0.5) == []
+        assert not server.disk(2).is_failed
+        fired = inj.advance(1.5)
+        assert [e.kind for e in fired] == ["disk_fail"]
+        assert server.disk(2).is_failed
+        assert inj.applied == {"disk_fail": 1}
+
+    def test_duplicate_disk_fail_is_noop(self):
+        server = make_server()
+        inj = FaultInjector(server, FaultSchedule([
+            FaultEvent(at=1.0, kind="disk_fail", disk=2),
+            FaultEvent(at=2.0, kind="disk_fail", disk=2),
+        ]))
+        fired = inj.advance(3.0)
+        assert len(fired) == 1
+
+    def test_out_of_range_disk_is_noop(self):
+        server = make_server(num_disks=12)
+        inj = FaultInjector(server, FaultSchedule([
+            FaultEvent(at=1.0, kind="disk_fail", disk=99),
+        ]))
+        assert inj.advance(2.0) == []
+        assert inj.applied == {}
+
+    def test_slow_window_degrades_then_heals(self):
+        server = make_server()
+        nominal = server.disk(3).current_bandwidth
+        inj = FaultInjector(server, FaultSchedule([
+            FaultEvent(at=1.0, kind="slow", disk=3, factor=4.0, duration=2.0),
+        ]))
+        inj.advance(1.0)
+        assert server.disk(3).current_bandwidth == pytest.approx(nominal / 4.0)
+        inj.advance(10.0)
+        assert server.disk(3).current_bandwidth == pytest.approx(nominal)
+        assert inj.exhausted
+
+    def test_overlapping_windows_keep_worst_factor(self):
+        server = make_server()
+        nominal = server.disk(3).current_bandwidth
+        inj = FaultInjector(server, FaultSchedule([
+            FaultEvent(at=1.0, kind="slow", disk=3, factor=2.0, duration=10.0),
+            FaultEvent(at=2.0, kind="slow", disk=3, factor=8.0, duration=2.0),
+        ]))
+        inj.advance(2.0)
+        assert server.disk(3).current_bandwidth == pytest.approx(nominal / 8.0)
+        inj.advance(5.0)  # inner window closed; outer still open
+        assert server.disk(3).current_bandwidth == pytest.approx(nominal / 2.0)
+
+    def test_sector_error_poisons_one_chunk(self):
+        server = make_server()
+        stripe = server.layout[0]
+        shard = 0
+        disk = stripe.disks[shard]
+        inj = FaultInjector(server, FaultSchedule([
+            FaultEvent(at=1.0, kind="sector_error", disk=disk,
+                       stripe=0, shard=shard),
+        ]))
+        inj.advance(1.0)
+        assert isinstance(server.store, FaultyChunkStore)
+        with pytest.raises(LatentSectorError):
+            server.store.get(disk, ChunkId(0, shard))
+        # the rest of the disk still serves
+        other = next(c for c in server.store.chunks_on_disk(disk)
+                     if c != ChunkId(0, shard))
+        assert isinstance(server.store.get(disk, other), np.ndarray)
+
+    def test_next_change_time_tracks_pending_and_windows(self):
+        server = make_server()
+        inj = FaultInjector(server, FaultSchedule([
+            FaultEvent(at=1.0, kind="slow", disk=3, factor=4.0, duration=2.0),
+            FaultEvent(at=5.0, kind="disk_fail", disk=4),
+        ]))
+        assert inj.next_change_time() == 1.0
+        inj.advance(1.0)
+        assert inj.next_change_time() == 3.0  # window close precedes next event
+        inj.advance(3.0)
+        assert inj.next_change_time() == 5.0
+        inj.advance(5.0)
+        assert inj.next_change_time() == float("inf")
+        assert inj.exhausted

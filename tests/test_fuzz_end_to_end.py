@@ -13,9 +13,11 @@ from hypothesis import strategies as st
 from repro.core import (
     ALGORITHMS,
     FullStripeRepair,
+    ReadPolicy,
     cooperative_multi_disk_repair,
     recover_disk,
 )
+from repro.faults import DataLossReport, generate_fault_schedule
 from repro.hdss import HDSSConfig, HighDensityStorageServer
 from repro.hdss.profiles import BimodalSlowProfile
 
@@ -94,3 +96,62 @@ class TestMultiDiskFuzz:
         # every object still readable via degraded reads
         for idx in range(len(server.layout)):
             assert server.read_object(idx)
+
+
+class TestFaultedFuzz:
+    """Random faults interleaved with recovery: the run must end in either a
+    certified recovery or an explicit DataLossReport — never an unhandled
+    exception."""
+
+    @given(params=configs, fault_seed=st.integers(0, 10_000),
+           hardened=st.booleans())
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_random_faults_never_raise(self, params, fault_seed, hardened):
+        server = build(params)
+        rng = np.random.default_rng(params["seed"])
+        victim = int(rng.integers(0, params["num_disks"]))
+        if not server.layout.stripe_set(victim):
+            return
+        server.fail_disk(victim)
+        # fault times must land inside the repair's (tiny) modeled window
+        read_seconds = server.config.chunk_size / 100e6
+        schedule = generate_fault_schedule(
+            seed=fault_seed,
+            num_events=int(np.random.default_rng(fault_seed).integers(1, 6)),
+            horizon=30 * read_seconds,
+            num_disks=params["num_disks"],
+            num_stripes=params["stripes"],
+            num_shards=params["nk"][0],
+            max_disk_fails=2,
+            duration_range=(read_seconds, 10 * read_seconds),
+        )
+        policy = None
+        if hardened:
+            policy = ReadPolicy(
+                timeout_seconds=20 * read_seconds, max_retries=2,
+                backoff_base=read_seconds, backoff_cap=5 * read_seconds,
+                hedge=True,
+            )
+        result = recover_disk(
+            server, ALGORITHMS[params["algo"]](), victim,
+            faults=schedule, policy=policy,
+        )
+        loss = result.loss
+        assert isinstance(loss, DataLossReport)
+        # every repaired stripe has exactly one outcome
+        assert set(loss.stripes) == set(result.outcome.stripe_indices)
+        assert loss.exit_code == (3 if loss.has_loss else 0)
+        if not loss.has_loss and not loss.degraded \
+                and not result.scrub.degraded:
+            assert result.certified
+        # memory bound holds even under replans and retries
+        assert result.data_path.peak_memory_chunks <= server.config.memory_chunks
+        # non-lost stripes remain readable (>= k shards survive somewhere)
+        lost = set(loss.lost)
+        for stripe in server.layout:
+            if stripe.index in set(result.outcome.stripe_indices) - lost:
+                healthy = sum(
+                    1 for d in stripe.disks if not server.disk(d).is_failed
+                )
+                assert healthy >= server.config.k

@@ -91,6 +91,13 @@ class TestStates:
         with pytest.raises(DiskFailedError):
             d.degrade(2.0)
 
+    @pytest.mark.parametrize("factor", [0.5, 0.0, -2.0])
+    def test_degrade_sub_unity_rejected(self, factor):
+        d = Disk(0, bandwidth=100.0)
+        with pytest.raises(ConfigurationError):
+            d.degrade(factor)
+        assert d.current_bandwidth == 100.0
+
 
 class TestProbe:
     def test_probe_near_truth(self):

@@ -31,6 +31,15 @@ class TestLoadResults:
         results = load_results(results_dir)
         assert set(results) == {"exp1", "custom"}
 
+    def test_non_artefact_json_skipped(self, results_dir):
+        # a trace summary (CI regression baseline) is not an artefact
+        (results_dir / "trace_baseline.json").write_text(json.dumps(
+            {"metrics": {"spans": 83}, "source": "baseline.jsonl"}
+        ))
+        loaded = load_results(results_dir)
+        assert "trace_baseline" not in loaded
+        assert "## trace_baseline" not in render_report(results_dir)
+
     def test_empty_dir(self, tmp_path):
         assert load_results(tmp_path) == {}
 
@@ -79,3 +88,13 @@ class TestCliReport:
     def test_missing_dir(self, tmp_path, capsys):
         code = main(["report", "--results", str(tmp_path / "nope")])
         assert code == 1
+
+    def test_rewrite_keeps_hand_written_preamble(self, results_dir, tmp_path, capsys):
+        target = tmp_path / "EXP.md"
+        preamble = "Curated shape-agreement summary.\n\n| a | b |\n|---|---|"
+        write_report(results_dir, target, preamble=preamble)
+        code = main(["report", "--results", str(results_dir), "--output", str(target)])
+        assert code == 0
+        text = target.read_text()
+        assert "Curated shape-agreement summary." in text
+        assert text.count("Curated shape-agreement summary.") == 1

@@ -34,6 +34,17 @@ class TestScrub:
         report = small_server.scrub(stripe_indices=[0, 1, 2])
         assert report.stripes_checked == 3
 
+    def test_latent_sector_error_degrades_not_raises(self, small_server):
+        from repro.hdss.store import FaultyChunkStore
+
+        small_server.store = FaultyChunkStore(small_server.store)
+        stripe = small_server.layout[2]
+        small_server.store.mark_bad(stripe.disks[0], ChunkId(2, 0))
+        report = small_server.scrub()
+        assert 2 in report.degraded
+        assert 2 not in report.clean
+        assert not report.corrupt
+
     def test_metadata_only_unpopulated(self, metadata_server):
         report = metadata_server.scrub()
         assert len(report.unpopulated) == 30
