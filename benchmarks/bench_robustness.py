@@ -1,14 +1,21 @@
 """ROBUSTNESS — recovery outcomes under injected mid-repair faults.
 
 Repo extension (no paper figure): runs the byte-exact data path through
-four scripted fault scenarios — clean hardened baseline, a second disk
-dying mid-round (re-planning salvages accumulated partial sums), a hung
-survivor ridden out via timeout/retry/hedge, and an overwhelming casualty
-burst that exceeds the n-k tolerance and must degrade to a structured
-data-loss report rather than an exception.
+six scripted fault scenarios — clean hardened baseline, the same repair
+checkpointing into a crash-consistent journal (overhead check), a second
+disk dying mid-round (re-planning salvages accumulated partial sums), a
+hung survivor ridden out via timeout/retry/hedge, an overwhelming
+casualty burst that exceeds the n-k tolerance and must degrade to a
+structured data-loss report rather than an exception, and a repair
+killed by a scripted process crash then resumed from its journal.
 """
 
 from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import pytest
 
 from repro.core import FullStripeRepair, recover_disk, recover_disks
 from repro.core.executor import ReadPolicy
@@ -34,6 +41,10 @@ def make_server(seed=7, num_disks=14, stripes=25):
     return server
 
 
+#: One actual chunk read on the default 180 MB/s profile (for crash timing).
+ACTUAL_READ_SECONDS = CHUNK / 180e6
+
+
 def run_scenarios():
     results = {}
 
@@ -44,6 +55,37 @@ def run_scenarios():
         server, FullStripeRepair(), 0,
         policy=ReadPolicy(timeout_seconds=1.0),
     )
+
+    # the identical repair checkpointing every round into the journal:
+    # the journal-overhead row must match "clean" on every outcome column
+    with tempfile.TemporaryDirectory() as tmp:
+        server = make_server()
+        server.fail_disk(0)
+        results["journaled clean"] = recover_disk(
+            server, FullStripeRepair(), 0,
+            policy=ReadPolicy(timeout_seconds=1.0),
+            journal=Path(tmp) / "journal",
+        )
+
+    # a scripted SIGKILL mid-repair, then --resume from the journal:
+    # finished stripes replay from journaled payloads, zero re-reads
+    with tempfile.TemporaryDirectory() as tmp:
+        from repro.faults import SimulatedCrash
+
+        crash = FaultSchedule([
+            FaultEvent(at=60 * ACTUAL_READ_SECONDS, kind="process_crash"),
+        ])
+        server = make_server()
+        server.fail_disk(0)
+        with pytest.raises(SimulatedCrash):
+            recover_disk(server, FullStripeRepair(), 0,
+                         faults=crash, journal=Path(tmp) / "journal")
+        server = make_server()
+        server.fail_disk(0)
+        results["crash + resume"] = recover_disk(
+            server, FullStripeRepair(), 0,
+            faults=crash, journal=Path(tmp) / "journal", resume=True,
+        )
 
     # the acceptance scenario: disk 4 dies two reads into a cooperative
     # two-disk repair; partial sums already folded must be salvaged
@@ -102,6 +144,14 @@ def test_robustness_outcomes(benchmark, results_sink):
     by = {r["scenario"]: r for r in rows}
     assert by["clean"]["exit_code"] == 0
     assert by["clean"]["certified"]
+    # journaling changes durability, not outcomes
+    for col in ("stripes", "recovered", "replanned", "lost", "chunks_rebuilt",
+                "certified", "exit_code"):
+        assert by["journaled clean"][col] == by["clean"][col], col
+    resumed = by["crash + resume"]
+    assert resumed["certified"] and resumed["exit_code"] == 0
+    assert resumed["resumed_stripes"] > 0
+    assert resumed["replayed_chunks"] > 0
     # the casualty is absorbed: stripes re-planned, nothing lost, and the
     # salvage genuinely beats repairing those stripes from scratch
     casualty = by["mid-repair casualty"]

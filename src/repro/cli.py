@@ -97,6 +97,16 @@ def _add_fault_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--hedge", action="store_true",
         help="after retries, re-plan the read onto a different survivor")
+    parser.add_argument(
+        "--journal", default=None, metavar="DIR",
+        help="checkpoint the repair into a crash-consistent journal at DIR "
+             "(with --algorithm all, each scheme journals to DIR/<scheme>); "
+             "implies the byte-exact hardened data path")
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted repair from --journal DIR: the journaled "
+             "plan is reused verbatim, finished stripes are replayed without "
+             "re-reading, and the in-flight stripe continues mid-round")
 
 
 def _fault_setup(args: argparse.Namespace):
@@ -141,6 +151,10 @@ def _loss_table(name: str, result) -> "AsciiTable":
     table.add_row(["fresh restarts", loss.fresh_restarts])
     table.add_row(["chunks salvaged", loss.salvaged_chunks])
     table.add_row(["chunks re-read", loss.reread_chunks])
+    table.add_row(["checksum failures", loss.checksum_failures])
+    if loss.resumed_stripes:
+        table.add_row(["stripes replayed from journal", loss.resumed_stripes])
+        table.add_row(["chunks re-put from journal", loss.replayed_chunks])
     table.add_row(["chunks rebuilt", result.data_path.chunks_rebuilt])
     table.add_row(["modeled seconds", format_duration(result.data_path.modeled_seconds)])
     table.add_row(["certified", result.certified])
@@ -159,6 +173,28 @@ def _report_hardened(name: str, result) -> int:
         print(f"warning: recovery degraded — {len(loss.replanned)} stripe(s) "
               f"re-planned, {loss.fresh_restarts} restart(s)", file=sys.stderr)
     return loss.exit_code
+
+
+def _journal_dir(args: argparse.Namespace, algorithm: str) -> "Optional[str]":
+    """Resolve --journal for one scheme: DIR, or DIR/<scheme> under `all`.
+
+    Per-scheme subdirectories keep `--algorithm all` runs from interleaving
+    unrelated repairs in one journal (a journal records exactly one repair).
+    """
+    if not args.journal:
+        return None
+    if args.algorithm == "all":
+        import os
+
+        return os.path.join(args.journal, algorithm)
+    return args.journal
+
+
+def _report_crash(name: str, crash, journal: "Optional[str]") -> None:
+    print(f"{name}: {crash}", file=sys.stderr)
+    if journal:
+        print(f"repair interrupted; resume with: --journal {journal} --resume",
+              file=sys.stderr)
 
 
 def _add_server_args(parser: argparse.ArgumentParser) -> None:
@@ -190,17 +226,32 @@ def cmd_repair(args: argparse.Namespace) -> int:
 
     algos = list(ALGORITHMS) if args.algorithm == "all" else [args.algorithm]
     schedule, policy = _fault_setup(args)
-    if schedule is not None or policy is not None:
+    if args.resume and not args.journal:
+        print("--resume needs --journal DIR (the journal to resume from)",
+              file=sys.stderr)
+        return 2
+    if schedule is not None or policy is not None or args.journal:
         from repro.core import recover_disk
+        from repro.errors import JournalError
+        from repro.faults import EXIT_CRASHED, SimulatedCrash
 
         rc = 0
         for name in algos:
+            journal = _journal_dir(args, name)
             server = _build_server(args, with_data=True)
             server.fail_disk(args.disk)
-            result = recover_disk(
-                server, ALGORITHMS[name](), args.disk,
-                faults=schedule, policy=policy,
-            )
+            try:
+                result = recover_disk(
+                    server, ALGORITHMS[name](), args.disk,
+                    faults=schedule, policy=policy,
+                    journal=journal, resume=args.resume,
+                )
+            except SimulatedCrash as crash:
+                _report_crash(name, crash, journal)
+                return EXIT_CRASHED
+            except JournalError as exc:
+                print(f"{name}: {exc}", file=sys.stderr)
+                return 2
             rc = max(rc, _report_hardened(name, result))
         return rc
     table = AsciiTable(
@@ -237,20 +288,35 @@ def cmd_repair(args: argparse.Namespace) -> int:
 
 def cmd_multi(args: argparse.Namespace) -> int:
     schedule, policy = _fault_setup(args)
-    if schedule is not None or policy is not None:
+    if args.resume and not args.journal:
+        print("--resume needs --journal DIR (the journal to resume from)",
+              file=sys.stderr)
+        return 2
+    if schedule is not None or policy is not None or args.journal:
         from repro.core import recover_disks
+        from repro.errors import JournalError
+        from repro.faults import EXIT_CRASHED, SimulatedCrash
 
         algos = list(ALGORITHMS) if args.algorithm == "all" else [args.algorithm]
         failed = list(range(args.failed))
         rc = 0
         for name in algos:
+            journal = _journal_dir(args, name)
             server = _build_server(args, with_data=True)
             for d in failed:
                 server.fail_disk(d)
-            result = recover_disks(
-                server, ALGORITHMS[name](), failed,
-                faults=schedule, policy=policy,
-            )
+            try:
+                result = recover_disks(
+                    server, ALGORITHMS[name](), failed,
+                    faults=schedule, policy=policy,
+                    journal=journal, resume=args.resume,
+                )
+            except SimulatedCrash as crash:
+                _report_crash(f"{name} (cooperative)", crash, journal)
+                return EXIT_CRASHED
+            except JournalError as exc:
+                print(f"{name}: {exc}", file=sys.stderr)
+                return 2
             rc = max(rc, _report_hardened(f"{name} (cooperative)", result))
         return rc
     table = AsciiTable(

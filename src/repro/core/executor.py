@@ -46,6 +46,7 @@ from repro.core.plans import RepairPlan, StripePlan
 from repro.ec.partial import PartialDecoder
 from repro.ec.stripe import ChunkId, Stripe
 from repro.errors import (
+    ChunkChecksumError,
     ChunkNotFoundError,
     CodingError,
     ConfigurationError,
@@ -61,6 +62,7 @@ from repro.obs.context import current_registry, current_tracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.faults.injector import FaultInjector
+    from repro.journal.journal import RepairJournal, RepairState, StripeDone
 
 
 @dataclass(frozen=True)
@@ -159,6 +161,12 @@ class DataPathStats:
     salvaged_chunks: int = 0
     #: Chunk reads issued more than once for the same stripe.
     reread_chunks: int = 0
+    #: Chunk reads rejected by CRC32C sidecar verification.
+    checksum_failures: int = 0
+    #: Stripes whose terminal outcome was replayed from the journal.
+    resumed_stripes: int = 0
+    #: Journaled payloads re-put during replay (no survivor reads).
+    replayed_chunks: int = 0
     #: Stripes with fewer than k readable shards (recorded, not raised).
     stripes_lost: int = 0
     #: Per-stripe outcome report; None when the run was fault-free by
@@ -180,6 +188,13 @@ class DataPathExecutor:
         injector: a :class:`~repro.faults.injector.FaultInjector` already
             bound to ``server``; its schedule fires as the logical clock
             advances past event times.
+        journal: a :class:`~repro.journal.journal.RepairJournal` to
+            checkpoint into — the plan at start, the decoder state at
+            every round boundary, rebuilt payloads at stripe completion.
+        resume_state: a replayed :class:`~repro.journal.journal.RepairState`;
+            completed stripes are redone from journaled payloads (zero
+            survivor reads) and the in-flight stripe restarts from its
+            last committed round.
     """
 
     def __init__(
@@ -188,15 +203,25 @@ class DataPathExecutor:
         write_back: bool = True,
         policy: Optional[ReadPolicy] = None,
         injector: Optional["FaultInjector"] = None,
+        journal: Optional["RepairJournal"] = None,
+        resume_state: Optional["RepairState"] = None,
     ) -> None:
         self.server = server
         self.write_back = write_back
         self.policy = policy
         self.injector = injector
+        self.journal = journal
+        self.resume_state = resume_state
         if injector is not None:
             injector.attach()
         #: Logical repair clock, seconds of modeled transfer + backoff.
         self.clock = 0.0
+        if resume_state is not None:
+            # Restart where the crashed incarnation stopped; the first
+            # _advance_faults() then re-applies every event the previous
+            # run already survived (scripted crashes are skipped by the
+            # injector's skip budget).
+            self.clock = resume_state.clock
 
     # ------------------------------------------------------------------ reads
     def _advance_faults(self) -> None:
@@ -263,6 +288,8 @@ class DataPathExecutor:
             try:
                 data = server.store.get(disk_id, ChunkId(global_index, shard_idx))
             except (LatentSectorError, ChunkNotFoundError) as exc:
+                if isinstance(exc, ChunkChecksumError):
+                    stats.checksum_failures += 1
                 raise _ShardDead(shard_idx, exc) from None
             self.clock += duration
             disk.record_read(data.size)
@@ -296,6 +323,8 @@ class DataPathExecutor:
         try:
             data = server.store.get(disk_id, ChunkId(global_index, shard_idx))
         except (LatentSectorError, ChunkNotFoundError) as exc:
+            if isinstance(exc, ChunkChecksumError):
+                stats.checksum_failures += 1
             raise _ShardDead(shard_idx, exc) from None
         self.clock += duration
         server.disk(disk_id).record_read(data.size)
@@ -450,12 +479,29 @@ class DataPathExecutor:
         memory = server.memory
         if memory.occupancy:
             raise StorageError(f"repair memory is not empty: {memory!r}")
-        hardened = self.policy is not None or self.injector is not None
+        hardened = (
+            self.policy is not None
+            or self.injector is not None
+            or self.journal is not None
+            or self.resume_state is not None
+        )
         stats = DataPathStats()
         if hardened:
             stats.loss = DataLossReport()
         chunk_size = server.config.chunk_size
         tracer = current_tracer()
+
+        if self.journal is not None and self.resume_state is None and not self.journal.begun:
+            self.journal.begin(
+                algorithm=plan.algorithm,
+                plan=plan.to_dict(),
+                stripe_indices=[int(si) for si in stripe_indices],
+                survivor_ids=[[int(s) for s in row] for row in survivor_ids],
+                failed_disks=[int(d) for d in failed],
+                fingerprint=server.config.fingerprint(),
+            )
+        done = self.resume_state.done if self.resume_state is not None else {}
+        inflight = self.resume_state.inflight if self.resume_state is not None else {}
 
         for sp in plan.stripe_plans:
             row = sp.stripe_index
@@ -467,11 +513,15 @@ class DataPathExecutor:
                 raise StorageError(
                     f"stripe {global_index} lost nothing on disks {failed}"
                 )
+            if global_index in done:
+                self._replay_stripe(global_index, done[global_index], stats, tracer)
+                continue
             with tracer.span("stripe", f"stripe {global_index}",
                              track="datapath", rounds=sp.num_rounds):
                 if hardened:
                     self._repair_stripe_hardened(
-                        sp, stripe, global_index, shards, targets, stats, tracer
+                        sp, stripe, global_index, shards, targets, stats, tracer,
+                        restored=inflight.get(global_index),
                     )
                 else:
                     self._repair_stripe(
@@ -552,33 +602,48 @@ class DataPathExecutor:
         targets: List[int],
         stats: DataPathStats,
         tracer,
+        restored: Optional[Dict[str, object]] = None,
     ) -> None:
         """The fault-tolerant data path: salvage, restart, or record loss."""
         server = self.server
         memory = server.memory
-        decoder = PartialDecoder(
-            server.code, shards, targets, chunk_size=server.config.chunk_size
-        )
         acc_handles = [("acc", global_index, t) for t in targets]
         acc_admitted = False
         # Post-failure rounds must fit alongside the accumulators even when
         # the original plan was single-round (its budget had no acc slots).
         per_round = max(1, sp.peak_memory_chunks() - len(targets))
-        outcome = RECOVERED
         held: List[tuple] = []
-        seen: Set[int] = set()
+
+        if restored is not None:
+            # Resume mid-stripe from the last committed round: the
+            # accumulators and remaining-read bookkeeping come straight
+            # from the journal; nothing already fed is read again.
+            state = dict(restored)
+            outcome = str(state.pop("outcome", RECOVERED))
+            decoder = PartialDecoder.from_state(server.code, state)
+            seen: Set[int] = set(decoder.fed)
+            queue = self._rounds_of(decoder.pending, per_round)
+            if not decoder.complete:
+                for handle in acc_handles:
+                    memory.admit(handle)
+                acc_admitted = True
+        else:
+            decoder = PartialDecoder(
+                server.code, shards, targets, chunk_size=server.config.chunk_size
+            )
+            outcome = RECOVERED
+            seen = set()
+            queue = [[shards[col] for col in rnd] for rnd in sp.rounds]
+            if sp.num_rounds > 1:
+                for handle in acc_handles:
+                    memory.admit(handle)
+                acc_admitted = True
 
         def release_held() -> None:
             while held:
                 memory.release(held.pop())
 
-        if sp.num_rounds > 1:
-            for handle in acc_handles:
-                memory.admit(handle)
-            acc_admitted = True
-
-        queue = [[shards[col] for col in rnd] for rnd in sp.rounds]
-        round_index = 0
+        round_index = decoder.rounds_fed
         while queue:
             rnd = [s for s in queue.pop(0) if s in set(decoder.pending)]
             if not rnd:
@@ -606,6 +671,10 @@ class DataPathExecutor:
                 if fed:
                     decoder.feed(fed)
                 release_held()
+            if fed and self.journal is not None:
+                self.journal.round_commit(
+                    global_index, self.clock, decoder.to_state(), outcome=outcome
+                )
             round_index += 1
             if fault is None:
                 continue
@@ -663,14 +732,57 @@ class DataPathExecutor:
                 for handle in acc_handles:
                     memory.release(handle)
             stats.loss.record(global_index, LOST)
+            if self.journal is not None:
+                self.journal.stripe_done(global_index, LOST, self.clock)
             return
 
-        self._write_back(decoder, stripe, global_index, targets, stats)
+        written = self._write_back(decoder, stripe, global_index, targets, stats)
         if acc_admitted:
             for handle in acc_handles:
                 memory.release(handle)
         stats.stripes_repaired += 1
         stats.loss.record(global_index, outcome)
+        if self.journal is not None:
+            self.journal.stripe_done(global_index, outcome, self.clock, written)
+
+    # ---------------------------------------------------------------- replay
+    def _replay_stripe(
+        self,
+        global_index: int,
+        done: "StripeDone",
+        stats: DataPathStats,
+        tracer,
+    ) -> None:
+        """Redo a journaled stripe outcome without touching any survivor.
+
+        The journal's ``stripe_done`` record carries the rebuilt payload
+        bytes, so replay is a pure write-side redo: re-put any chunk the
+        spare is missing (volatile stores lose them across the crash;
+        durable stores make this a no-op) and re-record the outcome. Zero
+        survivor reads, zero decode work — the crashed run's completed
+        rounds stay paid for.
+        """
+        server = self.server
+        stats.resumed_stripes += 1
+        with tracer.span("stripe", f"stripe {global_index} replay",
+                         track="datapath", replayed=True):
+            for target, spare, payload in done.writebacks:
+                if payload is None:
+                    continue
+                cid = ChunkId(global_index, target)
+                if self.write_back:
+                    if not server.store.contains(spare, cid):
+                        server.store.put(spare, cid, payload)
+                        stats.replayed_chunks += 1
+                    stats.writebacks.append((global_index, target, spare))
+                stats.chunks_rebuilt += 1
+                stats.bytes_written += int(payload.size) if self.write_back else 0
+        if done.outcome == LOST:
+            stats.stripes_lost += 1
+        else:
+            stats.stripes_repaired += 1
+        if stats.loss is not None:
+            stats.loss.record(global_index, done.outcome)
 
     # -------------------------------------------------------------- plumbing
     def _write_back(
@@ -680,13 +792,15 @@ class DataPathExecutor:
         global_index: int,
         targets: List[int],
         stats: DataPathStats,
-    ) -> None:
+    ) -> List[Tuple[int, int, np.ndarray]]:
         server = self.server
         tracer = current_tracer()
         results = decoder.results()
+        written: List[Tuple[int, int, np.ndarray]] = []
         # never land two shards of one stripe on the same disk — including
         # two *rebuilt* shards (multi-target cooperative repair).
         exclude = list(stripe.disks)
+        verify = getattr(server.store, "verify_chunk", None)
         with tracer.span("writeback", f"stripe {global_index} writeback",
                          track="datapath", targets=len(targets)):
             for target in targets:
@@ -694,10 +808,17 @@ class DataPathExecutor:
                 if self.write_back:
                     spare = server.pick_spare(exclude=exclude)
                     exclude.append(spare)
-                    server.store.put(spare, ChunkId(global_index, target), rebuilt)
+                    cid = ChunkId(global_index, target)
+                    server.store.put(spare, cid, rebuilt)
+                    if verify is not None:
+                        # End-to-end: re-read the landed bytes against the
+                        # sidecar before trusting the rebuilt chunk.
+                        verify(spare, cid)
                     stats.writebacks.append((global_index, target, spare))
+                    written.append((target, spare, rebuilt))
                 stats.chunks_rebuilt += 1
                 stats.bytes_written += int(rebuilt.size) if self.write_back else 0
+        return written
 
     def _export_metrics(self, stats: DataPathStats) -> None:
         registry = current_registry()
@@ -720,6 +841,9 @@ class DataPathExecutor:
         loss.fresh_restarts += stats.fresh_restarts
         loss.salvaged_chunks += stats.salvaged_chunks
         loss.reread_chunks += stats.reread_chunks
+        loss.checksum_failures += stats.checksum_failures
+        loss.resumed_stripes += stats.resumed_stripes
+        loss.replayed_chunks += stats.replayed_chunks
         for name, help_text, value in (
             ("hdpsr_read_timeouts_total", "Survivor reads that hit the timeout", stats.timeouts),
             ("hdpsr_read_retries_total", "Survivor read retries after backoff", stats.retries),
@@ -729,6 +853,8 @@ class DataPathExecutor:
             ("hdpsr_chunks_salvaged_total", "Chunks preserved by salvage replans", stats.salvaged_chunks),
             ("hdpsr_replan_reread_chunks_total", "Chunk reads repeated after faults", stats.reread_chunks),
             ("hdpsr_stripes_lost_total", "Stripes recorded as unrecoverable", stats.stripes_lost),
+            ("hdpsr_resume_stripes_replayed_total", "Stripe outcomes replayed from the journal", stats.resumed_stripes),
+            ("hdpsr_resume_chunks_redone_total", "Journaled payloads re-put during replay", stats.replayed_chunks),
         ):
             if value:
                 registry.counter(name, help_text).inc(value)

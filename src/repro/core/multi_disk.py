@@ -255,6 +255,7 @@ def cooperative_multi_disk_repair(
     select: str = "first",
     probe_noise: float = 0.02,
     order: str = "default",
+    journal: "Optional[object]" = None,
 ) -> MultiDiskOutcome:
     """Union the stripe sets, dedupe, repair every affected stripe once.
 
@@ -277,6 +278,12 @@ def cooperative_multi_disk_repair(
     ``lost_stripes`` instead of raising. The outcome's ``failed_disks``
     then includes mid-repair casualties, and ``time_to_safety`` is ``None``
     whenever data was actually lost.
+
+    ``journal`` (a :class:`~repro.journal.journal.RepairJournal`) records a
+    durable ``phase`` checkpoint at the initial-phase boundary and after
+    every re-plan phase — the timing-plane metadata (phase start, stripes
+    covered, disks newly failed) an operator needs to audit what a crashed
+    multi-disk recovery had already scheduled.
     """
     failed = _check_failed(server, failed_disks)
     algorithm = algorithm_factory()
@@ -295,6 +302,11 @@ def cooperative_multi_disk_repair(
         tracer.complete(
             "phase", f"cooperative repair of disks {failed}", 0.0,
             report.total_time, track="phases", stripes=len(stripe_indices),
+        )
+    if journal is not None:
+        journal.phase(
+            kind="initial", start=0.0, duration=float(report.total_time),
+            stripes=len(stripe_indices), failed_disks=list(failed),
         )
 
     reports: List[TransferReport] = [report]
@@ -356,6 +368,12 @@ def cooperative_multi_disk_repair(
                 "phase", f"re-plan after disk {newly} failed mid-repair",
                 phase_start, rep.total_time, track="phases",
                 stripes=len(recoverable),
+            )
+        if journal is not None:
+            journal.phase(
+                kind="replan", start=float(phase_start),
+                duration=float(rep.total_time), stripes=len(recoverable),
+                newly_failed=list(newly), failed_disks=list(failed),
             )
         total_time = phase_start + rep.total_time
         chunks_read += rep.chunk_count

@@ -23,8 +23,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+import os
+
 from repro.core.base import RepairAlgorithm, RepairContext
 from repro.core.executor import DataPathExecutor, DataPathStats, ReadPolicy
+from repro.core.plans import RepairPlan
 from repro.core.scheduler import (
     ExecutionOptions,
     RepairOutcome,
@@ -32,12 +35,14 @@ from repro.core.scheduler import (
     execute_plan,
     repair_single_disk,
 )
-from repro.errors import StorageError
+from repro.errors import JournalError, StorageError
 from repro.faults.injector import FaultInjector
 from repro.faults.report import DataLossReport
 from repro.faults.spec import FaultSchedule
 from repro.hdss.prober import ActiveProber
 from repro.hdss.server import HighDensityStorageServer, ScrubReport
+from repro.journal.journal import RepairJournal, RepairState, load_state
+from repro.sim.metrics import TransferReport
 
 
 @dataclass
@@ -109,9 +114,44 @@ def _hardened_executor(
     server: HighDensityStorageServer,
     faults: Optional[FaultSchedule],
     policy: Optional[ReadPolicy],
+    journal: Optional[RepairJournal] = None,
+    resume_state: Optional[RepairState] = None,
 ) -> DataPathExecutor:
-    injector = FaultInjector(server, faults) if faults else None
-    return DataPathExecutor(server, policy=policy, injector=injector)
+    # A resumed run already survived one crash per previous incarnation
+    # (the original plus one per 'resume' record) — skip exactly those.
+    skip = resume_state.resume_count + 1 if resume_state is not None else 0
+    injector = FaultInjector(server, faults, skip_crashes=skip) if faults else None
+    return DataPathExecutor(
+        server, policy=policy, injector=injector,
+        journal=journal, resume_state=resume_state,
+    )
+
+
+def _open_journal(
+    journal: "str | os.PathLike | RepairJournal | None",
+) -> Optional[RepairJournal]:
+    if journal is None or isinstance(journal, RepairJournal):
+        return journal
+    return RepairJournal(journal)
+
+
+def _load_resume_state(
+    journal: RepairJournal, server: HighDensityStorageServer
+) -> RepairState:
+    """Replay the journal and refuse to resume against the wrong server."""
+    state = load_state(journal.root)
+    fp = server.config.fingerprint()
+    if state.fingerprint != fp:
+        diff = sorted(
+            k for k in set(state.fingerprint) | set(fp)
+            if state.fingerprint.get(k) != fp.get(k)
+        )
+        raise JournalError(
+            f"journal {journal.root} was written by a different server "
+            f"configuration (mismatched: {diff}); refusing to resume"
+        )
+    journal.mark_resume(state.clock)
+    return state
 
 
 def _scrub_surviving(
@@ -133,6 +173,8 @@ def recover_disk(
     context: Optional[RepairContext] = None,
     faults: Optional[FaultSchedule] = None,
     policy: Optional[ReadPolicy] = None,
+    journal: "str | os.PathLike | RepairJournal | None" = None,
+    resume: bool = False,
 ) -> RecoveryResult:
     """Fully recover one failed disk: plan, rebuild, commit, certify.
 
@@ -144,24 +186,71 @@ def recover_disk(
     per-read timeouts/retries/hedging. With either set, unrecoverable
     stripes are recorded in ``result.loss`` instead of raising.
 
+    ``journal`` (a directory path or open
+    :class:`~repro.journal.journal.RepairJournal`) checkpoints the repair
+    crash-consistently; with ``resume=True`` the journaled plan is reused
+    verbatim — no re-planning, no re-probing — completed stripes are
+    replayed from journaled payloads, and the in-flight stripe continues
+    from its last committed round.
+
     Raises:
         StorageError: disk healthy / nothing to repair / store is
             metadata-only (nothing to rebuild byte-for-byte).
+        JournalError: ``resume`` without a journal, or the journal belongs
+            to a different server configuration.
     """
-    outcome = repair_single_disk(
-        server, algorithm, failed_disk, options=options, context=context
-    )
+    jrnl = _open_journal(journal)
+    state: Optional[RepairState] = None
+    if resume:
+        if jrnl is None:
+            raise JournalError("resume=True needs a journal directory")
+        state = _load_resume_state(jrnl, server)
+        outcome = _journaled_outcome(state)
+    else:
+        outcome = repair_single_disk(
+            server, algorithm, failed_disk, options=options, context=context
+        )
     _require_bytes(server, outcome.stripe_indices, outcome.survivor_ids)
-    executor = _hardened_executor(server, faults, policy)
+    executor = _hardened_executor(server, faults, policy, jrnl, state)
     stats = executor.repair(
         outcome.plan, outcome.stripe_indices, outcome.survivor_ids
     )
     remapped = server.commit_writebacks(stats.writebacks)
     scrub = _scrub_surviving(server, outcome.stripe_indices, stats)
+    _finish_journal(jrnl, stats)
     return RecoveryResult(
         outcome=outcome, data_path=stats, remapped=remapped, scrub=scrub,
         loss=stats.loss,
     )
+
+
+def _journaled_outcome(state: RepairState) -> RepairOutcome:
+    """Rebuild the original run's outcome from the journal's begin record.
+
+    The timing-plane report is zeroed: simulated repair time belongs to
+    the run that planned the repair, not to the replay.
+    """
+    return RepairOutcome(
+        algorithm=state.algorithm,
+        plan=RepairPlan.from_dict(state.plan),
+        report=TransferReport(total_time=0.0),
+        stripe_indices=list(state.stripe_indices),
+        survivor_ids=[list(row) for row in state.survivor_ids],
+    )
+
+
+def _finish_journal(jrnl: Optional[RepairJournal], stats: DataPathStats) -> None:
+    if jrnl is None:
+        return
+    summary: dict = {
+        "stripes_repaired": stats.stripes_repaired,
+        "stripes_lost": stats.stripes_lost,
+        "chunks_rebuilt": stats.chunks_rebuilt,
+        "resumed_stripes": stats.resumed_stripes,
+        "modeled_seconds": stats.modeled_seconds,
+    }
+    jrnl.complete(**summary)
+    jrnl.close()
 
 
 def recover_disks(
@@ -174,6 +263,8 @@ def recover_disks(
     policy: Optional[ReadPolicy] = None,
     select: str = "first",
     probe_noise: float = 0.02,
+    journal: "str | os.PathLike | RepairJournal | None" = None,
+    resume: bool = False,
 ) -> RecoveryResult:
     """Cooperatively recover several failed disks on the byte-exact plane.
 
@@ -200,6 +291,26 @@ def recover_disks(
     for d in failed:
         if not server.disk(d).is_failed:
             raise StorageError(f"disk {d} is healthy; fail it before repairing")
+
+    jrnl = _open_journal(journal)
+    if resume:
+        if jrnl is None:
+            raise JournalError("resume=True needs a journal directory")
+        state = _load_resume_state(jrnl, server)
+        outcome = _journaled_outcome(state)
+        _require_bytes(server, outcome.stripe_indices, outcome.survivor_ids)
+        executor = _hardened_executor(server, faults, policy, jrnl, state)
+        stats = executor.repair(
+            outcome.plan, outcome.stripe_indices, outcome.survivor_ids,
+            failed_disks=state.failed_disks,
+        )
+        remapped = server.commit_writebacks(stats.writebacks)
+        scrub = _scrub_surviving(server, outcome.stripe_indices, stats)
+        _finish_journal(jrnl, stats)
+        return RecoveryResult(
+            outcome=outcome, data_path=stats, remapped=remapped, scrub=scrub,
+            loss=stats.loss,
+        )
 
     stripe_indices, survivor_ids, L_oracle = server.transfer_time_matrix(
         failed, select=select
@@ -246,12 +357,13 @@ def recover_disks(
         L=L_oracle,
         probe_bytes=probe_bytes,
     )
-    executor = _hardened_executor(server, faults, policy)
+    executor = _hardened_executor(server, faults, policy, jrnl)
     stats = executor.repair(
         plan, stripe_indices, survivor_ids, failed_disks=failed
     )
     remapped = server.commit_writebacks(stats.writebacks)
     scrub = _scrub_surviving(server, stripe_indices, stats)
+    _finish_journal(jrnl, stats)
     return RecoveryResult(
         outcome=outcome, data_path=stats, remapped=remapped, scrub=scrub,
         loss=stats.loss,

@@ -36,6 +36,20 @@ class LatentSectorError(StorageError):
     """A single chunk is unreadable (URE) while the rest of its disk serves I/O."""
 
 
+class ChunkChecksumError(LatentSectorError):
+    """A stored chunk's bytes disagree with its CRC32C sidecar.
+
+    Subclasses :class:`LatentSectorError` on purpose: silent corruption is
+    handled exactly like an unreadable sector — the shard is treated as
+    dead, the repair re-plans around it, and the stripe is surfaced as
+    degraded instead of crashing the recovery.
+    """
+
+
+class JournalError(StorageError):
+    """The repair journal is missing, malformed, or inconsistent with the run."""
+
+
 class RetryExhaustedError(StorageError):
     """A read kept timing out and the retry budget (with backoff) ran out."""
 

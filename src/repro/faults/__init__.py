@@ -21,8 +21,10 @@ Recovery outcomes under faults land in a
 recovered / recovered-after-replan / lost — instead of an exception.
 """
 
-from repro.faults.injector import FaultInjector, SimFaultModel
+from repro.faults.injector import FaultInjector, SimFaultModel, SimulatedCrash
 from repro.faults.report import (
+    EXIT_CRASHED,
+    EXIT_DATA_LOSS,
     LOST,
     RECOVERED,
     REPLANNED,
@@ -30,6 +32,7 @@ from repro.faults.report import (
 )
 from repro.faults.spec import (
     FAULT_KINDS,
+    GENERATED_KINDS,
     FaultEvent,
     FaultSchedule,
     generate_fault_schedule,
@@ -37,13 +40,17 @@ from repro.faults.spec import (
 
 __all__ = [
     "FAULT_KINDS",
+    "GENERATED_KINDS",
     "FaultEvent",
     "FaultSchedule",
     "generate_fault_schedule",
     "FaultInjector",
     "SimFaultModel",
+    "SimulatedCrash",
     "DataLossReport",
     "RECOVERED",
     "REPLANNED",
     "LOST",
+    "EXIT_CRASHED",
+    "EXIT_DATA_LOSS",
 ]

@@ -29,6 +29,23 @@ from repro.hdss.store import FaultyChunkStore
 from repro.obs import current_registry, current_tracer
 
 
+class SimulatedCrash(BaseException):
+    """A scripted ``process_crash`` event killed the repair process.
+
+    Derives from :class:`BaseException` (like ``KeyboardInterrupt``) so no
+    retry/replan handler in the repair stack can accidentally absorb it —
+    a SIGKILL is not a storage fault to route around. The CLI catches it
+    at top level, points at ``--resume``, and exits with
+    :data:`repro.faults.report.EXIT_CRASHED`.
+    """
+
+    def __init__(self, event: FaultEvent) -> None:
+        super().__init__(
+            f"simulated process crash at t={event.at:.6f}s (scripted fault)"
+        )
+        self.event = event
+
+
 class FaultInjector:
     """Applies a :class:`FaultSchedule` to a live server as time advances.
 
@@ -39,11 +56,18 @@ class FaultInjector:
     retry) immediately.
     """
 
-    def __init__(self, server, schedule: FaultSchedule) -> None:
+    def __init__(
+        self, server, schedule: FaultSchedule, *, skip_crashes: int = 0
+    ) -> None:
         self.server = server
         self.schedule = schedule
         self._pending: List[FaultEvent] = list(schedule)
         self._next = 0
+        #: ``process_crash`` events to swallow before raising again — a
+        #: resumed run already "survived" the crashes that fired in prior
+        #: incarnations (one per resume, plus the original).
+        self.skip_crashes = skip_crashes
+        self._crashes_skipped = 0
         #: Active transient windows per disk: list of (window_end, factor).
         self._windows: Dict[int, List[Tuple[float, float]]] = {}
         #: Events actually applied, by kind (feeds DataLossReport).
@@ -124,6 +148,13 @@ class FaultInjector:
 
     def _apply(self, event: FaultEvent) -> bool:
         """Mutate server state for one event; False when it was a no-op."""
+        if event.kind == "process_crash":
+            if self._crashes_skipped < self.skip_crashes:
+                self._crashes_skipped += 1
+                return False  # already fired in a previous incarnation
+            self.applied[event.kind] = self.applied.get(event.kind, 0) + 1
+            self._observe(event)
+            raise SimulatedCrash(event)
         disk_id = event.disk
         if disk_id >= len(self.server.disks):
             return False  # spec targets a disk this server doesn't have

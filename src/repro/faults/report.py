@@ -22,6 +22,10 @@ LOST = "lost"
 #: CLI exit code for a recovery that lost data.
 EXIT_DATA_LOSS = 3
 
+#: CLI exit code for a repair killed by a scripted ``process_crash``
+#: (the run is resumable with ``--resume`` when journaled).
+EXIT_CRASHED = 4
+
 
 @dataclass
 class DataLossReport:
@@ -52,6 +56,12 @@ class DataLossReport:
     salvaged_chunks: int = 0
     #: Chunks read more than once because salvage was not possible.
     reread_chunks: int = 0
+    #: Chunk reads that failed CRC32C verification (silent corruption).
+    checksum_failures: int = 0
+    #: Stripes whose terminal outcome was replayed from the journal.
+    resumed_stripes: int = 0
+    #: Journaled chunk payloads re-put during replay (zero disk reads).
+    replayed_chunks: int = 0
 
     # ----------------------------------------------------------------- state
     def record(self, stripe_index: int, outcome: str) -> None:
@@ -104,6 +114,9 @@ class DataLossReport:
         self.fresh_restarts += other.fresh_restarts
         self.salvaged_chunks += other.salvaged_chunks
         self.reread_chunks += other.reread_chunks
+        self.checksum_failures += other.checksum_failures
+        self.resumed_stripes += other.resumed_stripes
+        self.replayed_chunks += other.replayed_chunks
         return self
 
     def raise_for_loss(self) -> None:
@@ -129,6 +142,9 @@ class DataLossReport:
             "fresh_restarts": self.fresh_restarts,
             "salvaged_chunks": self.salvaged_chunks,
             "reread_chunks": self.reread_chunks,
+            "checksum_failures": self.checksum_failures,
+            "resumed_stripes": self.resumed_stripes,
+            "replayed_chunks": self.replayed_chunks,
             "exit_code": self.exit_code,
         }
 

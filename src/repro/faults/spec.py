@@ -15,6 +15,10 @@ Event kinds:
 * ``hang`` — the disk stops answering for ``duration`` seconds (firmware
   stall); modeled as a near-total bandwidth collapse so per-read timeouts
   and hedging are what save the repair.
+* ``process_crash`` — the *repair process itself* dies at ``at`` (a
+  SIGKILL / power cut), raised as :class:`repro.faults.SimulatedCrash`.
+  Only meaningful with a ``--journal``; a resumed run skips crashes that
+  already fired. ``disk`` is ignored (defaults to 0).
 """
 
 from __future__ import annotations
@@ -28,7 +32,12 @@ from repro.errors import ConfigurationError
 from repro.utils.rng import RngLike, make_rng
 
 #: Supported event kinds, in spec order.
-FAULT_KINDS = ("disk_fail", "sector_error", "slow", "hang")
+FAULT_KINDS = ("disk_fail", "sector_error", "slow", "hang", "process_crash")
+
+#: Kinds the random generator draws from — ``process_crash`` is opt-in
+#: (it only makes sense alongside a journal, so scripted specs add it
+#: explicitly; random scenarios should not kill their own process).
+GENERATED_KINDS = ("disk_fail", "sector_error", "slow", "hang")
 
 #: Bandwidth-collapse factor used to model a hung disk.
 HANG_FACTOR = 1e9
@@ -50,7 +59,7 @@ class FaultEvent:
 
     at: float
     kind: str
-    disk: int
+    disk: int = 0
     stripe: Optional[int] = None
     shard: Optional[int] = None
     factor: float = 4.0
@@ -112,7 +121,10 @@ class FaultEvent:
             return cls(
                 at=float(spec["at"]),
                 kind=str(spec["kind"]),
-                disk=int(spec["disk"]),
+                # process_crash targets the repair process, not a disk.
+                disk=int(spec.get("disk", 0))
+                if spec.get("kind") == "process_crash"
+                else int(spec["disk"]),
                 stripe=None if spec.get("stripe") is None else int(spec["stripe"]),
                 shard=None if spec.get("shard") is None else int(spec["shard"]),
                 factor=float(spec.get("factor", 4.0)),
@@ -222,7 +234,7 @@ def generate_fault_schedule(
     num_disks: int = 36,
     num_stripes: int = 0,
     num_shards: int = 9,
-    kinds: Sequence[str] = FAULT_KINDS,
+    kinds: Sequence[str] = GENERATED_KINDS,
     max_disk_fails: int = 1,
     slow_factor_range: Tuple[float, float] = (2.0, 16.0),
     duration_range: Tuple[float, float] = (0.5, 4.0),
@@ -245,7 +257,7 @@ def generate_fault_schedule(
         raise ConfigurationError(f"num_events must be >= 0, got {num_events}")
     if horizon <= 0:
         raise ConfigurationError(f"horizon must be > 0, got {horizon}")
-    pool = [k for k in kinds if k in FAULT_KINDS]
+    pool = [k for k in kinds if k in GENERATED_KINDS]
     if not pool:
         raise ConfigurationError(f"no valid kinds in {list(kinds)!r}")
     if num_stripes <= 0:

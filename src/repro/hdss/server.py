@@ -119,6 +119,26 @@ class HDSSConfig:
         if self.profile is None:
             self.profile = UniformProfile(180e6)
 
+    def fingerprint(self) -> dict:
+        """Identity of this configuration for journal/resume validation.
+
+        A ``--resume`` against a server built with different code, layout,
+        or sizing parameters would replay chunk payloads into the wrong
+        places; the journal stores this dict at ``begin`` and the recovery
+        path refuses to resume on a mismatch.
+        """
+        return {
+            "num_disks": self.num_disks,
+            "n": self.n,
+            "k": self.k,
+            "chunk_size": int(self.chunk_size),
+            "memory_chunks": self.memory_chunks,
+            "spares": self.spares,
+            "placement": self.placement,
+            "matrix_style": self.matrix_style,
+            "seed": self.seed,
+        }
+
 
 class HighDensityStorageServer:
     """One erasure-coded HDSS: disks + placement + store + repair memory."""

@@ -1,0 +1,27 @@
+"""Crash-consistent write-ahead repair journal.
+
+``repro.journal`` makes a running repair itself durable: the repair plan,
+per-stripe round progress, serialized partial-sum state, and rebuilt chunk
+payloads are appended to fsync'd segment files, so a repair killed at any
+instant resumes from its last committed round instead of restarting.
+
+Layers:
+
+* :mod:`repro.journal.wal` — framed, CRC32C-checked, append-only segment
+  files with torn-tail tolerance;
+* :mod:`repro.journal.journal` — the typed record schema
+  (``begin`` / ``round_commit`` / ``stripe_done`` / ``phase`` /
+  ``resume`` / ``complete``) and the :class:`RepairState` replayer.
+"""
+
+from repro.journal.journal import RepairJournal, RepairState, StripeDone
+from repro.journal.wal import WALReader, WALRecord, WALWriter
+
+__all__ = [
+    "RepairJournal",
+    "RepairState",
+    "StripeDone",
+    "WALReader",
+    "WALRecord",
+    "WALWriter",
+]

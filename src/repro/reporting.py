@@ -141,6 +141,9 @@ def loss_report_rows(results: Dict[str, Any]) -> List[Dict[str, Any]]:
             "fresh_restarts": loss.fresh_restarts,
             "chunks_salvaged": loss.salvaged_chunks,
             "chunks_reread": loss.reread_chunks,
+            "checksum_failures": loss.checksum_failures,
+            "resumed_stripes": loss.resumed_stripes,
+            "replayed_chunks": loss.replayed_chunks,
             "chunks_rebuilt": result.data_path.chunks_rebuilt,
             "certified": result.certified,
             "exit_code": loss.exit_code,

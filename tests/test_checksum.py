@@ -1,0 +1,47 @@
+"""CRC32C (Castagnoli): known-answer vectors and incremental updates."""
+
+import numpy as np
+import pytest
+
+from repro.utils.checksum import crc32c, verify_crc32c
+
+
+class TestKnownAnswers:
+    """Reference values from RFC 3720 appendix B.4 / kernel test vectors."""
+
+    VECTORS = [
+        (b"", 0x00000000),
+        (b"123456789", 0xE3069283),
+        (b"\x00" * 32, 0x8A9136AA),
+        (b"\xff" * 32, 0x62A8AB43),
+        (bytes(range(32)), 0x46DD794E),
+    ]
+
+    @pytest.mark.parametrize("data,expected", VECTORS)
+    def test_vector(self, data, expected):
+        assert crc32c(data) == expected
+
+    def test_incremental_matches_one_shot(self):
+        data = bytes(range(256)) * 7
+        acc = 0
+        for i in range(0, len(data), 100):
+            acc = crc32c(data[i:i + 100], acc)
+        assert acc == crc32c(data)
+
+    def test_accepts_ndarray_and_memoryview(self):
+        arr = np.arange(64, dtype=np.uint8)
+        raw = arr.tobytes()
+        assert crc32c(arr) == crc32c(raw) == crc32c(memoryview(raw))
+
+    def test_single_bit_flip_changes_crc(self):
+        data = bytearray(b"123456789")
+        ref = crc32c(bytes(data))
+        for byte in range(len(data)):
+            for bit in range(8):
+                data[byte] ^= 1 << bit
+                assert crc32c(bytes(data)) != ref
+                data[byte] ^= 1 << bit
+
+    def test_verify_helper(self):
+        assert verify_crc32c(b"123456789", 0xE3069283)
+        assert not verify_crc32c(b"123456789", 0xE3069284)

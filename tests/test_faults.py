@@ -321,3 +321,56 @@ class TestFaultInjector:
         inj.advance(5.0)
         assert inj.next_change_time() == float("inf")
         assert inj.exhausted
+
+
+class TestProcessCrash:
+    """Scripted process_crash events and the resume skip budget."""
+
+    def test_spec_roundtrip_without_disk(self):
+        schedule = FaultSchedule.from_spec(
+            {"events": [{"at": 1.5, "kind": "process_crash"}]}
+        )
+        event = schedule.events[0]
+        assert event.kind == "process_crash"
+        assert event.disk == 0
+        assert FaultSchedule.from_spec(schedule.to_spec()) == schedule
+
+    def test_generator_never_draws_crashes(self):
+        from repro.faults import GENERATED_KINDS
+
+        assert "process_crash" not in GENERATED_KINDS
+        schedule = generate_fault_schedule(seed=1, num_events=50, num_disks=12)
+        assert not schedule.for_kind("process_crash")
+
+    def test_injector_raises_simulated_crash(self):
+        from repro.faults import SimulatedCrash
+
+        server = make_server()
+        inj = FaultInjector(server, FaultSchedule([
+            FaultEvent(at=1.0, kind="process_crash"),
+        ]))
+        inj.advance(0.5)  # not yet
+        with pytest.raises(SimulatedCrash) as exc_info:
+            inj.advance(1.0)
+        assert exc_info.value.event.at == 1.0
+        assert inj.applied.get("process_crash") == 1
+
+    def test_crash_is_not_a_plain_exception(self):
+        """Retry/replan handlers catch Exception; a crash must pass them."""
+        from repro.faults import SimulatedCrash
+
+        assert not issubclass(SimulatedCrash, Exception)
+        assert issubclass(SimulatedCrash, BaseException)
+
+    def test_skip_crashes_budget(self):
+        from repro.faults import SimulatedCrash
+
+        server = make_server()
+        schedule = FaultSchedule([
+            FaultEvent(at=1.0, kind="process_crash"),
+            FaultEvent(at=2.0, kind="process_crash"),
+        ])
+        inj = FaultInjector(server, schedule, skip_crashes=1)
+        inj.advance(1.0)  # first crash already happened pre-resume: skipped
+        with pytest.raises(SimulatedCrash):
+            inj.advance(2.0)

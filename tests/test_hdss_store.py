@@ -4,8 +4,8 @@ import numpy as np
 import pytest
 
 from repro.ec.stripe import ChunkId
-from repro.errors import ChunkNotFoundError, StorageError
-from repro.hdss.store import FileChunkStore, InMemoryChunkStore
+from repro.errors import ChunkChecksumError, ChunkNotFoundError, StorageError
+from repro.hdss.store import CRC_SUFFIX, FileChunkStore, InMemoryChunkStore
 
 
 @pytest.fixture(params=["memory", "file"])
@@ -127,3 +127,136 @@ class TestFileSpecific:
         store = FileChunkStore(tmp_path)
         store.put(0, ChunkId(0, 0), chunk())
         assert not list(tmp_path.rglob("*.tmp"))
+
+    def test_stale_tmp_swept_on_startup(self, tmp_path):
+        store = FileChunkStore(tmp_path)
+        store.put(0, ChunkId(0, 0), chunk())
+        # leftovers from a crashed writer: a half-written tmp and an
+        # orphan checksum sidecar with no chunk next to it
+        stale = tmp_path / "disk-000" / "s000009.001.chunk.123.deadbeef.tmp"
+        stale.write_bytes(b"partial")
+        orphan = tmp_path / "disk-000" / ("s000009.001.chunk" + CRC_SUFFIX)
+        orphan.write_text("00000000\n")
+        reopened = FileChunkStore(tmp_path)
+        assert not stale.exists()
+        assert not orphan.exists()
+        assert np.array_equal(reopened.get(0, ChunkId(0, 0)), chunk())
+
+
+class TestChecksumIntegrity:
+    def test_sidecar_written_with_chunk(self, tmp_path):
+        store = FileChunkStore(tmp_path)
+        store.put(7, ChunkId(12, 3), chunk())
+        sidecar = tmp_path / "disk-007" / ("s000012.003.chunk" + CRC_SUFFIX)
+        assert sidecar.exists()
+        int(sidecar.read_text().strip(), 16)  # hex crc, parseable
+
+    def test_bit_flip_detected_on_get(self, tmp_path):
+        store = FileChunkStore(tmp_path)
+        store.put(0, ChunkId(0, 0), chunk(fill=9))
+        path = tmp_path / "disk-000" / "s000000.000.chunk"
+        data = bytearray(path.read_bytes())
+        data[5] ^= 0x01  # a single flipped bit
+        path.write_bytes(bytes(data))
+        with pytest.raises(ChunkChecksumError):
+            store.get(0, ChunkId(0, 0))
+        assert store.checksum_failures == 1
+
+    def test_overwrite_refreshes_sidecar(self, tmp_path):
+        store = FileChunkStore(tmp_path)
+        cid = ChunkId(0, 0)
+        store.put(0, cid, chunk(fill=1))
+        store.put(0, cid, chunk(fill=2))
+        assert store.get(0, cid)[0] == 2  # sidecar matches the new bytes
+
+    def test_verify_chunk(self, tmp_path):
+        store = FileChunkStore(tmp_path)
+        cid = ChunkId(0, 0)
+        store.put(0, cid, chunk())
+        assert store.verify_chunk(0, cid)
+        path = tmp_path / "disk-000" / "s000000.000.chunk"
+        path.write_bytes(b"\x00" * 64)
+        with pytest.raises(ChunkChecksumError):
+            store.verify_chunk(0, cid)
+
+    def test_sidecar_less_legacy_chunk_served(self, tmp_path):
+        store = FileChunkStore(tmp_path)
+        cid = ChunkId(0, 0)
+        store.put(0, cid, chunk(fill=4))
+        sidecar = tmp_path / "disk-000" / ("s000000.000.chunk" + CRC_SUFFIX)
+        sidecar.unlink()  # data written before checksums existed
+        assert store.get(0, cid)[0] == 4
+
+    def test_garbage_sidecar_counts_as_mismatch(self, tmp_path):
+        store = FileChunkStore(tmp_path)
+        cid = ChunkId(0, 0)
+        store.put(0, cid, chunk())
+        sidecar = tmp_path / "disk-000" / ("s000000.000.chunk" + CRC_SUFFIX)
+        sidecar.write_text("not-a-crc\n")
+        with pytest.raises(ChunkChecksumError):
+            store.get(0, cid)
+
+    def test_delete_removes_sidecar(self, tmp_path):
+        store = FileChunkStore(tmp_path)
+        cid = ChunkId(0, 0)
+        store.put(0, cid, chunk())
+        store.delete(0, cid)
+        assert not list(tmp_path.rglob("*" + CRC_SUFFIX))
+
+    def test_drop_disk_removes_sidecars(self, tmp_path):
+        store = FileChunkStore(tmp_path)
+        for j in range(3):
+            store.put(2, ChunkId(0, j), chunk())
+        assert store.drop_disk(2) == 3
+        assert not list((tmp_path / "disk-002").glob("*" + CRC_SUFFIX))
+
+
+class TestIntegrityEndToEnd:
+    """A corrupted survivor surfaces as a degraded stripe, not a crash."""
+
+    def make_file_backed_server(self, tmp_path):
+        from repro.hdss import HDSSConfig, HighDensityStorageServer
+
+        cfg = HDSSConfig(num_disks=14, n=9, k=6, chunk_size=2048,
+                         memory_chunks=12, spares=5, seed=7)
+        server = HighDensityStorageServer(
+            cfg, store=FileChunkStore(tmp_path / "chunks")
+        )
+        server.provision_stripes(12, with_data=True)
+        return server
+
+    def test_corrupt_survivor_reported_as_degraded(self, tmp_path):
+        from repro.core import FullStripeRepair, recover_disk
+        from repro.core.executor import ReadPolicy
+        from repro.faults import DataLossReport
+
+        server = self.make_file_backed_server(tmp_path)
+        server.fail_disk(0)
+        # flip one byte in a surviving chunk of an affected stripe
+        si = server.layout.stripe_set(0)[0]
+        stripe = server.layout[si]
+        shard = next(j for j, d in enumerate(stripe.disks) if d != 0)
+        path = (tmp_path / "chunks" / f"disk-{stripe.disks[shard]:03d}"
+                / f"s{si:06d}.{shard:03d}.chunk")
+        data = bytearray(path.read_bytes())
+        data[0] ^= 0x80
+        path.write_bytes(bytes(data))
+
+        result = recover_disk(server, FullStripeRepair(), 0,
+                              policy=ReadPolicy())
+        loss = result.loss
+        assert isinstance(loss, DataLossReport)
+        assert loss.checksum_failures >= 1
+        assert not loss.has_loss  # k clean shards remain; stripe recovers
+        assert si in loss.replanned
+
+    def test_writeback_certified_by_reread(self, tmp_path):
+        from repro.core import FullStripeRepair, recover_disk
+        from repro.ec.stripe import ChunkId as CID
+
+        server = self.make_file_backed_server(tmp_path)
+        server.fail_disk(0)
+        result = recover_disk(server, FullStripeRepair(), 0)
+        assert result.certified
+        for (si, shard, spare) in result.data_path.writebacks:
+            assert server.store.verify_chunk(spare, CID(si, shard))
