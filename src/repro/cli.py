@@ -669,6 +669,113 @@ def cmd_trace_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the asyncio repair service daemon (``hdpsr serve``)."""
+    import asyncio
+
+    from repro.hdss.store import ShardedChunkStore
+    from repro.service import RepairService, ServiceConfig, ServiceDaemon
+
+    schedule, policy = _fault_setup(args)
+    store = None
+    if args.store:
+        store = ShardedChunkStore.from_root(
+            args.store, num_shards=args.shards, durable=not args.no_fsync
+        )
+    server = build_exp_server(
+        n=args.n, k=args.k, disk_size=args.disk_size, chunk_size=args.chunk_size,
+        num_disks=args.num_disks, memory_chunks=args.memory,
+        ros=args.ros, slow_factor=args.slow_factor, seed=args.seed,
+        placement=args.placement, with_data=True, store=store,
+    )
+    config = ServiceConfig(
+        max_concurrent_stripes=args.max_stripes,
+        per_disk_reads=args.per_disk_reads,
+        policy=policy,
+        journal_root=args.journal,
+        durable_journal=not args.no_fsync,
+    )
+
+    async def run() -> int:
+        service = RepairService(
+            server, ALGORITHMS[args.algorithm](), config, faults=schedule
+        )
+        daemon = ServiceDaemon(
+            service, host=args.host, port=args.port, port_file=args.port_file
+        )
+        port = await daemon.start()
+        print(f"hdpsr service listening on {args.host}:{port} "
+              f"({len(server.layout)} stripes, store "
+              f"{'sharded x' + str(args.shards) if store else 'in-memory'})",
+              flush=True)
+        rc = await daemon.serve_until_stopped()
+        if daemon.crashed is not None:
+            print(f"service crashed: {daemon.crashed}", file=sys.stderr)
+            if args.journal:
+                print(f"repairs are journaled under {args.journal}; restart "
+                      "the service and resubmit with --resume",
+                      file=sys.stderr)
+        return rc
+
+    return asyncio.run(run())
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    """Drive a repair-under-load workload against ``hdpsr serve``."""
+    import asyncio
+    import json
+    import time as _time
+    from pathlib import Path
+
+    from repro.service import run_workload
+
+    port = args.port
+    if port is None:
+        if not args.port_file:
+            print("client needs --port or --port-file", file=sys.stderr)
+            return 2
+        deadline = _time.monotonic() + args.connect_timeout
+        path = Path(args.port_file)
+        while True:
+            if path.exists() and path.read_text().strip():
+                port = int(path.read_text().strip())
+                break
+            if _time.monotonic() > deadline:
+                print(f"timed out waiting for port file {path}", file=sys.stderr)
+                return 2
+            _time.sleep(0.05)
+    disks = args.fail if args.fail else [0]
+    report = asyncio.run(run_workload(
+        args.host, port,
+        disks=disks, reads=args.reads, read_concurrency=args.read_concurrency,
+        seed=args.seed, resume=args.resume, shutdown=args.shutdown,
+    ))
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    elif report.get("crashed"):
+        print("service crashed mid-workload; restart `hdpsr serve` and rerun "
+              "the client with --resume", file=sys.stderr)
+    else:
+        table = AsciiTable(
+            ["disk", "stripes", "lost", "chunks", "modeled s", "wall s", "certified"],
+            title="service repairs",
+        )
+        for row in report["repairs"]:
+            table.add_row([
+                row["disk"], row["stripes"], row["stripes_lost"],
+                row["chunks_rebuilt"], f"{row['modeled_seconds']:.4g}",
+                f"{row['wall_seconds']:.3f}", row["certified"],
+            ])
+        print(table.render())
+        print(f"foreground reads: {report['reads']}  "
+              f"p50 {report['read_p50_seconds'] * 1e3:.2f} ms  "
+              f"p99 {report['read_p99_seconds'] * 1e3:.2f} ms")
+        if report["read_errors"]:
+            print(f"read errors: {len(report['read_errors'])} "
+                  f"(first: {report['read_errors'][0]})", file=sys.stderr)
+    return int(report["exit_code"])
+
+
 def cmd_version(args: argparse.Namespace) -> int:
     print(f"hdpsr {__version__}")
     return 0
@@ -802,6 +909,55 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--output", default=None,
                           help="write to this file instead of stdout")
     p_report.set_defaults(func=cmd_report)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the asyncio repair service (sharded store, JSON-lines API)")
+    _add_server_args(p_serve)
+    p_serve.add_argument("--algorithm", default="hd-psr-ap", choices=list(ALGORITHMS))
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="listen port (0 = ephemeral; see --port-file)")
+    p_serve.add_argument("--port-file", default=None, metavar="FILE",
+                         help="write the actual bound port here once listening")
+    p_serve.add_argument("--store", default=None, metavar="DIR",
+                         help="back chunks with a sharded on-disk store at DIR "
+                              "(default: in-memory)")
+    p_serve.add_argument("--shards", type=int, default=4,
+                         help="shard count for --store (default 4)")
+    p_serve.add_argument("--max-stripes", type=int, default=4,
+                         help="concurrent stripe decodes per repair job")
+    p_serve.add_argument("--per-disk-reads", type=int, default=2,
+                         help="concurrent reads allowed per disk")
+    p_serve.add_argument("--no-fsync", action="store_true",
+                         help="skip fsync in store and journal (tests/CI)")
+    _add_fault_args(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_client = sub.add_parser(
+        "client",
+        help="drive a repair-under-load workload against hdpsr serve")
+    p_client.add_argument("--host", default="127.0.0.1")
+    p_client.add_argument("--port", type=int, default=None)
+    p_client.add_argument("--port-file", default=None, metavar="FILE",
+                          help="read the port from this file (waits for it)")
+    p_client.add_argument("--connect-timeout", type=float, default=10.0,
+                          help="seconds to wait for --port-file to appear")
+    p_client.add_argument("--fail", type=int, action="append", default=None,
+                          metavar="DISK",
+                          help="disk to fail + repair (repeatable; default 0)")
+    p_client.add_argument("--reads", type=int, default=100,
+                          help="foreground chunk reads issued during repair")
+    p_client.add_argument("--read-concurrency", type=int, default=4,
+                          help="concurrent reader connections")
+    p_client.add_argument("--seed", type=int, default=0)
+    p_client.add_argument("--resume", action="store_true",
+                          help="resume journaled repairs instead of starting new")
+    p_client.add_argument("--shutdown", action="store_true",
+                          help="stop the daemon after the workload")
+    p_client.add_argument("--json", action="store_true",
+                          help="print the report as JSON")
+    p_client.set_defaults(func=cmd_client)
 
     p_ver = sub.add_parser("version", help="print the package version")
     p_ver.set_defaults(func=cmd_version)

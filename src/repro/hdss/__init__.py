@@ -24,7 +24,12 @@ from repro.hdss.profiles import (
     SpeedProfile,
     UniformProfile,
 )
-from repro.hdss.store import ChunkStore, FileChunkStore, InMemoryChunkStore
+from repro.hdss.store import (
+    ChunkStore,
+    FileChunkStore,
+    InMemoryChunkStore,
+    ShardedChunkStore,
+)
 from repro.hdss.memory import ChunkMemory
 from repro.hdss.placement import random_placement, rotating_placement
 from repro.hdss.server import HDSSConfig, HighDensityStorageServer
@@ -41,6 +46,7 @@ __all__ = [
     "ChunkStore",
     "InMemoryChunkStore",
     "FileChunkStore",
+    "ShardedChunkStore",
     "ChunkMemory",
     "rotating_placement",
     "random_placement",

@@ -8,6 +8,13 @@ Two backends with one interface:
 
 Stores address chunks by ``(disk_id, ChunkId)``; the disk id is explicit so
 a store can also hold the *backup disks* repaired chunks are written to.
+
+:class:`ShardedChunkStore` composes several backends into one store routed
+by disk id — the scaling seam the asyncio repair service
+(:mod:`repro.service`) builds its per-shard write queues on. All stores
+expose batched :meth:`ChunkStore.get_many`/:meth:`ChunkStore.put_many`;
+the sharded store groups a batch by shard so each backend sees one
+contiguous run of operations.
 """
 
 from __future__ import annotations
@@ -16,7 +23,7 @@ import abc
 import os
 import uuid
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -60,6 +67,25 @@ def _write_atomic(path: Path, payload: bytes, *, durable: bool = True) -> None:
     os.replace(tmp, path)
 
 
+def _tmp_writer_pid(name: str) -> Optional[int]:
+    """Writer pid encoded in a tmp-file name, or None for legacy names."""
+    parts = name[: -len(".tmp")].rsplit(".", 2)
+    if len(parts) == 3 and parts[1].isdigit():
+        return int(parts[1])
+    return None
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (EPERM counts as alive)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):  # pragma: no cover - platform quirk
+        return True
+    return True
+
+
 class ChunkStore(abc.ABC):
     """Abstract chunk-addressed byte store."""
 
@@ -86,6 +112,19 @@ class ChunkStore(abc.ABC):
     @abc.abstractmethod
     def drop_disk(self, disk_id: int) -> int:
         """Destroy all chunks on a disk (failure); returns chunks lost."""
+
+    def get_many(self, keys: Sequence[Key]) -> List[np.ndarray]:
+        """Read a batch of chunks, preserving order.
+
+        The base implementation loops :meth:`get`; backends with cheaper
+        batch paths (sharded stores grouping by backend) override it.
+        """
+        return [self.get(disk_id, chunk_id) for disk_id, chunk_id in keys]
+
+    def put_many(self, items: Sequence[Tuple[int, ChunkId, np.ndarray]]) -> None:
+        """Write a batch of chunks (``(disk_id, chunk_id, data)`` triples)."""
+        for disk_id, chunk_id, data in items:
+            self.put(disk_id, chunk_id, data)
 
     def __contains__(self, key: Key) -> bool:
         return self.contains(*key)
@@ -226,12 +265,22 @@ class FileChunkStore(ChunkStore):
         Tmp names never end in ``.chunk`` so ``_parse_name`` cannot misread
         them, but sweeping keeps crashed runs from accumulating garbage and
         removes sidecars whose chunk rename never happened.
+
+        Safe under concurrent writers: tmp names carry the writer's pid
+        (see :func:`_write_atomic`), and tmps whose writer process is still
+        alive are left alone — two stores (or a sharded service's tasks)
+        opening the same disk directory must never delete each other's
+        in-flight writes. Only tmps from dead pids, or with unparseable
+        legacy names, are garbage.
         """
         for disk_dir in self.root.glob("disk-*"):
             if not disk_dir.is_dir():
                 continue
             for p in disk_dir.iterdir():
                 if p.name.endswith(".tmp"):
+                    pid = _tmp_writer_pid(p.name)
+                    if pid is not None and _pid_alive(pid):
+                        continue  # a live writer still owns this tmp
                     p.unlink(missing_ok=True)
                 elif p.name.endswith(CRC_SUFFIX):
                     if not p.with_name(p.name[: -len(CRC_SUFFIX)]).exists():
@@ -298,14 +347,28 @@ class FileChunkStore(ChunkStore):
             f"chunk {chunk_id} on disk {disk_id} failed CRC32C verification"
         )
 
-    def get(self, disk_id: int, chunk_id: ChunkId) -> np.ndarray:
+    def _read_verified(self, disk_id: int, chunk_id: ChunkId) -> bytes:
+        """Read payload + sidecar as a consistent pair, or raise.
+
+        A concurrent ``put`` replaces the chunk file and its sidecar with
+        two separate renames, so a single racing read can pair new bytes
+        with the old sidecar (or vice versa). A mismatch is therefore
+        re-read once — the second pass sees the settled pair — and only a
+        *stable* mismatch counts as corruption.
+        """
         path = self._chunk_path(disk_id, chunk_id)
-        if not path.exists():
-            raise ChunkNotFoundError(f"chunk {chunk_id} not on disk {disk_id}")
-        payload = path.read_bytes()
-        expected = self._read_expected_crc(path)
-        if expected is not None and crc32c(payload) != expected:
-            self._checksum_failed(disk_id, chunk_id)
+        for attempt in (0, 1):
+            if not path.exists():
+                raise ChunkNotFoundError(f"chunk {chunk_id} not on disk {disk_id}")
+            payload = path.read_bytes()
+            expected = self._read_expected_crc(path)
+            if expected is None or crc32c(payload) == expected:
+                return payload
+        self._checksum_failed(disk_id, chunk_id)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def get(self, disk_id: int, chunk_id: ChunkId) -> np.ndarray:
+        payload = self._read_verified(disk_id, chunk_id)
         return np.frombuffer(payload, dtype=np.uint8).copy()
 
     def verify_chunk(self, disk_id: int, chunk_id: ChunkId) -> bool:
@@ -316,12 +379,7 @@ class FileChunkStore(ChunkStore):
         :class:`ChunkChecksumError` on a mismatch and
         :class:`ChunkNotFoundError` when the chunk is absent.
         """
-        path = self._chunk_path(disk_id, chunk_id)
-        if not path.exists():
-            raise ChunkNotFoundError(f"chunk {chunk_id} not on disk {disk_id}")
-        expected = self._read_expected_crc(path)
-        if expected is not None and crc32c(path.read_bytes()) != expected:
-            self._checksum_failed(disk_id, chunk_id)
+        self._read_verified(disk_id, chunk_id)
         return True
 
     def delete(self, disk_id: int, chunk_id: ChunkId) -> None:
@@ -352,3 +410,101 @@ class FileChunkStore(ChunkStore):
                 self._sidecar_path(path).unlink(missing_ok=True)
                 lost += 1
         return lost
+
+
+class ShardedChunkStore(ChunkStore):
+    """One logical store routed across independent backend shards.
+
+    Disk ``d`` lives entirely on shard ``d % num_shards``, so every shard
+    owns a disjoint subset of disks (directories, when file-backed) and can
+    be written by its own queue/thread without contending with the others —
+    the layout :class:`repro.service.RepairService` multiplexes concurrent
+    repairs over.
+
+    Batch operations (:meth:`get_many` / :meth:`put_many`) group keys by
+    shard and hand each backend one contiguous batch, preserving the
+    caller's result order.
+    """
+
+    def __init__(self, shards: Sequence[ChunkStore]) -> None:
+        if not shards:
+            raise StorageError("a sharded store needs at least one shard")
+        self.shards: List[ChunkStore] = list(shards)
+
+    @classmethod
+    def from_root(
+        cls, root: "str | os.PathLike", num_shards: int = 4, durable: bool = True
+    ) -> "ShardedChunkStore":
+        """File-backed shards: ``root/shard-<i>/disk-<id>/...``."""
+        if num_shards < 1:
+            raise StorageError(f"num_shards must be >= 1, got {num_shards}")
+        base = Path(root)
+        return cls([
+            FileChunkStore(base / f"shard-{i:02d}", durable=durable)
+            for i in range(num_shards)
+        ])
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def shard_of(self, disk_id: int) -> int:
+        """Which shard owns ``disk_id``."""
+        return disk_id % len(self.shards)
+
+    def shard_for(self, disk_id: int) -> ChunkStore:
+        return self.shards[self.shard_of(disk_id)]
+
+    @property
+    def checksum_failures(self) -> int:
+        """Checksum mismatches across every shard (file-backed shards only)."""
+        return sum(getattr(s, "checksum_failures", 0) for s in self.shards)
+
+    # ------------------------------------------------------------ delegation
+    def put(self, disk_id: int, chunk_id: ChunkId, data: np.ndarray) -> None:
+        self.shard_for(disk_id).put(disk_id, chunk_id, data)
+
+    def get(self, disk_id: int, chunk_id: ChunkId) -> np.ndarray:
+        return self.shard_for(disk_id).get(disk_id, chunk_id)
+
+    def delete(self, disk_id: int, chunk_id: ChunkId) -> None:
+        self.shard_for(disk_id).delete(disk_id, chunk_id)
+
+    def contains(self, disk_id: int, chunk_id: ChunkId) -> bool:
+        return self.shard_for(disk_id).contains(disk_id, chunk_id)
+
+    def chunks_on_disk(self, disk_id: int) -> List[ChunkId]:
+        return self.shard_for(disk_id).chunks_on_disk(disk_id)
+
+    def drop_disk(self, disk_id: int) -> int:
+        return self.shard_for(disk_id).drop_disk(disk_id)
+
+    def verify_chunk(self, disk_id: int, chunk_id: ChunkId) -> bool:
+        """Delegate end-to-end verification to shards that support it."""
+        shard = self.shard_for(disk_id)
+        verify = getattr(shard, "verify_chunk", None)
+        if verify is None:
+            return shard.contains(disk_id, chunk_id)
+        return verify(disk_id, chunk_id)
+
+    # --------------------------------------------------------------- batched
+    def get_many(self, keys: Sequence[Key]) -> List[np.ndarray]:
+        by_shard: Dict[int, List[Tuple[int, Key]]] = {}
+        for pos, key in enumerate(keys):
+            by_shard.setdefault(self.shard_of(key[0]), []).append((pos, key))
+        out: List[Optional[np.ndarray]] = [None] * len(keys)
+        for shard_idx, entries in by_shard.items():
+            results = self.shards[shard_idx].get_many([k for _, k in entries])
+            for (pos, _), data in zip(entries, results):
+                out[pos] = data
+        return out  # type: ignore[return-value]
+
+    def put_many(self, items: Sequence[Tuple[int, ChunkId, np.ndarray]]) -> None:
+        by_shard: Dict[int, List[Tuple[int, ChunkId, np.ndarray]]] = {}
+        for item in items:
+            by_shard.setdefault(self.shard_of(item[0]), []).append(item)
+        for shard_idx, batch in by_shard.items():
+            self.shards[shard_idx].put_many(batch)
+
+    def __repr__(self) -> str:
+        return f"ShardedChunkStore({len(self.shards)} shards)"

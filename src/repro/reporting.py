@@ -80,6 +80,12 @@ PAPER_CLAIMS = {
         "after a casualty stay well below a full re-repair; unrecoverable stripes "
         "are reported, never raised."
     ),
+    "service_throughput": (
+        "Repo extension: the asyncio repair service overlaps concurrent disk "
+        "repairs over per-disk modeled channels — four disjoint-disk repairs "
+        "cost far less than four serial ones (>=2x asserted, ~4-5x measured) "
+        "while the front door keeps serving reads (p50/p99 reported)."
+    ),
 }
 
 TITLES = {
@@ -103,6 +109,7 @@ TITLES = {
     "wide_stripes": "Extension — wide-stripe (k up to 128) regime",
     "vulnerability_order": "Extension — vulnerability-first multi-disk repair ordering",
     "robustness": "Extension — recovery outcomes under injected faults",
+    "service_throughput": "Extension — concurrent repair throughput of the service plane",
 }
 
 ORDER = [
@@ -110,7 +117,7 @@ ORDER = [
     "ablation_memory", "ablation_ros", "ablation_ap_model", "ablation_threshold",
     "ablation_staleness", "durability", "wallclock", "lrc_comparison",
     "foreground_latency", "ablation_slicing", "wide_stripes",
-    "vulnerability_order", "robustness",
+    "vulnerability_order", "robustness", "service_throughput",
 ]
 
 

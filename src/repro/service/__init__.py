@@ -1,0 +1,40 @@
+"""``repro.service`` — the asyncio sharded repair service.
+
+The subsystems below turn the library's single-threaded repair pipeline
+into a long-running service that overlaps many repairs and keeps serving
+client reads while disks rebuild:
+
+* :mod:`repro.service.admission` — per-disk read-concurrency gates with
+  foreground-over-background priority;
+* :mod:`repro.service.sharding` — the bounded, batching async writer in
+  front of a :class:`~repro.hdss.store.ShardedChunkStore`;
+* :mod:`repro.service.service` — :class:`RepairService`: the repair
+  supervisor plus the ``submit_repair`` / ``read_chunk`` front door;
+* :mod:`repro.service.protocol` — JSON-lines wire protocol;
+* :mod:`repro.service.netserver` / :mod:`repro.service.client` — the
+  ``hdpsr serve`` daemon and ``hdpsr client`` workload driver.
+"""
+
+from repro.service.admission import DiskGate
+from repro.service.client import ServiceClient, ServiceError, run_workload
+from repro.service.netserver import ServiceDaemon
+from repro.service.service import (
+    RepairService,
+    RepairTicket,
+    ServiceConfig,
+    ServiceRepairResult,
+)
+from repro.service.sharding import AsyncShardWriter
+
+__all__ = [
+    "AsyncShardWriter",
+    "DiskGate",
+    "RepairService",
+    "RepairTicket",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceDaemon",
+    "ServiceError",
+    "ServiceRepairResult",
+    "run_workload",
+]

@@ -1,0 +1,95 @@
+"""Per-disk read admission: bounded concurrency, foreground first.
+
+A high-density chassis dies by seeking: letting every repair task hit the
+same spindle concurrently turns sequential recovery reads into random I/O.
+:class:`DiskGate` bounds in-flight reads per disk with one semaphore per
+spindle, and adds a single priority rule — a waiting *foreground* (client)
+read parks new *background* (repair) admissions for its disk until it gets
+a slot. Repairs soak up whatever concurrency is left over; user latency is
+not taxed by the rebuild.
+
+Admission wait is recorded per priority class into the ambient metrics
+registry (``hdpsr_service_admission_wait_seconds``), which is how the
+benchmark suite shows what repair pressure does to the front door.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import time
+from typing import AsyncIterator, Dict
+
+from repro.errors import ConfigurationError
+from repro.obs.context import current_registry
+
+#: Histogram of seconds spent waiting for a read slot, labelled by priority.
+ADMISSION_WAIT = "hdpsr_service_admission_wait_seconds"
+
+
+class DiskGate:
+    """Per-disk read-concurrency semaphores with foreground priority.
+
+    Args:
+        width: maximum concurrent reads per disk.
+    """
+
+    def __init__(self, width: int = 2) -> None:
+        if width < 1:
+            raise ConfigurationError(f"gate width must be >= 1, got {width}")
+        self.width = width
+        self._sems: Dict[int, asyncio.Semaphore] = {}
+        #: Foreground reads currently waiting, per disk.
+        self._fg_waiting: Dict[int, int] = {}
+        #: Set when a disk has no foreground waiters (background may enter).
+        self._fg_clear: Dict[int, asyncio.Event] = {}
+
+    def _sem(self, disk_id: int) -> asyncio.Semaphore:
+        sem = self._sems.get(disk_id)
+        if sem is None:
+            sem = self._sems[disk_id] = asyncio.Semaphore(self.width)
+        return sem
+
+    def _clear_event(self, disk_id: int) -> asyncio.Event:
+        event = self._fg_clear.get(disk_id)
+        if event is None:
+            event = self._fg_clear[disk_id] = asyncio.Event()
+            event.set()
+        return event
+
+    def waiting(self, disk_id: int) -> int:
+        """Foreground reads currently queued on ``disk_id``."""
+        return self._fg_waiting.get(disk_id, 0)
+
+    @contextlib.asynccontextmanager
+    async def read(
+        self, disk_id: int, foreground: bool = False
+    ) -> AsyncIterator[None]:
+        """Hold one read slot on ``disk_id`` for the body of the block."""
+        sem = self._sem(disk_id)
+        event = self._clear_event(disk_id)
+        started = time.monotonic()
+        if foreground:
+            self._fg_waiting[disk_id] = self._fg_waiting.get(disk_id, 0) + 1
+            event.clear()
+            try:
+                await sem.acquire()
+            finally:
+                self._fg_waiting[disk_id] -= 1
+                if self._fg_waiting[disk_id] == 0:
+                    event.set()
+        else:
+            # Background defers to any queued foreground read: wait for the
+            # disk's foreground queue to drain before competing for a slot.
+            while not event.is_set():
+                await event.wait()
+            await sem.acquire()
+        current_registry().histogram(
+            ADMISSION_WAIT, "seconds a read waited for a per-disk slot"
+        ).labels(priority="foreground" if foreground else "background").observe(
+            time.monotonic() - started
+        )
+        try:
+            yield
+        finally:
+            sem.release()

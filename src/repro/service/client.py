@@ -1,0 +1,192 @@
+"""The ``hdpsr client`` workload driver.
+
+:class:`ServiceClient` is a thin async JSON-lines client for one daemon
+connection. :func:`run_workload` is the benchmark/smoke driver: it fails
+disks, submits their repairs, and — while the repairs run — hammers the
+front door with seeded random chunk reads from several concurrent
+connections, measuring *wall-clock* user latency into a
+:class:`~repro.obs.quantiles.QuantileSketch`. The report carries repair
+summaries plus foreground p50/p99, which is the paper-style "user latency
+during recovery" number the service exists to protect.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.faults.report import EXIT_CRASHED
+from repro.obs.quantiles import QuantileSketch
+from repro.service import protocol
+from repro.service.protocol import MAX_MESSAGE_BYTES
+from repro.utils.rng import make_rng
+
+
+class ServiceError(ReproError):
+    """The daemon answered ``ok: false``."""
+
+    def __init__(self, message: str, crashed: bool = False) -> None:
+        super().__init__(message)
+        self.crashed = crashed
+
+
+class ServiceClient:
+    """One connection to a :class:`~repro.service.netserver.ServiceDaemon`."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._lock = asyncio.Lock()
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServiceClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=MAX_MESSAGE_BYTES
+        )
+        return cls(reader, writer)
+
+    async def call(self, op: str, **fields) -> dict:
+        """One request/response round trip (serialized per connection)."""
+        msg = {"op": op}
+        msg.update(fields)
+        async with self._lock:
+            self._writer.write(protocol.encode_message(msg))
+            await self._writer.drain()
+            reply = await protocol.read_message(self._reader)
+        if reply is None:
+            raise ServiceError(f"connection closed during {op!r}", crashed=True)
+        if not reply.get("ok", False):
+            raise ServiceError(
+                reply.get("error", "unknown error"),
+                crashed=bool(reply.get("crashed", False)),
+            )
+        return reply
+
+    async def read_chunk(self, stripe: int, shard: int) -> bytes:
+        reply = await self.call("read", stripe=stripe, shard=shard)
+        return protocol.unpack_bytes(reply["data_b64"])
+
+    async def read_object(self, stripe: int) -> bytes:
+        reply = await self.call("read_object", stripe=stripe)
+        return protocol.unpack_bytes(reply["data_b64"])
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def run_workload(
+    host: str,
+    port: int,
+    *,
+    disks: Sequence[int],
+    reads: int = 100,
+    read_concurrency: int = 4,
+    seed: int = 0,
+    resume: bool = False,
+    fail: bool = True,
+    shutdown: bool = False,
+) -> dict:
+    """Drive one repair-under-load episode; returns the client-side report.
+
+    Fails each disk in ``disks`` (unless ``fail=False`` or resuming),
+    submits their repairs, then issues ``reads`` seeded-random chunk reads
+    across ``read_concurrency`` connections while the repairs run, and
+    finally waits for every repair. The report's ``exit_code`` is the max
+    over repair outcomes (0 clean / 3 data loss), so callers can exit with
+    it directly.
+    """
+    control = await ServiceClient.connect(host, port)
+    try:
+        hello = await control.call("ping")
+        num_stripes = int(hello["num_stripes"])
+        n = int(hello["n"])
+
+        # Disks must be failed even when resuming: a restarted daemon holds
+        # fresh Disk objects, and the journaled job only replays reads.
+        if fail:
+            already = set(hello.get("failed", []))
+            for disk in disks:
+                if disk not in already:
+                    await control.call("fail_disk", disk=disk)
+        jobs = [
+            await control.call("repair", disk=disk, resume=resume)
+            for disk in disks
+        ]
+
+        latencies = QuantileSketch((0.5, 0.9, 0.99))
+        rng = make_rng(seed)
+        targets = [
+            (int(rng.integers(num_stripes)), int(rng.integers(n)))
+            for _ in range(reads)
+        ]
+        queue: "asyncio.Queue[Optional[tuple]]" = asyncio.Queue()
+        for t in targets:
+            queue.put_nowait(t)
+        read_errors: List[str] = []
+
+        async def reader_loop() -> None:
+            conn = await ServiceClient.connect(host, port)
+            try:
+                while True:
+                    try:
+                        stripe, shard = queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        return
+                    started = time.monotonic()
+                    try:
+                        await conn.read_chunk(stripe, shard)
+                    except ServiceError as exc:
+                        if exc.crashed:
+                            raise
+                        read_errors.append(f"({stripe},{shard}): {exc}")
+                    latencies.observe(time.monotonic() - started)
+            finally:
+                await conn.close()
+
+        crashed = False
+        summaries: List[dict] = []
+        try:
+            workers = [
+                asyncio.create_task(reader_loop())
+                for _ in range(max(1, read_concurrency))
+            ]
+            await asyncio.gather(*workers)
+            summaries = [
+                (await control.call("wait", job_id=job["job_id"]))
+                for job in jobs
+            ]
+        except ServiceError as exc:
+            # A scripted process_crash killed the daemon mid-workload: the
+            # episode is resumable, report it rather than raising.
+            if not exc.crashed:
+                raise
+            crashed = True
+        exit_code = (
+            EXIT_CRASHED
+            if crashed
+            else max((int(s.get("exit_code", 0)) for s in summaries), default=0)
+        )
+        report: Dict[str, object] = {
+            "repairs": [
+                {k: v for k, v in s.items() if k != "ok"} for s in summaries
+            ],
+            "crashed": crashed,
+            "reads": latencies.count,
+            "read_errors": read_errors,
+            "read_p50_seconds": latencies.quantile(0.5),
+            "read_p99_seconds": latencies.quantile(0.99),
+            "exit_code": exit_code,
+        }
+        if shutdown and not crashed:
+            await control.call("shutdown")
+        return report
+    finally:
+        await control.close()

@@ -1,0 +1,198 @@
+"""The ``hdpsr serve`` daemon: a :class:`RepairService` behind a socket.
+
+:class:`ServiceDaemon` owns one :class:`~repro.service.service.RepairService`
+and speaks the JSON-lines protocol of :mod:`repro.service.protocol` on a
+TCP listener. Clients fail disks, submit repairs, and read chunks/objects
+through the front door while repairs run.
+
+Crash semantics mirror the CLI's journaled repairs: a scripted
+``process_crash`` fault kills the whole daemon — the process exits with
+:data:`~repro.faults.report.EXIT_CRASHED` (4) — and restarting it with
+``--resume`` replays every journaled repair byte-for-byte. A clean
+``shutdown`` exits 0, or :data:`~repro.faults.report.EXIT_DATA_LOSS` (3)
+when any finished repair lost stripes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.errors import ReproError
+from repro.faults.injector import SimulatedCrash
+from repro.faults.report import EXIT_CRASHED
+from repro.service import protocol
+from repro.service.protocol import MAX_MESSAGE_BYTES
+from repro.service.service import RepairService, RepairTicket
+
+#: Ops a connection handler dispatches (``op`` field of each request).
+OPS = ("ping", "stats", "fail_disk", "repair", "wait", "read", "read_object", "shutdown")
+
+
+class ServiceDaemon:
+    """Socket front end around one :class:`RepairService`.
+
+    Args:
+        service: the repair service to expose.
+        host: listen address.
+        port: listen port (0 picks an ephemeral one).
+        port_file: when set, the *actual* bound port is written here once
+            listening — how test harnesses find an ephemeral port.
+    """
+
+    def __init__(
+        self,
+        service: RepairService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        port_file: "str | Path | None" = None,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self.port_file = Path(port_file) if port_file else None
+        self.exit_code = 0
+        self.crashed: Optional[SimulatedCrash] = None
+        self._stop = asyncio.Event()
+        self._listener: Optional[asyncio.AbstractServer] = None
+        self._results: Dict[int, dict] = {}
+        self._conns: "set[asyncio.StreamWriter]" = set()
+
+    # --------------------------------------------------------------- lifecycle
+    async def start(self) -> int:
+        """Bind the listener; returns the actual port."""
+        self._listener = await asyncio.start_server(
+            self._handle, self.host, self.port, limit=MAX_MESSAGE_BYTES
+        )
+        self.port = self._listener.sockets[0].getsockname()[1]
+        if self.port_file is not None:
+            self.port_file.parent.mkdir(parents=True, exist_ok=True)
+            self.port_file.write_text(str(self.port))
+        return self.port
+
+    async def serve_until_stopped(self) -> int:
+        """Serve until ``shutdown`` (or a crash); returns the exit code."""
+        if self._listener is None:
+            await self.start()
+        await self._stop.wait()
+        self._listener.close()
+        # Unblock handlers parked in read_message: closing the transport
+        # EOFs their readers (3.12's wait_closed waits for every handler).
+        for writer in list(self._conns):
+            writer.close()
+        try:
+            await asyncio.wait_for(self._listener.wait_closed(), timeout=5.0)
+        except asyncio.TimeoutError:
+            pass
+        if self.crashed is None:
+            # Clean drain: finish queued writes before reporting.
+            await self.service.close()
+        return self.exit_code
+
+    def _trip(self, exc: SimulatedCrash) -> None:
+        """A scripted crash fired: bring the whole daemon down (exit 4)."""
+        if self.crashed is None:
+            self.crashed = exc
+            self.exit_code = EXIT_CRASHED
+        self._stop.set()
+
+    def _watch(self, ticket: RepairTicket) -> None:
+        def done(task: asyncio.Task) -> None:
+            if task.cancelled():
+                return
+            exc = task.exception()
+            if isinstance(exc, SimulatedCrash):
+                self._trip(exc)
+
+        ticket.task.add_done_callback(done)
+
+    # -------------------------------------------------------------- connection
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._conns.add(writer)
+        try:
+            while not self._stop.is_set():
+                msg = await protocol.read_message(reader)
+                if msg is None:
+                    break
+                try:
+                    reply = await self._dispatch(msg)
+                except SimulatedCrash as exc:
+                    self._trip(exc)
+                    reply = protocol.error("service crashed", crashed=True)
+                except ReproError as exc:
+                    reply = protocol.error(str(exc), kind=type(exc).__name__)
+                writer.write(protocol.encode_message(reply))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            self._conns.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, msg: dict) -> dict:
+        op = msg.get("op")
+        service = self.service
+        server = service.server
+
+        if op == "ping":
+            return protocol.ok(
+                version=protocol.PROTOCOL_VERSION,
+                num_stripes=len(server.layout),
+                n=server.config.n,
+                k=server.config.k,
+                num_disks=server.config.num_disks,
+                spares=server.config.spares,
+                failed=server.failed_disks(),
+            )
+        if op == "stats":
+            return protocol.ok(
+                modeled_now=service.modeled_now,
+                chunks_enqueued=service.writer.chunks_enqueued,
+                tickets=[
+                    {"job_id": t.job_id, "disk": t.disk, "done": t.done}
+                    for t in service._tickets.values()
+                ],
+                failed=server.failed_disks(),
+            )
+        if op == "fail_disk":
+            disk = int(msg["disk"])
+            server.fail_disk(disk)
+            return protocol.ok(disk=disk, failed=server.failed_disks())
+        if op == "repair":
+            ticket = service.submit_repair(
+                int(msg["disk"]), resume=bool(msg.get("resume", False))
+            )
+            self._watch(ticket)
+            return protocol.ok(job_id=ticket.job_id, disk=ticket.disk)
+        if op == "wait":
+            job_id = int(msg["job_id"])
+            if job_id in self._results:
+                return protocol.ok(**self._results[job_id])
+            ticket = service.ticket(job_id)
+            result = await asyncio.shield(ticket.task)
+            self._results[job_id] = result.summary()
+            return protocol.ok(**self._results[job_id])
+        if op == "read":
+            data = await service.read_chunk(int(msg["stripe"]), int(msg["shard"]))
+            return protocol.ok(data_b64=protocol.pack_bytes(data.tobytes()))
+        if op == "read_object":
+            payload = await service.read_object(int(msg["stripe"]))
+            return protocol.ok(data_b64=protocol.pack_bytes(payload))
+        if op == "shutdown":
+            for ticket in service._tickets.values():
+                if ticket.done and not ticket.task.cancelled():
+                    exc = ticket.task.exception()
+                    if exc is None:
+                        self.exit_code = max(
+                            self.exit_code, ticket.task.result().exit_code
+                        )
+            self._stop.set()
+            return protocol.ok(exit_code=self.exit_code)
+        return protocol.error(f"unknown op {op!r}")

@@ -1,0 +1,99 @@
+"""JSON-lines wire protocol between ``hdpsr serve`` and ``hdpsr client``.
+
+One request or response per line, UTF-8 JSON, newline-terminated. Every
+request carries an ``op``; every response carries ``ok`` (and ``error``
+when ``ok`` is false). Chunk payloads travel base64-encoded under
+``data_b64`` — small enough at the chunk sizes the service targets, and it
+keeps the protocol greppable and curl-able.
+
+Operations (client -> server):
+
+``ping``
+    Liveness + topology: stripe count, ``n``/``k``, disk counts.
+``stats``
+    Service counters: modeled clock, tickets, write-queue totals.
+``fail_disk``
+    Fail one disk (fault-injection front door for smoke tests).
+``repair``
+    Submit a background repair of one disk; returns a ``job_id``.
+``wait``
+    Block until a submitted repair finishes; returns its summary.
+``read``
+    Front-door read of one chunk (degrades transparently when lost).
+``read_object``
+    Front-door read of one whole object (k chunks, joined).
+``shutdown``
+    Drain and stop the daemon.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Optional
+
+from repro.errors import ReproError
+
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one encoded message (guards the line reader).
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+
+class ProtocolError(ReproError):
+    """Malformed or over-long wire message."""
+
+
+def encode_message(msg: dict) -> bytes:
+    """One JSON-lines frame for ``msg``."""
+    return (json.dumps(msg, separators=(",", ":"), sort_keys=True) + "\n").encode()
+
+
+def decode_message(line: bytes) -> dict:
+    try:
+        msg = json.loads(line.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"bad wire message: {exc}") from None
+    if not isinstance(msg, dict):
+        raise ProtocolError(f"wire message must be an object, got {type(msg).__name__}")
+    return msg
+
+
+async def read_message(reader) -> Optional[dict]:
+    """Read one frame from an ``asyncio.StreamReader``; None on EOF."""
+    try:
+        line = await reader.readuntil(b"\n")
+    except EOFError:
+        return None
+    except Exception as exc:  # IncompleteReadError subclasses EOFError on 3.8+
+        if exc.__class__.__name__ == "IncompleteReadError":
+            return None
+        raise
+    if len(line) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(f"message exceeds {MAX_MESSAGE_BYTES} bytes")
+    if not line.strip():
+        return None
+    return decode_message(line)
+
+
+def ok(**fields) -> dict:
+    out = {"ok": True}
+    out.update(fields)
+    return out
+
+
+def error(message: str, **fields) -> dict:
+    out = {"ok": False, "error": str(message)}
+    out.update(fields)
+    return out
+
+
+def pack_bytes(data: bytes) -> str:
+    return base64.b64encode(bytes(data)).decode("ascii")
+
+
+def unpack_bytes(encoded: str) -> bytes:
+    try:
+        return base64.b64decode(encoded.encode("ascii"), validate=True)
+    except Exception as exc:
+        raise ProtocolError(f"bad base64 payload: {exc}") from None

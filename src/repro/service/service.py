@@ -1,0 +1,855 @@
+"""The asyncio repair service: concurrent repairs + a foreground front door.
+
+:class:`RepairService` multiplexes many disk repairs over one
+:class:`~repro.hdss.server.HighDensityStorageServer` whose chunk store is
+(usually) a :class:`~repro.hdss.store.ShardedChunkStore`:
+
+* ``submit_repair(disk)`` plans that disk's repair with the configured
+  HD-PSR scheme and runs each stripe's partial decode as an asyncio task —
+  reads fan out concurrently per round, gated by per-disk semaphores
+  (:class:`~repro.service.admission.DiskGate`) so no spindle is swamped,
+  and rebuilt chunks stream through the batched
+  :class:`~repro.service.sharding.AsyncShardWriter`.
+* ``read_chunk(stripe, shard)`` is the client-facing read path. Reads of
+  healthy chunks take a foreground-priority slot on the owning disk; reads
+  of *lost* chunks become degraded reads that **piggyback on the in-flight
+  repair**: every stripe a repair job owns exposes a future resolving to
+  its decoded payloads, so a client read of a dying stripe costs zero
+  extra survivor reads once the repair has decoded it.
+
+The service keeps the library's *modeled* clock alongside wall time: every
+repair read advances a per-disk channel to ``busy-until + transfer_time``,
+so ``modeled_now`` is the aggregate repair makespan with true cross-disk
+parallelism — directly comparable against the single-threaded
+:class:`~repro.core.executor.DataPathExecutor`'s serial clock.
+
+Crash consistency reuses the repair journal unchanged: each job writes
+``begin`` / ``round_commit`` / ``stripe_done`` records into its own
+directory (``journal_root/disk-NNN``), and ``submit_repair(disk,
+resume=True)`` replays finished stripes byte-for-byte and continues
+in-flight decodes from their last committed round.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.base import RepairAlgorithm, RepairContext
+from repro.core.executor import ReadPolicy
+from repro.core.plans import RepairPlan, StripePlan
+from repro.ec.partial import PartialDecoder
+from repro.ec.stripe import ChunkId, Stripe
+from repro.errors import (
+    ChunkChecksumError,
+    ChunkNotFoundError,
+    CodingError,
+    ConfigurationError,
+    DiskFailedError,
+    InsufficientShardsError,
+    JournalError,
+    LatentSectorError,
+    StorageError,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.report import LOST, RECOVERED, REPLANNED, DataLossReport
+from repro.faults.spec import FaultSchedule
+from repro.hdss.prober import ActiveProber
+from repro.hdss.server import HighDensityStorageServer, ScrubReport
+from repro.journal.journal import RepairJournal, RepairState, load_state
+from repro.obs.context import current_registry, current_tracer
+from repro.service.admission import DiskGate
+from repro.service.sharding import AsyncShardWriter
+
+DEGRADED_READS = "hdpsr_service_degraded_reads_total"
+FOREGROUND_READS = "hdpsr_service_foreground_reads_total"
+REPAIR_STRIPES = "hdpsr_service_repair_stripes_total"
+REPAIRS = "hdpsr_service_repairs_total"
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs of one :class:`RepairService`.
+
+    Attributes:
+        max_concurrent_stripes: stripes one repair job decodes at once;
+            this (times round width + targets) bounds the service's
+            decode-buffer footprint, taking over the role the repair
+            memory's admission cap plays on the sequential path.
+        per_disk_reads: concurrent reads allowed per disk (gate width).
+        queue_depth: per-shard write-queue bound (backpressure).
+        batch_size: chunks coalesced into one ``put_many``.
+        policy: read-hardening knobs applied to modeled repair reads
+            (timeouts, retries, hedging), same semantics as the
+            sequential executor.
+        journal_root: directory holding one journal per repaired disk
+            (``journal_root/disk-NNN``); ``None`` disables journaling.
+        durable_journal: fsync journal commits (tests turn this off).
+    """
+
+    max_concurrent_stripes: int = 4
+    per_disk_reads: int = 2
+    queue_depth: int = 64
+    batch_size: int = 8
+    policy: Optional[ReadPolicy] = None
+    journal_root: "str | Path | None" = None
+    durable_journal: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent_stripes < 1:
+            raise ConfigurationError(
+                f"max_concurrent_stripes must be >= 1, got {self.max_concurrent_stripes}"
+            )
+
+
+class _ShardDead(Exception):
+    """A survivor shard is permanently unreadable (service-internal)."""
+
+    def __init__(self, shard: int, cause: Exception) -> None:
+        super().__init__(str(cause))
+        self.shard = shard
+        self.cause = cause
+
+
+class _ShardSlow(Exception):
+    """A survivor read exhausted its retry budget (service-internal)."""
+
+    def __init__(self, shard: int) -> None:
+        super().__init__(f"retries exhausted on shard {shard}")
+        self.shard = shard
+
+
+@dataclass
+class ServiceRepairResult:
+    """Terminal outcome of one ``submit_repair`` job."""
+
+    disk: int
+    algorithm: str
+    stripes: int
+    stripes_repaired: int
+    stripes_lost: int
+    chunks_rebuilt: int
+    resumed_stripes: int
+    remapped: int
+    #: Modeled seconds this job occupied on the shared disk channels.
+    modeled_seconds: float
+    wall_seconds: float
+    loss: DataLossReport
+    scrub: ScrubReport
+
+    @property
+    def certified(self) -> bool:
+        if self.loss.has_loss:
+            return False
+        return self.scrub.healthy and not self.scrub.unpopulated
+
+    @property
+    def exit_code(self) -> int:
+        return self.loss.exit_code
+
+    def summary(self) -> dict:
+        return {
+            "disk": self.disk,
+            "algorithm": self.algorithm,
+            "stripes": self.stripes,
+            "stripes_repaired": self.stripes_repaired,
+            "stripes_lost": self.stripes_lost,
+            "chunks_rebuilt": self.chunks_rebuilt,
+            "resumed_stripes": self.resumed_stripes,
+            "remapped": self.remapped,
+            "modeled_seconds": self.modeled_seconds,
+            "wall_seconds": self.wall_seconds,
+            "certified": self.certified,
+            "exit_code": self.exit_code,
+        }
+
+
+@dataclass
+class RepairTicket:
+    """Handle to one in-flight repair job."""
+
+    job_id: int
+    disk: int
+    task: "asyncio.Task[ServiceRepairResult]"
+
+    @property
+    def done(self) -> bool:
+        return self.task.done()
+
+    async def wait(self) -> ServiceRepairResult:
+        return await self.task
+
+
+@dataclass
+class _Job:
+    """Supervisor-internal state of one repair job."""
+
+    disk: int
+    stripe_indices: List[int]
+    survivor_ids: List[List[int]]
+    plan: RepairPlan
+    failed_all: List[int]
+    journal: Optional[RepairJournal] = None
+    state: Optional[RepairState] = None
+    loss: DataLossReport = field(default_factory=DataLossReport)
+    writebacks: List[Tuple[int, int, int]] = field(default_factory=list)
+    chunks_rebuilt: int = 0
+    resumed_stripes: int = 0
+    modeled_start: float = 0.0
+    modeled_end: float = 0.0
+
+
+class RepairService:
+    """Supervises concurrent repairs and serves reads while they run.
+
+    Args:
+        server: the storage server (ideally store-sharded) to operate.
+        algorithm: repair scheme used to plan every submitted repair.
+        config: service knobs; defaults are test-friendly.
+        faults: optional fault schedule, applied on the modeled clock
+            exactly as on the sequential path (one injector per service —
+            the schedule is server-wide, not per-job).
+    """
+
+    def __init__(
+        self,
+        server: HighDensityStorageServer,
+        algorithm: RepairAlgorithm,
+        config: Optional[ServiceConfig] = None,
+        faults: Optional[FaultSchedule] = None,
+    ) -> None:
+        self.server = server
+        self.algorithm = algorithm
+        self.config = config or ServiceConfig()
+        self.faults = faults
+        self.gate = DiskGate(self.config.per_disk_reads)
+        self.writer = AsyncShardWriter(
+            server.store,
+            queue_depth=self.config.queue_depth,
+            batch_size=self.config.batch_size,
+        )
+        self._injector: Optional[FaultInjector] = None
+        #: Per-disk modeled channel busy-until times.
+        self._channels: Dict[int, float] = {}
+        #: Max modeled end time seen anywhere (aggregate makespan).
+        self.modeled_now = 0.0
+        #: stripe index -> future of {target_shard: payload} (or None=lost).
+        self._repair_futures: Dict[int, "asyncio.Future"] = {}
+        #: Stripes owned by an active job (overlapping repairs skip them).
+        self._claimed: set = set()
+        self._tickets: Dict[int, RepairTicket] = {}
+        self._next_job = 0
+
+    # ------------------------------------------------------------- lifecycle
+    async def close(self) -> None:
+        """Flush writes and stop the shard drain tasks."""
+        await self.writer.close()
+
+    # ------------------------------------------------------------ fault glue
+    def _ensure_injector(self, skip_crashes: int) -> Optional[FaultInjector]:
+        if self.faults is None:
+            return None
+        if self._injector is None:
+            self._injector = FaultInjector(
+                self.server, self.faults, skip_crashes=skip_crashes
+            )
+            self._injector.attach()
+        else:
+            self._injector.skip_crashes = max(
+                self._injector.skip_crashes, skip_crashes
+            )
+        return self._injector
+
+    # --------------------------------------------------------------- planning
+    def _plan_job(self, disk_id: int) -> Tuple[List[int], List[List[int]], RepairPlan]:
+        """Plan one disk's repair (runs off the event loop)."""
+        server = self.server
+        if not server.disk(disk_id).is_failed:
+            raise StorageError(
+                f"disk {disk_id} is healthy; fail it before submitting a repair"
+            )
+        failed_all = server.failed_disks()
+        stripe_indices = [
+            si
+            for si in server.stripes_needing_repair([disk_id])
+            if si not in self._claimed
+        ]
+        if not stripe_indices:
+            raise StorageError(
+                f"disk {disk_id} holds no unclaimed stripes; nothing to repair"
+            )
+        survivor_ids: List[List[int]] = []
+        rows: List[List[float]] = []
+        size = server.config.chunk_size
+        prober = (
+            ActiveProber(server) if self.algorithm.requires_probing else None
+        )
+        for si in stripe_indices:
+            stripe = server.layout[si]
+            shard_ids = server.survivor_shards(stripe, failed_all)
+            survivor_ids.append(shard_ids)
+            if prober is not None:
+                rows.append(
+                    [prober.estimated_chunk_time(stripe.disks[j]) for j in shard_ids]
+                )
+            else:
+                rows.append(
+                    [
+                        server.disks[stripe.disks[j]].transfer_time(size, jittered=False)
+                        for j in shard_ids
+                    ]
+                )
+        L = np.asarray(rows, dtype=np.float64)
+        disk_ids = np.asarray(
+            [
+                [server.layout[si].disks[j] for j in shards]
+                for si, shards in zip(stripe_indices, survivor_ids)
+            ],
+            dtype=np.int64,
+        )
+        ctx = RepairContext()
+        ctx.disk_ids = disk_ids
+        plan = self.algorithm.build_plan(L, server.config.memory_chunks, context=ctx)
+        return stripe_indices, survivor_ids, plan
+
+    def _journal_dir(self, disk_id: int) -> Optional[Path]:
+        if self.config.journal_root is None:
+            return None
+        return Path(self.config.journal_root) / f"disk-{disk_id:03d}"
+
+    # ------------------------------------------------------------ submission
+    def submit_repair(self, disk_id: int, resume: bool = False) -> RepairTicket:
+        """Start repairing ``disk_id`` in the background; returns a ticket.
+
+        With ``resume=True`` the job continues from this disk's journal
+        directory (``journal_root/disk-NNN``): the journaled plan is
+        reused verbatim, finished stripes replay from journaled payloads,
+        and in-flight decodes continue from the last committed round.
+        """
+        job_id = self._next_job
+        self._next_job += 1
+        task = asyncio.get_running_loop().create_task(
+            self._run_repair(disk_id, resume), name=f"repair-{disk_id}"
+        )
+        ticket = RepairTicket(job_id=job_id, disk=disk_id, task=task)
+        self._tickets[job_id] = ticket
+        return ticket
+
+    def ticket(self, job_id: int) -> RepairTicket:
+        if job_id not in self._tickets:
+            raise ConfigurationError(f"no such repair ticket {job_id}")
+        return self._tickets[job_id]
+
+    # ---------------------------------------------------------- the job body
+    async def _run_repair(self, disk_id: int, resume: bool) -> ServiceRepairResult:
+        started = time.monotonic()
+        jdir = self._journal_dir(disk_id)
+        tracer = current_tracer()
+
+        if resume:
+            if jdir is None:
+                raise JournalError("resume needs a journal_root in ServiceConfig")
+            state = await asyncio.to_thread(load_state, jdir)
+            fp = self.server.config.fingerprint()
+            if state.fingerprint != fp:
+                raise JournalError(
+                    f"journal {jdir} was written by a different server "
+                    "configuration; refusing to resume"
+                )
+            journal = RepairJournal(jdir, durable=self.config.durable_journal)
+            journal.mark_resume(state.clock)
+            self._ensure_injector(state.resume_count + 1)
+            job = _Job(
+                disk=disk_id,
+                stripe_indices=list(state.stripe_indices),
+                survivor_ids=[list(r) for r in state.survivor_ids],
+                plan=RepairPlan.from_dict(state.plan),
+                failed_all=list(state.failed_disks),
+                journal=journal,
+                state=state,
+            )
+            self.modeled_now = max(self.modeled_now, state.clock)
+        else:
+            stripe_indices, survivor_ids, plan = await asyncio.to_thread(
+                self._plan_job, disk_id
+            )
+            self._ensure_injector(0)
+            journal = None
+            if jdir is not None:
+                journal = RepairJournal(jdir, durable=self.config.durable_journal)
+                journal.begin(
+                    algorithm=plan.algorithm,
+                    plan=plan.to_dict(),
+                    stripe_indices=[int(s) for s in stripe_indices],
+                    survivor_ids=[[int(s) for s in row] for row in survivor_ids],
+                    failed_disks=[int(d) for d in self.server.failed_disks()],
+                    fingerprint=self.server.config.fingerprint(),
+                )
+            job = _Job(
+                disk=disk_id,
+                stripe_indices=stripe_indices,
+                survivor_ids=survivor_ids,
+                plan=plan,
+                failed_all=self.server.failed_disks(),
+                journal=journal,
+            )
+
+        job.modeled_start = self.modeled_now
+        loop = asyncio.get_running_loop()
+        for si in job.stripe_indices:
+            if si not in self._repair_futures:
+                self._repair_futures[si] = loop.create_future()
+            self._claimed.add(si)
+
+        sem = asyncio.Semaphore(self.config.max_concurrent_stripes)
+        tasks = [
+            loop.create_task(self._stripe_bounded(sem, job, sp))
+            for sp in job.plan.stripe_plans
+        ]
+        try:
+            await asyncio.gather(*tasks)
+            await self.writer.flush()
+        except BaseException:
+            # SimulatedCrash (or cancellation): stop cleanly, keep the
+            # journal — a resumed service picks up from the last commit.
+            for t in tasks:
+                t.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+            self._release_stripes(job)
+            if job.journal is not None:
+                job.journal.close()
+            raise
+
+        remapped = self.server.commit_writebacks(job.writebacks)
+        kept = [
+            si
+            for si in job.stripe_indices
+            if job.loss.stripes.get(si) != LOST
+        ]
+        scrub = (
+            await asyncio.to_thread(self.server.scrub, kept)
+            if kept
+            else ScrubReport()
+        )
+        job.modeled_end = self.modeled_now
+        if job.journal is not None:
+            job.journal.complete(
+                stripes_repaired=len(job.loss.recovered) + len(job.loss.replanned),
+                stripes_lost=len(job.loss.lost),
+                chunks_rebuilt=job.chunks_rebuilt,
+                resumed_stripes=job.resumed_stripes,
+                modeled_seconds=self.modeled_now,
+            )
+            job.journal.close()
+        self._release_stripes(job)
+        if self._injector is not None:
+            for kind, n in self._injector.applied.items():
+                job.loss.count_fault(kind, n)
+        result = ServiceRepairResult(
+            disk=disk_id,
+            algorithm=job.plan.algorithm,
+            stripes=len(job.stripe_indices),
+            stripes_repaired=len(job.loss.recovered) + len(job.loss.replanned),
+            stripes_lost=len(job.loss.lost),
+            chunks_rebuilt=job.chunks_rebuilt,
+            resumed_stripes=job.resumed_stripes,
+            remapped=remapped,
+            modeled_seconds=self.modeled_now - job.modeled_start,
+            wall_seconds=time.monotonic() - started,
+            loss=job.loss,
+            scrub=scrub,
+        )
+        current_registry().counter(
+            REPAIRS, "repair jobs finished"
+        ).labels(outcome="lost" if job.loss.has_loss else "recovered").inc()
+        tracer.instant(
+            "service", f"repair disk {disk_id} done",
+            stripes=result.stripes, lost=result.stripes_lost,
+        )
+        return result
+
+    def _release_stripes(self, job: _Job) -> None:
+        for si in job.stripe_indices:
+            fut = self._repair_futures.pop(si, None)
+            if fut is not None and not fut.done():
+                fut.set_result(None)  # readers fall back to standalone decode
+            self._claimed.discard(si)
+
+    async def _stripe_bounded(
+        self, sem: asyncio.Semaphore, job: _Job, sp: StripePlan
+    ) -> None:
+        async with sem:
+            await self._repair_stripe(job, sp)
+
+    # ----------------------------------------------------------- stripe task
+    async def _repair_stripe(self, job: _Job, sp: StripePlan) -> None:
+        server = self.server
+        si = job.stripe_indices[sp.stripe_index]
+        stripe = server.layout[si]
+        shards = list(job.survivor_ids[sp.stripe_index])
+        targets = stripe.lost_shards(job.failed_all)
+        if not targets:
+            raise StorageError(f"stripe {si} lost nothing on {job.failed_all}")
+        state = job.state
+
+        if state is not None and si in state.done:
+            await self._replay_stripe(job, si, targets)
+            return
+
+        outcome = RECOVERED
+        per_round = max(1, sp.peak_memory_chunks() - len(targets))
+        if state is not None and si in state.inflight:
+            restored = dict(state.inflight[si])
+            outcome = str(restored.pop("outcome", RECOVERED))
+            decoder = PartialDecoder.from_state(server.code, restored)
+            job.resumed_stripes += 1
+            queue = self._rounds_of(decoder.pending, per_round)
+        else:
+            decoder = PartialDecoder(
+                server.code, shards, targets, chunk_size=server.config.chunk_size
+            )
+            queue = [[shards[col] for col in rnd] for rnd in sp.rounds]
+
+        stripe_clock = self.modeled_now
+        while queue:
+            rnd = [s for s in queue.pop(0) if s in set(decoder.pending)]
+            if not rnd:
+                continue
+            reads = await asyncio.gather(
+                *(
+                    self._read_survivor(job, stripe, si, s, stripe_clock)
+                    for s in rnd
+                ),
+                return_exceptions=True,
+            )
+            fed: Dict[int, np.ndarray] = {}
+            fault: Optional[Exception] = None
+            for shard_idx, res in zip(rnd, reads):
+                if isinstance(res, (_ShardDead, _ShardSlow)):
+                    fault = fault or res
+                elif isinstance(res, BaseException):
+                    raise res
+                else:
+                    data, end = res
+                    fed[shard_idx] = data
+                    stripe_clock = max(stripe_clock, end)
+            if fed:
+                await asyncio.to_thread(decoder.feed, fed)
+                if job.journal is not None:
+                    await asyncio.to_thread(
+                        job.journal.round_commit,
+                        si, self.modeled_now, decoder.to_state(), outcome,
+                    )
+            if fault is None:
+                continue
+
+            if isinstance(fault, _ShardSlow):
+                new_rounds = self._replan(
+                    job, decoder, stripe, si, fault.shard, per_round,
+                    allow_restart=False,
+                )
+                if new_rounds is not None:
+                    job.loss.hedged_reads += 1
+                    outcome = REPLANNED
+                    queue = new_rounds
+                    continue
+                # No alternative survivor: force the slow read through.
+                data, end = await self._read_survivor(
+                    job, stripe, si, fault.shard, stripe_clock, forced=True
+                )
+                stripe_clock = max(stripe_clock, end)
+                await asyncio.to_thread(decoder.feed, {fault.shard: data})
+                continue
+
+            new_rounds = self._replan(
+                job, decoder, stripe, si, fault.shard, per_round,
+                allow_restart=True,
+            )
+            if new_rounds is None:
+                outcome = LOST
+                break
+            outcome = REPLANNED
+            queue = new_rounds
+
+        fut = self._repair_futures.get(si)
+        if outcome == LOST:
+            job.loss.record(si, LOST)
+            if fut is not None and not fut.done():
+                fut.set_result(None)
+            if job.journal is not None:
+                await asyncio.to_thread(
+                    job.journal.stripe_done, si, LOST, self.modeled_now
+                )
+            current_registry().counter(
+                REPAIR_STRIPES, "stripe repairs finished"
+            ).labels(outcome=LOST).inc()
+            return
+
+        results = await asyncio.to_thread(decoder.results)
+        # Resolve the piggyback future *before* persisting: a degraded
+        # read only needs the decoded bytes, not their new home.
+        if fut is not None and not fut.done():
+            fut.set_result(results)
+
+        written: List[Tuple[int, int, np.ndarray]] = []
+        exclude = list(stripe.disks)
+        for target in targets:
+            spare = server.pick_spare(exclude=exclude)
+            exclude.append(spare)
+            await self.writer.put(spare, ChunkId(si, target), results[target])
+            job.writebacks.append((si, target, spare))
+            written.append((target, spare, results[target]))
+            job.chunks_rebuilt += 1
+        job.loss.record(si, outcome)
+        if job.journal is not None:
+            await asyncio.to_thread(
+                job.journal.stripe_done, si, outcome, self.modeled_now, written
+            )
+        current_registry().counter(
+            REPAIR_STRIPES, "stripe repairs finished"
+        ).labels(outcome=outcome).inc()
+
+    async def _replay_stripe(self, job: _Job, si: int, targets: List[int]) -> None:
+        """Redo a journaled stripe outcome: re-put payloads, zero reads."""
+        done = job.state.done[si]
+        job.resumed_stripes += 1
+        payloads: Dict[int, np.ndarray] = {}
+        for target, spare, payload in done.writebacks:
+            if payload is None:
+                continue
+            cid = ChunkId(si, target)
+            if not self.server.store.contains(spare, cid):
+                await self.writer.put(spare, cid, payload)
+            job.writebacks.append((si, target, spare))
+            job.chunks_rebuilt += 1
+            payloads[target] = payload
+        job.loss.record(si, done.outcome)
+        job.loss.resumed_stripes += 1
+        fut = self._repair_futures.get(si)
+        if fut is not None and not fut.done():
+            fut.set_result(payloads if done.outcome != LOST else None)
+
+    # ---------------------------------------------------------------- replan
+    def _rounds_of(self, shard_ids: Sequence[int], per_round: int) -> List[List[int]]:
+        per_round = max(1, per_round)
+        return [
+            list(shard_ids[i : i + per_round])
+            for i in range(0, len(shard_ids), per_round)
+        ]
+
+    def _readable_shards(
+        self, stripe: Stripe, si: int, exclude: set
+    ) -> List[int]:
+        server = self.server
+        store = server.store
+        out: List[Tuple[bool, int]] = []
+        for sid, disk_id in enumerate(stripe.disks):
+            if sid in exclude:
+                continue
+            disk = server.disks[disk_id]
+            if disk.is_failed:
+                continue
+            cid = ChunkId(si, sid)
+            if not store.contains(disk_id, cid):
+                continue
+            bad = getattr(store, "_bad", None)
+            if bad is not None and (disk_id, cid) in bad:
+                continue
+            out.append((disk.is_slow, sid))
+        return [sid for _, sid in sorted(out)]
+
+    def _replan(
+        self,
+        job: _Job,
+        decoder: PartialDecoder,
+        stripe: Stripe,
+        si: int,
+        bad_shard: int,
+        per_round: int,
+        allow_restart: bool,
+    ) -> Optional[List[List[int]]]:
+        """Same salvage ladder as the sequential executor: replan, restart,
+        or declare the stripe lost (returns None)."""
+        k, t = decoder.code.k, len(decoder.targets)
+        exclude = set(decoder.targets) | {bad_shard}
+        candidates = self._readable_shards(stripe, si, exclude)
+        fed = set(decoder.fed)
+        pending_alive = [s for s in decoder.pending if s in set(candidates)]
+        fresh = [
+            s for s in candidates if s not in set(pending_alive) and s not in fed
+        ]
+        refed = [s for s in candidates if s in fed]
+        new_reads = (pending_alive + fresh + refed)[: k - t]
+        if len(new_reads) == k - t:
+            try:
+                decoder.replan(new_reads)
+                job.loss.replans += 1
+                job.loss.salvaged_chunks += len(decoder.fed)
+                return self._rounds_of(decoder.pending, per_round)
+            except CodingError:
+                pass
+        if not allow_restart:
+            return None
+        if len(candidates) >= k:
+            decoder.restart(candidates[:k])
+            job.loss.fresh_restarts += 1
+            return self._rounds_of(decoder.pending, per_round)
+        return None
+
+    # ----------------------------------------------------------- repair reads
+    async def _read_survivor(
+        self,
+        job: _Job,
+        stripe: Stripe,
+        si: int,
+        shard_idx: int,
+        not_before: float,
+        forced: bool = False,
+    ) -> Tuple[np.ndarray, float]:
+        """One gated repair read; returns (payload, modeled end time).
+
+        Raises :class:`_ShardDead` / :class:`_ShardSlow` exactly like the
+        sequential executor's hardened read, but prices the transfer on
+        the per-disk modeled channel so concurrent reads on *different*
+        disks overlap and reads on the *same* disk serialize.
+        """
+        server = self.server
+        disk_id = stripe.disks[shard_idx]
+        async with self.gate.read(disk_id, foreground=False):
+            end = self._model_transfer(
+                job, disk_id, shard_idx, not_before, forced=forced
+            )
+            try:
+                data = await asyncio.to_thread(
+                    server.store.get, disk_id, ChunkId(si, shard_idx)
+                )
+            except (LatentSectorError, ChunkNotFoundError) as exc:
+                if isinstance(exc, ChunkChecksumError):
+                    job.loss.checksum_failures += 1
+                raise _ShardDead(shard_idx, exc) from None
+            server.disk(disk_id).record_read(data.size)
+            return data, end
+
+    def _model_transfer(
+        self,
+        job: _Job,
+        disk_id: int,
+        shard_idx: int,
+        not_before: float,
+        forced: bool = False,
+    ) -> float:
+        """Advance the disk's modeled channel by one chunk transfer."""
+        server = self.server
+        policy = self.config.policy
+        penalty = 0.0
+        attempt = 0
+        while True:
+            if self._injector is not None:
+                self._injector.advance(self.modeled_now)  # may raise SimulatedCrash
+            disk = server.disk(disk_id)
+            if disk.is_failed:
+                raise _ShardDead(
+                    shard_idx, DiskFailedError(f"disk {disk_id} failed")
+                )
+            duration = disk.transfer_time(server.config.chunk_size, jittered=False)
+            if policy is None or forced:
+                break
+            if (
+                policy.hedge
+                and policy.hedge_threshold_seconds is not None
+                and duration > policy.hedge_threshold_seconds
+            ):
+                raise _ShardSlow(shard_idx)
+            if policy.timeout_seconds is None or duration <= policy.timeout_seconds:
+                break
+            job.loss.timeouts += 1
+            penalty += policy.timeout_seconds
+            if attempt >= policy.max_retries:
+                if policy.hedge:
+                    raise _ShardSlow(shard_idx)
+                break  # force through at degraded speed
+            job.loss.retries += 1
+            penalty += policy.backoff(attempt)
+            attempt += 1
+            # let transient windows close before re-checking the disk
+            self.modeled_now = max(self.modeled_now, not_before + penalty)
+        start = max(self._channels.get(disk_id, 0.0), not_before)
+        end = start + penalty + duration
+        self._channels[disk_id] = end
+        self.modeled_now = max(self.modeled_now, end)
+        return end
+
+    # ------------------------------------------------------------ front door
+    async def read_chunk(self, stripe_index: int, shard_idx: int) -> np.ndarray:
+        """Client read of one chunk; degrades (and piggybacks) when lost."""
+        server = self.server
+        stripe = server.layout[stripe_index]
+        if not 0 <= shard_idx < stripe.n:
+            raise ConfigurationError(f"stripe has no shard {shard_idx}")
+        disk_id = stripe.disks[shard_idx]
+        cid = ChunkId(stripe_index, shard_idx)
+        registry = current_registry()
+        registry.counter(FOREGROUND_READS, "front-door reads served").inc()
+        if not server.disk(disk_id).is_failed and server.store.contains(disk_id, cid):
+            async with self.gate.read(disk_id, foreground=True):
+                return await asyncio.to_thread(server.store.get, disk_id, cid)
+
+        degraded = registry.counter(
+            DEGRADED_READS, "front-door reads of lost chunks"
+        )
+        fut = self._repair_futures.get(stripe_index)
+        if fut is not None:
+            results = await asyncio.shield(fut)
+            if results is not None and shard_idx in results:
+                degraded.labels(source="piggyback").inc()
+                return results[shard_idx]
+        degraded.labels(source="decode").inc()
+        return await self._degraded_decode(stripe_index, stripe, shard_idx)
+
+    async def _degraded_decode(
+        self, stripe_index: int, stripe: Stripe, shard_idx: int
+    ) -> np.ndarray:
+        """Standalone k-survivor decode of one lost chunk (no repair to join)."""
+        server = self.server
+        failed = server.failed_disks()
+        survivors = [
+            s
+            for s in stripe.surviving_shards(failed)
+            if s != shard_idx
+            and server.store.contains(stripe.disks[s], ChunkId(stripe_index, s))
+        ][: stripe.k]
+        if len(survivors) < stripe.k:
+            raise InsufficientShardsError(
+                f"stripe {stripe_index}: {len(survivors)} readable shards < k"
+            )
+        decoder = PartialDecoder(
+            server.code, survivors, [shard_idx], chunk_size=server.config.chunk_size
+        )
+
+        async def fetch(s: int) -> Tuple[int, np.ndarray]:
+            d = stripe.disks[s]
+            async with self.gate.read(d, foreground=True):
+                return s, await asyncio.to_thread(
+                    server.store.get, d, ChunkId(stripe_index, s)
+                )
+
+        reads = await asyncio.gather(*(fetch(s) for s in survivors))
+        await asyncio.to_thread(decoder.feed, dict(reads))
+        return decoder.result(shard_idx)
+
+    async def read_object(self, stripe_index: int) -> bytes:
+        """Read one stored object back through the front door."""
+        server = self.server
+        size = server.volume_sizes.get(stripe_index)
+        if size is None:
+            raise StorageError(f"stripe {stripe_index} holds no object data")
+        k = server.layout[stripe_index].k
+        datas = await asyncio.gather(
+            *(self.read_chunk(stripe_index, j) for j in range(k))
+        )
+        return server.code.join(list(datas), size)

@@ -65,6 +65,7 @@ def build_exp_server(
     with_data: bool = False,
     profile: Optional[SpeedProfile] = None,
     placement: str = "rotating",
+    store=None,
 ) -> HighDensityStorageServer:
     """A paper-style server, provisioned and ready for failure injection.
 
@@ -82,6 +83,9 @@ def build_exp_server(
         seed: master seed.
         with_data: RS-encode real random bytes (slow; for data-path tests).
         profile: override the disk speed profile entirely.
+        store: chunk-store override (e.g. a
+            :class:`~repro.hdss.store.ShardedChunkStore` for the service);
+            default is the in-memory store.
     """
     chunk_size = parse_size(chunk_size)
     disk_size = parse_size(disk_size)
@@ -98,7 +102,7 @@ def build_exp_server(
         placement=placement,
         seed=seed,
     )
-    server = HighDensityStorageServer(config)
+    server = HighDensityStorageServer(config, store=store)
     server.provision_stripes(stripes_for(disk_size, chunk_size, num_disks, n), with_data=with_data)
     return server
 

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.utils.checksum import crc32c, verify_crc32c
+from repro.utils.checksum import (
+    _crc32c_bytewise,
+    _crc32c_sliced,
+    crc32c,
+    verify_crc32c,
+)
 
 
 class TestKnownAnswers:
@@ -45,3 +50,33 @@ class TestKnownAnswers:
     def test_verify_helper(self):
         assert verify_crc32c(b"123456789", 0xE3069283)
         assert not verify_crc32c(b"123456789", 0xE3069284)
+
+
+class TestSlicedEquivalence:
+    """The slicing-by-4 fast path must match the bytewise reference exactly."""
+
+    @pytest.mark.parametrize("length", list(range(0, 17)) + [31, 32, 33, 63, 64, 65, 127, 255, 4096, 4097])
+    def test_boundary_lengths(self, length):
+        rng = np.random.default_rng(length)
+        data = rng.integers(0, 256, size=length, dtype=np.uint8).tobytes()
+        assert _crc32c_sliced(data) == _crc32c_bytewise(data)
+
+    def test_random_inputs_and_seeds(self):
+        rng = np.random.default_rng(7)
+        for _ in range(50):
+            length = int(rng.integers(0, 1024))
+            data = rng.integers(0, 256, size=length, dtype=np.uint8).tobytes()
+            seed = int(rng.integers(0, 2**32))
+            assert _crc32c_sliced(data, seed) == _crc32c_bytewise(data, seed)
+
+    def test_streaming_continuation_across_unaligned_splits(self):
+        rng = np.random.default_rng(11)
+        data = rng.integers(0, 256, size=1000, dtype=np.uint8).tobytes()
+        for split in (0, 1, 2, 3, 4, 5, 7, 500, 999, 1000):
+            acc = _crc32c_sliced(data[:split])
+            acc = _crc32c_sliced(data[split:], acc)
+            assert acc == _crc32c_bytewise(data)
+
+    def test_public_entrypoint_uses_equivalent_path(self):
+        data = bytes(range(256)) * 3
+        assert crc32c(data) == _crc32c_bytewise(data)

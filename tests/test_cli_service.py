@@ -1,0 +1,125 @@
+"""End-to-end ``hdpsr serve`` / ``hdpsr client`` subprocess tests.
+
+These drive the real wire path: a daemon subprocess on an ephemeral port
+(discovered through ``--port-file``), a client subprocess failing a disk
+and hammering the front door, and — for the crash leg — a scripted
+``process_crash`` that kills the daemon mid-repair followed by a second
+incarnation resuming from the journal.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+SERVER_ARGS = [
+    "--num-disks", "12", "--chunk-size", "32KiB", "--disk-size", "128KiB",
+    "--placement", "rotating", "--seed", "7",
+]
+START_TIMEOUT = 30.0
+
+
+def _env():
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _spawn_serve(*extra):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", *SERVER_ARGS, *extra],
+        env=_env(), stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+
+
+def _wait_port(port_file: Path, proc: subprocess.Popen) -> int:
+    deadline = time.monotonic() + START_TIMEOUT
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            out, err = proc.communicate()
+            raise AssertionError(f"serve exited early ({proc.returncode}): {err}")
+        if port_file.exists() and port_file.read_text().strip():
+            return int(port_file.read_text().strip())
+        time.sleep(0.05)
+    proc.kill()
+    raise AssertionError("serve never wrote its port file")
+
+
+def _run_client(port: int, *extra) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", "client", "--port", str(port),
+         "--reads", "40", "--json", *extra],
+        env=_env(), capture_output=True, text=True, timeout=START_TIMEOUT * 2,
+    )
+
+
+@pytest.fixture
+def serve(tmp_path):
+    procs = []
+
+    def start(*extra):
+        port_file = tmp_path / f"port-{len(procs)}"
+        proc = _spawn_serve("--port-file", str(port_file), *extra)
+        procs.append(proc)
+        return proc, _wait_port(port_file, proc)
+
+    yield start
+    for proc in procs:
+        if proc.poll() is None:
+            proc.kill()
+        proc.communicate()
+
+
+class TestServeClientSmoke:
+    def test_repair_under_load_exits_clean(self, serve, tmp_path):
+        proc, port = serve("--store", str(tmp_path / "store"), "--no-fsync")
+        result = _run_client(port, "--fail", "0", "--shutdown")
+        assert result.returncode == 0, result.stderr
+        report = json.loads(result.stdout)
+        assert not report["crashed"]
+        assert report["reads"] == 40
+        assert report["read_errors"] == []
+        (repair,) = report["repairs"]
+        assert repair["certified"] and repair["stripes_lost"] == 0
+        assert report["read_p99_seconds"] >= report["read_p50_seconds"] >= 0
+        assert proc.wait(timeout=START_TIMEOUT) == 0
+
+    def test_two_disk_workload(self, serve):
+        proc, port = serve()
+        result = _run_client(port, "--fail", "0", "--fail", "6", "--shutdown")
+        assert result.returncode == 0, result.stderr
+        report = json.loads(result.stdout)
+        assert {r["disk"] for r in report["repairs"]} == {0, 6}
+        assert all(r["certified"] for r in report["repairs"])
+        assert proc.wait(timeout=START_TIMEOUT) == 0
+
+    def test_crash_then_resume(self, serve, tmp_path):
+        faults = tmp_path / "crash.json"
+        faults.write_text(json.dumps(
+            {"events": [{"at": 2e-4, "kind": "process_crash"}]}
+        ))
+        store, journal = str(tmp_path / "store"), str(tmp_path / "journal")
+        common = ["--store", store, "--journal", journal, "--no-fsync",
+                  "--faults", str(faults), "--max-stripes", "1"]
+
+        proc, port = serve(*common)
+        result = _run_client(port, "--fail", "0")
+        assert result.returncode == 4, result.stderr  # EXIT_CRASHED
+        assert json.loads(result.stdout)["crashed"]
+        assert proc.wait(timeout=START_TIMEOUT) == 4
+        assert "restart the service" in proc.communicate()[1]
+
+        # Second incarnation: same config/store/faults; the journal's
+        # resume count skips the already-fired crash.
+        proc2, port2 = serve(*common)
+        result = _run_client(port2, "--fail", "0", "--resume", "--shutdown")
+        assert result.returncode == 0, result.stderr
+        report = json.loads(result.stdout)
+        (repair,) = report["repairs"]
+        assert repair["certified"] and not report["crashed"]
+        assert proc2.wait(timeout=START_TIMEOUT) == 0

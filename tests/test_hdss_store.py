@@ -19,6 +19,20 @@ def chunk(size=64, fill=7):
     return np.full(size, fill, dtype=np.uint8)
 
 
+def dead_pid():
+    """A pid guaranteed not to belong to a live process: spawn-and-reap."""
+    import subprocess
+    import sys
+
+    proc = subprocess.run(
+        [sys.executable, "-c", "import os; print(os.getpid())"],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return int(proc.stdout.strip())
+
+
 class TestContract:
     def test_put_get_roundtrip(self, store):
         cid = ChunkId(3, 1)
@@ -133,7 +147,8 @@ class TestFileSpecific:
         store.put(0, ChunkId(0, 0), chunk())
         # leftovers from a crashed writer: a half-written tmp and an
         # orphan checksum sidecar with no chunk next to it
-        stale = tmp_path / "disk-000" / "s000009.001.chunk.123.deadbeef.tmp"
+        dead = dead_pid()
+        stale = tmp_path / "disk-000" / f"s000009.001.chunk.{dead}.deadbeef.tmp"
         stale.write_bytes(b"partial")
         orphan = tmp_path / "disk-000" / ("s000009.001.chunk" + CRC_SUFFIX)
         orphan.write_text("00000000\n")
@@ -141,6 +156,79 @@ class TestFileSpecific:
         assert not stale.exists()
         assert not orphan.exists()
         assert np.array_equal(reopened.get(0, ChunkId(0, 0)), chunk())
+
+    def test_sweep_spares_live_writers_tmp(self, tmp_path):
+        """Two stores on one directory: the sweep must not delete a tmp
+        file that a live process (here: ourselves) is still writing."""
+        store = FileChunkStore(tmp_path)
+        store.put(0, ChunkId(0, 0), chunk())
+        import os
+
+        live = tmp_path / "disk-000" / f"s000009.001.chunk.{os.getpid()}.abc123.tmp"
+        live.write_bytes(b"in flight")
+        legacy = tmp_path / "disk-000" / "garbage.tmp"
+        legacy.write_bytes(b"unparseable name: swept")
+        FileChunkStore(tmp_path)  # concurrent open sweeps the directory
+        assert live.exists()
+        assert not legacy.exists()
+
+    def test_concurrent_writers_same_chunk_stay_consistent(self, tmp_path):
+        """Two threads hammering put() on one chunk id: readers only ever
+        see one of the two valid payloads, and the final state verifies."""
+        import threading
+
+        store = FileChunkStore(tmp_path, durable=False)
+        payloads = [chunk(fill=1), chunk(fill=2)]
+        cid = ChunkId(0, 0)
+        store.put(0, cid, payloads[0])
+        stop = threading.Event()
+        errors = []
+
+        def writer(payload):
+            while not stop.is_set():
+                store.put(0, cid, payload)
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    data = store.get(0, cid)
+                except ChunkChecksumError:
+                    continue  # torn put pair mid-replacement; transient
+                if not (np.array_equal(data, payloads[0])
+                        or np.array_equal(data, payloads[1])):
+                    errors.append(data)
+
+        threads = [threading.Thread(target=writer, args=(p,)) for p in payloads]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        import time
+
+        time.sleep(0.3)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert not errors, "a reader observed torn chunk bytes"
+
+    def test_get_retries_transient_sidecar_race(self, tmp_path):
+        """A mismatch caused by reading mid-put must heal on the re-read."""
+
+        class FlakySidecar(FileChunkStore):
+            def __init__(self, root):
+                super().__init__(root)
+                self.misreads = 1
+
+            def _read_expected_crc(self, path):
+                if self.misreads:
+                    self.misreads -= 1
+                    return 0xDEADBEEF  # raced: stale sidecar bytes
+                return super()._read_expected_crc(path)
+
+        store = FlakySidecar(tmp_path)
+        store.put(0, ChunkId(0, 0), chunk())
+        data = store.get(0, ChunkId(0, 0))  # must not raise
+        assert np.array_equal(data, chunk())
+        assert store.checksum_failures == 0
 
 
 class TestChecksumIntegrity:

@@ -1,0 +1,569 @@
+"""The asyncio repair service: concurrency, faults, resume, front door.
+
+No pytest-asyncio in the toolchain: every test is a sync function driving
+its coroutine with ``asyncio.run``.
+"""
+
+import asyncio
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import ALGORITHMS, ReadPolicy
+from repro.ec.stripe import ChunkId
+from repro.errors import (
+    ConfigurationError,
+    InsufficientShardsError,
+    JournalError,
+    StorageError,
+)
+from repro.faults.injector import SimulatedCrash
+from repro.faults.spec import FaultEvent, FaultSchedule
+from repro.hdss.server import HDSSConfig, HighDensityStorageServer
+from repro.hdss.store import ShardedChunkStore
+from repro.obs import MetricsRegistry, use_registry
+from repro.service import (
+    AsyncShardWriter,
+    DiskGate,
+    RepairService,
+    ServiceConfig,
+)
+from repro.service.service import DEGRADED_READS
+
+
+def make_server(store=None, seed=11):
+    config = HDSSConfig(
+        num_disks=12, n=5, k=3, chunk_size=2048, memory_chunks=16,
+        spares=3, seed=seed, placement="rotating",
+    )
+    server = HighDensityStorageServer(config, store=store)
+    server.provision_stripes(12, with_data=True)
+    return server
+
+
+def make_service(server, **cfg):
+    return RepairService(
+        server, ALGORITHMS["hd-psr-ap"](), ServiceConfig(**cfg) if cfg else None
+    )
+
+
+def originals_of(server):
+    return {si: server.read_object(si) for si in range(len(server.layout))}
+
+
+def assert_all_objects_intact(server, originals):
+    for si, data in originals.items():
+        assert server.read_object(si) == data, f"stripe {si} bytes diverged"
+
+
+# ---------------------------------------------------------------------------
+# DiskGate
+# ---------------------------------------------------------------------------
+class TestDiskGate:
+    def test_width_bounds_concurrency(self):
+        async def run():
+            gate = DiskGate(width=2)
+            active = 0
+            peak = 0
+
+            async def reader():
+                nonlocal active, peak
+                async with gate.read(3):
+                    active += 1
+                    peak = max(peak, active)
+                    await asyncio.sleep(0.005)
+                    active -= 1
+
+            await asyncio.gather(*(reader() for _ in range(8)))
+            return peak
+
+        assert asyncio.run(run()) == 2
+
+    def test_different_disks_do_not_interfere(self):
+        async def run():
+            gate = DiskGate(width=1)
+            order = []
+
+            async def reader(disk):
+                async with gate.read(disk):
+                    order.append(disk)
+                    await asyncio.sleep(0.01)
+
+            await asyncio.wait_for(
+                asyncio.gather(*(reader(d) for d in range(6))), timeout=0.05
+            )
+            return order
+
+        assert sorted(asyncio.run(run())) == list(range(6))
+
+    def test_foreground_parks_background(self):
+        async def run():
+            gate = DiskGate(width=1)
+            log = []
+
+            async def holder():
+                async with gate.read(0):
+                    await asyncio.sleep(0.02)
+
+            async def background():
+                await asyncio.sleep(0.005)  # let fg queue first
+                async with gate.read(0, foreground=False):
+                    log.append("bg")
+
+            async def foreground():
+                await asyncio.sleep(0.001)
+                async with gate.read(0, foreground=True):
+                    log.append("fg")
+
+            await asyncio.gather(holder(), background(), foreground())
+            return log
+
+        assert asyncio.run(run()) == ["fg", "bg"]
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ConfigurationError):
+            DiskGate(width=0)
+
+
+# ---------------------------------------------------------------------------
+# AsyncShardWriter
+# ---------------------------------------------------------------------------
+class TestAsyncShardWriter:
+    def test_writes_reach_owning_shards(self, tmp_path):
+        store = ShardedChunkStore.from_root(tmp_path, num_shards=3, durable=False)
+
+        async def run():
+            writer = AsyncShardWriter(store, queue_depth=4, batch_size=2)
+            for disk in range(9):
+                await writer.put(disk, ChunkId(disk, 0),
+                                 np.full(64, disk, dtype=np.uint8))
+            await writer.close()
+
+        asyncio.run(run())
+        for disk in range(9):
+            assert store.shards[disk % 3].contains(disk, ChunkId(disk, 0))
+            assert store.get(disk, ChunkId(disk, 0))[0] == disk
+
+    def test_drain_error_surfaces_on_flush(self, tmp_path):
+        store = ShardedChunkStore.from_root(tmp_path, num_shards=2, durable=False)
+
+        def boom(items):
+            raise OSError("disk full")
+
+        store.shards[0].put_many = boom
+
+        async def run():
+            writer = AsyncShardWriter(store, batch_size=1)
+            await writer.put(0, ChunkId(0, 0), np.zeros(8, dtype=np.uint8))
+            with pytest.raises(StorageError, match="disk full"):
+                await writer.flush()
+
+        asyncio.run(run())
+
+    def test_closed_writer_refuses_puts(self, tmp_path):
+        store = ShardedChunkStore.from_root(tmp_path, num_shards=2, durable=False)
+
+        async def run():
+            writer = AsyncShardWriter(store)
+            await writer.close()
+            with pytest.raises(StorageError):
+                await writer.put(0, ChunkId(0, 0), np.zeros(8, dtype=np.uint8))
+
+        asyncio.run(run())
+
+    def test_rejects_bad_knobs(self, tmp_path):
+        store = ShardedChunkStore.from_root(tmp_path, num_shards=2, durable=False)
+        with pytest.raises(ConfigurationError):
+            AsyncShardWriter(store, queue_depth=0)
+        with pytest.raises(ConfigurationError):
+            AsyncShardWriter(store, batch_size=0)
+
+
+# ---------------------------------------------------------------------------
+# RepairService: repairs
+# ---------------------------------------------------------------------------
+class TestServiceRepair:
+    def test_single_repair_certified_and_byte_identical(self, tmp_path):
+        store = ShardedChunkStore.from_root(tmp_path, num_shards=4, durable=False)
+        server = make_server(store=store)
+        originals = originals_of(server)
+        # Capture before repair: commit_writebacks remaps the stripes onto
+        # spares, after which stripe_set(0) is empty.
+        expected_stripes = len(server.layout.stripe_set(0))
+        server.fail_disk(0)
+
+        async def run():
+            service = make_service(server)
+            result = await service.submit_repair(0).wait()
+            await service.close()
+            return result
+
+        result = asyncio.run(run())
+        assert result.certified
+        assert result.stripes == expected_stripes
+        assert result.chunks_rebuilt == result.stripes
+        assert result.exit_code == 0
+        assert_all_objects_intact(server, originals)
+
+    def test_concurrent_disjoint_repairs_overlap_modeled_time(self):
+        # Rotating placement, 12 disks, n=5: disks 0 and 6 hold disjoint
+        # stripe sets, so their repairs share no disk channels.
+        server = make_server()
+        originals = originals_of(server)
+        assert not set(server.layout.stripe_set(0)) & set(server.layout.stripe_set(6))
+        server.fail_disk(0)
+        server.fail_disk(6)
+
+        async def run():
+            service = make_service(server)
+            t0 = service.submit_repair(0)
+            t6 = service.submit_repair(6)
+            results = await asyncio.gather(t0.wait(), t6.wait())
+            makespan = service.modeled_now
+            await service.close()
+            return results, makespan
+
+        (r0, r6), makespan = asyncio.run(run())
+        assert r0.certified and r6.certified
+        # Concurrent jobs on disjoint disks overlap: the aggregate modeled
+        # makespan beats the serial sum of the two jobs.
+        assert makespan < r0.modeled_seconds + r6.modeled_seconds
+        assert_all_objects_intact(server, originals)
+
+    def test_overlapping_failures_claim_each_stripe_once(self):
+        server = make_server()
+        originals = originals_of(server)
+        # Capture before repair: after writeback the stripes no longer
+        # reference disks 0/1, so stripes_touching would come back empty.
+        touched = set(server.layout.stripes_touching([0, 1]))
+        server.fail_disk(0)
+        server.fail_disk(1)
+
+        async def run():
+            service = make_service(server)
+            t0 = service.submit_repair(0)
+            await asyncio.sleep(0.02)  # let job 0 claim its stripes
+            t1 = service.submit_repair(1)
+            return await asyncio.gather(t0.wait(), t1.wait()), service
+
+        (r0, r1), service = asyncio.run(run())
+        repaired_0 = set(r0.loss.stripes)
+        repaired_1 = set(r1.loss.stripes)
+        assert not repaired_0 & repaired_1, "a stripe was repaired twice"
+        assert repaired_0 | repaired_1 == touched
+        assert not r0.loss.has_loss and not r1.loss.has_loss
+        assert_all_objects_intact(server, originals)
+
+    def test_submit_on_healthy_disk_fails(self):
+        server = make_server()
+
+        async def run():
+            service = make_service(server)
+            with pytest.raises(StorageError, match="healthy"):
+                await service.submit_repair(0).wait()
+
+        asyncio.run(run())
+
+    def test_repair_metrics_exported(self):
+        server = make_server()
+        server.fail_disk(0)
+        registry = MetricsRegistry()
+
+        async def run():
+            service = make_service(server)
+            with use_registry(registry):
+                return await service.submit_repair(0).wait()
+
+        result = asyncio.run(run())
+        assert result.certified
+        stripes = registry.get("hdpsr_service_repair_stripes_total")
+        assert stripes is not None
+        assert stripes.labels(outcome="recovered").value == result.stripes
+
+
+# ---------------------------------------------------------------------------
+# RepairService: the foreground front door
+# ---------------------------------------------------------------------------
+class TestFrontDoor:
+    def test_healthy_read_returns_stored_bytes(self):
+        server = make_server()
+
+        async def run():
+            service = make_service(server)
+            return await service.read_chunk(0, 0)
+
+        data = asyncio.run(run())
+        assert np.array_equal(data, server.store.get(0, ChunkId(0, 0)))
+
+    def test_degraded_read_without_repair_decodes(self):
+        server = make_server()
+        stripe = server.layout[0]
+        lost_disk = stripe.disks[1]
+        expected = server.store.get(lost_disk, ChunkId(0, 1)).copy()
+        server.fail_disk(lost_disk)
+
+        async def run():
+            service = make_service(server)
+            registry = MetricsRegistry()
+            with use_registry(registry):
+                data = await service.read_chunk(0, 1)
+            return data, registry
+
+        data, registry = asyncio.run(run())
+        assert np.array_equal(data, expected)
+        assert registry.get(DEGRADED_READS).labels(source="decode").value == 1
+
+    def test_degraded_read_piggybacks_on_inflight_repair(self):
+        server = make_server()
+        originals = originals_of(server)
+        stripes_of_0 = server.layout.stripe_set(0)
+        si = stripes_of_0[0]
+        shard = server.layout[si].shard_on_disk(0)
+        expected = server.store.get(0, ChunkId(si, shard)).copy()
+        server.fail_disk(0)
+
+        async def run():
+            registry = MetricsRegistry()
+            with use_registry(registry):
+                service = make_service(server)
+                ticket = service.submit_repair(0)
+                # Wait for the job to register its piggyback futures, then
+                # read the lost chunk *while the repair is in flight*.
+                while si not in service._repair_futures:
+                    assert not ticket.done
+                    await asyncio.sleep(0.001)
+                data = await service.read_chunk(si, shard)
+                result = await ticket.wait()
+                await service.close()
+            return data, result, registry
+
+        data, result, registry = asyncio.run(run())
+        assert result.certified
+        assert np.array_equal(data, expected)
+        hits = registry.get(DEGRADED_READS).labels(source="piggyback").value
+        assert hits == 1
+        assert_all_objects_intact(server, originals)
+
+    def test_read_object_during_repair_byte_identical(self):
+        server = make_server()
+        originals = originals_of(server)
+        server.fail_disk(0)
+
+        async def run():
+            service = make_service(server)
+            ticket = service.submit_repair(0)
+            objs = {
+                si: await service.read_object(si)
+                for si in server.layout.stripe_set(0)
+            }
+            await ticket.wait()
+            await service.close()
+            return objs
+
+        objs = asyncio.run(run())
+        for si, data in objs.items():
+            assert data == originals[si], f"degraded object {si} diverged"
+
+    def test_too_many_failures_raise_insufficient_shards(self):
+        server = make_server()
+        for disk in server.layout[0].disks[:3]:  # k=3, m=2: 3 losses is fatal
+            server.fail_disk(disk)
+
+        async def run():
+            service = make_service(server)
+            with pytest.raises(InsufficientShardsError):
+                await service.read_chunk(0, 0)
+
+        asyncio.run(run())
+
+
+# ---------------------------------------------------------------------------
+# RepairService under faults
+# ---------------------------------------------------------------------------
+class TestServiceFaults:
+    def test_survivor_disk_failure_mid_repair_replans(self):
+        server = make_server()
+        originals = originals_of(server)
+        server.fail_disk(0)
+        # Fail a survivor of disk 0's stripes partway through the modeled
+        # repair; the decodes must replan onto other survivors.
+        victim = server.layout[server.layout.stripe_set(0)[0]].disks[1]
+        schedule = FaultSchedule([FaultEvent(at=1e-5, kind="disk_fail", disk=victim)])
+
+        async def run():
+            service = RepairService(
+                server, ALGORITHMS["hd-psr-ap"](), ServiceConfig(), faults=schedule
+            )
+            result = await service.submit_repair(0).wait()
+            await service.close()
+            return result
+
+        result = asyncio.run(run())
+        assert not result.loss.has_loss
+        assert result.loss.faults_injected.get("disk_fail") == 1
+        assert result.loss.replans + result.loss.fresh_restarts >= 1
+        assert_all_objects_intact(server, originals)
+
+    def test_slow_fault_with_hedging_policy(self):
+        server = make_server()
+        originals = originals_of(server)
+        server.fail_disk(0)
+        victim = server.layout[server.layout.stripe_set(0)[0]].disks[2]
+        schedule = FaultSchedule(
+            [FaultEvent(at=0.0, kind="slow", disk=victim, factor=100.0)]
+        )
+        base = server.disk(victim).transfer_time(server.config.chunk_size,
+                                                 jittered=False)
+
+        async def run():
+            service = RepairService(
+                server,
+                ALGORITHMS["hd-psr-ap"](),
+                ServiceConfig(policy=ReadPolicy(
+                    timeout_seconds=base * 2, max_retries=1, hedge=True,
+                )),
+                faults=schedule,
+            )
+            result = await service.submit_repair(0).wait()
+            await service.close()
+            return result
+
+        result = asyncio.run(run())
+        assert not result.loss.has_loss
+        assert result.loss.timeouts >= 1
+        assert result.loss.hedged_reads + result.loss.replans >= 1
+        assert_all_objects_intact(server, originals)
+
+    def test_process_crash_escapes_ticket(self, tmp_path):
+        server = make_server()
+        server.fail_disk(0)
+        schedule = FaultSchedule([FaultEvent(at=1e-5, kind="process_crash")])
+
+        async def run():
+            service = RepairService(
+                server, ALGORITHMS["hd-psr-ap"](),
+                ServiceConfig(journal_root=tmp_path / "journal",
+                              durable_journal=False),
+                faults=schedule,
+            )
+            await service.submit_repair(0).wait()
+
+        with pytest.raises(SimulatedCrash):
+            asyncio.run(run())
+        # The journal survived the crash and is resumable.
+        from repro.journal.journal import journal_exists
+
+        assert journal_exists(tmp_path / "journal" / "disk-000")
+
+    def test_resume_needs_journal_root(self):
+        server = make_server()
+        server.fail_disk(0)
+
+        async def run():
+            service = make_service(server)
+            with pytest.raises(JournalError):
+                await service.submit_repair(0, resume=True).wait()
+
+        asyncio.run(run())
+
+
+# ---------------------------------------------------------------------------
+# Crash + resume: byte-identical recovery across service incarnations
+# ---------------------------------------------------------------------------
+class TestServiceResume:
+    def test_crashed_service_resumes_byte_identical(self, tmp_path):
+        store = ShardedChunkStore.from_root(tmp_path / "store", num_shards=4,
+                                            durable=False)
+        server = make_server(store=store, seed=23)
+        originals = originals_of(server)
+        server.fail_disk(0)
+        journal_root = tmp_path / "journal"
+        schedule = FaultSchedule([FaultEvent(at=2e-5, kind="process_crash")])
+
+        async def crash_run():
+            # One stripe at a time so early stripes reach stripe_done (and
+            # are journaled) before the modeled clock hits the crash.
+            service = RepairService(
+                server, ALGORITHMS["hd-psr-ap"](),
+                ServiceConfig(journal_root=journal_root, durable_journal=False,
+                              max_concurrent_stripes=1),
+                faults=schedule,
+            )
+            await service.submit_repair(0).wait()
+
+        with pytest.raises(SimulatedCrash):
+            asyncio.run(crash_run())
+
+        # Second incarnation: same config and store, same fault schedule
+        # (the journal's resume count skips the already-fired crash).
+        store2 = ShardedChunkStore.from_root(tmp_path / "store", num_shards=4,
+                                             durable=False)
+        server2 = make_server(store=store2, seed=23)
+        server2.fail_disk(0)
+
+        async def resume_run():
+            service = RepairService(
+                server2, ALGORITHMS["hd-psr-ap"](),
+                ServiceConfig(journal_root=journal_root, durable_journal=False),
+                faults=schedule,
+            )
+            result = await service.submit_repair(0, resume=True).wait()
+            await service.close()
+            return result
+
+        result = asyncio.run(resume_run())
+        assert result.certified
+        assert result.resumed_stripes >= 1
+        assert_all_objects_intact(server2, originals)
+
+    def test_resume_refuses_mismatched_server(self, tmp_path):
+        server = make_server(seed=5)
+        server.fail_disk(0)
+        journal_root = tmp_path / "journal"
+        schedule = FaultSchedule([FaultEvent(at=2e-5, kind="process_crash")])
+
+        async def crash_run():
+            service = RepairService(
+                server, ALGORITHMS["hd-psr-ap"](),
+                ServiceConfig(journal_root=journal_root, durable_journal=False),
+                faults=schedule,
+            )
+            await service.submit_repair(0).wait()
+
+        with pytest.raises(SimulatedCrash):
+            asyncio.run(crash_run())
+
+        other = make_server(seed=99)  # different fingerprint
+        other.fail_disk(0)
+
+        async def resume_run():
+            service = RepairService(
+                other, ALGORITHMS["hd-psr-ap"](),
+                ServiceConfig(journal_root=journal_root, durable_journal=False),
+            )
+            with pytest.raises(JournalError, match="different server"):
+                await service.submit_repair(0, resume=True).wait()
+
+        asyncio.run(resume_run())
+
+    def test_journal_dirs_are_per_disk(self, tmp_path):
+        server = make_server()
+        server.fail_disk(0)
+        server.fail_disk(6)
+        journal_root = tmp_path / "journal"
+
+        async def run():
+            service = RepairService(
+                server, ALGORITHMS["hd-psr-ap"](),
+                ServiceConfig(journal_root=journal_root, durable_journal=False),
+            )
+            await asyncio.gather(
+                service.submit_repair(0).wait(),
+                service.submit_repair(6).wait(),
+            )
+            await service.close()
+
+        asyncio.run(run())
+        assert (Path(journal_root) / "disk-000").is_dir()
+        assert (Path(journal_root) / "disk-006").is_dir()
