@@ -7,6 +7,9 @@ Subcommands:
 * ``hdpsr faults``  — generate a reproducible fault-injection spec (JSON);
 * ``hdpsr observe`` — print the Observation 1-3 tables (Figures 3-4);
 * ``hdpsr trace``   — analyze captured traces: summarize / blame / diff;
+* ``hdpsr serve``   — run the asyncio repair service daemon;
+* ``hdpsr client``  — drive a repair-under-load workload against it;
+* ``hdpsr top``     — live repair/latency view of a running daemon;
 * ``hdpsr version`` — print the package version.
 
 Every stochastic element is seeded via ``--seed`` for reproducible output.
@@ -21,6 +24,7 @@ re-planning was needed, 3 when data was lost.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -674,7 +678,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro.hdss.store import ShardedChunkStore
+    from repro.obs import EventLoopMonitor
     from repro.service import RepairService, ServiceConfig, ServiceDaemon
+    from repro.service.telemetry import TelemetryServer
 
     schedule, policy = _fault_setup(args)
     store = None
@@ -695,19 +701,31 @@ def cmd_serve(args: argparse.Namespace) -> int:
         journal_root=args.journal,
         durable_journal=not args.no_fsync,
     )
+    telemetry = None
+    if args.metrics_port is not None or args.metrics_port_file:
+        telemetry = TelemetryServer(
+            host=args.host,
+            port=args.metrics_port or 0,
+            port_file=args.metrics_port_file,
+        )
 
     async def run() -> int:
         service = RepairService(
             server, ALGORITHMS[args.algorithm](), config, faults=schedule
         )
         daemon = ServiceDaemon(
-            service, host=args.host, port=args.port, port_file=args.port_file
+            service, host=args.host, port=args.port, port_file=args.port_file,
+            telemetry=telemetry, monitor=EventLoopMonitor(),
         )
         port = await daemon.start()
         print(f"hdpsr service listening on {args.host}:{port} "
               f"({len(server.layout)} stripes, store "
               f"{'sharded x' + str(args.shards) if store else 'in-memory'})",
               flush=True)
+        if telemetry is not None:
+            tport = await telemetry.start()
+            print(f"telemetry on http://{args.host}:{tport} "
+                  "(/metrics, /healthz)", flush=True)
         rc = await daemon.serve_until_stopped()
         if daemon.crashed is not None:
             print(f"service crashed: {daemon.crashed}", file=sys.stderr)
@@ -720,30 +738,37 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return asyncio.run(run())
 
 
+def _resolve_port(args: argparse.Namespace) -> Optional[int]:
+    """Resolve the daemon port from ``--port`` or (waiting on) ``--port-file``."""
+    import time as _time
+    from pathlib import Path
+
+    if args.port is not None:
+        return int(args.port)
+    if not args.port_file:
+        print(f"{args.command} needs --port or --port-file", file=sys.stderr)
+        return None
+    deadline = _time.monotonic() + args.connect_timeout
+    path = Path(args.port_file)
+    while True:
+        if path.exists() and path.read_text().strip():
+            return int(path.read_text().strip())
+        if _time.monotonic() > deadline:
+            print(f"timed out waiting for port file {path}", file=sys.stderr)
+            return None
+        _time.sleep(0.05)
+
+
 def cmd_client(args: argparse.Namespace) -> int:
     """Drive a repair-under-load workload against ``hdpsr serve``."""
     import asyncio
     import json
-    import time as _time
-    from pathlib import Path
 
     from repro.service import run_workload
 
-    port = args.port
+    port = _resolve_port(args)
     if port is None:
-        if not args.port_file:
-            print("client needs --port or --port-file", file=sys.stderr)
-            return 2
-        deadline = _time.monotonic() + args.connect_timeout
-        path = Path(args.port_file)
-        while True:
-            if path.exists() and path.read_text().strip():
-                port = int(path.read_text().strip())
-                break
-            if _time.monotonic() > deadline:
-                print(f"timed out waiting for port file {path}", file=sys.stderr)
-                return 2
-            _time.sleep(0.05)
+        return 2
     disks = args.fail if args.fail else [0]
     report = asyncio.run(run_workload(
         args.host, port,
@@ -770,10 +795,136 @@ def cmd_client(args: argparse.Namespace) -> int:
         print(f"foreground reads: {report['reads']}  "
               f"p50 {report['read_p50_seconds'] * 1e3:.2f} ms  "
               f"p99 {report['read_p99_seconds'] * 1e3:.2f} ms")
+        print(f"trace id: {report['trace_id']} (grep the daemon's --trace "
+              "export for the server-side spans)")
         if report["read_errors"]:
             print(f"read errors: {len(report['read_errors'])} "
                   f"(first: {report['read_errors'][0]})", file=sys.stderr)
     return int(report["exit_code"])
+
+
+def _render_top(stats: dict) -> str:
+    """One ``hdpsr top`` frame from a daemon ``stats`` snapshot."""
+    lines: List[str] = []
+    jobs = stats.get("jobs", [])
+    if jobs:
+        table = AsciiTable(
+            ["job", "disk", "algorithm", "stripes", "%", "eta s",
+             "replans", "cksum", "state"],
+            title="repair jobs",
+        )
+        for job in jobs:
+            total = job.get("stripes_total", 0)
+            done = job.get("stripes_done", 0)
+            pct = f"{100.0 * done / total:.1f}" if total else "-"
+            eta = job.get("eta_seconds")
+            table.add_row([
+                job.get("job_id"), job.get("disk"), job.get("algorithm"),
+                f"{done}/{total}", pct,
+                "-" if eta is None else f"{eta:.1f}",
+                job.get("replans", 0), job.get("checksum_failures", 0),
+                "done" if job.get("done") else "running",
+            ])
+        lines.append(table.render())
+    else:
+        lines.append("no repair jobs submitted yet")
+    foreground = stats.get("foreground", {})
+    if foreground:
+        table = AsciiTable(
+            ["path", "reads", "p50 ms", "p99 ms", "p999 ms"],
+            title="foreground read latency",
+        )
+        for path in sorted(foreground):
+            entry = foreground[path]
+
+            def ms(key: str) -> str:
+                value = entry.get(key)
+                return "-" if value is None else f"{value * 1e3:.2f}"
+
+            table.add_row([path, int(entry.get("count", 0)),
+                           ms("p50"), ms("p99"), ms("p999")])
+        lines.append(table.render())
+    gates = stats.get("gates", {})
+    busy = {d: g for d, g in gates.items()
+            if g.get("inflight") or g.get("waiting_foreground")
+            or g.get("waiting_background")}
+    if busy:
+        table = AsciiTable(
+            ["disk", "inflight", "width", "fg waiting", "bg waiting"],
+            title="disk gates (active only)",
+        )
+        for disk in sorted(busy, key=int):
+            g = busy[disk]
+            table.add_row([disk, g.get("inflight", 0), g.get("width", 0),
+                           g.get("waiting_foreground", 0),
+                           g.get("waiting_background", 0)])
+        lines.append(table.render())
+    journal = stats.get("journal", {})
+    runtime = stats.get("runtime") or {}
+    tail = (f"writer backlog {stats.get('writer_backlog', 0)}  "
+            f"chunks enqueued {stats.get('chunks_enqueued', 0)}  "
+            f"journal {format_bytes(journal.get('bytes', 0))} "
+            f"in {int(journal.get('records', 0))} records")
+    if runtime:
+        lag = runtime.get("loop_lag_last_seconds", 0.0)
+        lag99 = runtime.get("loop_lag_p99_seconds")
+        tail += f"  loop lag {lag * 1e3:.2f} ms"
+        if lag99 is not None:
+            tail += f" (p99 {lag99 * 1e3:.2f} ms)"
+    lines.append(tail)
+    failed = stats.get("failed", [])
+    if failed:
+        lines.append(f"failed disks: {', '.join(str(d) for d in failed)}")
+    return "\n".join(lines)
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live terminal view of a running daemon (``hdpsr top``)."""
+    import asyncio
+    import json
+    import time as _time
+
+    from repro.service import ServiceClient, ServiceError
+
+    port = _resolve_port(args)
+    if port is None:
+        return 2
+
+    async def fetch() -> dict:
+        client = await ServiceClient.connect(args.host, port)
+        try:
+            return await client.stats()
+        finally:
+            await client.close()
+
+    try:
+        while True:
+            try:
+                stats = asyncio.run(fetch())
+            except (ServiceError, OSError) as exc:
+                print(f"cannot scrape daemon at {args.host}:{port}: {exc}",
+                      file=sys.stderr)
+                return 1
+            stats.pop("ok", None)
+            if args.json:
+                print(json.dumps(stats, indent=2, sort_keys=True))
+            else:
+                if not args.once:
+                    # clear screen + home, like top(1)
+                    print("\x1b[2J\x1b[H", end="")
+                print(_render_top(stats), flush=True)
+            if args.once:
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    except BrokenPipeError:
+        # `hdpsr top --once | head` closing the pipe is a clean exit, not
+        # a traceback. Detach stdout so interpreter shutdown doesn't retry
+        # the flush on the broken descriptor.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 def cmd_version(args: argparse.Namespace) -> int:
@@ -931,8 +1082,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="concurrent reads allowed per disk")
     p_serve.add_argument("--no-fsync", action="store_true",
                          help="skip fsync in store and journal (tests/CI)")
+    p_serve.add_argument("--metrics-port", type=int, default=None,
+                         help="serve HTTP /metrics + /healthz on this port "
+                              "(0 = ephemeral; see --metrics-port-file)")
+    p_serve.add_argument("--metrics-port-file", default=None, metavar="FILE",
+                         help="write the bound telemetry port here (implies "
+                              "an ephemeral --metrics-port)")
     _add_fault_args(p_serve)
-    p_serve.set_defaults(func=cmd_serve)
+    _add_observability_args(p_serve)
+    p_serve.set_defaults(func=_observed(cmd_serve))
 
     p_client = sub.add_parser(
         "client",
@@ -957,7 +1115,25 @@ def build_parser() -> argparse.ArgumentParser:
                           help="stop the daemon after the workload")
     p_client.add_argument("--json", action="store_true",
                           help="print the report as JSON")
-    p_client.set_defaults(func=cmd_client)
+    _add_observability_args(p_client)
+    p_client.set_defaults(func=_observed(cmd_client))
+
+    p_top = sub.add_parser(
+        "top",
+        help="live repair-progress / latency view of a running daemon")
+    p_top.add_argument("--host", default="127.0.0.1")
+    p_top.add_argument("--port", type=int, default=None)
+    p_top.add_argument("--port-file", default=None, metavar="FILE",
+                       help="read the daemon port from this file (waits for it)")
+    p_top.add_argument("--connect-timeout", type=float, default=10.0,
+                       help="seconds to wait for --port-file to appear")
+    p_top.add_argument("--interval", type=float, default=1.0,
+                       help="refresh period in seconds")
+    p_top.add_argument("--once", action="store_true",
+                       help="print one frame and exit (scripts/CI)")
+    p_top.add_argument("--json", action="store_true",
+                       help="emit the raw stats snapshot as JSON")
+    p_top.set_defaults(func=cmd_top)
 
     p_ver = sub.add_parser("version", help="print the package version")
     p_ver.set_defaults(func=cmd_version)

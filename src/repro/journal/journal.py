@@ -43,6 +43,13 @@ from repro.journal.wal import WALReader, WALRecord, WALWriter, list_segments
 #: Journal-format version; bump on incompatible record-schema changes.
 FORMAT_VERSION = 1
 
+#: Counter: records appended to the repair journal, labelled by type.
+JOURNAL_RECORDS = "hdpsr_journal_records_total"
+#: Counter: fsync'd journal commits.
+JOURNAL_COMMITS = "hdpsr_journal_commits_total"
+#: Counter: bytes appended to the repair journal.
+JOURNAL_BYTES = "hdpsr_journal_bytes_total"
+
 
 def _counter(name: str, help_text: str):
     from repro.obs.context import current_registry
@@ -111,14 +118,11 @@ class RepairJournal:
         self._writer.append(record)
         self._writer.commit()
         _counter(
-            "hdpsr_journal_records_total",
-            "Records appended to the repair journal",
+            JOURNAL_RECORDS, "Records appended to the repair journal"
         ).labels(type=record.type).inc()
+        _counter(JOURNAL_COMMITS, "fsync'd journal commits").inc()
         _counter(
-            "hdpsr_journal_commits_total", "fsync'd journal commits"
-        ).inc()
-        _counter(
-            "hdpsr_journal_bytes_total", "Bytes appended to the repair journal"
+            JOURNAL_BYTES, "Bytes appended to the repair journal"
         ).inc(sum(len(b) for b in record.blobs.values()))
         _instant(f"journal.{record.type}", **{
             k: v for k, v in record.meta.items()

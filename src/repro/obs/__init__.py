@@ -34,8 +34,11 @@ from repro.obs.analysis import (
 )
 from repro.obs.context import (
     current_registry,
+    current_span,
     current_tracer,
+    new_span_context,
     use_registry,
+    use_span,
     use_tracer,
 )
 from repro.obs.exporters import (
@@ -61,11 +64,13 @@ from repro.obs.metrics import (
 )
 from repro.obs.profiling import ProfileRecord, profile, profiled
 from repro.obs.quantiles import DEFAULT_QUANTILES, P2Quantile, QuantileSketch
+from repro.obs.runtime import EventLoopMonitor
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
     OffsetTracer,
     RecordingTracer,
+    SpanContext,
     TraceEvent,
     Tracer,
 )
@@ -78,6 +83,9 @@ __all__ = [
     "NULL_TRACER",
     "RecordingTracer",
     "OffsetTracer",
+    "SpanContext",
+    # runtime
+    "EventLoopMonitor",
     # metrics
     "Counter",
     "Gauge",
@@ -119,6 +127,9 @@ __all__ = [
     # context
     "current_tracer",
     "current_registry",
+    "current_span",
+    "new_span_context",
     "use_tracer",
     "use_registry",
+    "use_span",
 ]

@@ -1,4 +1,4 @@
-"""Trace/metrics context threading.
+"""Trace/metrics context threading, plus request-scoped span propagation.
 
 Call sites deep in the stack (the plan executors, the data path, the
 wall-clock workers) fetch their tracer and registry from here instead of
@@ -16,6 +16,16 @@ scope do **not** inherit the context variable automatically — thread-using
 call sites (:mod:`repro.io.wallclock`) capture ``current_tracer()`` once
 on the submitting thread and pass it down explicitly.
 
+**Span propagation.** A :class:`SpanContext` identifies one request
+(``trace_id``) and one position in its call tree (``span_id`` /
+``parent_id``). ``hdpsr client`` mints a context per call, carries it over
+the wire, and the daemon re-installs it with :func:`use_span`; every span
+the :class:`~repro.obs.tracer.RecordingTracer` emits inside that scope is
+stamped with the ids and nests as a child, so a single slow read can be
+followed from the client socket down to the decode that served it.
+Asyncio tasks inherit the contextvar at creation, so spans of repair
+stripes submitted inside a request scope connect automatically.
+
 Defaults: :data:`~repro.obs.tracer.NULL_TRACER` and the process-wide
 :func:`~repro.obs.metrics.default_registry`.
 """
@@ -27,7 +37,14 @@ from contextlib import contextmanager
 from typing import Iterator
 
 from repro.obs.metrics import MetricsRegistry, default_registry
-from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.obs.tracer import (  # noqa: F401  (re-exported)
+    NULL_TRACER,
+    SpanContext,
+    Tracer,
+    current_span,
+    new_span_context,
+    use_span,
+)
 
 _tracer_var: contextvars.ContextVar[Tracer] = contextvars.ContextVar(
     "repro_obs_tracer", default=NULL_TRACER

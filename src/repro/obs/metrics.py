@@ -14,7 +14,12 @@ and count. :data:`DEFAULT_TIME_BUCKETS` suits repair-scale durations
 (milliseconds to tens of minutes).
 
 Everything is thread-safe; increments take one lock, which is negligible
-next to the NumPy work they meter.
+next to the NumPy work they meter. Metrics created through a
+:class:`MetricsRegistry` (and every labelled child they fan out into)
+share the registry's single re-entrant lock, so label-child creation,
+P² summary updates, and :meth:`MetricsRegistry.snapshot` are safe when
+hammered from concurrent asyncio tasks and ``to_thread`` workers alike —
+no torn reads between a child being inserted and its first increment.
 """
 
 from __future__ import annotations
@@ -40,16 +45,21 @@ def _label_key(labels: Dict[str, str]) -> LabelKey:
 
 
 class Metric:
-    """Common base: name, help text, labelled children."""
+    """Common base: name, help text, labelled children.
+
+    ``lock`` shares a caller's lock (the owning registry passes its own
+    single re-entrant lock); standalone metrics get a private one.
+    """
 
     kind = "untyped"
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(self, name: str, help: str = "",
+                 lock: Optional["threading.RLock"] = None) -> None:
         if not name or not name.replace("_", "").replace(":", "").isalnum():
             raise ConfigurationError(f"invalid metric name {name!r}")
         self.name = name
         self.help = help
-        self._lock = threading.Lock()
+        self._lock = lock if lock is not None else threading.RLock()
         self._children: Dict[LabelKey, "Metric"] = {}
 
     def labels(self, **labels: str) -> "Metric":
@@ -88,12 +98,13 @@ class Counter(Metric):
 
     kind = "counter"
 
-    def __init__(self, name: str, help: str = "") -> None:
-        super().__init__(name, help)
+    def __init__(self, name: str, help: str = "",
+                 lock: Optional["threading.RLock"] = None) -> None:
+        super().__init__(name, help, lock=lock)
         self._value = 0.0
 
     def _new_child(self) -> "Counter":
-        return Counter(self.name, self.help)
+        return Counter(self.name, self.help, lock=self._lock)
 
     def _touched(self) -> bool:
         return self._value != 0.0
@@ -114,12 +125,13 @@ class Gauge(Metric):
 
     kind = "gauge"
 
-    def __init__(self, name: str, help: str = "") -> None:
-        super().__init__(name, help)
+    def __init__(self, name: str, help: str = "",
+                 lock: Optional["threading.RLock"] = None) -> None:
+        super().__init__(name, help, lock=lock)
         self._value = 0.0
 
     def _new_child(self) -> "Gauge":
-        return Gauge(self.name, self.help)
+        return Gauge(self.name, self.help, lock=self._lock)
 
     def _touched(self) -> bool:
         return self._value != 0.0
@@ -151,8 +163,9 @@ class Histogram(Metric):
     kind = "histogram"
 
     def __init__(self, name: str, help: str = "",
-                 buckets: Sequence[float] = DEFAULT_TIME_BUCKETS) -> None:
-        super().__init__(name, help)
+                 buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+                 lock: Optional["threading.RLock"] = None) -> None:
+        super().__init__(name, help, lock=lock)
         edges = [float(b) for b in buckets]
         if not edges or any(nxt <= prev for nxt, prev in zip(edges[1:], edges)):
             raise ConfigurationError(
@@ -165,7 +178,7 @@ class Histogram(Metric):
         self._count = 0
 
     def _new_child(self) -> "Histogram":
-        return Histogram(self.name, self.help, self.buckets)
+        return Histogram(self.name, self.help, self.buckets, lock=self._lock)
 
     def _touched(self) -> bool:
         return self._count > 0
@@ -212,12 +225,14 @@ class Summary(Metric):
     kind = "summary"
 
     def __init__(self, name: str, help: str = "",
-                 quantiles: Sequence[float] = DEFAULT_QUANTILES) -> None:
-        super().__init__(name, help)
+                 quantiles: Sequence[float] = DEFAULT_QUANTILES,
+                 lock: Optional["threading.RLock"] = None) -> None:
+        super().__init__(name, help, lock=lock)
         self._sketch = QuantileSketch(quantiles)
 
     def _new_child(self) -> "Summary":
-        return Summary(self.name, self.help, self._sketch.targets)
+        return Summary(self.name, self.help, self._sketch.targets,
+                       lock=self._lock)
 
     def _touched(self) -> bool:
         return self._sketch.count > 0
@@ -245,10 +260,16 @@ class Summary(Metric):
 
 
 class MetricsRegistry:
-    """Named metric store; get-or-create accessors are idempotent."""
+    """Named metric store; get-or-create accessors are idempotent.
+
+    One re-entrant lock guards the name table, every metric it creates,
+    and every labelled child those metrics fan into, so registration,
+    updates and :meth:`snapshot` serialize against each other without
+    lock-ordering hazards.
+    """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = threading.RLock()
         self._metrics: Dict[str, Metric] = {}
 
     def _get_or_create(self, cls, name: str, help: str, **kwargs) -> Metric:
@@ -260,7 +281,7 @@ class MetricsRegistry:
                         f"metric {name!r} already registered as {existing.kind}"
                     )
                 return existing
-            metric = cls(name, help, **kwargs)
+            metric = cls(name, help, lock=self._lock, **kwargs)
             self._metrics[name] = metric
             return metric
 

@@ -16,19 +16,97 @@ instrumented call sites guard hot loops with ``tracer.enabled`` so the
 disabled path costs one attribute read. :class:`RecordingTracer` collects
 events in memory (thread-safe, globally sequenced) for export via
 :mod:`repro.obs.exporters`.
+
+**Request tracing.** When a :class:`SpanContext` is installed (see
+:func:`use_span`), every event a :class:`RecordingTracer` emits is stamped
+with ``trace_id``/``span_id`` (and ``parent_id``) in its args, and nested
+``span()`` blocks mint child contexts — so one client request's path
+through the daemon exports as a connected span tree, greppable by
+``trace_id`` in JSONL and visible in the Chrome trace's args.
 """
 
 from __future__ import annotations
 
+import contextvars
 import threading
 import time
+import uuid
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
 
 #: Conventional span/instant categories used by the built-in call sites.
 CATEGORIES = ("read", "decode", "round", "stripe", "writeback", "wait",
-              "phase", "profile", "slot", "plan")
+              "phase", "profile", "slot", "plan", "request")
+
+
+def _new_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """Identity of one span inside one request trace.
+
+    Attributes:
+        trace_id: id shared by every span of one request (16 hex chars).
+        span_id: this span's own id.
+        parent_id: the enclosing span's id; ``None`` for a trace root.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str] = None
+
+    def child(self) -> "SpanContext":
+        """A fresh child context: same trace, new span, parented here."""
+        return SpanContext(
+            trace_id=self.trace_id, span_id=_new_id(), parent_id=self.span_id
+        )
+
+    def to_wire(self) -> Dict[str, str]:
+        """The JSON-safe form carried in protocol messages."""
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_wire(cls, fields: object) -> Optional["SpanContext"]:
+        """Rebuild a context from a wire dict; None when absent/malformed."""
+        if not isinstance(fields, dict):
+            return None
+        trace_id = fields.get("trace_id")
+        span_id = fields.get("span_id")
+        if not isinstance(trace_id, str) or not isinstance(span_id, str):
+            return None
+        return cls(trace_id=trace_id, span_id=span_id)
+
+
+def new_span_context(trace_id: Optional[str] = None) -> SpanContext:
+    """Mint a root span context (new ``trace_id`` unless given)."""
+    return SpanContext(trace_id=trace_id or _new_id(), span_id=_new_id())
+
+
+_span_var: contextvars.ContextVar[Optional[SpanContext]] = contextvars.ContextVar(
+    "repro_obs_span", default=None
+)
+
+
+def current_span() -> Optional[SpanContext]:
+    """The span context in scope, or None outside any traced request."""
+    return _span_var.get()
+
+
+@contextmanager
+def use_span(ctx: Optional[SpanContext]) -> Iterator[Optional[SpanContext]]:
+    """Install ``ctx`` as the current span context for the ``with`` body.
+
+    Asyncio tasks created inside the scope inherit it, so spans emitted
+    by a repair submitted during a traced request stay connected to it.
+    """
+    token = _span_var.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _span_var.reset(token)
 
 
 @dataclass(frozen=True)
@@ -154,6 +232,18 @@ class RecordingTracer(Tracer):
             self._seq += 1
             self.events.append(event)
 
+    @staticmethod
+    def _stamp(args: Dict[str, Any], ctx: Optional[SpanContext]) -> Dict[str, Any]:
+        """Merge a span context's ids into an event's args."""
+        if ctx is None:
+            return args
+        stamped = dict(args)
+        stamped["trace_id"] = ctx.trace_id
+        stamped["span_id"] = ctx.span_id
+        if ctx.parent_id is not None:
+            stamped["parent_id"] = ctx.parent_id
+        return stamped
+
     @contextmanager
     def span(self, category: str, name: str, track: str = "main",
              **args: Any) -> Iterator[None]:
@@ -161,24 +251,32 @@ class RecordingTracer(Tracer):
         with self._lock:
             depth = self._depths.get(key, 0)
             self._depths[key] = depth + 1
+        parent = current_span()
+        ctx = parent.child() if parent is not None else None
+        token = _span_var.set(ctx) if ctx is not None else None
         start = self._clock()
         try:
             yield
         finally:
             duration = self._clock() - start
+            if token is not None:
+                _span_var.reset(token)
             with self._lock:
                 self._depths[key] = depth
             self._emit(TraceEvent(
                 name=name, category=category, ts=start, duration=duration,
-                track=track, domain="wall", depth=depth, args=args,
+                track=track, domain="wall", depth=depth,
+                args=self._stamp(args, ctx),
             ))
 
     def complete(self, category: str, name: str, start: float,
                  duration: float, track: str = "main", domain: str = "sim",
                  **args: Any) -> None:
+        parent = current_span()
+        ctx = parent.child() if parent is not None else None
         self._emit(TraceEvent(
             name=name, category=category, ts=start, duration=duration,
-            track=track, domain=domain, args=args,
+            track=track, domain=domain, args=self._stamp(args, ctx),
         ))
 
     def instant(self, category: str, name: str, ts: Optional[float] = None,
@@ -187,7 +285,8 @@ class RecordingTracer(Tracer):
         self._emit(TraceEvent(
             name=name, category=category,
             ts=self._clock() if ts is None else ts,
-            track=track, domain=domain, args=args,
+            track=track, domain=domain,
+            args=self._stamp(args, current_span()),
         ))
 
     # ------------------------------------------------------------- queries
@@ -200,6 +299,10 @@ class RecordingTracer(Tracer):
         """Instant events, emission-ordered, optionally filtered."""
         return [e for e in self.events
                 if not e.is_span and (category is None or e.category == category)]
+
+    def for_trace(self, trace_id: str) -> List[TraceEvent]:
+        """Every event stamped with ``trace_id`` (one request's span tree)."""
+        return [e for e in self.events if e.args.get("trace_id") == trace_id]
 
     def clear(self) -> None:
         with self._lock:

@@ -10,9 +10,12 @@ client reads while disks rebuild:
   front of a :class:`~repro.hdss.store.ShardedChunkStore`;
 * :mod:`repro.service.service` — :class:`RepairService`: the repair
   supervisor plus the ``submit_repair`` / ``read_chunk`` front door;
-* :mod:`repro.service.protocol` — JSON-lines wire protocol;
+* :mod:`repro.service.protocol` — JSON-lines wire protocol (with
+  request-scoped trace propagation);
 * :mod:`repro.service.netserver` / :mod:`repro.service.client` — the
-  ``hdpsr serve`` daemon and ``hdpsr client`` workload driver.
+  ``hdpsr serve`` daemon and ``hdpsr client`` workload driver;
+* :mod:`repro.service.telemetry` — the live scrape surface: the ``stats``
+  snapshot builder and the HTTP ``/metrics`` + ``/healthz`` listener.
 """
 
 from repro.service.admission import DiskGate
@@ -25,6 +28,7 @@ from repro.service.service import (
     ServiceRepairResult,
 )
 from repro.service.sharding import AsyncShardWriter
+from repro.service.telemetry import TelemetryServer, stats_snapshot
 
 __all__ = [
     "AsyncShardWriter",
@@ -36,5 +40,7 @@ __all__ = [
     "ServiceDaemon",
     "ServiceError",
     "ServiceRepairResult",
+    "TelemetryServer",
     "run_workload",
+    "stats_snapshot",
 ]

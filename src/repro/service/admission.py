@@ -10,7 +10,13 @@ not taxed by the rebuild.
 
 Admission wait is recorded per priority class into the ambient metrics
 registry (``hdpsr_service_admission_wait_seconds``), which is how the
-benchmark suite shows what repair pressure does to the front door.
+benchmark suite shows what repair pressure does to the front door. The
+gate is also a live scrape surface: per-disk occupancy and queue-depth
+gauges (``hdpsr_service_gate_inflight`` / ``hdpsr_service_gate_waiting``)
+update as reads enter and leave, :meth:`DiskGate.depths` snapshots them
+for the ``stats`` verb, and — when a tracer is recording — every admission
+wait emits a ``wait`` span stamped with the requesting span context, so a
+slow client read shows *which disk's* gate it queued on and for how long.
 """
 
 from __future__ import annotations
@@ -21,10 +27,14 @@ import time
 from typing import AsyncIterator, Dict
 
 from repro.errors import ConfigurationError
-from repro.obs.context import current_registry
+from repro.obs.context import current_registry, current_tracer
 
 #: Histogram of seconds spent waiting for a read slot, labelled by priority.
 ADMISSION_WAIT = "hdpsr_service_admission_wait_seconds"
+#: Gauge: reads currently holding a slot, per disk.
+GATE_INFLIGHT = "hdpsr_service_gate_inflight"
+#: Gauge: reads currently queued for a slot, per disk and priority.
+GATE_WAITING = "hdpsr_service_gate_waiting"
 
 
 class DiskGate:
@@ -39,7 +49,12 @@ class DiskGate:
             raise ConfigurationError(f"gate width must be >= 1, got {width}")
         self.width = width
         self._sems: Dict[int, asyncio.Semaphore] = {}
-        #: Foreground reads currently waiting, per disk.
+        #: Reads currently holding a slot, per disk.
+        self._inflight: Dict[int, int] = {}
+        #: Reads currently queued, per (disk, foreground?).
+        self._waiting: Dict[int, int] = {}
+        self._bg_waiting: Dict[int, int] = {}
+        #: Foreground reads currently waiting, per disk (priority rule).
         self._fg_waiting: Dict[int, int] = {}
         #: Set when a disk has no foreground waiters (background may enter).
         self._fg_clear: Dict[int, asyncio.Event] = {}
@@ -61,6 +76,38 @@ class DiskGate:
         """Foreground reads currently queued on ``disk_id``."""
         return self._fg_waiting.get(disk_id, 0)
 
+    def inflight(self, disk_id: int) -> int:
+        """Reads currently holding a slot on ``disk_id``."""
+        return self._inflight.get(disk_id, 0)
+
+    def depths(self) -> Dict[int, Dict[str, int]]:
+        """Live per-disk gate state for the ``stats`` verb / ``hdpsr top``.
+
+        Only disks that have ever seen a read appear; each entry reports
+        slot occupancy and queued readers by priority class.
+        """
+        disks = set(self._sems)
+        out: Dict[int, Dict[str, int]] = {}
+        for disk_id in sorted(disks):
+            out[disk_id] = {
+                "width": self.width,
+                "inflight": self._inflight.get(disk_id, 0),
+                "waiting_foreground": self._fg_waiting.get(disk_id, 0),
+                "waiting_background": self._bg_waiting.get(disk_id, 0),
+            }
+        return out
+
+    def _waiting_gauge(self, disk_id: int, foreground: bool):
+        return current_registry().gauge(
+            GATE_WAITING, "reads queued for a per-disk slot"
+        ).labels(disk=str(disk_id),
+                 priority="foreground" if foreground else "background")
+
+    def _inflight_gauge(self, disk_id: int):
+        return current_registry().gauge(
+            GATE_INFLIGHT, "reads holding a per-disk slot"
+        ).labels(disk=str(disk_id))
+
     @contextlib.asynccontextmanager
     async def read(
         self, disk_id: int, foreground: bool = False
@@ -68,7 +115,9 @@ class DiskGate:
         """Hold one read slot on ``disk_id`` for the body of the block."""
         sem = self._sem(disk_id)
         event = self._clear_event(disk_id)
+        waiting_gauge = self._waiting_gauge(disk_id, foreground)
         started = time.monotonic()
+        waiting_gauge.inc()
         if foreground:
             self._fg_waiting[disk_id] = self._fg_waiting.get(disk_id, 0) + 1
             event.clear()
@@ -78,18 +127,35 @@ class DiskGate:
                 self._fg_waiting[disk_id] -= 1
                 if self._fg_waiting[disk_id] == 0:
                     event.set()
+                waiting_gauge.dec()
         else:
-            # Background defers to any queued foreground read: wait for the
-            # disk's foreground queue to drain before competing for a slot.
-            while not event.is_set():
-                await event.wait()
-            await sem.acquire()
+            self._bg_waiting[disk_id] = self._bg_waiting.get(disk_id, 0) + 1
+            try:
+                # Background defers to any queued foreground read: wait for
+                # the disk's foreground queue to drain before competing.
+                while not event.is_set():
+                    await event.wait()
+                await sem.acquire()
+            finally:
+                self._bg_waiting[disk_id] -= 1
+                waiting_gauge.dec()
+        waited = time.monotonic() - started
+        priority = "foreground" if foreground else "background"
         current_registry().histogram(
             ADMISSION_WAIT, "seconds a read waited for a per-disk slot"
-        ).labels(priority="foreground" if foreground else "background").observe(
-            time.monotonic() - started
-        )
+        ).labels(priority=priority).observe(waited)
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.complete(
+                "wait", f"gate:disk-{disk_id}", started, waited,
+                track="gate", domain="wall", disk=disk_id, priority=priority,
+            )
+        self._inflight[disk_id] = self._inflight.get(disk_id, 0) + 1
+        inflight_gauge = self._inflight_gauge(disk_id)
+        inflight_gauge.inc()
         try:
             yield
         finally:
+            self._inflight[disk_id] -= 1
+            inflight_gauge.dec()
             sem.release()

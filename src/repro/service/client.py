@@ -8,6 +8,12 @@ connections, measuring *wall-clock* user latency into a
 :class:`~repro.obs.quantiles.QuantileSketch`. The report carries repair
 summaries plus foreground p50/p99, which is the paper-style "user latency
 during recovery" number the service exists to protect.
+
+Every request minted by :meth:`ServiceClient.call` carries the ambient
+span context on the wire (``trace``): install one with
+:func:`~repro.obs.context.use_span` — or let :func:`run_workload` mint a
+fresh ``trace_id`` per episode — and the daemon's exported trace shows the
+server-side anatomy of each client call, correlated by ``trace_id``.
 """
 
 from __future__ import annotations
@@ -18,7 +24,9 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ReproError
 from repro.faults.report import EXIT_CRASHED
+from repro.obs.context import current_span, current_tracer, use_span
 from repro.obs.quantiles import QuantileSketch
+from repro.obs.tracer import new_span_context
 from repro.service import protocol
 from repro.service.protocol import MAX_MESSAGE_BYTES
 from repro.utils.rng import make_rng
@@ -50,13 +58,34 @@ class ServiceClient:
         return cls(reader, writer)
 
     async def call(self, op: str, **fields) -> dict:
-        """One request/response round trip (serialized per connection)."""
+        """One request/response round trip (serialized per connection).
+
+        When a span context is installed (:func:`use_span`), a per-call
+        child span is minted and sent as the request's ``trace`` field —
+        the daemon re-installs it, so its spans parent onto this call.
+        """
         msg = {"op": op}
         msg.update(fields)
-        async with self._lock:
-            self._writer.write(protocol.encode_message(msg))
-            await self._writer.drain()
-            reply = await protocol.read_message(self._reader)
+        ctx = current_span()
+        if ctx is not None:
+            call_ctx = ctx.child()
+            msg.setdefault("trace", call_ctx.to_wire())
+            tracer = current_tracer()
+            if tracer.enabled:
+                # Mark the client side of the call under the *call* context
+                # so the marker and the daemon's request span share lineage.
+                with use_span(call_ctx):
+                    tracer.instant("request", f"call:{op}", op=op)
+        try:
+            async with self._lock:
+                self._writer.write(protocol.encode_message(msg))
+                await self._writer.drain()
+                reply = await protocol.read_message(self._reader)
+        except (ConnectionResetError, BrokenPipeError):
+            # A dying daemon may RST instead of FIN; same meaning here.
+            raise ServiceError(
+                f"connection lost during {op!r}", crashed=True
+            ) from None
         if reply is None:
             raise ServiceError(f"connection closed during {op!r}", crashed=True)
         if not reply.get("ok", False):
@@ -65,6 +94,15 @@ class ServiceClient:
                 crashed=bool(reply.get("crashed", False)),
             )
         return reply
+
+    async def stats(self) -> dict:
+        """Live telemetry snapshot (see :func:`repro.service.telemetry.stats_snapshot`)."""
+        return await self.call("stats")
+
+    async def metrics_text(self) -> str:
+        """The daemon's registry as Prometheus text exposition."""
+        reply = await self.call("metrics")
+        return str(reply["metrics_text"])
 
     async def read_chunk(self, stripe: int, shard: int) -> bytes:
         reply = await self.call("read", stripe=stripe, shard=shard)
@@ -102,7 +140,33 @@ async def run_workload(
     finally waits for every repair. The report's ``exit_code`` is the max
     over repair outcomes (0 clean / 3 data loss), so callers can exit with
     it directly.
+
+    The whole episode runs under one freshly minted trace root (unless the
+    caller already installed a span context), and the report carries its
+    ``trace_id`` — scrape the daemon's trace export and grep for it.
     """
+    root = current_span() or new_span_context()
+    with use_span(root):
+        return await _run_workload(
+            root.trace_id, host, port, disks=disks, reads=reads,
+            read_concurrency=read_concurrency, seed=seed, resume=resume,
+            fail=fail, shutdown=shutdown,
+        )
+
+
+async def _run_workload(
+    trace_id: str,
+    host: str,
+    port: int,
+    *,
+    disks: Sequence[int],
+    reads: int,
+    read_concurrency: int,
+    seed: int,
+    resume: bool,
+    fail: bool,
+    shutdown: bool,
+) -> dict:
     control = await ServiceClient.connect(host, port)
     try:
         hello = await control.call("ping")
@@ -175,8 +239,10 @@ async def run_workload(
             else max((int(s.get("exit_code", 0)) for s in summaries), default=0)
         )
         report: Dict[str, object] = {
+            "trace_id": trace_id,
             "repairs": [
-                {k: v for k, v in s.items() if k != "ok"} for s in summaries
+                {k: v for k, v in s.items() if k not in ("ok", "trace_id")}
+                for s in summaries
             ],
             "crashed": crashed,
             "reads": latencies.count,

@@ -5,12 +5,29 @@ and speaks the JSON-lines protocol of :mod:`repro.service.protocol` on a
 TCP listener. Clients fail disks, submit repairs, and read chunks/objects
 through the front door while repairs run.
 
+The daemon is also the scrape plane: ``stats`` returns the structured
+telemetry snapshot of :func:`~repro.service.telemetry.stats_snapshot`,
+``metrics`` returns the registry as Prometheus text over the same socket,
+and an optional :class:`~repro.service.telemetry.TelemetryServer` serves
+the HTTP twins (``/metrics``, ``/healthz`` — readiness flips on inside
+:meth:`serve_until_stopped` and off again when draining). Requests that
+carry a ``trace`` context are dispatched under it, so everything a request
+touches — gate waits, survivor reads, decodes, piggybacks — exports as one
+connected span tree stamped with the client's ``trace_id``.
+
 Crash semantics mirror the CLI's journaled repairs: a scripted
 ``process_crash`` fault kills the whole daemon — the process exits with
 :data:`~repro.faults.report.EXIT_CRASHED` (4) — and restarting it with
 ``--resume`` replays every journaled repair byte-for-byte. A clean
 ``shutdown`` exits 0, or :data:`~repro.faults.report.EXIT_DATA_LOSS` (3)
 when any finished repair lost stripes.
+
+Malformed wire input is answered, not swallowed: a recoverable
+:class:`~repro.service.protocol.ProtocolError` (bad JSON, non-object
+payload) produces a structured error response and the connection lives on;
+a *fatal* one (a frame overrunning :data:`~repro.service.protocol.MAX_REQUEST_BYTES`)
+is answered once and then the daemon hangs up, because the byte stream has
+lost its framing.
 """
 
 from __future__ import annotations
@@ -22,12 +39,20 @@ from typing import Dict, Optional
 from repro.errors import ReproError
 from repro.faults.injector import SimulatedCrash
 from repro.faults.report import EXIT_CRASHED
+from repro.obs.context import current_registry, current_tracer, use_span
+from repro.obs.exporters import prometheus_text
+from repro.obs.runtime import EventLoopMonitor
+from repro.obs.tracer import SpanContext
 from repro.service import protocol
-from repro.service.protocol import MAX_MESSAGE_BYTES
+from repro.service.protocol import MAX_REQUEST_BYTES
 from repro.service.service import RepairService, RepairTicket
+from repro.service.telemetry import TelemetryServer, stats_snapshot
 
 #: Ops a connection handler dispatches (``op`` field of each request).
-OPS = ("ping", "stats", "fail_disk", "repair", "wait", "read", "read_object", "shutdown")
+OPS = (
+    "ping", "stats", "metrics", "fail_disk", "repair", "wait",
+    "read", "read_object", "shutdown",
+)
 
 
 class ServiceDaemon:
@@ -39,6 +64,9 @@ class ServiceDaemon:
         port: listen port (0 picks an ephemeral one).
         port_file: when set, the *actual* bound port is written here once
             listening — how test harnesses find an ephemeral port.
+        telemetry: optional HTTP ``/metrics`` + ``/healthz`` listener; the
+            daemon starts it, flips its readiness, and stops it.
+        monitor: optional event-loop lag monitor started with the daemon.
     """
 
     def __init__(
@@ -47,11 +75,19 @@ class ServiceDaemon:
         host: str = "127.0.0.1",
         port: int = 0,
         port_file: "str | Path | None" = None,
+        telemetry: Optional[TelemetryServer] = None,
+        monitor: Optional[EventLoopMonitor] = None,
     ) -> None:
         self.service = service
         self.host = host
         self.port = port
         self.port_file = Path(port_file) if port_file else None
+        self.telemetry = telemetry
+        self.monitor = monitor
+        if telemetry is not None and telemetry.refresh is None:
+            # An HTTP scrape must see the same scrape-time gauges (job
+            # progress, writer backlog) a `stats` call refreshes.
+            telemetry.refresh = lambda: stats_snapshot(service, monitor)
         self.exit_code = 0
         self.crashed: Optional[SimulatedCrash] = None
         self._stop = asyncio.Event()
@@ -61,9 +97,14 @@ class ServiceDaemon:
 
     # --------------------------------------------------------------- lifecycle
     async def start(self) -> int:
-        """Bind the listener; returns the actual port."""
+        """Bind the listener; returns the actual port.
+
+        The stream limit is the *request* cap: a client frame that overruns
+        it surfaces as a fatal :class:`~repro.service.protocol.ProtocolError`
+        instead of buffering without bound.
+        """
         self._listener = await asyncio.start_server(
-            self._handle, self.host, self.port, limit=MAX_MESSAGE_BYTES
+            self._handle, self.host, self.port, limit=MAX_REQUEST_BYTES
         )
         self.port = self._listener.sockets[0].getsockname()[1]
         if self.port_file is not None:
@@ -75,7 +116,14 @@ class ServiceDaemon:
         """Serve until ``shutdown`` (or a crash); returns the exit code."""
         if self._listener is None:
             await self.start()
+        if self.monitor is not None:
+            self.monitor.start()
+        if self.telemetry is not None:
+            await self.telemetry.start()  # idempotent when already bound
+            self.telemetry.set_ready(True)
         await self._stop.wait()
+        if self.telemetry is not None:
+            self.telemetry.set_ready(False)
         self._listener.close()
         # Unblock handlers parked in read_message: closing the transport
         # EOFs their readers (3.12's wait_closed waits for every handler).
@@ -85,9 +133,13 @@ class ServiceDaemon:
             await asyncio.wait_for(self._listener.wait_closed(), timeout=5.0)
         except asyncio.TimeoutError:
             pass
+        if self.monitor is not None:
+            await self.monitor.stop()
         if self.crashed is None:
             # Clean drain: finish queued writes before reporting.
             await self.service.close()
+        if self.telemetry is not None:
+            await self.telemetry.stop()
         return self.exit_code
 
     def _trip(self, exc: SimulatedCrash) -> None:
@@ -114,16 +166,26 @@ class ServiceDaemon:
         self._conns.add(writer)
         try:
             while not self._stop.is_set():
-                msg = await protocol.read_message(reader)
+                try:
+                    msg = await protocol.read_message(
+                        reader, max_bytes=MAX_REQUEST_BYTES
+                    )
+                except protocol.ProtocolError as exc:
+                    writer.write(protocol.encode_message(
+                        protocol.error(str(exc), kind="ProtocolError")
+                    ))
+                    await writer.drain()
+                    if exc.fatal:
+                        # Framing lost: answer once, then hang up. Discard
+                        # whatever the peer already sent first — closing
+                        # with unread bytes buffered turns the FIN into an
+                        # RST that can destroy the error reply in flight.
+                        await self._discard_input(reader)
+                        break
+                    continue
                 if msg is None:
                     break
-                try:
-                    reply = await self._dispatch(msg)
-                except SimulatedCrash as exc:
-                    self._trip(exc)
-                    reply = protocol.error("service crashed", crashed=True)
-                except ReproError as exc:
-                    reply = protocol.error(str(exc), kind=type(exc).__name__)
+                reply = await self._serve_one(msg)
                 writer.write(protocol.encode_message(reply))
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
@@ -135,6 +197,55 @@ class ServiceDaemon:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
+
+    @staticmethod
+    async def _discard_input(
+        reader: asyncio.StreamReader, budget: float = 0.25
+    ) -> None:
+        """Best-effort drain of a connection we are about to abandon."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + budget
+        try:
+            while loop.time() < deadline:
+                chunk = await asyncio.wait_for(
+                    reader.read(1 << 16), timeout=0.05
+                )
+                if not chunk:
+                    return
+        except (asyncio.TimeoutError, ConnectionResetError, BrokenPipeError):
+            return
+
+    async def _serve_one(self, msg: dict) -> dict:
+        """Dispatch one request under its (optional) propagated trace."""
+        ctx = SpanContext.from_wire(msg.get("trace"))
+        op = msg.get("op")
+        try:
+            if ctx is not None:
+                with use_span(ctx):
+                    tracer = current_tracer()
+                    if tracer.enabled:
+                        with tracer.span(
+                            "request", f"op:{op}", track="daemon", op=str(op)
+                        ):
+                            reply = await self._dispatch(msg)
+                    else:
+                        reply = await self._dispatch(msg)
+            else:
+                reply = await self._dispatch(msg)
+        except SimulatedCrash as exc:
+            self._trip(exc)
+            reply = protocol.error("service crashed", crashed=True)
+        except ReproError as exc:
+            reply = protocol.error(str(exc), kind=type(exc).__name__)
+        except (KeyError, TypeError, ValueError) as exc:
+            # Well-formed JSON, ill-formed request (missing/mistyped
+            # fields): answer structurally instead of killing the handler.
+            reply = protocol.error(
+                f"bad request for op {op!r}: {exc!r}", kind=type(exc).__name__
+            )
+        if ctx is not None:
+            reply.setdefault("trace_id", ctx.trace_id)
+        return reply
 
     async def _dispatch(self, msg: dict) -> dict:
         op = msg.get("op")
@@ -152,15 +263,9 @@ class ServiceDaemon:
                 failed=server.failed_disks(),
             )
         if op == "stats":
-            return protocol.ok(
-                modeled_now=service.modeled_now,
-                chunks_enqueued=service.writer.chunks_enqueued,
-                tickets=[
-                    {"job_id": t.job_id, "disk": t.disk, "done": t.done}
-                    for t in service._tickets.values()
-                ],
-                failed=server.failed_disks(),
-            )
+            return protocol.ok(**stats_snapshot(service, self.monitor))
+        if op == "metrics":
+            return protocol.ok(metrics_text=prometheus_text(current_registry()))
         if op == "fail_disk":
             disk = int(msg["disk"])
             server.fail_disk(disk)
@@ -195,4 +300,4 @@ class ServiceDaemon:
                         )
             self._stop.set()
             return protocol.ok(exit_code=self.exit_code)
-        return protocol.error(f"unknown op {op!r}")
+        return protocol.error(f"unknown op {op!r}", kind="UnknownOp")

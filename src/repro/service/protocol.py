@@ -6,12 +6,23 @@ when ``ok`` is false). Chunk payloads travel base64-encoded under
 ``data_b64`` — small enough at the chunk sizes the service targets, and it
 keeps the protocol greppable and curl-able.
 
+Requests may carry a ``trace`` object (``{"trace_id", "span_id"}``, see
+:class:`~repro.obs.tracer.SpanContext`): the daemon re-installs it so the
+spans of everything the request touches — admission gate waits, survivor
+reads, decodes, piggybacks — export as one connected tree, and echoes
+``trace_id`` in the response for correlation.
+
 Operations (client -> server):
 
 ``ping``
     Liveness + topology: stripe count, ``n``/``k``, disk counts.
 ``stats``
-    Service counters: modeled clock, tickets, write-queue totals.
+    Live telemetry snapshot: per-job repair progress with ETAs, per-disk
+    gate depths, writer backlog, event-loop health, foreground latency
+    percentiles (see :mod:`repro.service.telemetry`).
+``metrics``
+    The metrics registry rendered as Prometheus text exposition
+    (the TCP twin of the HTTP ``/metrics`` listener).
 ``fail_disk``
     Fail one disk (fault-injection front door for smoke tests).
 ``repair``
@@ -24,24 +35,45 @@ Operations (client -> server):
     Front-door read of one whole object (k chunks, joined).
 ``shutdown``
     Drain and stop the daemon.
+
+**Robustness.** Malformed input never kills a connection task silently:
+non-JSON lines and non-object payloads raise a recoverable
+:class:`ProtocolError` the daemon answers with a structured error
+response; frames longer than the reader's cap (requests are bounded by
+:data:`MAX_REQUEST_BYTES` server-side) raise a *fatal* one — the daemon
+answers, then closes, because a byte stream that overran its framing
+cannot be resynchronized.
 """
 
 from __future__ import annotations
 
+import asyncio
 import base64
 import json
 from typing import Optional
 
 from repro.errors import ReproError
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 
 #: Upper bound on one encoded message (guards the line reader).
 MAX_MESSAGE_BYTES = 64 * 1024 * 1024
 
+#: Upper bound on one *request* frame: requests are tiny control messages,
+#: so the daemon caps them far below the response bound.
+MAX_REQUEST_BYTES = 1 * 1024 * 1024
+
 
 class ProtocolError(ReproError):
-    """Malformed or over-long wire message."""
+    """Malformed or over-long wire message.
+
+    ``fatal`` marks errors after which the byte stream cannot be trusted
+    (an unterminated over-long frame): respond once, then hang up.
+    """
+
+    def __init__(self, message: str, fatal: bool = False) -> None:
+        super().__init__(message)
+        self.fatal = fatal
 
 
 def encode_message(msg: dict) -> bytes:
@@ -59,18 +91,32 @@ def decode_message(line: bytes) -> dict:
     return msg
 
 
-async def read_message(reader) -> Optional[dict]:
-    """Read one frame from an ``asyncio.StreamReader``; None on EOF."""
+async def read_message(
+    reader, max_bytes: int = MAX_MESSAGE_BYTES
+) -> Optional[dict]:
+    """Read one frame from an ``asyncio.StreamReader``; None on EOF.
+
+    Raises :class:`ProtocolError` for malformed frames; the error is
+    ``fatal`` when the stream overran its limit without a newline (the
+    reader can no longer find a frame boundary) or a complete frame
+    exceeded ``max_bytes``.
+    """
     try:
         line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError:
+        return None
+    except asyncio.LimitOverrunError as exc:
+        raise ProtocolError(
+            f"frame overran the stream limit ({exc.consumed} bytes buffered "
+            "with no newline)", fatal=True,
+        ) from None
     except EOFError:
         return None
-    except Exception as exc:  # IncompleteReadError subclasses EOFError on 3.8+
-        if exc.__class__.__name__ == "IncompleteReadError":
-            return None
-        raise
-    if len(line) > MAX_MESSAGE_BYTES:
-        raise ProtocolError(f"message exceeds {MAX_MESSAGE_BYTES} bytes")
+    if len(line) > max_bytes:
+        raise ProtocolError(
+            f"message of {len(line)} bytes exceeds the {max_bytes}-byte cap",
+            fatal=True,
+        )
     if not line.strip():
         return None
     return decode_message(line)

@@ -70,6 +70,13 @@ DEGRADED_READS = "hdpsr_service_degraded_reads_total"
 FOREGROUND_READS = "hdpsr_service_foreground_reads_total"
 REPAIR_STRIPES = "hdpsr_service_repair_stripes_total"
 REPAIRS = "hdpsr_service_repairs_total"
+#: P² summary of wall-clock front-door read latency, labelled by path.
+READ_LATENCY = "hdpsr_service_read_latency_seconds"
+#: Gauge: stripe decodes currently in flight across all jobs.
+INFLIGHT_STRIPES = "hdpsr_service_inflight_stripes"
+
+#: Quantiles tracked for foreground latency (the SLO tail).
+READ_LATENCY_QUANTILES = (0.5, 0.9, 0.99, 0.999)
 
 
 @dataclass(frozen=True)
@@ -202,6 +209,40 @@ class _Job:
     resumed_stripes: int = 0
     modeled_start: float = 0.0
     modeled_end: float = 0.0
+    # --- live-telemetry bookkeeping (read by RepairService.progress) ---
+    job_id: int = -1
+    algorithm: str = ""
+    started_wall: float = 0.0
+    stripes_done: int = 0
+    finished: bool = False
+
+    def progress(self) -> dict:
+        """One job's live progress row (JSON-safe, served by ``stats``)."""
+        total = len(self.stripe_indices)
+        done = self.stripes_done
+        elapsed = time.monotonic() - self.started_wall
+        if self.finished:
+            eta = 0.0
+        elif done:
+            eta = elapsed / done * (total - done)
+        else:
+            eta = None
+        return {
+            "job_id": self.job_id,
+            "disk": self.disk,
+            "algorithm": self.algorithm,
+            "stripes_total": total,
+            "stripes_done": done,
+            "stripes_lost": len(self.loss.lost),
+            "chunks_rebuilt": self.chunks_rebuilt,
+            "resumed_stripes": self.resumed_stripes,
+            "replans": self.loss.replans,
+            "fresh_restarts": self.loss.fresh_restarts,
+            "checksum_failures": self.loss.checksum_failures,
+            "elapsed_seconds": elapsed,
+            "eta_seconds": eta,
+            "done": self.finished,
+        }
 
 
 class RepairService:
@@ -243,6 +284,8 @@ class RepairService:
         #: Stripes owned by an active job (overlapping repairs skip them).
         self._claimed: set = set()
         self._tickets: Dict[int, RepairTicket] = {}
+        #: job_id -> supervisor job state, kept after completion for `top`.
+        self._jobs: Dict[int, _Job] = {}
         self._next_job = 0
 
     # ------------------------------------------------------------- lifecycle
@@ -334,7 +377,7 @@ class RepairService:
         job_id = self._next_job
         self._next_job += 1
         task = asyncio.get_running_loop().create_task(
-            self._run_repair(disk_id, resume), name=f"repair-{disk_id}"
+            self._run_repair(disk_id, resume, job_id), name=f"repair-{disk_id}"
         )
         ticket = RepairTicket(job_id=job_id, disk=disk_id, task=task)
         self._tickets[job_id] = ticket
@@ -345,8 +388,19 @@ class RepairService:
             raise ConfigurationError(f"no such repair ticket {job_id}")
         return self._tickets[job_id]
 
+    def progress(self) -> List[dict]:
+        """Live progress of every job this service has supervised.
+
+        Jobs stay listed after completion (with ``done: true``) so
+        ``hdpsr top`` keeps showing finished repairs' terminal counts;
+        jobs whose planning has not finished yet are not listed.
+        """
+        return [self._jobs[jid].progress() for jid in sorted(self._jobs)]
+
     # ---------------------------------------------------------- the job body
-    async def _run_repair(self, disk_id: int, resume: bool) -> ServiceRepairResult:
+    async def _run_repair(
+        self, disk_id: int, resume: bool, job_id: int = -1
+    ) -> ServiceRepairResult:
         started = time.monotonic()
         jdir = self._journal_dir(disk_id)
         tracer = current_tracer()
@@ -399,6 +453,11 @@ class RepairService:
                 journal=journal,
             )
 
+        job.job_id = job_id
+        job.algorithm = job.plan.algorithm
+        job.started_wall = started
+        self._jobs[job_id] = job
+
         job.modeled_start = self.modeled_now
         loop = asyncio.get_running_loop()
         for si in job.stripe_indices:
@@ -417,6 +476,7 @@ class RepairService:
         except BaseException:
             # SimulatedCrash (or cancellation): stop cleanly, keep the
             # journal — a resumed service picks up from the last commit.
+            job.finished = True
             for t in tasks:
                 t.cancel()
             await asyncio.gather(*tasks, return_exceptions=True)
@@ -464,6 +524,7 @@ class RepairService:
             loss=job.loss,
             scrub=scrub,
         )
+        job.finished = True
         current_registry().counter(
             REPAIRS, "repair jobs finished"
         ).labels(outcome="lost" if job.loss.has_loss else "recovered").inc()
@@ -484,7 +545,24 @@ class RepairService:
         self, sem: asyncio.Semaphore, job: _Job, sp: StripePlan
     ) -> None:
         async with sem:
-            await self._repair_stripe(job, sp)
+            inflight = current_registry().gauge(
+                INFLIGHT_STRIPES, "stripe decodes in flight across all jobs"
+            )
+            inflight.inc()
+            tracer = current_tracer()
+            si = job.stripe_indices[sp.stripe_index]
+            try:
+                if tracer.enabled:
+                    with tracer.span(
+                        "stripe", f"stripe-{si}", track="service",
+                        stripe=si, disk=job.disk, job=job.job_id,
+                    ):
+                        await self._repair_stripe(job, sp)
+                else:
+                    await self._repair_stripe(job, sp)
+                job.stripes_done += 1
+            finally:
+                inflight.dec()
 
     # ----------------------------------------------------------- stripe task
     async def _repair_stripe(self, job: _Job, sp: StripePlan) -> None:
@@ -539,7 +617,15 @@ class RepairService:
                     fed[shard_idx] = data
                     stripe_clock = max(stripe_clock, end)
             if fed:
-                await asyncio.to_thread(decoder.feed, fed)
+                tracer = current_tracer()
+                if tracer.enabled:
+                    with tracer.span(
+                        "decode", f"stripe-{si}/feed", track="service",
+                        stripe=si, chunks=len(fed),
+                    ):
+                        await asyncio.to_thread(decoder.feed, fed)
+                else:
+                    await asyncio.to_thread(decoder.feed, fed)
                 if job.journal is not None:
                     await asyncio.to_thread(
                         job.journal.round_commit,
@@ -720,6 +806,8 @@ class RepairService:
         """
         server = self.server
         disk_id = stripe.disks[shard_idx]
+        tracer = current_tracer()
+        read_started = time.monotonic() if tracer.enabled else 0.0
         async with self.gate.read(disk_id, foreground=False):
             end = self._model_transfer(
                 job, disk_id, shard_idx, not_before, forced=forced
@@ -733,6 +821,12 @@ class RepairService:
                     job.loss.checksum_failures += 1
                 raise _ShardDead(shard_idx, exc) from None
             server.disk(disk_id).record_read(data.size)
+            if tracer.enabled:
+                tracer.complete(
+                    "read", f"survivor:s{si}/{shard_idx}", read_started,
+                    time.monotonic() - read_started, track="service",
+                    domain="wall", stripe=si, shard=shard_idx, disk=disk_id,
+                )
             return data, end
 
     def _model_transfer(
@@ -795,21 +889,49 @@ class RepairService:
         cid = ChunkId(stripe_index, shard_idx)
         registry = current_registry()
         registry.counter(FOREGROUND_READS, "front-door reads served").inc()
+        started = time.monotonic()
         if not server.disk(disk_id).is_failed and server.store.contains(disk_id, cid):
             async with self.gate.read(disk_id, foreground=True):
-                return await asyncio.to_thread(server.store.get, disk_id, cid)
+                data = await asyncio.to_thread(server.store.get, disk_id, cid)
+            self._observe_read(registry, "healthy", started)
+            return data
 
         degraded = registry.counter(
             DEGRADED_READS, "front-door reads of lost chunks"
         )
+        tracer = current_tracer()
         fut = self._repair_futures.get(stripe_index)
         if fut is not None:
-            results = await asyncio.shield(fut)
+            if tracer.enabled:
+                with tracer.span(
+                    "wait", f"piggyback:{stripe_index}", track="service",
+                    stripe=stripe_index, shard=shard_idx,
+                ):
+                    results = await asyncio.shield(fut)
+            else:
+                results = await asyncio.shield(fut)
             if results is not None and shard_idx in results:
                 degraded.labels(source="piggyback").inc()
+                self._observe_read(registry, "piggyback", started)
                 return results[shard_idx]
         degraded.labels(source="decode").inc()
-        return await self._degraded_decode(stripe_index, stripe, shard_idx)
+        if tracer.enabled:
+            with tracer.span(
+                "decode", f"degraded:{stripe_index}/{shard_idx}",
+                track="service", stripe=stripe_index, shard=shard_idx,
+            ):
+                data = await self._degraded_decode(stripe_index, stripe, shard_idx)
+        else:
+            data = await self._degraded_decode(stripe_index, stripe, shard_idx)
+        self._observe_read(registry, "decode", started)
+        return data
+
+    def _observe_read(self, registry, path: str, started: float) -> None:
+        """Record one front-door read's wall latency into the P² summary."""
+        registry.summary(
+            READ_LATENCY, "front-door read wall latency",
+            quantiles=READ_LATENCY_QUANTILES,
+        ).labels(path=path).observe(time.monotonic() - started)
 
     async def _degraded_decode(
         self, stripe_index: int, stripe: Stripe, shard_idx: int

@@ -24,7 +24,7 @@ import numpy as np
 from repro.ec.stripe import ChunkId
 from repro.errors import ConfigurationError, StorageError
 from repro.hdss.store import ChunkStore, ShardedChunkStore
-from repro.obs.context import current_registry
+from repro.obs.context import current_registry, current_tracer
 
 QUEUE_DEPTH = "hdpsr_service_queue_depth"
 SHARD_CHUNKS = "hdpsr_service_shard_chunks_written_total"
@@ -90,6 +90,10 @@ class AsyncShardWriter:
         ).labels(shard=str(shard_idx))
 
     # ----------------------------------------------------------------- public
+    def backlog(self) -> int:
+        """Chunks enqueued but not yet persisted, across all shards."""
+        return sum(q.qsize() for q in self._queues.values())
+
     async def put(self, disk_id: int, chunk_id: ChunkId, data: np.ndarray) -> None:
         """Enqueue one chunk write; blocks when the shard queue is full."""
         if self._closed:
@@ -97,7 +101,17 @@ class AsyncShardWriter:
         self._check_failed()
         shard_idx = self._shard_of(disk_id)
         q = self._queue(shard_idx)
-        await q.put((disk_id, chunk_id, data))
+        tracer = current_tracer()
+        if tracer.enabled:
+            # A span, not an instant: backpressure (a full shard queue)
+            # shows up as enqueue time on the requesting trace.
+            with tracer.span(
+                "writeback", f"enqueue:shard-{shard_idx}", track="writer",
+                shard=shard_idx, stripe=chunk_id.stripe_index,
+            ):
+                await q.put((disk_id, chunk_id, data))
+        else:
+            await q.put((disk_id, chunk_id, data))
         self.chunks_enqueued += 1
         self._depth_gauge(shard_idx).set(q.qsize())
 

@@ -148,3 +148,83 @@ class TestRegistry:
         for t in threads:
             t.join()
         assert c.value == 4000
+
+
+class TestRegistryLockHammer:
+    """Regression: label-child creation and P² updates under concurrency.
+
+    Every metric a registry creates shares the registry's single re-entrant
+    lock, so racing get-or-create of the *same* labelled child can never
+    produce two children (lost updates), and summary observations
+    interleaved with snapshots never tear the P² marker state.
+    """
+
+    def test_label_child_creation_races_one_child_per_labelset(self):
+        r = MetricsRegistry()
+        winners = []
+
+        def work(i):
+            # Every thread races get-or-create on the same 4 label sets.
+            for n in range(400):
+                child = r.counter("hammer_total").labels(disk=str(n % 4))
+                winners.append(child)
+                child.inc()
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        c = r.counter("hammer_total")
+        total = sum(c.labels(disk=str(d)).value for d in range(4))
+        assert total == 8 * 400  # no lost increments
+        # get-or-create must have been idempotent: 4 distinct children only.
+        assert len({id(w) for w in winners}) == 4
+
+    def test_summary_observe_vs_snapshot_races(self):
+        r = MetricsRegistry()
+        stop = threading.Event()
+        errors = []
+
+        def observe(path):
+            try:
+                s = r.summary("lat_seconds", quantiles=(0.5, 0.99))
+                for i in range(2000):
+                    s.labels(path=path).observe(i / 1000.0)
+            except Exception as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        def scrape():
+            try:
+                while not stop.is_set():
+                    for snap in r.snapshot().values():
+                        for series in snap["series"]:
+                            q = series.get("quantiles", {})
+                            vals = [v for v in q.values() if v == v]
+                            assert vals == sorted(vals)  # monotone markers
+            except Exception as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        writers = [
+            threading.Thread(target=observe, args=(p,))
+            for p in ("healthy", "piggyback", "decode", "healthy")
+        ]
+        scraper = threading.Thread(target=scrape)
+        scraper.start()
+        for t in writers:
+            t.start()
+        for t in writers:
+            t.join()
+        stop.set()
+        scraper.join()
+        assert errors == []
+        s = r.summary("lat_seconds", quantiles=(0.5, 0.99))
+        assert s.labels(path="healthy").count == 4000
+        assert s.labels(path="piggyback").count == 2000
+
+    def test_registry_metrics_share_one_lock(self):
+        r = MetricsRegistry()
+        c = r.counter("a_total")
+        g = r.gauge("b")
+        assert c._lock is g._lock is r._lock
+        assert c.labels(x="1")._lock is r._lock

@@ -9,7 +9,11 @@ from repro.obs.tracer import (
     NullTracer,
     OffsetTracer,
     RecordingTracer,
+    SpanContext,
     TraceEvent,
+    current_span,
+    new_span_context,
+    use_span,
 )
 
 
@@ -163,3 +167,66 @@ class TestTraceEvent:
     def test_instant_omits_duration(self):
         d = TraceEvent(name="i", category="slot", ts=3.0).to_dict()
         assert "dur" not in d and "args" not in d
+
+
+class TestSpanContext:
+    def test_child_keeps_trace_and_parents_here(self):
+        root = new_span_context()
+        child = root.child()
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert child.span_id != root.span_id
+
+    def test_wire_roundtrip(self):
+        ctx = new_span_context()
+        wired = SpanContext.from_wire(ctx.to_wire())
+        assert wired.trace_id == ctx.trace_id
+        assert wired.span_id == ctx.span_id
+
+    def test_from_wire_rejects_malformed(self):
+        assert SpanContext.from_wire(None) is None
+        assert SpanContext.from_wire("nope") is None
+        assert SpanContext.from_wire({"trace_id": "a"}) is None
+        assert SpanContext.from_wire({"trace_id": 1, "span_id": "b"}) is None
+
+    def test_use_span_installs_and_restores(self):
+        assert current_span() is None
+        ctx = new_span_context()
+        with use_span(ctx):
+            assert current_span() is ctx
+        assert current_span() is None
+
+    def test_nested_spans_stamp_child_lineage(self):
+        tracer = RecordingTracer(clock=FakeClock())
+        root = new_span_context()
+        with use_span(root):
+            with tracer.span("request", "outer"):
+                inner_ctx = current_span()
+                with tracer.span("decode", "inner"):
+                    pass
+        inner, outer = tracer.events  # inner closes first
+        assert outer.args["trace_id"] == root.trace_id
+        assert outer.args["parent_id"] == root.span_id
+        assert inner.args["trace_id"] == root.trace_id
+        # inner's parent is the span the outer block installed
+        assert inner.args["parent_id"] == inner_ctx.span_id
+        assert inner_ctx.span_id == outer.args["span_id"]
+
+    def test_unstamped_without_context(self):
+        tracer = RecordingTracer(clock=FakeClock())
+        with tracer.span("read", "r"):
+            pass
+        tracer.instant("slot", "s")
+        for e in tracer.events:
+            assert "trace_id" not in e.args
+
+    def test_for_trace_filters(self):
+        tracer = RecordingTracer(clock=FakeClock())
+        a, b = new_span_context(), new_span_context()
+        with use_span(a):
+            tracer.instant("slot", "in-a")
+        with use_span(b):
+            tracer.instant("slot", "in-b")
+        tracer.instant("slot", "outside")
+        assert [e.name for e in tracer.for_trace(a.trace_id)] == ["in-a"]
+        assert [e.name for e in tracer.for_trace(b.trace_id)] == ["in-b"]
