@@ -1,0 +1,100 @@
+"""CLUSTER — time-to-takeover and foreground p99 through a daemon death.
+
+Repo extension: the paper repairs on one storage server; the cluster
+plane (PR: multi-daemon repair cluster) runs N daemons over one sharded
+store with lease-based shard ownership. This bench runs the deterministic
+kill-the-owner chaos scenario (:mod:`repro.service.chaos`) at a few lease
+TTLs and prices the two numbers an operator cares about:
+
+* **takeover**: wall seconds from the owner's crash to the survivor
+  holding the failed disk's lease and resuming its journal — bounded by
+  lease TTL + one heartbeat, which the rows make visible;
+* **foreground p99**: wall latency of hedged client reads *through* the
+  failover, the "user latency during recovery" number of the service
+  plane, which must stay bounded (not TTL-shaped) because hedged reads
+  never wait for the dead daemon.
+
+Every run also re-asserts the scenario's correctness invariants
+(byte-identical objects, zero duplicate writes, stale owner fenced), so
+the artefact rows are all from *passing* chaos episodes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.utils.tables import AsciiTable
+
+from benchutil import emit
+
+#: (label, lease_ttl seconds, heartbeat seconds) sweep. The takeover bound
+#: is ttl + heartbeat (+ scheduler noise), so the ratio column should sit
+#: near — and never far above — 1.
+SWEEP = [
+    ("tight", 0.3, 0.075),
+    ("default", 0.6, 0.15),
+    ("lazy", 1.2, 0.3),
+]
+
+
+def run_episode(root, lease_ttl, heartbeat):
+    from repro.service.chaos import ChaosConfig, ChaosScenario
+
+    return asyncio.run(ChaosScenario(ChaosConfig(
+        root=root, lease_ttl=lease_ttl, heartbeat_interval=heartbeat,
+        p99_budget=5.0,
+    )).run())
+
+
+def test_cluster_failover(tmp_path, results_sink):
+    rows = []
+    for label, ttl, heartbeat in SWEEP:
+        report = run_episode(tmp_path / label, ttl, heartbeat)
+        assert report["passed"], report["failures"]
+        bound = ttl + heartbeat
+        rows.append({
+            "scenario": label,
+            "lease_ttl_s": ttl,
+            "heartbeat_s": heartbeat,
+            "takeover_s": round(report["takeover_seconds"], 4),
+            "takeover_over_bound": round(
+                report["takeover_seconds"] / bound, 3
+            ),
+            "foreground_reads": report["foreground"]["reads"],
+            "foreground_errors": report["foreground"]["errors"],
+            "foreground_p99_s": round(
+                report["foreground_latency"].get("p99", 0.0), 5
+            ),
+            "resumed_stripes": report["repair_b"]["resumed_stripes"],
+            "chunks_rebuilt": report["repair_b"]["chunks_rebuilt"],
+            "duplicate_writes": len(report["duplicate_writes"]),
+            "byte_identical": report["byte_identical"],
+            "stale_owner_fenced": report["stale_owner_fenced"],
+        })
+
+    table = AsciiTable([
+        "scenario", "ttl (s)", "takeover (s)", "takeover/bound",
+        "fg reads", "fg p99 (s)", "resumed", "dup writes",
+    ])
+    for r in rows:
+        table.add_row([
+            r["scenario"], r["lease_ttl_s"], r["takeover_s"],
+            r["takeover_over_bound"], r["foreground_reads"],
+            r["foreground_p99_s"], r["resumed_stripes"],
+            r["duplicate_writes"],
+        ])
+    emit("Cluster failover: takeover latency and foreground p99", table.render())
+    results_sink("cluster_failover", rows)
+
+    by = {r["scenario"]: r for r in rows}
+    for r in rows:
+        assert r["byte_identical"] and r["stale_owner_fenced"]
+        assert r["duplicate_writes"] == 0
+        assert r["resumed_stripes"] > 0
+        # Takeover is detector-bound: it must not take many multiples of
+        # the TTL (loose: CI wall clocks under load jitter by hundreds
+        # of ms, which dominates the tight end of the sweep).
+        assert r["takeover_s"] < 10 * (r["lease_ttl_s"] + r["heartbeat_s"])
+    # A tighter detector must not make takeover *slower* by much: the
+    # tight sweep point should beat the lazy one.
+    assert by["tight"]["takeover_s"] < by["lazy"]["takeover_s"] + 1.0

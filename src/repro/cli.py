@@ -9,7 +9,10 @@ Subcommands:
 * ``hdpsr trace``   — analyze captured traces: summarize / blame / diff;
 * ``hdpsr serve``   — run the asyncio repair service daemon;
 * ``hdpsr client``  — drive a repair-under-load workload against it;
-* ``hdpsr top``     — live repair/latency view of a running daemon;
+* ``hdpsr top``     — live repair/latency view of a running daemon, or an
+  aggregated cluster view with repeated ``--endpoint`` flags;
+* ``hdpsr chaos``   — kill-the-owner cluster chaos scenario (two daemons,
+  shared store, lease failover + journal handoff, invariant checks);
 * ``hdpsr version`` — print the package version.
 
 Every stochastic element is seeded via ``--seed`` for reproducible output.
@@ -26,7 +29,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.core import (
     ALGORITHMS,
@@ -683,17 +686,37 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.telemetry import TelemetryServer
 
     schedule, policy = _fault_setup(args)
+    chaos = None
+    if schedule is not None:
+        from repro.faults import ServiceFaultInjector, is_service_schedule
+
+        if is_service_schedule(schedule):
+            # A cluster spec mixes data-path and wire faults; each daemon
+            # keeps its own slice (daemon_crash becomes a local
+            # process_crash, conn-level kinds feed the wire injector).
+            schedule, wire = schedule.for_daemon(args.daemon_index)
+            if not len(schedule.events):
+                schedule = None
+            if len(wire.events):
+                chaos = ServiceFaultInjector(wire, daemon=args.daemon_index)
     store = None
     if args.store:
         store = ShardedChunkStore.from_root(
             args.store, num_shards=args.shards, durable=not args.no_fsync
         )
+    # A daemon joining an existing cluster must not re-write provisioned
+    # data into the shared store (it would resurrect chunks a peer already
+    # failed): --attach provisions into a throwaway in-memory store and
+    # then fronts the shared one. Same seed => identical layout and spares.
     server = build_exp_server(
         n=args.n, k=args.k, disk_size=args.disk_size, chunk_size=args.chunk_size,
         num_disks=args.num_disks, memory_chunks=args.memory,
         ros=args.ros, slow_factor=args.slow_factor, seed=args.seed,
-        placement=args.placement, with_data=True, store=store,
+        placement=args.placement, with_data=True,
+        store=None if (args.attach and store is not None) else store,
     )
+    if args.attach and store is not None:
+        server.store = store
     config = ServiceConfig(
         max_concurrent_stripes=args.max_stripes,
         per_disk_reads=args.per_disk_reads,
@@ -709,6 +732,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
             port_file=args.metrics_port_file,
         )
 
+    cluster = None
+    if args.cluster_dir:
+        from repro.service import ClusterConfig, ClusterNode
+
+        cluster = ClusterNode(ClusterConfig(
+            root=args.cluster_dir,
+            node_id=args.node_id or f"node-{os.getpid()}",
+            num_shards=args.cluster_shards,
+            lease_ttl=args.lease_ttl,
+            heartbeat_interval=args.heartbeat_interval,
+            durable=not args.no_fsync,
+        ))
+
     async def run() -> int:
         service = RepairService(
             server, ALGORITHMS[args.algorithm](), config, faults=schedule
@@ -716,12 +752,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
         daemon = ServiceDaemon(
             service, host=args.host, port=args.port, port_file=args.port_file,
             telemetry=telemetry, monitor=EventLoopMonitor(),
+            cluster=cluster, chaos=chaos, max_inflight=args.max_inflight,
         )
         port = await daemon.start()
         print(f"hdpsr service listening on {args.host}:{port} "
               f"({len(server.layout)} stripes, store "
               f"{'sharded x' + str(args.shards) if store else 'in-memory'})",
               flush=True)
+        if cluster is not None:
+            print(f"cluster node {cluster.node_id} joining at "
+                  f"{args.cluster_dir} ({args.cluster_shards} shards, "
+                  f"lease ttl {args.lease_ttl}s)", flush=True)
         if telemetry is not None:
             tport = await telemetry.start()
             print(f"telemetry on http://{args.host}:{tport} "
@@ -878,6 +919,100 @@ def _render_top(stats: dict) -> str:
     return "\n".join(lines)
 
 
+def _render_cluster_top(snapshots: "Dict[str, dict]") -> str:
+    """The aggregated fleet view for ``hdpsr top --endpoint ...``."""
+    lines: List[str] = []
+    table = AsciiTable(
+        ["endpoint", "node", "ready", "owned shards", "epochs", "handoffs",
+         "failovers", "jobs"],
+        title="cluster daemons",
+    )
+    for endpoint in sorted(snapshots):
+        snap = snapshots[endpoint]
+        if "error" in snap:
+            table.add_row([endpoint, "-", "down", "-", "-", "-", "-",
+                           snap["error"][:40]])
+            continue
+        cluster = snap.get("cluster") or {}
+        stats = snap.get("stats") or {}
+        epochs = cluster.get("epochs") or {}
+        jobs = stats.get("jobs", [])
+        running = sum(1 for j in jobs if not j.get("done"))
+        table.add_row([
+            endpoint,
+            cluster.get("node", "-"),
+            "yes" if cluster.get("enabled") else "solo",
+            ",".join(str(s) for s in cluster.get("owned_shards", [])) or "-",
+            ",".join(f"{s}:{e}" for s, e in sorted(epochs.items())) or "-",
+            ",".join(str(d) for d in cluster.get("handoffs", [])) or "-",
+            cluster.get("failovers", 0),
+            f"{running} running / {len(jobs)} total",
+        ])
+    lines.append(table.render())
+    owners: Dict[str, dict] = {}
+    for snap in snapshots.values():
+        for shard, lease in ((snap.get("cluster") or {}).get("leases") or {}).items():
+            owners.setdefault(str(shard), lease)
+    if owners:
+        table = AsciiTable(
+            ["shard", "owner", "endpoint", "epoch", "expires in s"],
+            title="shard leases",
+        )
+        for shard in sorted(owners, key=int):
+            lease = owners[shard]
+            table.add_row([shard, lease.get("owner"), lease.get("endpoint"),
+                           lease.get("epoch"), lease.get("expires_in")])
+        lines.append(table.render())
+    return "\n".join(lines)
+
+
+def _cluster_top(args: argparse.Namespace) -> int:
+    """Aggregated multi-daemon ``top`` (repeated ``--endpoint`` flags)."""
+    import asyncio
+    import json
+    import time as _time
+
+    from repro.service import ServiceClient, ServiceError
+    from repro.service.client import parse_endpoint
+
+    async def fetch() -> "Dict[str, dict]":
+        out: Dict[str, dict] = {}
+        for endpoint in args.endpoint:
+            host, port = parse_endpoint(endpoint)
+            try:
+                client = await ServiceClient.connect(host, port)
+                try:
+                    cluster = await client.cluster()
+                    stats = await client.stats()
+                finally:
+                    await client.close()
+                cluster.pop("ok", None)
+                stats.pop("ok", None)
+                out[endpoint] = {"cluster": cluster, "stats": stats}
+            except (ServiceError, OSError) as exc:
+                out[endpoint] = {"error": str(exc)}
+        return out
+
+    try:
+        while True:
+            snapshots = asyncio.run(fetch())
+            if all("error" in s for s in snapshots.values()):
+                print("no daemon reachable at "
+                      + ", ".join(sorted(snapshots)), file=sys.stderr)
+                return 1
+            if args.json:
+                print(json.dumps(snapshots, indent=2, sort_keys=True))
+            else:
+                if not args.once:
+                    print("\x1b[2J\x1b[H", end="")
+                print(_render_cluster_top(snapshots), flush=True)
+            if args.once:
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
 def cmd_top(args: argparse.Namespace) -> int:
     """Live terminal view of a running daemon (``hdpsr top``)."""
     import asyncio
@@ -886,6 +1021,8 @@ def cmd_top(args: argparse.Namespace) -> int:
 
     from repro.service import ServiceClient, ServiceError
 
+    if args.endpoint:
+        return _cluster_top(args)
     port = _resolve_port(args)
     if port is None:
         return 2
@@ -925,6 +1062,58 @@ def cmd_top(args: argparse.Namespace) -> int:
         devnull = os.open(os.devnull, os.O_WRONLY)
         os.dup2(devnull, sys.stdout.fileno())
         return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the kill-the-owner cluster chaos scenario (``hdpsr chaos``)."""
+    import json
+    import tempfile
+    from pathlib import Path
+
+    from repro.service.chaos import ChaosConfig, run_chaos
+
+    def execute(root: Path) -> dict:
+        return run_chaos(ChaosConfig(
+            root=root,
+            seed=args.seed,
+            stripes=args.stripes,
+            failed_disk=args.disk,
+            crash_at=args.crash_at,
+            lease_ttl=args.lease_ttl,
+            heartbeat_interval=args.heartbeat_interval,
+            p99_budget=args.p99_budget,
+            deadline=args.deadline,
+        ))
+
+    if args.dir:
+        report = execute(Path(args.dir))
+    else:
+        with tempfile.TemporaryDirectory(prefix="hdpsr-chaos-") as td:
+            report = execute(Path(td))
+    if args.output:
+        Path(args.output).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.output).write_text(json.dumps(report, indent=2, sort_keys=True))
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        latency = report.get("foreground_latency", {})
+        repair = report.get("repair_b", {})
+        print(f"daemon a killed mid-repair (exit {report.get('exit_code_a')}), "
+              f"takeover in {report.get('takeover_seconds', '?')}s")
+        print(f"handoff repaired disk(s) {report.get('handoffs')} on b: "
+              f"{repair.get('stripes_repaired', '?')} stripes "
+              f"({repair.get('resumed_stripes', '?')} resumed from journal), "
+              f"certified={repair.get('certified')}")
+        print(f"foreground: {latency.get('count', 0)} reads, "
+              f"p50 {latency.get('p50', 0) * 1e3:.2f} ms, "
+              f"p99 {latency.get('p99', 0) * 1e3:.2f} ms")
+        print(f"byte-identical={report.get('byte_identical')}  "
+              f"duplicate-writes={len(report.get('duplicate_writes', []))}  "
+              f"stale-owner-fenced={report.get('stale_owner_fenced')}")
+        for failure in report.get("failures", []):
+            print(f"FAIL: {failure}", file=sys.stderr)
+        print("chaos: PASS" if report.get("passed") else "chaos: FAIL")
+    return 0 if report.get("passed") else 1
 
 
 def cmd_version(args: argparse.Namespace) -> int:
@@ -1088,6 +1277,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--metrics-port-file", default=None, metavar="FILE",
                          help="write the bound telemetry port here (implies "
                               "an ephemeral --metrics-port)")
+    p_serve.add_argument("--cluster-dir", default=None, metavar="DIR",
+                         help="join the lease-based repair cluster rooted at "
+                              "DIR (shared with peer daemons)")
+    p_serve.add_argument("--node-id", default=None,
+                         help="cluster node name (default node-<pid>)")
+    p_serve.add_argument("--cluster-shards", type=int, default=4,
+                         help="ownership shards in the cluster (disk %% N)")
+    p_serve.add_argument("--lease-ttl", type=float, default=2.0,
+                         help="lease expiry in seconds (bounds takeover time)")
+    p_serve.add_argument("--heartbeat-interval", type=float, default=0.5,
+                         help="seconds between lease renewals (< --lease-ttl)")
+    p_serve.add_argument("--attach", action="store_true",
+                         help="front an existing --store without re-writing "
+                              "provisioned data into it (joining daemons)")
+    p_serve.add_argument("--max-inflight", type=int, default=None,
+                         help="admission cap: refuse further concurrent "
+                              "requests with a retryable overload error")
+    p_serve.add_argument("--daemon-index", type=int, default=0,
+                         help="this daemon's index in a cluster fault "
+                              "schedule (daemon_crash / wire faults)")
     _add_fault_args(p_serve)
     _add_observability_args(p_serve)
     p_serve.set_defaults(func=_observed(cmd_serve))
@@ -1133,7 +1342,38 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print one frame and exit (scripts/CI)")
     p_top.add_argument("--json", action="store_true",
                        help="emit the raw stats snapshot as JSON")
+    p_top.add_argument("--endpoint", action="append", default=None,
+                       metavar="HOST:PORT",
+                       help="aggregate a cluster view over these daemons "
+                            "(repeatable; replaces --port/--port-file)")
     p_top.set_defaults(func=cmd_top)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="kill-the-owner cluster chaos: 2 daemons, shared store, "
+             "lease failover + journal handoff, invariant checks")
+    p_chaos.add_argument("--dir", default=None, metavar="DIR",
+                         help="scratch directory (default: a temp dir)")
+    p_chaos.add_argument("--seed", type=int, default=11)
+    p_chaos.add_argument("--stripes", type=int, default=12,
+                         help="provisioned stripes (scenario size)")
+    p_chaos.add_argument("--disk", type=int, default=3,
+                         help="disk failed and repaired on the doomed daemon")
+    p_chaos.add_argument("--crash-at", type=float, default=2.5e-5,
+                         help="modeled second the owner daemon dies at "
+                              "(mid-repair at the default geometry)")
+    p_chaos.add_argument("--lease-ttl", type=float, default=0.6)
+    p_chaos.add_argument("--heartbeat-interval", type=float, default=0.15)
+    p_chaos.add_argument("--p99-budget", type=float, default=2.0,
+                         help="wall-clock bound asserted on foreground p99")
+    p_chaos.add_argument("--deadline", type=float, default=60.0,
+                         help="overall scenario timeout in seconds")
+    p_chaos.add_argument("--json", action="store_true",
+                         help="print the full JSON report")
+    p_chaos.add_argument("--output", default=None, metavar="FILE",
+                         help="also write the JSON report here")
+    _add_observability_args(p_chaos)
+    p_chaos.set_defaults(func=_observed(cmd_chaos))
 
     p_ver = sub.add_parser("version", help="print the package version")
     p_ver.set_defaults(func=cmd_version)

@@ -72,3 +72,48 @@ class SimulationError(ReproError):
 
 class PlanError(ReproError):
     """A repair plan is malformed (empty rounds, overlapping chunks, ...)."""
+
+
+class ClusterError(ReproError):
+    """A multi-daemon cluster operation failed (leases, ownership, handoff)."""
+
+
+class LeaseError(ClusterError):
+    """A lease record is missing, malformed, or could not be written."""
+
+
+class FencedError(ClusterError):
+    """A daemon tried to commit under a lease epoch it no longer holds.
+
+    Raised by the epoch fence before journal commits and chunk write-backs:
+    a stale owner that revives after its shards were claimed by a peer must
+    never write again, or the survivor's byte-identical journal replay (and
+    the chunks it already persisted) could be silently clobbered.
+    """
+
+    def __init__(
+        self, message: str, shard: int = -1, held_epoch: int = -1,
+        current_epoch: int = -1,
+    ) -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.held_epoch = held_epoch
+        self.current_epoch = current_epoch
+
+
+class NotOwnerError(ClusterError):
+    """The addressed daemon does not own the shard a request targets.
+
+    Carries enough for the client to redirect: the owning node's id,
+    endpoint, and the lease epoch under which it owns the shard.
+    """
+
+    def __init__(
+        self, message: str, shard: int = -1, owner: "str | None" = None,
+        endpoint: "str | None" = None, epoch: int = -1,
+    ) -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.owner = owner
+        self.endpoint = endpoint
+        self.epoch = epoch

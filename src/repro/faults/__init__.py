@@ -30,9 +30,15 @@ from repro.faults.report import (
     REPLANNED,
     DataLossReport,
 )
+from repro.faults.service import (
+    ServiceFaultInjector,
+    WireVerdict,
+    is_service_schedule,
+)
 from repro.faults.spec import (
     FAULT_KINDS,
     GENERATED_KINDS,
+    SERVICE_FAULT_KINDS,
     FaultEvent,
     FaultSchedule,
     generate_fault_schedule,
@@ -41,6 +47,10 @@ from repro.faults.spec import (
 __all__ = [
     "FAULT_KINDS",
     "GENERATED_KINDS",
+    "SERVICE_FAULT_KINDS",
+    "ServiceFaultInjector",
+    "WireVerdict",
+    "is_service_schedule",
     "FaultEvent",
     "FaultSchedule",
     "generate_fault_schedule",

@@ -19,6 +19,21 @@ Event kinds:
   SIGKILL / power cut), raised as :class:`repro.faults.SimulatedCrash`.
   Only meaningful with a ``--journal``; a resumed run skips crashes that
   already fired. ``disk`` is ignored (defaults to 0).
+
+Service-plane kinds (see :mod:`repro.faults.service`) target a *daemon*
+of a repair cluster rather than a disk; ``daemon`` selects which one:
+
+* ``daemon_crash`` — one daemon of a cluster dies at modeled time ``at``
+  (``process_crash`` scoped to ``daemon``); peers must claim its shards.
+* ``conn_reset`` — the daemon aborts (RST) the connection serving its
+  ``at``-th request (0-based request ordinal, not seconds).
+* ``slow_peer`` — requests from ordinal ``at`` onwards are delayed by
+  ``duration`` wall seconds each, for ``factor`` consecutive requests.
+* ``partial_frame`` — the daemon writes a truncated response frame for
+  its ``at``-th request, then hangs up (torn write on the wire).
+* ``clock_skew`` — the daemon's lease clock jumps by ``factor`` seconds
+  (positive or negative) at request ordinal ``at``; exercises lease
+  expiry and epoch fencing under clock trouble.
 """
 
 from __future__ import annotations
@@ -33,6 +48,14 @@ from repro.utils.rng import RngLike, make_rng
 
 #: Supported event kinds, in spec order.
 FAULT_KINDS = ("disk_fail", "sector_error", "slow", "hang", "process_crash")
+
+#: Service-plane kinds targeting one daemon of a repair cluster. For the
+#: connection-level kinds (everything but ``daemon_crash``) ``at`` is a
+#: 0-based *request ordinal* on that daemon, which keeps injection
+#: deterministic regardless of wall-clock scheduling.
+SERVICE_FAULT_KINDS = (
+    "daemon_crash", "conn_reset", "slow_peer", "partial_frame", "clock_skew",
+)
 
 #: Kinds the random generator draws from — ``process_crash`` is opt-in
 #: (it only makes sense alongside a journal, so scripted specs add it
@@ -52,9 +75,12 @@ class FaultEvent:
         kind: one of :data:`FAULT_KINDS`.
         disk: the disk the fault targets.
         stripe, shard: chunk coordinates, required for ``sector_error``.
-        factor: bandwidth-collapse factor for ``slow`` (>= 1).
+        factor: bandwidth-collapse factor for ``slow`` (>= 1); request
+            count for ``slow_peer``; skew seconds for ``clock_skew``.
         duration: window length for ``slow``/``hang``; ``None`` means the
-            degradation persists for the rest of the run.
+            degradation persists for the rest of the run. Per-request
+            delay for ``slow_peer``.
+        daemon: target daemon index for service-plane kinds.
     """
 
     at: float
@@ -64,11 +90,17 @@ class FaultEvent:
     shard: Optional[int] = None
     factor: float = 4.0
     duration: Optional[float] = None
+    daemon: int = 0
 
     def __post_init__(self) -> None:
-        if self.kind not in FAULT_KINDS:
+        if self.kind not in FAULT_KINDS + SERVICE_FAULT_KINDS:
             raise ConfigurationError(
-                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{FAULT_KINDS + SERVICE_FAULT_KINDS}"
+            )
+        if self.daemon < 0:
+            raise ConfigurationError(
+                f"fault daemon must be >= 0, got {self.daemon}"
             )
         if self.at < 0:
             raise ConfigurationError(f"fault time must be >= 0, got {self.at}")
@@ -100,12 +132,16 @@ class FaultEvent:
         return HANG_FACTOR if self.kind == "hang" else self.factor
 
     def to_spec(self) -> Dict[str, object]:
-        spec: Dict[str, object] = {"at": self.at, "kind": self.kind, "disk": self.disk}
+        spec: Dict[str, object] = {"at": self.at, "kind": self.kind}
+        if self.kind in SERVICE_FAULT_KINDS:
+            spec["daemon"] = self.daemon
+        else:
+            spec["disk"] = self.disk
         if self.stripe is not None:
             spec["stripe"] = self.stripe
         if self.shard is not None:
             spec["shard"] = self.shard
-        if self.kind == "slow":
+        if self.kind in ("slow", "slow_peer", "clock_skew"):
             spec["factor"] = self.factor
         if self.duration is not None:
             spec["duration"] = self.duration
@@ -113,22 +149,25 @@ class FaultEvent:
 
     @classmethod
     def from_spec(cls, spec: Dict[str, object]) -> "FaultEvent":
-        known = {"at", "kind", "disk", "stripe", "shard", "factor", "duration"}
+        known = {"at", "kind", "disk", "stripe", "shard", "factor", "duration", "daemon"}
         extra = set(spec) - known
         if extra:
             raise ConfigurationError(f"unknown fault-event keys: {sorted(extra)}")
+        kind = str(spec.get("kind", ""))
         try:
             return cls(
                 at=float(spec["at"]),
-                kind=str(spec["kind"]),
-                # process_crash targets the repair process, not a disk.
+                kind=kind,
+                # process_crash and the service-plane kinds target the
+                # repair process / a daemon, not a disk.
                 disk=int(spec.get("disk", 0))
-                if spec.get("kind") == "process_crash"
+                if kind == "process_crash" or kind in SERVICE_FAULT_KINDS
                 else int(spec["disk"]),
                 stripe=None if spec.get("stripe") is None else int(spec["stripe"]),
                 shard=None if spec.get("shard") is None else int(spec["shard"]),
                 factor=float(spec.get("factor", 4.0)),
                 duration=None if spec.get("duration") is None else float(spec["duration"]),
+                daemon=int(spec.get("daemon", 0)),
             )
         except KeyError as exc:
             raise ConfigurationError(f"fault event missing key {exc.args[0]!r}") from None
@@ -182,7 +221,7 @@ class FaultSchedule:
                 out.append(FaultEvent(
                     at=e.at - origin, kind=e.kind, disk=e.disk,
                     stripe=e.stripe, shard=e.shard, factor=e.factor,
-                    duration=e.duration,
+                    duration=e.duration, daemon=e.daemon,
                 ))
             elif e.kind in ("slow", "hang") and e.window_end > origin:
                 rest = None if e.duration is None else e.window_end - origin
@@ -191,6 +230,31 @@ class FaultSchedule:
                     factor=e.factor, duration=rest,
                 ))
         return FaultSchedule(out)
+
+    def for_daemon(self, daemon: int) -> "Tuple[FaultSchedule, FaultSchedule]":
+        """Split a cluster schedule into one daemon's two injection planes.
+
+        Returns ``(local, wire)``: *local* holds the generic disk/process
+        kinds every daemon's data-path injector interprets, with
+        ``daemon_crash`` events addressed to this daemon rewritten as
+        ``process_crash`` (same modeled-clock semantics, so one spec file
+        can kill daemon 2 of a fleet mid-repair); *wire* holds the
+        connection-level kinds (``conn_reset``/``slow_peer``/
+        ``partial_frame``/``clock_skew``) addressed to this daemon, for a
+        :class:`repro.faults.service.ServiceFaultInjector`.
+        """
+        local: List[FaultEvent] = []
+        wire: List[FaultEvent] = []
+        for e in self.events:
+            if e.kind in FAULT_KINDS:
+                local.append(e)
+            elif e.daemon != daemon:
+                continue
+            elif e.kind == "daemon_crash":
+                local.append(FaultEvent(at=e.at, kind="process_crash"))
+            else:
+                wire.append(e)
+        return FaultSchedule(local), FaultSchedule(wire)
 
     # ------------------------------------------------------------------ spec
     def to_spec(self) -> Dict[str, object]:

@@ -93,6 +93,13 @@ PAPER_CLAIMS = {
         "ratio, ~5% at production chunk size because tracing costs per event "
         "while decode costs per byte."
     ),
+    "cluster_failover": (
+        "Repo extension: the multi-daemon cluster's kill-the-owner chaos "
+        "scenario swept over lease TTLs — takeover latency tracks the "
+        "TTL+heartbeat detector bound while hedged foreground reads keep "
+        "p99 at milliseconds through the failover; every episode re-proves "
+        "byte-identical handoff, zero duplicate writes, and epoch fencing."
+    ),
 }
 
 TITLES = {
@@ -118,6 +125,7 @@ TITLES = {
     "robustness": "Extension — recovery outcomes under injected faults",
     "service_throughput": "Extension — concurrent repair throughput of the service plane",
     "service_telemetry_overhead": "Extension — CPU cost of the live telemetry plane",
+    "cluster_failover": "Extension — cluster failover: takeover latency and foreground p99",
 }
 
 ORDER = [
@@ -126,7 +134,7 @@ ORDER = [
     "ablation_staleness", "durability", "wallclock", "lrc_comparison",
     "foreground_latency", "ablation_slicing", "wide_stripes",
     "vulnerability_order", "robustness", "service_throughput",
-    "service_telemetry_overhead",
+    "service_telemetry_overhead", "cluster_failover",
 ]
 
 

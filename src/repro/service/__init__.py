@@ -11,15 +11,37 @@ client reads while disks rebuild:
 * :mod:`repro.service.service` — :class:`RepairService`: the repair
   supervisor plus the ``submit_repair`` / ``read_chunk`` front door;
 * :mod:`repro.service.protocol` — JSON-lines wire protocol (with
-  request-scoped trace propagation);
+  request-scoped trace propagation and the v3 error taxonomy);
 * :mod:`repro.service.netserver` / :mod:`repro.service.client` — the
-  ``hdpsr serve`` daemon and ``hdpsr client`` workload driver;
+  ``hdpsr serve`` daemon and ``hdpsr client`` workload driver, plus the
+  cluster-aware :class:`ClusterClient` (retries, circuit breakers,
+  ``NOT_OWNER`` redirects, hedged failover reads);
+* :mod:`repro.service.cluster` — multi-daemon shard ownership: epoch-
+  stamped file leases, heartbeat failure detection, journal handoff and
+  epoch fencing (:class:`ClusterNode`);
+* :mod:`repro.service.chaos` — the deterministic two-daemon chaos
+  harness behind ``hdpsr chaos``;
 * :mod:`repro.service.telemetry` — the live scrape surface: the ``stats``
   snapshot builder and the HTTP ``/metrics`` + ``/healthz`` listener.
 """
 
 from repro.service.admission import DiskGate
-from repro.service.client import ServiceClient, ServiceError, run_workload
+from repro.service.client import (
+    BackoffPolicy,
+    CircuitBreaker,
+    ClusterClient,
+    ServiceClient,
+    ServiceError,
+    run_workload,
+)
+from repro.service.cluster import (
+    ClusterClock,
+    ClusterConfig,
+    ClusterNode,
+    HashRing,
+    LeaseRecord,
+    LeaseStore,
+)
 from repro.service.netserver import ServiceDaemon
 from repro.service.service import (
     RepairService,
@@ -32,7 +54,16 @@ from repro.service.telemetry import TelemetryServer, stats_snapshot
 
 __all__ = [
     "AsyncShardWriter",
+    "BackoffPolicy",
+    "CircuitBreaker",
+    "ClusterClient",
+    "ClusterClock",
+    "ClusterConfig",
+    "ClusterNode",
     "DiskGate",
+    "HashRing",
+    "LeaseRecord",
+    "LeaseStore",
     "RepairService",
     "RepairTicket",
     "ServiceClient",

@@ -20,24 +20,71 @@ from __future__ import annotations
 
 import asyncio
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ReproError
 from repro.faults.report import EXIT_CRASHED
-from repro.obs.context import current_span, current_tracer, use_span
+from repro.obs.context import current_registry, current_span, current_tracer, use_span
 from repro.obs.quantiles import QuantileSketch
 from repro.obs.tracer import new_span_context
 from repro.service import protocol
-from repro.service.protocol import MAX_MESSAGE_BYTES
+from repro.service.protocol import (
+    ERR_CRASH,
+    ERR_NOT_OWNER,
+    MAX_MESSAGE_BYTES,
+)
 from repro.utils.rng import make_rng
 
 
 class ServiceError(ReproError):
-    """The daemon answered ``ok: false``."""
+    """The daemon answered ``ok: false`` (or the connection died).
 
-    def __init__(self, message: str, crashed: bool = False) -> None:
+    Carries the v3 error taxonomy: ``code`` is one of
+    :data:`repro.service.protocol.ERROR_CODES` and ``retryable`` says
+    whether a client may transparently retry. ``crashed`` is kept as a
+    property for pre-v3 call sites. For ``not_owner`` errors the reply's
+    redirect fields are exposed as :attr:`owner`/:attr:`endpoint`/
+    :attr:`epoch`/:attr:`shard`.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        crashed: bool = False,
+        code: Optional[str] = None,
+        retryable: Optional[bool] = None,
+        reply: Optional[dict] = None,
+    ) -> None:
         super().__init__(message)
-        self.crashed = crashed
+        if code is None:
+            code = ERR_CRASH if crashed else protocol.ERR_INTERNAL
+        self.code = code
+        self.retryable = (
+            protocol.is_retryable(code) if retryable is None else bool(retryable)
+        )
+        self.reply = dict(reply or {})
+
+    @property
+    def crashed(self) -> bool:
+        return self.code == ERR_CRASH
+
+    @property
+    def owner(self) -> Optional[str]:
+        value = self.reply.get("owner")
+        return None if value is None else str(value)
+
+    @property
+    def endpoint(self) -> Optional[str]:
+        value = self.reply.get("endpoint")
+        return None if value is None else str(value)
+
+    @property
+    def epoch(self) -> int:
+        return int(self.reply.get("epoch", -1))
+
+    @property
+    def shard(self) -> int:
+        return int(self.reply.get("shard", -1))
 
 
 class ServiceClient:
@@ -84,14 +131,20 @@ class ServiceClient:
         except (ConnectionResetError, BrokenPipeError):
             # A dying daemon may RST instead of FIN; same meaning here.
             raise ServiceError(
-                f"connection lost during {op!r}", crashed=True
+                f"connection lost during {op!r}", code=ERR_CRASH
             ) from None
         if reply is None:
-            raise ServiceError(f"connection closed during {op!r}", crashed=True)
+            raise ServiceError(f"connection closed during {op!r}", code=ERR_CRASH)
         if not reply.get("ok", False):
+            # Pre-v3 daemons send no code; fall back on the crashed flag.
+            code = reply.get("code")
+            if code is None:
+                code = ERR_CRASH if reply.get("crashed") else protocol.ERR_INTERNAL
             raise ServiceError(
                 reply.get("error", "unknown error"),
-                crashed=bool(reply.get("crashed", False)),
+                code=str(code),
+                retryable=reply.get("retryable"),
+                reply=reply,
             )
         return reply
 
@@ -112,12 +165,386 @@ class ServiceClient:
         reply = await self.call("read_object", stripe=stripe)
         return protocol.unpack_bytes(reply["data_b64"])
 
+    async def cluster(self) -> dict:
+        """The daemon's cluster/ownership snapshot (v3 ``cluster`` op)."""
+        return await self.call("cluster")
+
     async def close(self) -> None:
         self._writer.close()
         try:
             await self._writer.wait_closed()
         except (ConnectionResetError, BrokenPipeError):
             pass
+
+
+class BackoffPolicy:
+    """Capped exponential backoff with deterministic jitter.
+
+    ``delay(attempt)`` grows ``base * multiplier**attempt`` up to ``cap``,
+    then subtracts up to ``jitter`` of itself using a seeded RNG — so
+    retry storms decorrelate, but a given seed replays the exact same
+    delay sequence (the chaos harness asserts on timings).
+    """
+
+    def __init__(
+        self,
+        base: float = 0.02,
+        cap: float = 0.5,
+        multiplier: float = 2.0,
+        jitter: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if base <= 0 or cap < base or multiplier < 1 or not 0 <= jitter <= 1:
+            raise ReproError(
+                f"bad backoff policy (base={base}, cap={cap}, "
+                f"multiplier={multiplier}, jitter={jitter})"
+            )
+        self.base = base
+        self.cap = cap
+        self.multiplier = multiplier
+        self.jitter = jitter
+        self._rng = make_rng(seed)
+
+    def delay(self, attempt: int) -> float:
+        raw = min(self.cap, self.base * self.multiplier ** max(0, attempt))
+        return raw * (1.0 - self.jitter * float(self._rng.random()))
+
+
+#: Circuit-breaker states, exported as 0/1/2 on the state gauge.
+BREAKER_CLOSED = "closed"
+BREAKER_HALF_OPEN = "half_open"
+BREAKER_OPEN = "open"
+_BREAKER_GAUGE = {BREAKER_CLOSED: 0, BREAKER_HALF_OPEN: 1, BREAKER_OPEN: 2}
+
+
+class CircuitBreaker:
+    """Per-daemon failure gate: stop hammering an endpoint that is down.
+
+    ``failure_threshold`` consecutive retryable failures open the
+    breaker; after ``reset_after`` seconds one probe request is let
+    through (half-open) — its outcome closes or re-opens the circuit.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_after: float = 1.0,
+        clock=time.monotonic,
+    ) -> None:
+        self.failure_threshold = max(1, failure_threshold)
+        self.reset_after = reset_after
+        self._clock = clock
+        self._failures = 0
+        self._opened_at: Optional[float] = None
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        if self._opened_at is None:
+            return BREAKER_CLOSED
+        if self._clock() - self._opened_at >= self.reset_after:
+            return BREAKER_HALF_OPEN
+        return BREAKER_OPEN
+
+    def allow(self) -> bool:
+        """Whether a request may go to this endpoint right now."""
+        state = self.state
+        if state == BREAKER_CLOSED:
+            return True
+        if state == BREAKER_OPEN:
+            return False
+        if self._probing:
+            return False  # one probe at a time through a half-open circuit
+        self._probing = True
+        return True
+
+    def record_success(self) -> None:
+        self._failures = 0
+        self._opened_at = None
+        self._probing = False
+
+    def record_failure(self) -> None:
+        self._probing = False
+        self._failures += 1
+        if self._failures >= self.failure_threshold:
+            self._opened_at = self._clock()
+
+
+def parse_endpoint(endpoint: str) -> Tuple[str, int]:
+    """Split ``host:port`` (the port is the part after the last colon)."""
+    host, sep, port = endpoint.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ReproError(f"bad endpoint {endpoint!r}; expected host:port")
+    return host or "127.0.0.1", int(port)
+
+
+class ClusterClient:
+    """Backpressure-aware client over a fleet of repair daemons.
+
+    Wraps one :class:`ServiceClient` per endpoint and layers on the
+    cluster survival kit:
+
+    * retries **only retryable** errors (``crash``/``overload``/
+      ``not_owner``) with capped exponential backoff + seeded jitter;
+      fatal codes surface immediately;
+    * per-daemon :class:`CircuitBreaker`\\ s, so a dead endpoint stops
+      absorbing attempts until its reset window elapses;
+    * ``NOT_OWNER`` redirect handling: the reply's ``endpoint`` updates a
+      shard→endpoint ownership cache and the request is re-sent straight
+      to the owner (a redirect does not count against the breaker);
+    * hedged failover reads: :meth:`read_chunk` can fire a backup read at
+      a second daemon after ``hedge_after`` seconds of silence and take
+      whichever answers first — bounding foreground p99 through a daemon
+      death instead of waiting out timeouts.
+
+    Everything is observable: retries (by code), backoff sleeps, redirects,
+    failovers, hedged reads, and breaker states land in the ambient
+    metrics registry under ``hdpsr_client_*``.
+    """
+
+    def __init__(
+        self,
+        endpoints: Sequence[str],
+        *,
+        retries: int = 6,
+        backoff: Optional[BackoffPolicy] = None,
+        breaker_threshold: int = 3,
+        breaker_reset_after: float = 1.0,
+        hedge_after: Optional[float] = 0.05,
+    ) -> None:
+        if not endpoints:
+            raise ReproError("ClusterClient needs at least one endpoint")
+        self.endpoints: List[str] = list(dict.fromkeys(endpoints))
+        self.retries = retries
+        self.backoff = backoff or BackoffPolicy()
+        self.hedge_after = hedge_after
+        self._conns: Dict[str, ServiceClient] = {}
+        self._breakers: Dict[str, CircuitBreaker] = {
+            ep: CircuitBreaker(breaker_threshold, breaker_reset_after)
+            for ep in self.endpoints
+        }
+        #: shard index -> endpoint learned from redirects / cluster ops.
+        self.owners: Dict[int, str] = {}
+        self.retry_count = 0
+        self.redirects = 0
+        self.failovers = 0
+        self.hedged_reads = 0
+
+    # ----------------------------------------------------------- connections
+    async def _conn(self, endpoint: str) -> ServiceClient:
+        client = self._conns.get(endpoint)
+        if client is None:
+            host, port = parse_endpoint(endpoint)
+            client = await ServiceClient.connect(host, port)
+            self._conns[endpoint] = client
+        return client
+
+    def _drop_conn(self, endpoint: str) -> None:
+        client = self._conns.pop(endpoint, None)
+        if client is not None:
+            client._writer.close()
+
+    def breaker_state(self, endpoint: str) -> str:
+        return self._breakers[endpoint].state
+
+    def _export_breakers(self) -> None:
+        gauge = current_registry().gauge(
+            "hdpsr_client_breaker_state",
+            "Circuit state per endpoint (0 closed, 1 half-open, 2 open).",
+        )
+        for ep, breaker in self._breakers.items():
+            gauge.labels(endpoint=ep).set(_BREAKER_GAUGE[breaker.state])
+
+    def _candidates(self, preferred: Optional[str]) -> List[str]:
+        """Endpoints to try, preferred first, breaker-open ones last."""
+        order = list(self.endpoints)
+        if preferred in order:
+            order.remove(preferred)
+            order.insert(0, preferred)
+        allowed = [ep for ep in order if self._breakers[ep].allow()]
+        # With every breaker open there is nothing to lose: try them all
+        # anyway rather than failing without a single attempt.
+        return allowed or order
+
+    # ----------------------------------------------------------------- calls
+    async def call(
+        self, op: str, *, shard: Optional[int] = None, **fields
+    ) -> dict:
+        """One logical request against the cluster.
+
+        ``shard`` is a *routing hint only* — it routes to the cached
+        lease owner first (mutations) and is not sent on the wire, so it
+        never collides with ops whose payload has a ``shard`` field of
+        its own (``read``'s in-stripe shard index goes through
+        ``fields``, via :meth:`read_chunk`). Reads can go anywhere — any
+        daemon serves the shared store.
+        """
+        preferred = self.owners.get(shard) if shard is not None else None
+        return await self._call_with_retry(op, fields, preferred)
+
+    async def _call_with_retry(
+        self, op: str, fields: dict, preferred: Optional[str]
+    ) -> dict:
+        """The retry ladder; ``fields`` go on the wire verbatim."""
+        last_error: Optional[ServiceError] = None
+        registry = current_registry()
+        for attempt in range(self.retries + 1):
+            for endpoint in self._candidates(preferred):
+                breaker = self._breakers[endpoint]
+                try:
+                    reply = await self._call_endpoint(endpoint, op, fields)
+                except ServiceError as exc:
+                    last_error = exc
+                    if exc.code == ERR_NOT_OWNER and exc.endpoint:
+                        # Redirect: learn the owner, go straight there.
+                        self.redirects += 1
+                        registry.counter(
+                            "hdpsr_client_redirects_total",
+                            "NOT_OWNER redirects followed.",
+                        ).inc()
+                        if exc.shard >= 0:
+                            self.owners[exc.shard] = exc.endpoint
+                        if exc.endpoint not in self.endpoints:
+                            self.endpoints.append(exc.endpoint)
+                            self._breakers.setdefault(
+                                exc.endpoint, CircuitBreaker()
+                            )
+                        preferred = exc.endpoint
+                        break  # inner loop; no backoff for a redirect
+                    if not exc.retryable:
+                        self._export_breakers()
+                        raise
+                    breaker.record_failure()
+                    registry.counter(
+                        "hdpsr_client_retries_total",
+                        "Retryable request failures, by error code.",
+                    ).labels(code=exc.code).inc()
+                    self.retry_count += 1
+                    if exc.crashed:
+                        self._drop_conn(endpoint)
+                        if endpoint == preferred:
+                            # The shard's owner died under us; any other
+                            # endpoint we reach next is a failover.
+                            self.failovers += 1
+                            registry.counter(
+                                "hdpsr_client_failovers_total",
+                                "Requests moved to a different daemon "
+                                "after their target died.",
+                            ).inc()
+                            preferred = None
+                    continue  # next endpoint, no sleep yet
+                else:
+                    breaker.record_success()
+                    self._export_breakers()
+                    return reply
+            else:
+                # Every candidate failed this round: back off, then retry.
+                delay = self.backoff.delay(attempt)
+                registry.summary(
+                    "hdpsr_client_backoff_seconds",
+                    "Backoff sleeps between retry rounds.",
+                ).observe(delay)
+                await asyncio.sleep(delay)
+        self._export_breakers()
+        assert last_error is not None
+        raise last_error
+
+    async def _call_endpoint(self, endpoint: str, op: str, fields: dict) -> dict:
+        try:
+            conn = await self._conn(endpoint)
+        except OSError as exc:
+            self._drop_conn(endpoint)
+            raise ServiceError(
+                f"cannot reach {endpoint}: {exc}", code=ERR_CRASH
+            ) from None
+        try:
+            return await conn.call(op, **fields)
+        except ServiceError as exc:
+            if exc.crashed:
+                self._drop_conn(endpoint)
+            raise
+
+    # ----------------------------------------------------------------- reads
+    async def read_chunk(self, stripe: int, shard_index: int) -> bytes:
+        """Front-door chunk read with hedged failover.
+
+        The primary attempt goes to the first live endpoint; if it stays
+        silent for ``hedge_after`` seconds a second attempt fires at the
+        next endpoint, and the first successful reply wins. A primary
+        that fails fast falls back to :meth:`call`'s retry ladder.
+        """
+        candidates = self._candidates(None)
+        fields = {"stripe": int(stripe), "shard": int(shard_index)}
+        if self.hedge_after is None or len(candidates) < 2:
+            reply = await self._call_with_retry("read", fields, None)
+            return protocol.unpack_bytes(reply["data_b64"])
+        primary = asyncio.create_task(
+            self._call_endpoint(candidates[0], "read", fields)
+        )
+        done, _ = await asyncio.wait({primary}, timeout=self.hedge_after)
+        if done:
+            try:
+                reply = primary.result()
+                self._breakers[candidates[0]].record_success()
+                return protocol.unpack_bytes(reply["data_b64"])
+            except ServiceError as exc:
+                if not exc.retryable:
+                    raise
+                self._breakers[candidates[0]].record_failure()
+                reply = await self._call_with_retry("read", fields, None)
+                return protocol.unpack_bytes(reply["data_b64"])
+        # Primary is slow (dying daemon, slow_peer fault): hedge.
+        self.hedged_reads += 1
+        current_registry().counter(
+            "hdpsr_client_hedged_reads_total",
+            "Reads that fired a backup request at a second daemon.",
+        ).inc()
+        hedge = asyncio.create_task(
+            self._call_endpoint(candidates[1], "read", fields)
+        )
+        pending = {primary, hedge}
+        last_exc: Optional[BaseException] = None
+        while pending:
+            done, pending = await asyncio.wait(
+                pending, return_when=asyncio.FIRST_COMPLETED
+            )
+            for task in done:
+                exc = task.exception()
+                if exc is None:
+                    for p in pending:
+                        p.cancel()
+                    for p in pending:
+                        try:
+                            await p
+                        except (ServiceError, asyncio.CancelledError):
+                            pass
+                    return protocol.unpack_bytes(task.result()["data_b64"])
+                last_exc = exc
+        if isinstance(last_exc, ServiceError) and last_exc.retryable:
+            reply = await self._call_with_retry("read", fields, None)
+            return protocol.unpack_bytes(reply["data_b64"])
+        raise last_exc  # type: ignore[misc]
+
+    async def cluster_status(self) -> Dict[str, dict]:
+        """Per-endpoint ``cluster`` snapshots (errors become ``{"error"}``)."""
+        out: Dict[str, dict] = {}
+        for endpoint in self.endpoints:
+            try:
+                reply = await self._call_endpoint(endpoint, "cluster", {})
+                out[endpoint] = {
+                    k: v for k, v in reply.items() if k not in ("ok", "trace_id")
+                }
+                for shard, meta in (reply.get("leases") or {}).items():
+                    if meta.get("endpoint"):
+                        self.owners[int(shard)] = str(meta["endpoint"])
+            except (ServiceError, OSError) as exc:
+                out[endpoint] = {"error": str(exc)}
+        return out
+
+    async def close(self) -> None:
+        for endpoint in list(self._conns):
+            client = self._conns.pop(endpoint)
+            await client.close()
 
 
 async def run_workload(

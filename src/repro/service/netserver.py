@@ -36,23 +36,51 @@ import asyncio
 from pathlib import Path
 from typing import Dict, Optional
 
-from repro.errors import ReproError
+from repro.errors import (
+    ChunkNotFoundError,
+    ConfigurationError,
+    FencedError,
+    NotOwnerError,
+    ReproError,
+)
 from repro.faults.injector import SimulatedCrash
 from repro.faults.report import EXIT_CRASHED
+from repro.faults.service import ServiceFaultInjector
+from repro.journal.journal import journal_exists, load_state
 from repro.obs.context import current_registry, current_tracer, use_span
 from repro.obs.exporters import prometheus_text
 from repro.obs.runtime import EventLoopMonitor
 from repro.obs.tracer import SpanContext
 from repro.service import protocol
-from repro.service.protocol import MAX_REQUEST_BYTES
+from repro.service.cluster import ClusterNode
+from repro.service.protocol import (
+    ERR_BAD_REQUEST,
+    ERR_CRASH,
+    ERR_FENCED,
+    ERR_NOT_OWNER,
+    ERR_NOT_FOUND,
+    ERR_OVERLOAD,
+    ERR_PROTOCOL,
+    MAX_REQUEST_BYTES,
+)
 from repro.service.service import RepairService, RepairTicket
 from repro.service.telemetry import TelemetryServer, stats_snapshot
 
 #: Ops a connection handler dispatches (``op`` field of each request).
 OPS = (
-    "ping", "stats", "metrics", "fail_disk", "repair", "wait",
+    "ping", "stats", "metrics", "cluster", "fail_disk", "repair", "wait",
     "read", "read_object", "shutdown",
 )
+
+#: Ops exempt from the in-flight admission cap: they are cheap, and they
+#: are exactly what an operator needs while the daemon is overloaded.
+UNCAPPED_OPS = ("ping", "stats", "metrics", "cluster", "shutdown")
+
+#: Ops that mutate shard-owned state and are therefore refused with
+#: ``not_owner`` on a daemon that does not hold the target disk's lease.
+#: Reads stay unrestricted — every daemon fronts the whole shared store,
+#: which is what makes hedged failover reads possible during a takeover.
+OWNED_OPS = ("fail_disk", "repair")
 
 
 class ServiceDaemon:
@@ -67,6 +95,17 @@ class ServiceDaemon:
         telemetry: optional HTTP ``/metrics`` + ``/healthz`` listener; the
             daemon starts it, flips its readiness, and stops it.
         monitor: optional event-loop lag monitor started with the daemon.
+        cluster: optional :class:`~repro.service.cluster.ClusterNode`; the
+            daemon runs its heartbeat loop, refuses mutations of shards it
+            does not own (``not_owner`` + redirect), answers the
+            ``cluster`` op, and — on claiming a dead peer's shard —
+            resumes that peer's unfinished repair journals (handoff).
+        chaos: optional wire-fault injector (``conn_reset``/``slow_peer``/
+            ``partial_frame``/``clock_skew``), consulted once per request.
+        max_inflight: admission cap on concurrently served requests
+            (telemetry/control ops exempt); excess requests are answered
+            with a retryable ``overload`` error instead of queueing
+            without bound.
     """
 
     def __init__(
@@ -77,6 +116,9 @@ class ServiceDaemon:
         port_file: "str | Path | None" = None,
         telemetry: Optional[TelemetryServer] = None,
         monitor: Optional[EventLoopMonitor] = None,
+        cluster: Optional[ClusterNode] = None,
+        chaos: Optional[ServiceFaultInjector] = None,
+        max_inflight: Optional[int] = None,
     ) -> None:
         self.service = service
         self.host = host
@@ -84,16 +126,26 @@ class ServiceDaemon:
         self.port_file = Path(port_file) if port_file else None
         self.telemetry = telemetry
         self.monitor = monitor
+        self.cluster = cluster
+        self.chaos = chaos
+        self.max_inflight = max_inflight
+        if cluster is not None:
+            if cluster.on_claim is None:
+                cluster.on_claim = self._handle_claim
+            if service.fence is None:
+                service.fence = cluster.check_fence
         if telemetry is not None and telemetry.refresh is None:
             # An HTTP scrape must see the same scrape-time gauges (job
             # progress, writer backlog) a `stats` call refreshes.
-            telemetry.refresh = lambda: stats_snapshot(service, monitor)
+            telemetry.refresh = lambda: stats_snapshot(service, monitor, cluster)
         self.exit_code = 0
         self.crashed: Optional[SimulatedCrash] = None
         self._stop = asyncio.Event()
         self._listener: Optional[asyncio.AbstractServer] = None
         self._results: Dict[int, dict] = {}
         self._conns: "set[asyncio.StreamWriter]" = set()
+        self._inflight = 0
+        self._handoffs: "list[int]" = []
 
     # --------------------------------------------------------------- lifecycle
     async def start(self) -> int:
@@ -110,6 +162,12 @@ class ServiceDaemon:
         if self.port_file is not None:
             self.port_file.parent.mkdir(parents=True, exist_ok=True)
             self.port_file.write_text(str(self.port))
+        if self.cluster is not None and not self.cluster.config.endpoint:
+            # Ephemeral ports are only known after bind; patch the (frozen)
+            # config so lease records point clients at the real endpoint.
+            object.__setattr__(
+                self.cluster.config, "endpoint", f"{self.host}:{self.port}"
+            )
         return self.port
 
     async def serve_until_stopped(self) -> int:
@@ -118,6 +176,12 @@ class ServiceDaemon:
             await self.start()
         if self.monitor is not None:
             self.monitor.start()
+        if self.cluster is not None:
+            # First tick runs inline so the daemon is an owner (and any
+            # dead predecessor's journals are handed off) before readiness
+            # flips; the heartbeat loop takes over from there.
+            await self.cluster.tick_async()
+            self.cluster.start()
         if self.telemetry is not None:
             await self.telemetry.start()  # idempotent when already bound
             self.telemetry.set_ready(True)
@@ -135,6 +199,11 @@ class ServiceDaemon:
             pass
         if self.monitor is not None:
             await self.monitor.stop()
+        if self.cluster is not None:
+            # A crash must NOT release leases — peers take over only after
+            # the TTL, exactly like a real dead process. Clean shutdowns
+            # release so successors claim immediately.
+            await self.cluster.stop(release=self.crashed is None)
         if self.crashed is None:
             # Clean drain: finish queued writes before reporting.
             await self.service.close()
@@ -159,6 +228,71 @@ class ServiceDaemon:
 
         ticket.task.add_done_callback(done)
 
+    # ----------------------------------------------------------------- cluster
+    async def _handle_claim(self, shard: int, prev_owner: Optional[str]) -> None:
+        """Journal handoff: after claiming a dead peer's shard, resume its
+        unfinished per-disk repair journals on this daemon.
+
+        This is PR 4's ``--resume`` lifted across daemons: the journals
+        live under the *shared* ``journal_root``, so the survivor replays
+        finished stripes byte-identically from journaled payloads (skipping
+        chunks the dead peer already persisted) and continues in-flight
+        decodes from their last committed round.
+        """
+        if prev_owner is None:
+            return  # initial claim of a never-owned shard: nothing to resume
+        root = self.service.config.journal_root
+        if root is None or self.cluster is None:
+            return
+        for jdir in sorted(Path(root).glob("disk-*")):
+            try:
+                disk = int(jdir.name.split("-", 1)[1])
+            except ValueError:
+                continue
+            if self.cluster.shard_of_disk(disk) != shard:
+                continue
+            if not journal_exists(jdir):
+                continue
+            if any(
+                t.disk == disk and not t.task.done()
+                for t in self.service._tickets.values()
+            ):
+                continue  # already repairing this disk locally
+            try:
+                state = await asyncio.to_thread(load_state, jdir)
+            except ReproError:
+                continue  # torn/foreign journal: nothing restorable
+            if state.completed:
+                continue
+            server = self.service.server
+            if not server.disk(disk).is_failed:
+                # The dead peer failed this disk; mirror that here without
+                # touching the shared store (its chunks are already gone).
+                server.fail_disk(disk, destroy_data=False)
+            ticket = self.service.submit_repair(disk, resume=True)
+            self._watch(ticket)
+            self._handoffs.append(disk)
+            current_registry().counter(
+                "hdpsr_cluster_handoffs_total",
+                "Dead peers' repair journals resumed on this daemon.",
+            ).inc()
+
+    def _require_ownership(self, disk: int) -> None:
+        """Raise :class:`NotOwnerError` (with redirect info) unless this
+        daemon holds the lease on ``disk``'s shard."""
+        cluster = self.cluster
+        if cluster is None or cluster.owns_disk(disk):
+            return
+        shard = cluster.shard_of_disk(disk)
+        lease = cluster.owner_of_shard(shard)
+        raise NotOwnerError(
+            f"node {cluster.node_id} does not own shard {shard} (disk {disk})",
+            shard=shard,
+            owner=lease.owner if lease is not None else None,
+            endpoint=lease.endpoint if lease is not None else None,
+            epoch=lease.epoch if lease is not None else -1,
+        )
+
     # -------------------------------------------------------------- connection
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -172,7 +306,9 @@ class ServiceDaemon:
                     )
                 except protocol.ProtocolError as exc:
                     writer.write(protocol.encode_message(
-                        protocol.error(str(exc), kind="ProtocolError")
+                        protocol.error(
+                            str(exc), code=ERR_PROTOCOL, kind="ProtocolError"
+                        )
                     ))
                     await writer.drain()
                     if exc.fatal:
@@ -185,6 +321,23 @@ class ServiceDaemon:
                     continue
                 if msg is None:
                     break
+                if self.chaos is not None:
+                    verdict = self.chaos.on_request()
+                    if verdict.skew_seconds and self.cluster is not None:
+                        self.cluster.clock.advance(verdict.skew_seconds)
+                    if verdict.delay_seconds:
+                        await asyncio.sleep(verdict.delay_seconds)
+                    if verdict.reset:
+                        # Abort, not close: the peer sees an RST mid-request,
+                        # exactly what a dying daemon's kernel would send.
+                        writer.transport.abort()
+                        break
+                    if verdict.partial:
+                        reply = await self._serve_one(msg)
+                        frame = protocol.encode_message(reply)
+                        writer.write(frame[: max(1, len(frame) // 2)])
+                        await writer.drain()
+                        break  # hang up with the frame torn
                 reply = await self._serve_one(msg)
                 writer.write(protocol.encode_message(reply))
                 await writer.drain()
@@ -219,6 +372,19 @@ class ServiceDaemon:
         """Dispatch one request under its (optional) propagated trace."""
         ctx = SpanContext.from_wire(msg.get("trace"))
         op = msg.get("op")
+        if (
+            self.max_inflight is not None
+            and op not in UNCAPPED_OPS
+            and self._inflight >= self.max_inflight
+        ):
+            reply = protocol.error(
+                f"daemon at capacity ({self.max_inflight} requests in flight)",
+                code=ERR_OVERLOAD,
+            )
+            if ctx is not None:
+                reply.setdefault("trace_id", ctx.trace_id)
+            return reply
+        self._inflight += 1
         try:
             if ctx is not None:
                 with use_span(ctx):
@@ -234,15 +400,38 @@ class ServiceDaemon:
                 reply = await self._dispatch(msg)
         except SimulatedCrash as exc:
             self._trip(exc)
-            reply = protocol.error("service crashed", crashed=True)
+            reply = protocol.error("service crashed", code=ERR_CRASH)
+        except NotOwnerError as exc:
+            reply = protocol.error(
+                str(exc), code=ERR_NOT_OWNER, kind="NotOwnerError",
+                shard=exc.shard, owner=exc.owner, endpoint=exc.endpoint,
+                epoch=exc.epoch,
+            )
+        except FencedError as exc:
+            reply = protocol.error(
+                str(exc), code=ERR_FENCED, kind="FencedError",
+                shard=exc.shard, held_epoch=exc.held_epoch,
+                current_epoch=exc.current_epoch,
+            )
+        except ChunkNotFoundError as exc:
+            reply = protocol.error(
+                str(exc), code=ERR_NOT_FOUND, kind=type(exc).__name__
+            )
+        except ConfigurationError as exc:
+            reply = protocol.error(
+                str(exc), code=ERR_BAD_REQUEST, kind=type(exc).__name__
+            )
         except ReproError as exc:
             reply = protocol.error(str(exc), kind=type(exc).__name__)
         except (KeyError, TypeError, ValueError) as exc:
             # Well-formed JSON, ill-formed request (missing/mistyped
             # fields): answer structurally instead of killing the handler.
             reply = protocol.error(
-                f"bad request for op {op!r}: {exc!r}", kind=type(exc).__name__
+                f"bad request for op {op!r}: {exc!r}",
+                code=ERR_BAD_REQUEST, kind=type(exc).__name__,
             )
+        finally:
+            self._inflight -= 1
         if ctx is not None:
             reply.setdefault("trace_id", ctx.trace_id)
         return reply
@@ -253,6 +442,11 @@ class ServiceDaemon:
         server = service.server
 
         if op == "ping":
+            extra = {}
+            if self.cluster is not None:
+                extra["node"] = self.cluster.node_id
+                extra["endpoint"] = self.cluster.config.endpoint
+                extra["owned_shards"] = self.cluster.owned_shards
             return protocol.ok(
                 version=protocol.PROTOCOL_VERSION,
                 num_stripes=len(server.layout),
@@ -261,18 +455,32 @@ class ServiceDaemon:
                 num_disks=server.config.num_disks,
                 spares=server.config.spares,
                 failed=server.failed_disks(),
+                **extra,
             )
         if op == "stats":
-            return protocol.ok(**stats_snapshot(service, self.monitor))
+            return protocol.ok(
+                **stats_snapshot(service, self.monitor, self.cluster)
+            )
         if op == "metrics":
             return protocol.ok(metrics_text=prometheus_text(current_registry()))
+        if op == "cluster":
+            if self.cluster is None:
+                return protocol.ok(enabled=False)
+            return protocol.ok(
+                enabled=True,
+                handoffs=list(self._handoffs),
+                **self.cluster.status(),
+            )
         if op == "fail_disk":
             disk = int(msg["disk"])
+            self._require_ownership(disk)
             server.fail_disk(disk)
             return protocol.ok(disk=disk, failed=server.failed_disks())
         if op == "repair":
+            disk = int(msg["disk"])
+            self._require_ownership(disk)
             ticket = service.submit_repair(
-                int(msg["disk"]), resume=bool(msg.get("resume", False))
+                disk, resume=bool(msg.get("resume", False))
             )
             self._watch(ticket)
             return protocol.ok(job_id=ticket.job_id, disk=ticket.disk)
@@ -300,4 +508,6 @@ class ServiceDaemon:
                         )
             self._stop.set()
             return protocol.ok(exit_code=self.exit_code)
-        return protocol.error(f"unknown op {op!r}", kind="UnknownOp")
+        return protocol.error(
+            f"unknown op {op!r}", code=ERR_BAD_REQUEST, kind="UnknownOp"
+        )

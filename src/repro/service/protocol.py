@@ -43,6 +43,16 @@ response; frames longer than the reader's cap (requests are bounded by
 :data:`MAX_REQUEST_BYTES` server-side) raise a *fatal* one — the daemon
 answers, then closes, because a byte stream that overran its framing
 cannot be resynchronized.
+
+**Error taxonomy (v3).** Every error response carries a ``code`` from
+:data:`ERROR_CODES` and a ``retryable`` boolean, so clients stop guessing
+from message text. ``crash`` (daemon died mid-request) and ``overload``
+(admission cap hit) are retryable — elsewhere or later; ``not_owner`` is
+retryable *after redirect* and carries ``owner``/``endpoint``/``epoch``/
+``shard`` so the client can go straight to the owning daemon; ``fenced``,
+``bad_request``, ``protocol``, ``not_found`` and ``internal`` are fatal
+for that request. Cluster deployments add a ``cluster`` op returning the
+node's lease/ownership snapshot.
 """
 
 from __future__ import annotations
@@ -54,7 +64,7 @@ from typing import Optional
 
 from repro.errors import ReproError
 
-PROTOCOL_VERSION = 2
+PROTOCOL_VERSION = 3
 
 #: Upper bound on one encoded message (guards the line reader).
 MAX_MESSAGE_BYTES = 64 * 1024 * 1024
@@ -62,6 +72,44 @@ MAX_MESSAGE_BYTES = 64 * 1024 * 1024
 #: Upper bound on one *request* frame: requests are tiny control messages,
 #: so the daemon caps them far below the response bound.
 MAX_REQUEST_BYTES = 1 * 1024 * 1024
+
+# ---------------------------------------------------------------- error codes
+#: The daemon crashed (or the connection died) serving the request. The
+#: request may retry on a peer — repairs are journaled and chunk writes
+#: idempotent, so a duplicate attempt cannot double-apply.
+ERR_CRASH = "crash"
+#: Admission control rejected the request (too many in flight). Back off
+#: and retry the same daemon.
+ERR_OVERLOAD = "overload"
+#: The addressed daemon does not own the target shard; the response
+#: carries ``owner``/``endpoint``/``epoch``/``shard`` to redirect to.
+ERR_NOT_OWNER = "not_owner"
+#: The daemon lost its lease mid-operation (epoch fencing). Not retryable
+#: *here*; the new owner has or will finish the work.
+ERR_FENCED = "fenced"
+#: The request itself is malformed (unknown op, bad types, bad base64).
+ERR_BAD_REQUEST = "bad_request"
+#: Wire-level framing violation (see :class:`ProtocolError`).
+ERR_PROTOCOL = "protocol"
+#: The named entity (job, disk, chunk) does not exist.
+ERR_NOT_FOUND = "not_found"
+#: Anything else — a server-side bug surfaced as a structured error.
+ERR_INTERNAL = "internal"
+
+#: All error codes a v3 daemon may emit.
+ERROR_CODES = (
+    ERR_CRASH, ERR_OVERLOAD, ERR_NOT_OWNER, ERR_FENCED,
+    ERR_BAD_REQUEST, ERR_PROTOCOL, ERR_NOT_FOUND, ERR_INTERNAL,
+)
+
+#: Codes a client may transparently retry (``not_owner`` retries *at the
+#: redirect target*, not the daemon that answered).
+RETRYABLE_CODES = frozenset({ERR_CRASH, ERR_OVERLOAD, ERR_NOT_OWNER})
+
+
+def is_retryable(code: str) -> bool:
+    """Whether a client may retry a request that failed with ``code``."""
+    return code in RETRYABLE_CODES
 
 
 class ProtocolError(ReproError):
@@ -128,8 +176,23 @@ def ok(**fields) -> dict:
     return out
 
 
-def error(message: str, **fields) -> dict:
-    out = {"ok": False, "error": str(message)}
+def error(message: str, code: str = ERR_INTERNAL, **fields) -> dict:
+    """A structured error response.
+
+    ``code`` defaults to :data:`ERR_INTERNAL`; ``retryable`` is derived
+    from the code unless explicitly overridden. Legacy ``crashed=True``
+    callers are normalized onto :data:`ERR_CRASH`.
+    """
+    if fields.pop("crashed", False):
+        code = ERR_CRASH
+    out = {
+        "ok": False,
+        "error": str(message),
+        "code": code,
+        "retryable": fields.pop("retryable", is_retryable(code)),
+    }
+    if code == ERR_CRASH:
+        out["crashed"] = True  # kept for pre-v3 clients
     out.update(fields)
     return out
 

@@ -255,6 +255,13 @@ class RepairService:
         faults: optional fault schedule, applied on the modeled clock
             exactly as on the sequential path (one injector per service —
             the schedule is server-wide, not per-job).
+        fence: optional ownership fence, called with the repaired disk id
+            immediately before every durable effect (journal commits,
+            chunk write-backs, spare remapping). Cluster daemons install
+            :meth:`repro.service.cluster.ClusterNode.check_fence` here so
+            a stale lease holder fails with
+            :class:`~repro.errors.FencedError` *at the commit point*
+            instead of clobbering the new owner's work.
     """
 
     def __init__(
@@ -263,11 +270,13 @@ class RepairService:
         algorithm: RepairAlgorithm,
         config: Optional[ServiceConfig] = None,
         faults: Optional[FaultSchedule] = None,
+        fence=None,
     ) -> None:
         self.server = server
         self.algorithm = algorithm
         self.config = config or ServiceConfig()
         self.faults = faults
+        self.fence = fence
         self.gate = DiskGate(self.config.per_disk_reads)
         self.writer = AsyncShardWriter(
             server.store,
@@ -292,6 +301,12 @@ class RepairService:
     async def close(self) -> None:
         """Flush writes and stop the shard drain tasks."""
         await self.writer.close()
+
+    # --------------------------------------------------------------- fencing
+    def _check_fence(self, disk_id: int) -> None:
+        """Refuse a durable effect unless we still own ``disk_id``'s shard."""
+        if self.fence is not None:
+            self.fence(disk_id)
 
     # ------------------------------------------------------------ fault glue
     def _ensure_injector(self, skip_crashes: int) -> Optional[FaultInjector]:
@@ -485,6 +500,7 @@ class RepairService:
                 job.journal.close()
             raise
 
+        self._check_fence(job.disk)
         remapped = self.server.commit_writebacks(job.writebacks)
         kept = [
             si
@@ -627,6 +643,7 @@ class RepairService:
                 else:
                     await asyncio.to_thread(decoder.feed, fed)
                 if job.journal is not None:
+                    self._check_fence(job.disk)
                     await asyncio.to_thread(
                         job.journal.round_commit,
                         si, self.modeled_now, decoder.to_state(), outcome,
@@ -668,6 +685,7 @@ class RepairService:
             if fut is not None and not fut.done():
                 fut.set_result(None)
             if job.journal is not None:
+                self._check_fence(job.disk)
                 await asyncio.to_thread(
                     job.journal.stripe_done, si, LOST, self.modeled_now
                 )
@@ -684,6 +702,7 @@ class RepairService:
 
         written: List[Tuple[int, int, np.ndarray]] = []
         exclude = list(stripe.disks)
+        self._check_fence(job.disk)
         for target in targets:
             spare = server.pick_spare(exclude=exclude)
             exclude.append(spare)
@@ -705,6 +724,7 @@ class RepairService:
         done = job.state.done[si]
         job.resumed_stripes += 1
         payloads: Dict[int, np.ndarray] = {}
+        self._check_fence(job.disk)
         for target, spare, payload in done.writebacks:
             if payload is None:
                 continue

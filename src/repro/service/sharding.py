@@ -133,6 +133,23 @@ class AsyncShardWriter:
             await asyncio.gather(*self._drains.values())
         self._check_failed()
 
+    def abort(self) -> None:
+        """Drop queued writes and kill the drain tasks without flushing.
+
+        Emulates the owning process dying mid-repair (the chaos harness's
+        ``daemon_crash``): chunks enqueued but not yet persisted vanish,
+        exactly as a real SIGKILL would lose them — the journal, which has
+        no ``stripe_done`` for them, is what brings them back elsewhere. A
+        batch already handed to the store thread may still land; that too
+        matches a real crash racing the page cache, and is harmless
+        because re-persisting a rebuilt chunk writes identical bytes.
+        """
+        self._closed = True
+        for task in self._drains.values():
+            task.cancel()
+        self._queues.clear()
+        self._drains.clear()
+
     def _check_failed(self) -> None:
         if self._errors:
             raise StorageError(

@@ -75,7 +75,9 @@ def _read_percentiles(registry: MetricsRegistry) -> Dict[str, Dict[str, float]]:
 
 
 def stats_snapshot(
-    service: RepairService, monitor: Optional[EventLoopMonitor] = None
+    service: RepairService,
+    monitor: Optional[EventLoopMonitor] = None,
+    cluster=None,
 ) -> dict:
     """One coherent telemetry snapshot of a live :class:`RepairService`.
 
@@ -118,6 +120,11 @@ def stats_snapshot(
     }
     if monitor is not None:
         snap["runtime"] = monitor.snapshot()
+    if cluster is not None:
+        # Refreshing also re-exports the lease-epoch / owned-shard gauges,
+        # so an HTTP scrape sees current ownership without a heartbeat.
+        cluster._export_gauges()
+        snap["cluster"] = cluster.status()
     return snap
 
 

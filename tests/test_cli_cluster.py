@@ -1,0 +1,143 @@
+"""CLI cluster surface: ``hdpsr chaos`` and ``hdpsr top --endpoint``.
+
+``chaos`` runs fully in-process (two daemons on ephemeral ports inside
+one event loop), so ``main([...])`` is enough. The ``top`` aggregation
+tests front a real ``serve`` subprocess the way the single-endpoint smoke
+tests in ``test_cli_service.py`` do.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+SERVER_ARGS = [
+    "--n", "5", "--k", "3", "--num-disks", "12", "--chunk-size", "2KiB",
+    "--disk-size", "16KiB", "--memory", "16", "--ros", "0",
+    "--placement", "rotating", "--seed", "11", "--no-fsync",
+]
+START_TIMEOUT = 30.0
+
+
+def _env():
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _wait_port(port_file: Path, proc: subprocess.Popen) -> int:
+    deadline = time.monotonic() + START_TIMEOUT
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            out, err = proc.communicate()
+            raise AssertionError(f"serve exited early ({proc.returncode}): {err}")
+        if port_file.exists() and port_file.read_text().strip():
+            return int(port_file.read_text().strip())
+        time.sleep(0.05)
+    proc.kill()
+    raise AssertionError("serve never wrote its port file")
+
+
+@pytest.fixture
+def serve(tmp_path):
+    procs = []
+
+    def start(*extra):
+        port_file = tmp_path / f"port-{len(procs)}"
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", *SERVER_ARGS,
+             "--port-file", str(port_file), *extra],
+            env=_env(), stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True,
+        )
+        procs.append(proc)
+        return proc, _wait_port(port_file, proc)
+
+    yield start
+    for proc in procs:
+        if proc.poll() is None:
+            proc.kill()
+        proc.communicate()
+
+
+class TestChaosCommand:
+    def test_chaos_passes_and_writes_report(self, tmp_path, capsys):
+        out_file = tmp_path / "report.json"
+        code = main([
+            "chaos", "--dir", str(tmp_path / "run"), "--json",
+            "--output", str(out_file),
+        ])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["passed"] is True
+        assert report["failures"] == []
+        assert report["byte_identical"] is True
+        assert report["duplicate_writes"] == []
+        assert report["stale_owner_fenced"] is True
+        assert json.loads(out_file.read_text()) == report
+
+    def test_chaos_human_summary(self, tmp_path, capsys):
+        code = main(["chaos", "--dir", str(tmp_path / "run")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chaos: PASS" in out
+        assert "takeover" in out
+
+
+class TestTopEndpoint:
+    def test_aggregated_json_over_two_daemons(self, serve, tmp_path, capsys):
+        cluster = tmp_path / "cluster"
+        common = [
+            "--cluster-dir", str(cluster), "--cluster-shards", "4",
+            "--lease-ttl", "1.0", "--heartbeat-interval", "0.25",
+            "--journal", str(tmp_path / "journal"),
+        ]
+        _, port_a = serve(
+            "--store", str(tmp_path / "store"), "--node-id", "a", *common,
+        )
+        _, port_b = serve(
+            "--store", str(tmp_path / "store"), "--attach", "--node-id", "b",
+            "--daemon-index", "1", *common,
+        )
+        ep_a, ep_b = f"127.0.0.1:{port_a}", f"127.0.0.1:{port_b}"
+        code = main([
+            "top", "--endpoint", ep_a, "--endpoint", ep_b, "--once", "--json",
+        ])
+        assert code == 0
+        snapshots = json.loads(capsys.readouterr().out)
+        assert set(snapshots) == {ep_a, ep_b}
+        assert snapshots[ep_a]["cluster"]["node"] == "a"
+        assert snapshots[ep_b]["cluster"]["node"] == "b"
+        # First comer holds every shard; the second stays sticky.
+        assert snapshots[ep_a]["cluster"]["owned_shards"] == [0, 1, 2, 3]
+        assert snapshots[ep_b]["cluster"]["owned_shards"] == []
+        assert "jobs" in snapshots[ep_a]["stats"]
+
+        # The human-readable frame renders both tables.
+        code = main(["top", "--endpoint", ep_a, "--endpoint", ep_b, "--once"])
+        assert code == 0
+        frame = capsys.readouterr().out
+        assert "cluster daemons" in frame
+        assert "shard leases" in frame
+
+    def test_single_endpoint_json_shape_is_stable(self, serve, tmp_path, capsys):
+        # The pre-cluster contract: no --endpoint, same snapshot keys.
+        _, port = serve("--store", str(tmp_path / "store"))
+        code = main(["top", "--port", str(port), "--once", "--json"])
+        assert code == 0
+        stats = json.loads(capsys.readouterr().out)
+        for key in ("jobs", "foreground", "chunks_enqueued", "modeled_now"):
+            assert key in stats
+
+    def test_all_endpoints_down_exits_one(self, capsys):
+        code = main([
+            "top", "--endpoint", "127.0.0.1:1", "--once", "--json",
+        ])
+        assert code == 1

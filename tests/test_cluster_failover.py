@@ -1,0 +1,283 @@
+"""The failover failure matrix: crashes around commits, handoff, fencing.
+
+Each case kills a repairing service at a different point relative to its
+journal's records, then has a *different* service instance — fronting the
+same shared store and journal directory, the way a surviving daemon does
+after claiming the dead peer's shard — resume the repair. The invariants
+are always the same: byte-identical objects, no chunk persisted twice,
+and a fenced stale owner refused at the commit point.
+
+The full wire-level scenario (real sockets, leases expiring on the wall
+clock, hedged client reads) lives in ``ChaosScenario`` and runs once at
+the end; the matrix cases here stay socket-free so each timing variant is
+cheap enough to enumerate.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core import ALGORITHMS
+from repro.errors import FencedError
+from repro.faults.injector import SimulatedCrash
+from repro.faults.spec import FaultEvent, FaultSchedule
+from repro.hdss.server import HDSSConfig, HighDensityStorageServer
+from repro.obs import MetricsRegistry, use_registry
+from repro.service.chaos import ChaosConfig, ChaosScenario, CountingStore
+from repro.service.cluster import ClusterClock, ClusterConfig, ClusterNode
+from repro.service.service import RepairService, ServiceConfig
+from repro.hdss.store import InMemoryChunkStore, ShardedChunkStore
+
+DISK = 3
+
+
+@pytest.fixture(autouse=True)
+def _registry():
+    with use_registry(MetricsRegistry()):
+        yield
+
+
+def make_server(store, seed=11):
+    config = HDSSConfig(
+        num_disks=12, n=5, k=3, chunk_size=2048, memory_chunks=16,
+        spares=3, seed=seed, placement="rotating",
+    )
+    server = HighDensityStorageServer(config, store=store)
+    server.provision_stripes(12, with_data=True)
+    return server
+
+
+def attach_server(store, seed=11):
+    """A second daemon's view: provision into a throwaway store, then
+    front the shared one (same seed => identical layout and spares)."""
+    server = make_server(InMemoryChunkStore(), seed=seed)
+    server.store = store
+    return server
+
+
+def make_service(server, journal_root, faults=None, fence=None):
+    return RepairService(
+        server, ALGORITHMS["hd-psr-ap"](),
+        ServiceConfig(
+            max_concurrent_stripes=1, journal_root=journal_root,
+            durable_journal=False,
+        ),
+        faults=faults, fence=fence,
+    )
+
+
+def shared_store(tmp_path):
+    return CountingStore(
+        ShardedChunkStore.from_root(tmp_path / "store", durable=False)
+    )
+
+
+async def crash_repair(service, disk=DISK, resume=False):
+    """Run a repair expected to die of a scripted crash; abort the writer
+    afterwards the way a killed process loses its unflushed queue."""
+    ticket = service.submit_repair(disk, resume=resume)
+    with pytest.raises(SimulatedCrash):
+        await ticket.task
+    service.writer.abort()
+
+
+async def finish_repair(service, disk=DISK):
+    ticket = service.submit_repair(disk, resume=True)
+    result = await ticket.task
+    await service.close()
+    return result
+
+
+def assert_invariants(store, server, originals, result):
+    assert result.certified, "handoff repair must certify clean"
+    assert store.duplicates() == [], "a chunk was persisted twice"
+    for si, want in originals.items():
+        assert server.read_object(si) == want, f"stripe {si} bytes diverged"
+
+
+def crash_then_handoff(tmp_path, crash_at):
+    """One matrix cell: owner crashes at ``crash_at`` (modeled seconds),
+    a survivor resumes from the shared journal. Returns (result, store)."""
+    async def run():
+        store = shared_store(tmp_path)
+        server_a = make_server(store)
+        originals = {
+            si: server_a.read_object(si) for si in range(len(server_a.layout))
+        }
+        store.reset()
+        journal = tmp_path / "journal"
+        schedule = FaultSchedule(
+            [FaultEvent(at=crash_at, kind="process_crash")]
+        )
+        service_a = make_service(server_a, journal, faults=schedule)
+        server_a.fail_disk(DISK)
+        await crash_repair(service_a)
+
+        server_b = attach_server(store)
+        server_b.fail_disk(DISK, destroy_data=False)
+        service_b = make_service(server_b, journal)
+        result = await finish_repair(service_b)
+        assert_invariants(store, server_b, originals, result)
+        return result
+
+    return asyncio.run(run())
+
+
+# ------------------------------------------------------------------ matrix
+class TestCrashTimingMatrix:
+    def test_crash_before_first_round_commit(self, tmp_path):
+        # Almost immediately: the journal holds little more than `begin`.
+        result = crash_then_handoff(tmp_path, crash_at=1e-7)
+        assert result.stripes_repaired == result.stripes
+
+    def test_crash_mid_repair_between_commits(self, tmp_path):
+        result = crash_then_handoff(tmp_path, crash_at=2.5e-5)
+        assert result.resumed_stripes > 0, "crash landed outside the window"
+        assert result.stripes_repaired == result.stripes
+
+    def test_crash_late_after_most_round_commits(self, tmp_path):
+        result = crash_then_handoff(tmp_path, crash_at=3.2e-5)
+        assert result.resumed_stripes > 0
+        assert result.stripes_repaired == result.stripes
+
+    def test_crash_during_journal_handoff(self, tmp_path):
+        # The survivor itself dies mid-resume; a third incarnation
+        # finishes. Two generations of partial journals, one answer.
+        async def run():
+            store = shared_store(tmp_path)
+            server_a = make_server(store)
+            originals = {
+                si: server_a.read_object(si)
+                for si in range(len(server_a.layout))
+            }
+            store.reset()
+            journal = tmp_path / "journal"
+            service_a = make_service(
+                server_a, journal,
+                faults=FaultSchedule(
+                    [FaultEvent(at=2e-5, kind="process_crash")]
+                ),
+            )
+            server_a.fail_disk(DISK)
+            await crash_repair(service_a)
+
+            server_b = attach_server(store)
+            server_b.fail_disk(DISK, destroy_data=False)
+            # The schedule is the external fault script: the survivor's
+            # copy repeats the crash it already survived (swallowed via
+            # resume_count) and adds the one that kills *it* mid-resume.
+            service_b = make_service(
+                server_b, journal,
+                faults=FaultSchedule([
+                    FaultEvent(at=2e-5, kind="process_crash"),
+                    FaultEvent(at=2.8e-5, kind="process_crash"),
+                ]),
+            )
+            await crash_repair(service_b, resume=True)
+
+            server_c = attach_server(store)
+            server_c.fail_disk(DISK, destroy_data=False)
+            service_c = make_service(server_c, journal)
+            result = await finish_repair(service_c)
+            assert_invariants(store, server_c, originals, result)
+
+        asyncio.run(run())
+
+
+# ----------------------------------------------------------------- fencing
+class TestEpochFencing:
+    def test_fenced_service_cannot_commit(self, tmp_path):
+        """Split-brain prevention end to end: the owner loses its lease
+        mid-repair and its next durable effect raises FencedError instead
+        of writing — the repair job dies fenced, not corrupting."""
+        async def run():
+            state = {"t": 100.0}
+            cluster_cfg = dict(
+                root=tmp_path / "cluster", num_shards=4,
+                lease_ttl=2.0, heartbeat_interval=0.5, durable=False,
+            )
+            node_a = ClusterNode(
+                ClusterConfig(node_id="a", endpoint="a:1", **cluster_cfg),
+                clock=ClusterClock(base=lambda: state["t"]),
+            )
+            node_b = ClusterNode(
+                ClusterConfig(node_id="b", endpoint="b:1", **cluster_cfg),
+                clock=ClusterClock(base=lambda: state["t"]),
+            )
+            node_a.tick()
+            node_b.tick()
+
+            store = shared_store(tmp_path)
+            server = make_server(store)
+            store.reset()
+            service = make_service(
+                server, tmp_path / "journal", fence=node_a.check_fence
+            )
+            # a silently loses every lease to b (a partition would do
+            # this); its in-memory state still says "owner".
+            state["t"] += 2.5
+            node_b.tick()
+            state["t"] += 0.6  # a's fence cache lapses
+
+            server.fail_disk(DISK)
+            ticket = service.submit_repair(DISK)
+            with pytest.raises(FencedError) as err:
+                await ticket.task
+            assert err.value.current_epoch > err.value.held_epoch
+            # Fenced before any durable effect: nothing hit the store.
+            assert store.write_counts == {}
+
+        asyncio.run(run())
+
+    def test_revived_stale_owner_rejected_after_handoff(self, tmp_path):
+        async def run():
+            state = {"t": 0.0}
+            cfg = dict(
+                root=tmp_path / "cluster", num_shards=4,
+                lease_ttl=1.0, heartbeat_interval=0.25, durable=False,
+            )
+            a = ClusterNode(
+                ClusterConfig(node_id="a", endpoint="a:1", **cfg),
+                clock=ClusterClock(base=lambda: state["t"]),
+            )
+            b = ClusterNode(
+                ClusterConfig(node_id="b", endpoint="b:1", **cfg),
+                clock=ClusterClock(base=lambda: state["t"]),
+            )
+            a.tick()
+            b.tick()
+            state["t"] += 1.5
+            claims = b.tick()  # a is "dead"; b takes everything
+            assert claims
+            # a revives with stale in-memory ownership: every commit-point
+            # check must fail, and must not disturb b's epoch.
+            state["t"] += 0.3
+            for shard in range(4):
+                with pytest.raises(FencedError):
+                    a.check_fence(shard)  # disk i -> shard i for i < 4
+            assert all(e == 2 for e in b.held.values())
+            a_tick = a.tick()
+            assert a_tick == []  # revival does not steal leases back
+
+        asyncio.run(run())
+
+
+# ---------------------------------------------------------------- scenario
+class TestChaosScenario:
+    def test_full_wire_scenario_passes(self, tmp_path):
+        """The whole stack once: sockets, leases on the wall clock, client
+        retries/hedging, handoff, and the report's invariant checks."""
+        report = asyncio.run(
+            ChaosScenario(ChaosConfig(root=tmp_path)).run()
+        )
+        assert report["failures"] == []
+        assert report["passed"] is True
+        assert report["exit_code_a"] == 4
+        assert report["exit_code_b"] == 0
+        assert report["handoffs"] == [DISK]
+        assert report["byte_identical"] is True
+        assert report["duplicate_writes"] == []
+        assert report["stale_owner_fenced"] is True
+        assert report["fence_epochs"]["current"] > report["fence_epochs"]["held"]
+        assert report["repair_b"]["resumed_stripes"] > 0
+        assert report["takeover_seconds"] < 30.0

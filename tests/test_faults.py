@@ -374,3 +374,98 @@ class TestProcessCrash:
         inj.advance(1.0)  # first crash already happened pre-resume: skipped
         with pytest.raises(SimulatedCrash):
             inj.advance(2.0)
+
+
+# ---------------------------------------------------------------------------
+# Service-plane faults: spec round-trips, the daemon split, wire injector
+# ---------------------------------------------------------------------------
+class TestServiceFaultSpec:
+    def test_service_kinds_round_trip_with_daemon(self):
+        from repro.faults.spec import SERVICE_FAULT_KINDS
+
+        schedule = FaultSchedule([
+            FaultEvent(at=1.0, kind="daemon_crash", daemon=2),
+            FaultEvent(at=3, kind="conn_reset", daemon=1),
+            FaultEvent(at=5, kind="slow_peer", daemon=0, factor=4, duration=0.2),
+            FaultEvent(at=7, kind="partial_frame", daemon=1),
+            FaultEvent(at=9, kind="clock_skew", daemon=0, factor=2.5),
+        ])
+        spec = schedule.to_spec()
+        for entry in spec["events"]:
+            assert "daemon" in entry
+            assert "disk" not in entry
+            assert entry["kind"] in SERVICE_FAULT_KINDS
+        again = FaultSchedule.from_spec(spec)
+        assert [e.kind for e in again] == [e.kind for e in schedule]
+        assert [e.daemon for e in again] == [2, 1, 0, 1, 0]
+
+    def test_for_daemon_splits_planes(self):
+        from repro.faults.service import is_service_schedule
+
+        schedule = FaultSchedule([
+            FaultEvent(at=0.5, kind="disk_fail", disk=4),
+            FaultEvent(at=1.0, kind="daemon_crash", daemon=1),
+            FaultEvent(at=2, kind="conn_reset", daemon=0),
+            FaultEvent(at=3, kind="slow_peer", daemon=1, duration=0.1),
+        ])
+        assert is_service_schedule(schedule)
+        local0, wire0 = schedule.for_daemon(0)
+        # Generic disk faults reach every daemon; daemon 1's crash and
+        # slow_peer do not reach daemon 0.
+        assert [e.kind for e in local0] == ["disk_fail"]
+        assert [e.kind for e in wire0] == ["conn_reset"]
+        local1, wire1 = schedule.for_daemon(1)
+        # The addressed daemon sees its crash as a process_crash on the
+        # modeled clock — same semantics as the single-process kind.
+        assert [e.kind for e in local1] == ["disk_fail", "process_crash"]
+        assert local1.events[1].at == 1.0
+        assert [e.kind for e in wire1] == ["slow_peer"]
+        assert not is_service_schedule(local1)
+
+
+class TestServiceFaultInjector:
+    def make(self, events, daemon=0):
+        from repro.faults.service import ServiceFaultInjector
+
+        return ServiceFaultInjector(FaultSchedule(events), daemon=daemon)
+
+    def test_oneshots_fire_once_at_their_ordinal(self):
+        inj = self.make([
+            FaultEvent(at=1, kind="conn_reset"),
+            FaultEvent(at=2, kind="partial_frame"),
+        ])
+        assert not inj.on_request().disruptive          # ordinal 0
+        verdict = inj.on_request()                      # ordinal 1
+        assert verdict.reset and not verdict.partial
+        verdict = inj.on_request()                      # ordinal 2
+        assert verdict.partial and not verdict.reset
+        assert not inj.on_request().disruptive          # consumed
+        assert inj.applied == {"conn_reset": 1, "partial_frame": 1}
+        assert inj.exhausted
+
+    def test_slow_peer_window_spans_factor_requests(self):
+        inj = self.make([
+            FaultEvent(at=1, kind="slow_peer", factor=2, duration=0.25),
+        ])
+        assert inj.on_request().delay_seconds == 0.0    # ordinal 0
+        assert not inj.exhausted
+        assert inj.on_request().delay_seconds == 0.25   # ordinal 1
+        assert inj.on_request().delay_seconds == 0.25   # ordinal 2
+        assert inj.on_request().delay_seconds == 0.0    # window closed
+        assert inj.applied["slow_peer"] == 2
+        assert inj.exhausted
+
+    def test_clock_skew_accumulates(self):
+        inj = self.make([
+            FaultEvent(at=0, kind="clock_skew", factor=1.5),
+            FaultEvent(at=0, kind="clock_skew", factor=2.0),
+        ])
+        assert inj.on_request().skew_seconds == pytest.approx(3.5)
+        assert inj.on_request().skew_seconds == 0.0
+
+    def test_late_oneshot_fires_on_next_request(self):
+        # An event whose ordinal already passed still fires exactly once.
+        inj = self.make([FaultEvent(at=0, kind="conn_reset")])
+        inj.requests_seen = 5
+        assert inj.on_request().reset
+        assert not inj.on_request().reset
