@@ -717,12 +717,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
     if args.attach and store is not None:
         server.store = store
+    overload = None
+    if not args.no_overload_control:
+        from repro.service import OverloadConfig
+
+        overload = OverloadConfig(
+            target_ms=args.overload_target_ms,
+            shed_target_ms=args.overload_shed_target_ms,
+            interval_ms=args.overload_interval_ms,
+        )
     config = ServiceConfig(
         max_concurrent_stripes=args.max_stripes,
         per_disk_reads=args.per_disk_reads,
         policy=policy,
         journal_root=args.journal,
         durable_journal=not args.no_fsync,
+        overload=overload,
     )
     telemetry = None
     if args.metrics_port is not None or args.metrics_port_file:
@@ -800,6 +810,43 @@ def _resolve_port(args: argparse.Namespace) -> Optional[int]:
         _time.sleep(0.05)
 
 
+def _client_open_loop(args: argparse.Namespace, port: int) -> int:
+    """``hdpsr client --shape ...``: open-loop load at a traffic shape."""
+    import asyncio
+    import json
+
+    from repro.service import run_open_loop
+
+    report = asyncio.run(run_open_loop(
+        args.host, port,
+        shape=args.shape, rate=args.rate, duration=args.duration,
+        seed=args.seed, deadline_ms=args.deadline_ms,
+        disks=tuple(args.fail or ()), connections=args.connections,
+        shutdown=args.shutdown,
+    ))
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return int(report["exit_code"])
+    errors = report["errors"]
+    print(f"open loop [{args.shape}]: offered {report['offered']} reads "
+          f"@ {report['offered_rate']:.1f}/s over "
+          f"{report['elapsed_seconds']:.2f}s")
+    print(f"completed {report['completed']} "
+          f"({report['goodput_per_s']:.1f}/s goodput)  "
+          f"p50 {report['read_p50_seconds'] * 1e3:.2f} ms  "
+          f"p99 {report['read_p99_seconds'] * 1e3:.2f} ms"
+          + (f"  (deadline {args.deadline_ms:.0f} ms)"
+             if args.deadline_ms else ""))
+    if errors:
+        detail = "  ".join(f"{code}={n}" for code, n in sorted(errors.items()))
+        print(f"shed/errors: {detail}")
+    for row in report["repairs"]:
+        print(f"repair disk {row.get('disk')}: "
+              f"{row.get('stripes_repaired')} stripes, "
+              f"certified={row.get('certified')}")
+    return int(report["exit_code"])
+
+
 def cmd_client(args: argparse.Namespace) -> int:
     """Drive a repair-under-load workload against ``hdpsr serve``."""
     import asyncio
@@ -810,6 +857,8 @@ def cmd_client(args: argparse.Namespace) -> int:
     port = _resolve_port(args)
     if port is None:
         return 2
+    if args.shape:
+        return _client_open_loop(args, port)
     disks = args.fail if args.fail else [0]
     report = asyncio.run(run_workload(
         args.host, port,
@@ -900,6 +949,18 @@ def _render_top(stats: dict) -> str:
                            g.get("waiting_foreground", 0),
                            g.get("waiting_background", 0)])
         lines.append(table.render())
+    overload = stats.get("overload")
+    if overload:
+        line = (f"overload: state={overload.get('state', 'healthy')}  "
+                f"sheds/s {overload.get('sheds_per_s', 0.0):.1f} "
+                f"(total {int(overload.get('sheds_total', 0))})  "
+                f"deadline-expired {int(overload.get('deadline_expired', 0))}  "
+                f"retry-after {overload.get('retry_after_ms', 0):.0f} ms")
+        browned = overload.get("browned_disks") or []
+        if browned:
+            line += ("  browned disks: "
+                     + ",".join(str(d) for d in browned))
+        lines.append(line)
     journal = stats.get("journal", {})
     runtime = stats.get("runtime") or {}
     tail = (f"writer backlog {stats.get('writer_backlog', 0)}  "
@@ -924,20 +985,21 @@ def _render_cluster_top(snapshots: "Dict[str, dict]") -> str:
     lines: List[str] = []
     table = AsciiTable(
         ["endpoint", "node", "ready", "owned shards", "epochs", "handoffs",
-         "failovers", "jobs"],
+         "failovers", "jobs", "state", "sheds/s", "ddl-exp"],
         title="cluster daemons",
     )
     for endpoint in sorted(snapshots):
         snap = snapshots[endpoint]
         if "error" in snap:
             table.add_row([endpoint, "-", "down", "-", "-", "-", "-",
-                           snap["error"][:40]])
+                           snap["error"][:40], "-", "-", "-"])
             continue
         cluster = snap.get("cluster") or {}
         stats = snap.get("stats") or {}
         epochs = cluster.get("epochs") or {}
         jobs = stats.get("jobs", [])
         running = sum(1 for j in jobs if not j.get("done"))
+        overload = stats.get("overload") or {}
         table.add_row([
             endpoint,
             cluster.get("node", "-"),
@@ -947,6 +1009,11 @@ def _render_cluster_top(snapshots: "Dict[str, dict]") -> str:
             ",".join(str(d) for d in cluster.get("handoffs", [])) or "-",
             cluster.get("failovers", 0),
             f"{running} running / {len(jobs)} total",
+            overload.get("state", "-"),
+            (f"{overload.get('sheds_per_s', 0.0):.1f}"
+             if overload else "-"),
+            (str(int(overload.get("deadline_expired", 0)))
+             if overload else "-"),
         ])
     lines.append(table.render())
     owners: Dict[str, dict] = {}
@@ -1064,26 +1131,77 @@ def cmd_top(args: argparse.Namespace) -> int:
         return 0
 
 
+def _report_overload_chaos(report: dict) -> None:
+    """Human rendering of one flash-crowd episode report."""
+    shape = report.get("shape", {})
+    overload = report.get("overload", {})
+    repair = report.get("repair", {})
+    print(f"flash crowd: {report.get('offered')} reads @ "
+          f"{report.get('offered_rate')}/s (spike x"
+          f"{shape.get('spike_factor', '?')}) against hot disk "
+          f"{report.get('hot_disk')} "
+          f"(capacity {report.get('hot_capacity_per_s')}/s), "
+          f"control={'on' if report.get('control') else 'OFF'}")
+    p99 = report.get("read_p99_seconds")
+    p99_text = "-" if p99 is None else f"{p99 * 1e3:.1f} ms"
+    print(f"completed {report.get('completed')}  "
+          f"goodput pre {report.get('goodput_pre_per_s')}/s "
+          f"spike {report.get('goodput_spike_per_s')}/s  "
+          f"p99 {p99_text} (budget {report.get('p99_budget')}s, "
+          f"violated={report.get('p99_violated')})")
+    shed_hint = (report.get("shed_example") or {}).get("retry_after_ms")
+    print(f"states {'->'.join(report.get('states_seen', []))}  "
+          f"sheds {report.get('sheds')} "
+          f"(retry_after {shed_hint} ms)  "
+          f"deadline-expired {report.get('deadline_expired')}  "
+          f"repair-paced {overload.get('repair_paced', 0)}")
+    print(f"repair certified={repair.get('certified')}  "
+          f"byte-identical={report.get('byte_identical')}  "
+          f"recovered-healthy={report.get('recovered_healthy', 'n/a')}")
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
-    """Run the kill-the-owner cluster chaos scenario (``hdpsr chaos``)."""
+    """Run a chaos scenario: ``failover`` (kill the owner mid-repair)
+    or ``overload`` (flash crowd against a repairing daemon)."""
     import json
     import tempfile
     from pathlib import Path
 
-    from repro.service.chaos import ChaosConfig, run_chaos
+    if args.scenario == "overload":
+        from repro.service.chaos_overload import (
+            OverloadChaosConfig,
+            run_overload_chaos,
+        )
 
-    def execute(root: Path) -> dict:
-        return run_chaos(ChaosConfig(
-            root=root,
-            seed=args.seed,
-            stripes=args.stripes,
-            failed_disk=args.disk,
-            crash_at=args.crash_at,
-            lease_ttl=args.lease_ttl,
-            heartbeat_interval=args.heartbeat_interval,
-            p99_budget=args.p99_budget,
-            deadline=args.deadline,
-        ))
+        def execute(root: Path) -> dict:
+            return run_overload_chaos(OverloadChaosConfig(
+                control=not args.no_control,
+                root=root,
+                seed=args.seed,
+                stripes=args.stripes,
+                failed_disk=args.disk,
+                p99_budget=(
+                    args.p99_budget if args.p99_budget is not None else 0.3
+                ),
+                deadline=args.deadline,
+            ))
+    else:
+        from repro.service.chaos import ChaosConfig, run_chaos
+
+        def execute(root: Path) -> dict:
+            return run_chaos(ChaosConfig(
+                root=root,
+                seed=args.seed,
+                stripes=args.stripes,
+                failed_disk=args.disk,
+                crash_at=args.crash_at,
+                lease_ttl=args.lease_ttl,
+                heartbeat_interval=args.heartbeat_interval,
+                p99_budget=(
+                    args.p99_budget if args.p99_budget is not None else 2.0
+                ),
+                deadline=args.deadline,
+            ))
 
     if args.dir:
         report = execute(Path(args.dir))
@@ -1095,6 +1213,11 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         Path(args.output).write_text(json.dumps(report, indent=2, sort_keys=True))
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
+    elif args.scenario == "overload":
+        _report_overload_chaos(report)
+        for failure in report.get("failures", []):
+            print(f"FAIL: {failure}", file=sys.stderr)
+        print("chaos: PASS" if report.get("passed") else "chaos: FAIL")
     else:
         latency = report.get("foreground_latency", {})
         repair = report.get("repair_b", {})
@@ -1267,8 +1390,26 @@ def build_parser() -> argparse.ArgumentParser:
                          help="shard count for --store (default 4)")
     p_serve.add_argument("--max-stripes", type=int, default=4,
                          help="concurrent stripe decodes per repair job")
+    p_serve.add_argument("--gate-width", dest="per_disk_reads", type=int,
+                         default=argparse.SUPPRESS,
+                         help="concurrent reads allowed per disk (the DiskGate "
+                              "width; default 2). Canonical name for "
+                              "--per-disk-reads — last flag given wins.")
     p_serve.add_argument("--per-disk-reads", type=int, default=2,
-                         help="concurrent reads allowed per disk")
+                         help="alias of --gate-width (kept for older scripts)")
+    p_serve.add_argument("--no-overload-control", action="store_true",
+                         help="disable the CoDel-style brownout controller "
+                              "(deadline errors still honored; see "
+                              "docs/service.md#overload--brownout)")
+    p_serve.add_argument("--overload-target-ms", type=float, default=5.0,
+                         help="gate-wait target: a 100 ms window whose "
+                              "*minimum* wait exceeds this browns the daemon "
+                              "out (repair paced)")
+    p_serve.add_argument("--overload-shed-target-ms", type=float, default=50.0,
+                         help="escalation target: min gate wait above this "
+                              "starts shedding degraded reads")
+    p_serve.add_argument("--overload-interval-ms", type=float, default=100.0,
+                         help="CoDel window length in milliseconds")
     p_serve.add_argument("--no-fsync", action="store_true",
                          help="skip fsync in store and journal (tests/CI)")
     p_serve.add_argument("--metrics-port", type=int, default=None,
@@ -1313,6 +1454,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_client.add_argument("--fail", type=int, action="append", default=None,
                           metavar="DISK",
                           help="disk to fail + repair (repeatable; default 0)")
+    p_client.add_argument("--shape", default=None,
+                          choices=["constant", "diurnal", "bursty", "flash"],
+                          help="switch to OPEN-loop load: fire reads at this "
+                               "arrival shape's scheduled instants regardless "
+                               "of completions (ignores --reads/"
+                               "--read-concurrency)")
+    p_client.add_argument("--rate", type=float, default=50.0,
+                          help="open loop: mean offered rate in requests/s")
+    p_client.add_argument("--duration", type=float, default=5.0,
+                          help="open loop: schedule length in seconds")
+    p_client.add_argument("--deadline-ms", type=float, default=None,
+                          help="per-request deadline budget attached on the "
+                               "wire (daemon sheds work that can't meet it)")
+    p_client.add_argument("--connections", type=int, default=32,
+                          help="open loop: client socket pool size")
     p_client.add_argument("--reads", type=int, default=100,
                           help="foreground chunk reads issued during repair")
     p_client.add_argument("--read-concurrency", type=int, default=4,
@@ -1350,8 +1506,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_chaos = sub.add_parser(
         "chaos",
-        help="kill-the-owner cluster chaos: 2 daemons, shared store, "
-             "lease failover + journal handoff, invariant checks")
+        help="deterministic chaos scenarios: failover (kill the owner "
+             "mid-repair) or overload (flash crowd vs a repairing daemon)")
+    p_chaos.add_argument("--scenario", choices=["failover", "overload"],
+                         default="failover",
+                         help="failover: 2 daemons, lease takeover + journal "
+                              "handoff. overload: open-loop flash crowd "
+                              "against one repairing daemon; asserts brownout "
+                              "entry/exit, bounded p99, clean repair")
+    p_chaos.add_argument("--no-control", action="store_true",
+                         help="overload scenario only: run the negative "
+                              "control (controller + deadlines off; expect "
+                              "the p99 budget to be violated)")
     p_chaos.add_argument("--dir", default=None, metavar="DIR",
                          help="scratch directory (default: a temp dir)")
     p_chaos.add_argument("--seed", type=int, default=11)
@@ -1364,8 +1530,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "(mid-repair at the default geometry)")
     p_chaos.add_argument("--lease-ttl", type=float, default=0.6)
     p_chaos.add_argument("--heartbeat-interval", type=float, default=0.15)
-    p_chaos.add_argument("--p99-budget", type=float, default=2.0,
-                         help="wall-clock bound asserted on foreground p99")
+    p_chaos.add_argument("--p99-budget", type=float, default=None,
+                         help="wall-clock bound asserted on foreground p99 "
+                              "(default 2.0s for failover, 0.3s for overload)")
     p_chaos.add_argument("--deadline", type=float, default=60.0,
                          help="overall scenario timeout in seconds")
     p_chaos.add_argument("--json", action="store_true",

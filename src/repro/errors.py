@@ -74,6 +74,42 @@ class PlanError(ReproError):
     """A repair plan is malformed (empty rounds, overlapping chunks, ...)."""
 
 
+class DeadlineExceededError(ReproError):
+    """A request's deadline expired before the work could be done.
+
+    Raised at queue hops (admission, gate wait, piggyback wait) so doomed
+    work is shed before it consumes a disk slot. ``hop`` names the stage
+    that caught it; ``overshoot_seconds`` is how far past the deadline the
+    check ran.
+    """
+
+    def __init__(
+        self, message: str, hop: str = "admission", overshoot_seconds: float = 0.0
+    ) -> None:
+        super().__init__(message)
+        self.hop = hop
+        self.overshoot_seconds = overshoot_seconds
+
+
+class OverloadError(ReproError):
+    """The overload controller refused a request (brownout shedding).
+
+    Carries the work class that was shed and a ``retry_after_ms`` hint the
+    daemon puts on the wire so clients back off long enough for the
+    standing queue to drain instead of retrying into it.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        work_class: str = "read",
+        retry_after_ms: float = 0.0,
+    ) -> None:
+        super().__init__(message)
+        self.work_class = work_class
+        self.retry_after_ms = retry_after_ms
+
+
 class ClusterError(ReproError):
     """A multi-daemon cluster operation failed (leases, ownership, handoff)."""
 

@@ -100,6 +100,13 @@ PAPER_CLAIMS = {
         "p99 at milliseconds through the failover; every episode re-proves "
         "byte-identical handoff, zero duplicate writes, and epoch fencing."
     ),
+    "overload": (
+        "Repo extension: open-loop load swept past the hot disk's capacity "
+        "with the brownout controller on vs off. Goodput climbs to the knee "
+        "and saturates there either way, but only the controlled daemon "
+        "keeps the successful-read p99 near the deadline budget past the "
+        "knee — the uncontrolled one's tail grows with the standing queue."
+    ),
 }
 
 TITLES = {
@@ -126,6 +133,7 @@ TITLES = {
     "service_throughput": "Extension — concurrent repair throughput of the service plane",
     "service_telemetry_overhead": "Extension — CPU cost of the live telemetry plane",
     "cluster_failover": "Extension — cluster failover: takeover latency and foreground p99",
+    "overload": "Extension — overload knee: goodput and p99 vs offered load",
 }
 
 ORDER = [
@@ -134,7 +142,7 @@ ORDER = [
     "ablation_staleness", "durability", "wallclock", "lrc_comparison",
     "foreground_latency", "ablation_slicing", "wide_stripes",
     "vulnerability_order", "robustness", "service_throughput",
-    "service_telemetry_overhead", "cluster_failover",
+    "service_telemetry_overhead", "cluster_failover", "overload",
 ]
 
 

@@ -5,33 +5,49 @@ into a long-running service that overlaps many repairs and keeps serving
 client reads while disks rebuild:
 
 * :mod:`repro.service.admission` — per-disk read-concurrency gates with
-  foreground-over-background priority;
+  foreground-over-background priority and deadline-bounded waits;
 * :mod:`repro.service.sharding` — the bounded, batching async writer in
   front of a :class:`~repro.hdss.store.ShardedChunkStore`;
 * :mod:`repro.service.service` — :class:`RepairService`: the repair
   supervisor plus the ``submit_repair`` / ``read_chunk`` front door;
 * :mod:`repro.service.protocol` — JSON-lines wire protocol (with
-  request-scoped trace propagation and the v3 error taxonomy);
+  request-scoped trace propagation, per-request deadlines, and the v4
+  error taxonomy);
+* :mod:`repro.service.overload` — deadline-aware admission control:
+  the CoDel-style :class:`OverloadController` (healthy → browned_out →
+  shedding), per-request :class:`Deadline` budgets, and the client-side
+  :class:`RetryBudget` token bucket;
 * :mod:`repro.service.netserver` / :mod:`repro.service.client` — the
-  ``hdpsr serve`` daemon and ``hdpsr client`` workload driver, plus the
-  cluster-aware :class:`ClusterClient` (retries, circuit breakers,
-  ``NOT_OWNER`` redirects, hedged failover reads);
+  ``hdpsr serve`` daemon and ``hdpsr client`` workload driver (closed
+  loop via :func:`run_workload`, open loop via :func:`run_open_loop`),
+  plus the cluster-aware :class:`ClusterClient` (retries, circuit
+  breakers, ``NOT_OWNER`` redirects, hedged failover reads, retry
+  budgets and ``retry_after_ms`` back-pressure);
 * :mod:`repro.service.cluster` — multi-daemon shard ownership: epoch-
   stamped file leases, heartbeat failure detection, journal handoff and
   epoch fencing (:class:`ClusterNode`);
 * :mod:`repro.service.chaos` — the deterministic two-daemon chaos
-  harness behind ``hdpsr chaos``;
+  harness behind ``hdpsr chaos --scenario failover``;
+* :mod:`repro.service.chaos_overload` — the flash-crowd overload
+  scenario behind ``hdpsr chaos --scenario overload``;
 * :mod:`repro.service.telemetry` — the live scrape surface: the ``stats``
   snapshot builder and the HTTP ``/metrics`` + ``/healthz`` listener.
 """
 
 from repro.service.admission import DiskGate
+from repro.service.chaos import ChaosConfig, ChaosScenario, run_chaos
+from repro.service.chaos_overload import (
+    OverloadChaosConfig,
+    OverloadChaosScenario,
+    run_overload_chaos,
+)
 from repro.service.client import (
     BackoffPolicy,
     CircuitBreaker,
     ClusterClient,
     ServiceClient,
     ServiceError,
+    run_open_loop,
     run_workload,
 )
 from repro.service.cluster import (
@@ -43,6 +59,12 @@ from repro.service.cluster import (
     LeaseStore,
 )
 from repro.service.netserver import ServiceDaemon
+from repro.service.overload import (
+    Deadline,
+    OverloadConfig,
+    OverloadController,
+    RetryBudget,
+)
 from repro.service.service import (
     RepairService,
     RepairTicket,
@@ -55,23 +77,34 @@ from repro.service.telemetry import TelemetryServer, stats_snapshot
 __all__ = [
     "AsyncShardWriter",
     "BackoffPolicy",
+    "ChaosConfig",
+    "ChaosScenario",
     "CircuitBreaker",
     "ClusterClient",
     "ClusterClock",
     "ClusterConfig",
     "ClusterNode",
+    "Deadline",
     "DiskGate",
     "HashRing",
     "LeaseRecord",
     "LeaseStore",
+    "OverloadChaosConfig",
+    "OverloadChaosScenario",
+    "OverloadConfig",
+    "OverloadController",
     "RepairService",
     "RepairTicket",
+    "RetryBudget",
     "ServiceClient",
     "ServiceConfig",
     "ServiceDaemon",
     "ServiceError",
     "ServiceRepairResult",
     "TelemetryServer",
+    "run_chaos",
+    "run_open_loop",
+    "run_overload_chaos",
     "run_workload",
     "stats_snapshot",
 ]

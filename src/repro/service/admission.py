@@ -17,6 +17,15 @@ update as reads enter and leave, :meth:`DiskGate.depths` snapshots them
 for the ``stats`` verb, and — when a tracer is recording — every admission
 wait emits a ``wait`` span stamped with the requesting span context, so a
 slow client read shows *which disk's* gate it queued on and for how long.
+
+The gate is also where overload control taps in. Every admission wait is
+reported to the optional :attr:`DiskGate.controller` (a
+:class:`~repro.service.overload.OverloadController`), which runs
+CoDel-style windows over the *minimum* wait per disk to distinguish a
+standing queue from a transient burst. Reads carrying a
+:class:`~repro.service.overload.Deadline` stop waiting the moment their
+budget expires — a doomed request must not ride out the queue just to
+occupy a slot its client already gave up on.
 """
 
 from __future__ import annotations
@@ -24,10 +33,13 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import time
-from typing import AsyncIterator, Dict
+from typing import TYPE_CHECKING, AsyncIterator, Dict, Optional
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DeadlineExceededError
 from repro.obs.context import current_registry, current_tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.service.overload import Deadline, OverloadController
 
 #: Histogram of seconds spent waiting for a read slot, labelled by priority.
 ADMISSION_WAIT = "hdpsr_service_admission_wait_seconds"
@@ -58,6 +70,8 @@ class DiskGate:
         self._fg_waiting: Dict[int, int] = {}
         #: Set when a disk has no foreground waiters (background may enter).
         self._fg_clear: Dict[int, asyncio.Event] = {}
+        #: Optional overload controller fed every admission wait.
+        self.controller: Optional["OverloadController"] = None
 
     def _sem(self, disk_id: int) -> asyncio.Semaphore:
         sem = self._sems.get(disk_id)
@@ -80,6 +94,14 @@ class DiskGate:
         """Reads currently holding a slot on ``disk_id``."""
         return self._inflight.get(disk_id, 0)
 
+    def queue_depth(self, disk_id: int) -> int:
+        """Total reads (both classes) queued on ``disk_id``."""
+        return self._fg_waiting.get(disk_id, 0) + self._bg_waiting.get(disk_id, 0)
+
+    def total_waiting(self) -> int:
+        """Total reads queued across every disk (the controller's backstop)."""
+        return sum(self._fg_waiting.values()) + sum(self._bg_waiting.values())
+
     def depths(self) -> Dict[int, Dict[str, int]]:
         """Live per-disk gate state for the ``stats`` verb / ``hdpsr top``.
 
@@ -97,6 +119,15 @@ class DiskGate:
             }
         return out
 
+    async def _acquire_background(
+        self, sem: asyncio.Semaphore, event: asyncio.Event
+    ) -> None:
+        # Background defers to any queued foreground read: wait for the
+        # disk's foreground queue to drain before competing.
+        while not event.is_set():
+            await event.wait()
+        await sem.acquire()
+
     def _waiting_gauge(self, disk_id: int, foreground: bool):
         return current_registry().gauge(
             GATE_WAITING, "reads queued for a per-disk slot"
@@ -110,36 +141,56 @@ class DiskGate:
 
     @contextlib.asynccontextmanager
     async def read(
-        self, disk_id: int, foreground: bool = False
+        self,
+        disk_id: int,
+        foreground: bool = False,
+        deadline: Optional["Deadline"] = None,
     ) -> AsyncIterator[None]:
-        """Hold one read slot on ``disk_id`` for the body of the block."""
+        """Hold one read slot on ``disk_id`` for the body of the block.
+
+        When ``deadline`` is given, the wait for a slot is bounded by the
+        request's remaining budget: an expired request raises
+        :class:`~repro.errors.DeadlineExceededError` (hop ``"gate"``)
+        instead of taking a slot it can no longer use in time.
+        """
         sem = self._sem(disk_id)
         event = self._clear_event(disk_id)
+        if deadline is not None:
+            deadline.check("gate")
         waiting_gauge = self._waiting_gauge(disk_id, foreground)
         started = time.monotonic()
         waiting_gauge.inc()
         if foreground:
             self._fg_waiting[disk_id] = self._fg_waiting.get(disk_id, 0) + 1
             event.clear()
-            try:
-                await sem.acquire()
-            finally:
+        else:
+            self._bg_waiting[disk_id] = self._bg_waiting.get(disk_id, 0) + 1
+        try:
+            if foreground:
+                pending = sem.acquire()
+            else:
+                pending = self._acquire_background(sem, event)
+            if deadline is None:
+                await pending
+            else:
+                try:
+                    await asyncio.wait_for(pending, timeout=deadline.remaining())
+                except asyncio.TimeoutError:
+                    deadline.check("gate")  # raises once the budget is spent
+                    raise DeadlineExceededError(
+                        "gate wait timed out at the deadline", hop="gate"
+                    ) from None
+        finally:
+            if foreground:
                 self._fg_waiting[disk_id] -= 1
                 if self._fg_waiting[disk_id] == 0:
                     event.set()
-                waiting_gauge.dec()
-        else:
-            self._bg_waiting[disk_id] = self._bg_waiting.get(disk_id, 0) + 1
-            try:
-                # Background defers to any queued foreground read: wait for
-                # the disk's foreground queue to drain before competing.
-                while not event.is_set():
-                    await event.wait()
-                await sem.acquire()
-            finally:
+            else:
                 self._bg_waiting[disk_id] -= 1
-                waiting_gauge.dec()
+            waiting_gauge.dec()
         waited = time.monotonic() - started
+        if self.controller is not None:
+            self.controller.observe_wait(disk_id, waited)
         priority = "foreground" if foreground else "background"
         current_registry().histogram(
             ADMISSION_WAIT, "seconds a read waited for a per-disk slot"

@@ -28,12 +28,15 @@ from repro.obs.context import current_registry, current_span, current_tracer, us
 from repro.obs.quantiles import QuantileSketch
 from repro.obs.tracer import new_span_context
 from repro.service import protocol
+from repro.service.overload import RetryBudget
 from repro.service.protocol import (
     ERR_CRASH,
     ERR_NOT_OWNER,
+    ERR_OVERLOAD,
     MAX_MESSAGE_BYTES,
 )
 from repro.utils.rng import make_rng
+from repro.workloads.arrivals import make_arrivals
 
 
 class ServiceError(ReproError):
@@ -85,6 +88,14 @@ class ServiceError(ReproError):
     @property
     def shard(self) -> int:
         return int(self.reply.get("shard", -1))
+
+    @property
+    def retry_after_ms(self) -> float:
+        """Backoff-floor hint from an ``overload`` reply (0 when absent)."""
+        try:
+            return float(self.reply.get("retry_after_ms", 0.0))
+        except (TypeError, ValueError):
+            return 0.0
 
 
 class ServiceClient:
@@ -157,12 +168,22 @@ class ServiceClient:
         reply = await self.call("metrics")
         return str(reply["metrics_text"])
 
-    async def read_chunk(self, stripe: int, shard: int) -> bytes:
-        reply = await self.call("read", stripe=stripe, shard=shard)
+    async def read_chunk(
+        self, stripe: int, shard: int, deadline_ms: Optional[float] = None
+    ) -> bytes:
+        fields = {"stripe": stripe, "shard": shard}
+        if deadline_ms is not None:
+            fields["deadline_ms"] = float(deadline_ms)
+        reply = await self.call("read", **fields)
         return protocol.unpack_bytes(reply["data_b64"])
 
-    async def read_object(self, stripe: int) -> bytes:
-        reply = await self.call("read_object", stripe=stripe)
+    async def read_object(
+        self, stripe: int, deadline_ms: Optional[float] = None
+    ) -> bytes:
+        fields = {"stripe": stripe}
+        if deadline_ms is not None:
+            fields["deadline_ms"] = float(deadline_ms)
+        reply = await self.call("read_object", **fields)
         return protocol.unpack_bytes(reply["data_b64"])
 
     async def cluster(self) -> dict:
@@ -292,6 +313,11 @@ class ClusterClient:
     * ``NOT_OWNER`` redirect handling: the reply's ``endpoint`` updates a
       shard→endpoint ownership cache and the request is re-sent straight
       to the owner (a redirect does not count against the breaker);
+    * per-endpoint :class:`~repro.service.overload.RetryBudget` token
+      buckets, so during a brownout retries amplify offered load by at
+      most ``1 + retry_budget_ratio`` instead of storming the daemon;
+      ``retry_after_ms`` hints from ``overload`` replies are honored as a
+      floor under the jittered exponential backoff;
     * hedged failover reads: :meth:`read_chunk` can fire a backup read at
       a second daemon after ``hedge_after`` seconds of silence and take
       whichever answers first — bounding foreground p99 through a daemon
@@ -311,6 +337,8 @@ class ClusterClient:
         breaker_threshold: int = 3,
         breaker_reset_after: float = 1.0,
         hedge_after: Optional[float] = 0.05,
+        retry_budget_ratio: float = 0.1,
+        retry_budget_cap: float = 10.0,
     ) -> None:
         if not endpoints:
             raise ReproError("ClusterClient needs at least one endpoint")
@@ -318,6 +346,9 @@ class ClusterClient:
         self.retries = retries
         self.backoff = backoff or BackoffPolicy()
         self.hedge_after = hedge_after
+        self._budget_ratio = retry_budget_ratio
+        self._budget_cap = retry_budget_cap
+        self._budgets: Dict[str, RetryBudget] = {}
         self._conns: Dict[str, ServiceClient] = {}
         self._breakers: Dict[str, CircuitBreaker] = {
             ep: CircuitBreaker(breaker_threshold, breaker_reset_after)
@@ -346,6 +377,15 @@ class ClusterClient:
 
     def breaker_state(self, endpoint: str) -> str:
         return self._breakers[endpoint].state
+
+    def retry_budget(self, endpoint: str) -> RetryBudget:
+        """The endpoint's retry token bucket (created on first use)."""
+        budget = self._budgets.get(endpoint)
+        if budget is None:
+            budget = self._budgets[endpoint] = RetryBudget(
+                ratio=self._budget_ratio, cap=self._budget_cap
+            )
+        return budget
 
     def _export_breakers(self) -> None:
         gauge = current_registry().gauge(
@@ -388,13 +428,32 @@ class ClusterClient:
         """The retry ladder; ``fields`` go on the wire verbatim."""
         last_error: Optional[ServiceError] = None
         registry = current_registry()
+        retry_after_floor = 0.0
+        first = True
         for attempt in range(self.retries + 1):
             for endpoint in self._candidates(preferred):
                 breaker = self._breakers[endpoint]
+                budget = self.retry_budget(endpoint)
+                if first:
+                    budget.on_request()
+                    first = False
+                elif last_error is not None and last_error.code == ERR_OVERLOAD:
+                    # Overload retries spend the endpoint's token bucket:
+                    # when it runs dry, surface the overload instead of
+                    # amplifying offered load into a browned-out daemon.
+                    # (Crash/redirect retries are failover correctness,
+                    # not load amplification, and stay unmetered.)
+                    if not budget.allow_retry():
+                        self._export_breakers()
+                        raise last_error
                 try:
                     reply = await self._call_endpoint(endpoint, op, fields)
                 except ServiceError as exc:
                     last_error = exc
+                    if exc.code == ERR_OVERLOAD and exc.retry_after_ms > 0:
+                        retry_after_floor = max(
+                            retry_after_floor, exc.retry_after_ms / 1000.0
+                        )
                     if exc.code == ERR_NOT_OWNER and exc.endpoint:
                         # Redirect: learn the owner, go straight there.
                         self.redirects += 1
@@ -440,6 +499,18 @@ class ClusterClient:
             else:
                 # Every candidate failed this round: back off, then retry.
                 delay = self.backoff.delay(attempt)
+                if retry_after_floor > 0.0:
+                    # The daemon told us how long its standing queue needs
+                    # to drain; sleeping less than that is just another
+                    # doomed request.
+                    if retry_after_floor > delay:
+                        registry.counter(
+                            "hdpsr_client_retry_after_honored_total",
+                            "Backoff sleeps raised to a daemon's "
+                            "retry_after_ms hint.",
+                        ).inc()
+                    delay = max(delay, retry_after_floor)
+                    retry_after_floor = 0.0
                 registry.summary(
                     "hdpsr_client_backoff_seconds",
                     "Backoff sleeps between retry rounds.",
@@ -682,4 +753,136 @@ async def _run_workload(
             await control.call("shutdown")
         return report
     finally:
+        await control.close()
+
+
+async def run_open_loop(
+    host: str,
+    port: int,
+    *,
+    shape: str = "constant",
+    rate: float = 50.0,
+    duration: float = 5.0,
+    seed: int = 0,
+    deadline_ms: Optional[float] = None,
+    disks: Sequence[int] = (),
+    fail: bool = True,
+    connections: int = 32,
+    shutdown: bool = False,
+    shape_kwargs: Optional[dict] = None,
+) -> dict:
+    """Open-loop front-door load: send at the schedule's rate, period.
+
+    Unlike :func:`run_workload` (closed-loop: each connection waits for
+    its previous read), this driver pre-draws an arrival schedule
+    (:func:`repro.workloads.arrivals.make_arrivals`) and fires one read
+    per arrival *at its scheduled instant*, whether or not earlier reads
+    have returned — the way real user populations load a service, and the
+    only way to push a daemon past its knee. Failed requests are counted,
+    never retried (an open-loop client that retries is a closed loop in
+    denial).
+
+    Latency is measured from the *scheduled arrival*, not the send, so
+    client-side queueing (bounded by ``connections`` sockets) counts
+    against the service exactly as coordinated-omission-free load
+    generators do.
+
+    When ``disks`` is non-empty the episode fails them and runs their
+    repairs concurrently with the load (waited on at the end), mirroring
+    the paper's repair-under-load setup.
+
+    Returns a report with offered vs completed counts, per-error-code
+    tallies (``overload`` sheds and ``deadline_exceeded`` appear here),
+    goodput, and p50/p90/p99 from scheduled-arrival latency.
+    """
+    schedule = make_arrivals(
+        shape, rate, duration, seed=seed, **(shape_kwargs or {})
+    )
+    control = await ServiceClient.connect(host, port)
+    pool: "asyncio.Queue[ServiceClient]" = asyncio.Queue()
+    opened: List[ServiceClient] = []
+    try:
+        hello = await control.call("ping")
+        num_stripes = int(hello["num_stripes"])
+        n = int(hello["n"])
+        jobs: List[dict] = []
+        if disks:
+            if fail:
+                already = set(hello.get("failed", []))
+                for disk in disks:
+                    if disk not in already:
+                        await control.call("fail_disk", disk=disk)
+            jobs = [await control.call("repair", disk=disk) for disk in disks]
+
+        for _ in range(max(1, connections)):
+            conn = await ServiceClient.connect(host, port)
+            opened.append(conn)
+            pool.put_nowait(conn)
+
+        rng = make_rng(seed + 1)
+        targets = [
+            (int(rng.integers(num_stripes)), int(rng.integers(n)))
+            for _ in range(schedule.count)
+        ]
+        latencies = QuantileSketch((0.5, 0.9, 0.99))
+        errors: Dict[str, int] = {}
+        ok_count = 0
+
+        async def fire(scheduled: float, stripe: int, shard: int) -> None:
+            nonlocal ok_count
+            conn = await pool.get()
+            try:
+                await conn.read_chunk(stripe, shard, deadline_ms=deadline_ms)
+            except ServiceError as exc:
+                errors[exc.code] = errors.get(exc.code, 0) + 1
+            else:
+                ok_count += 1
+                latencies.observe(time.monotonic() - scheduled)
+            finally:
+                pool.put_nowait(conn)
+
+        started = time.monotonic()
+        tasks: List[asyncio.Task] = []
+        for offset, target in zip(schedule.times, targets):
+            delay = started + float(offset) - time.monotonic()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            tasks.append(
+                asyncio.create_task(
+                    fire(started + float(offset), target[0], target[1])
+                )
+            )
+        if tasks:
+            await asyncio.gather(*tasks)
+        elapsed = time.monotonic() - started
+
+        summaries = [
+            (await control.call("wait", job_id=job["job_id"])) for job in jobs
+        ]
+        report: Dict[str, object] = {
+            "shape": schedule.params,
+            "offered": schedule.count,
+            "offered_rate": schedule.mean_rate,
+            "completed": ok_count,
+            "errors": errors,
+            "goodput_per_s": ok_count / elapsed if elapsed > 0 else 0.0,
+            "read_p50_seconds": latencies.quantile(0.5),
+            "read_p90_seconds": latencies.quantile(0.9),
+            "read_p99_seconds": latencies.quantile(0.99),
+            "elapsed_seconds": elapsed,
+            "deadline_ms": deadline_ms,
+            "repairs": [
+                {k: v for k, v in s.items() if k not in ("ok", "trace_id")}
+                for s in summaries
+            ],
+            "exit_code": max(
+                (int(s.get("exit_code", 0)) for s in summaries), default=0
+            ),
+        }
+        if shutdown:
+            await control.call("shutdown")
+        return report
+    finally:
+        for conn in opened:
+            await conn.close()
         await control.close()

@@ -39,8 +39,10 @@ from typing import Dict, Optional
 from repro.errors import (
     ChunkNotFoundError,
     ConfigurationError,
+    DeadlineExceededError,
     FencedError,
     NotOwnerError,
+    OverloadError,
     ReproError,
 )
 from repro.faults.injector import SimulatedCrash
@@ -56,6 +58,7 @@ from repro.service.cluster import ClusterNode
 from repro.service.protocol import (
     ERR_BAD_REQUEST,
     ERR_CRASH,
+    ERR_DEADLINE,
     ERR_FENCED,
     ERR_NOT_OWNER,
     ERR_NOT_FOUND,
@@ -63,6 +66,7 @@ from repro.service.protocol import (
     ERR_PROTOCOL,
     MAX_REQUEST_BYTES,
 )
+from repro.service.overload import Deadline
 from repro.service.service import RepairService, RepairTicket
 from repro.service.telemetry import TelemetryServer, stats_snapshot
 
@@ -368,6 +372,26 @@ class ServiceDaemon:
         except (asyncio.TimeoutError, ConnectionResetError, BrokenPipeError):
             return
 
+    @staticmethod
+    def _deadline_of(msg: dict) -> Optional[Deadline]:
+        """The request's latency budget, stamped absolute at admission.
+
+        ``deadline_ms`` counts from *daemon arrival*, not client send —
+        the two clocks share no domain, and a budget that starts here is
+        the only one both sides can reason about.
+        """
+        budget = msg.get("deadline_ms")
+        if budget is None:
+            return None
+        return Deadline.from_budget_ms(float(budget))
+
+    async def handle_request(self, msg: dict) -> dict:
+        """Serve one already-decoded request dict (full protocol
+        semantics minus TCP framing) — the front door for in-process
+        harnesses like the overload chaos scenario, where thousands of
+        open-loop requests would otherwise each need a socket."""
+        return await self._serve_one(msg)
+
     async def _serve_one(self, msg: dict) -> dict:
         """Dispatch one request under its (optional) propagated trace."""
         ctx = SpanContext.from_wire(msg.get("trace"))
@@ -380,6 +404,11 @@ class ServiceDaemon:
             reply = protocol.error(
                 f"daemon at capacity ({self.max_inflight} requests in flight)",
                 code=ERR_OVERLOAD,
+                retry_after_ms=(
+                    self.service.overload.retry_after_ms()
+                    if self.service.overload is not None
+                    else 50.0
+                ),
             )
             if ctx is not None:
                 reply.setdefault("trace_id", ctx.trace_id)
@@ -412,6 +441,20 @@ class ServiceDaemon:
                 str(exc), code=ERR_FENCED, kind="FencedError",
                 shard=exc.shard, held_epoch=exc.held_epoch,
                 current_epoch=exc.current_epoch,
+            )
+        except DeadlineExceededError as exc:
+            if self.service.overload is not None:
+                self.service.overload.note_deadline_expired()
+            reply = protocol.error(
+                str(exc), code=ERR_DEADLINE, kind="DeadlineExceededError",
+                hop=exc.hop,
+                overshoot_ms=round(exc.overshoot_seconds * 1e3, 3),
+            )
+        except OverloadError as exc:
+            reply = protocol.error(
+                str(exc), code=ERR_OVERLOAD, kind="OverloadError",
+                work_class=exc.work_class,
+                retry_after_ms=exc.retry_after_ms,
             )
         except ChunkNotFoundError as exc:
             reply = protocol.error(
@@ -493,10 +536,15 @@ class ServiceDaemon:
             self._results[job_id] = result.summary()
             return protocol.ok(**self._results[job_id])
         if op == "read":
-            data = await service.read_chunk(int(msg["stripe"]), int(msg["shard"]))
+            data = await service.read_chunk(
+                int(msg["stripe"]), int(msg["shard"]),
+                deadline=self._deadline_of(msg),
+            )
             return protocol.ok(data_b64=protocol.pack_bytes(data.tobytes()))
         if op == "read_object":
-            payload = await service.read_object(int(msg["stripe"]))
+            payload = await service.read_object(
+                int(msg["stripe"]), deadline=self._deadline_of(msg)
+            )
             return protocol.ok(data_b64=protocol.pack_bytes(payload))
         if op == "shutdown":
             for ticket in service._tickets.values():

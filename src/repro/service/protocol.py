@@ -44,15 +44,25 @@ response; frames longer than the reader's cap (requests are bounded by
 answers, then closes, because a byte stream that overran its framing
 cannot be resynchronized.
 
-**Error taxonomy (v3).** Every error response carries a ``code`` from
+**Error taxonomy (v4).** Every error response carries a ``code`` from
 :data:`ERROR_CODES` and a ``retryable`` boolean, so clients stop guessing
 from message text. ``crash`` (daemon died mid-request) and ``overload``
-(admission cap hit) are retryable — elsewhere or later; ``not_owner`` is
+(admission cap hit *or* brownout shedding) are retryable — elsewhere or
+later; ``overload`` responses may carry a ``retry_after_ms`` hint that
+well-behaved clients honor as a backoff floor. ``not_owner`` is
 retryable *after redirect* and carries ``owner``/``endpoint``/``epoch``/
 ``shard`` so the client can go straight to the owning daemon; ``fenced``,
 ``bad_request``, ``protocol``, ``not_found`` and ``internal`` are fatal
 for that request. Cluster deployments add a ``cluster`` op returning the
 node's lease/ownership snapshot.
+
+**Deadlines (v4).** ``read``/``read_object`` requests may carry
+``deadline_ms`` — a per-request latency budget in milliseconds, measured
+from daemon admission. The daemon stamps an absolute expiry on arrival
+and re-checks it at every queue hop (admission, gate wait, piggyback
+wait); once expired, the request is answered with the non-retryable
+``deadline_exceeded`` code instead of consuming a disk slot — the client
+has already given up, so doing the work would be pure queue pollution.
 """
 
 from __future__ import annotations
@@ -64,7 +74,7 @@ from typing import Optional
 
 from repro.errors import ReproError
 
-PROTOCOL_VERSION = 3
+PROTOCOL_VERSION = 4
 
 #: Upper bound on one encoded message (guards the line reader).
 MAX_MESSAGE_BYTES = 64 * 1024 * 1024
@@ -95,11 +105,18 @@ ERR_PROTOCOL = "protocol"
 ERR_NOT_FOUND = "not_found"
 #: Anything else — a server-side bug surfaced as a structured error.
 ERR_INTERNAL = "internal"
+#: The request's ``deadline_ms`` budget expired before the daemon could
+#: serve it. Not retryable: the caller has already given up on this
+#: attempt, and blind retries of expired work are how brownouts become
+#: outages. Responses carry ``hop`` (where it expired) and
+#: ``overshoot_ms``.
+ERR_DEADLINE = "deadline_exceeded"
 
-#: All error codes a v3 daemon may emit.
+#: All error codes a v4 daemon may emit.
 ERROR_CODES = (
     ERR_CRASH, ERR_OVERLOAD, ERR_NOT_OWNER, ERR_FENCED,
     ERR_BAD_REQUEST, ERR_PROTOCOL, ERR_NOT_FOUND, ERR_INTERNAL,
+    ERR_DEADLINE,
 )
 
 #: Codes a client may transparently retry (``not_owner`` retries *at the

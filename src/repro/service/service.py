@@ -64,6 +64,13 @@ from repro.hdss.server import HighDensityStorageServer, ScrubReport
 from repro.journal.journal import RepairJournal, RepairState, load_state
 from repro.obs.context import current_registry, current_tracer
 from repro.service.admission import DiskGate
+from repro.service.overload import (
+    CLASS_DEGRADED,
+    CLASS_READ,
+    Deadline,
+    OverloadConfig,
+    OverloadController,
+)
 from repro.service.sharding import AsyncShardWriter
 
 DEGRADED_READS = "hdpsr_service_degraded_reads_total"
@@ -97,6 +104,10 @@ class ServiceConfig:
         journal_root: directory holding one journal per repaired disk
             (``journal_root/disk-NNN``); ``None`` disables journaling.
         durable_journal: fsync journal commits (tests turn this off).
+        overload: brownout-controller knobs
+            (:class:`~repro.service.overload.OverloadConfig`); ``None``
+            disables adaptive overload control entirely (library default —
+            ``hdpsr serve`` enables it unless ``--no-overload-control``).
     """
 
     max_concurrent_stripes: int = 4
@@ -106,6 +117,7 @@ class ServiceConfig:
     policy: Optional[ReadPolicy] = None
     journal_root: "str | Path | None" = None
     durable_journal: bool = True
+    overload: Optional[OverloadConfig] = None
 
     def __post_init__(self) -> None:
         if self.max_concurrent_stripes < 1:
@@ -278,6 +290,13 @@ class RepairService:
         self.faults = faults
         self.fence = fence
         self.gate = DiskGate(self.config.per_disk_reads)
+        #: Brownout controller (None = overload control disabled).
+        self.overload: Optional[OverloadController] = (
+            OverloadController(self.config.overload)
+            if self.config.overload is not None
+            else None
+        )
+        self.gate.controller = self.overload
         self.writer = AsyncShardWriter(
             server.store,
             queue_depth=self.config.queue_depth,
@@ -826,6 +845,13 @@ class RepairService:
         """
         server = self.server
         disk_id = stripe.disks[shard_idx]
+        if self.overload is not None:
+            # Brownout pacing: repair yields spindle time to the front
+            # door before any client work is refused. Never skipped — the
+            # rebuild still finishes, just slower while the daemon burns.
+            pause = self.overload.repair_pause()
+            if pause > 0.0:
+                await asyncio.sleep(pause)
         tracer = current_tracer()
         read_started = time.monotonic() if tracer.enabled else 0.0
         async with self.gate.read(disk_id, foreground=False):
@@ -899,23 +925,44 @@ class RepairService:
         return end
 
     # ------------------------------------------------------------ front door
-    async def read_chunk(self, stripe_index: int, shard_idx: int) -> np.ndarray:
-        """Client read of one chunk; degrades (and piggybacks) when lost."""
+    async def read_chunk(
+        self,
+        stripe_index: int,
+        shard_idx: int,
+        deadline: Optional[Deadline] = None,
+    ) -> np.ndarray:
+        """Client read of one chunk; degrades (and piggybacks) when lost.
+
+        ``deadline`` (if given) is re-checked at every queue hop — doomed
+        reads raise :class:`~repro.errors.DeadlineExceededError` instead
+        of consuming a disk slot. When overload control is enabled, the
+        controller may also refuse the read outright with
+        :class:`~repro.errors.OverloadError` (degraded decodes first,
+        healthy reads only past the queue cap).
+        """
         server = self.server
         stripe = server.layout[stripe_index]
         if not 0 <= shard_idx < stripe.n:
             raise ConfigurationError(f"stripe has no shard {shard_idx}")
         disk_id = stripe.disks[shard_idx]
         cid = ChunkId(stripe_index, shard_idx)
+        if deadline is not None:
+            deadline.check("admission")
         registry = current_registry()
         registry.counter(FOREGROUND_READS, "front-door reads served").inc()
         started = time.monotonic()
         if not server.disk(disk_id).is_failed and server.store.contains(disk_id, cid):
-            async with self.gate.read(disk_id, foreground=True):
+            if self.overload is not None:
+                self.overload.admit(
+                    CLASS_READ, queue_depth=self.gate.queue_depth(disk_id)
+                )
+            async with self.gate.read(disk_id, foreground=True, deadline=deadline):
                 data = await asyncio.to_thread(server.store.get, disk_id, cid)
             self._observe_read(registry, "healthy", started)
             return data
 
+        if self.overload is not None:
+            self.overload.admit(CLASS_DEGRADED)
         degraded = registry.counter(
             DEGRADED_READS, "front-door reads of lost chunks"
         )
@@ -927,9 +974,9 @@ class RepairService:
                     "wait", f"piggyback:{stripe_index}", track="service",
                     stripe=stripe_index, shard=shard_idx,
                 ):
-                    results = await asyncio.shield(fut)
+                    results = await self._await_piggyback(fut, deadline)
             else:
-                results = await asyncio.shield(fut)
+                results = await self._await_piggyback(fut, deadline)
             if results is not None and shard_idx in results:
                 degraded.labels(source="piggyback").inc()
                 self._observe_read(registry, "piggyback", started)
@@ -940,11 +987,32 @@ class RepairService:
                 "decode", f"degraded:{stripe_index}/{shard_idx}",
                 track="service", stripe=stripe_index, shard=shard_idx,
             ):
-                data = await self._degraded_decode(stripe_index, stripe, shard_idx)
+                data = await self._degraded_decode(
+                    stripe_index, stripe, shard_idx, deadline
+                )
         else:
-            data = await self._degraded_decode(stripe_index, stripe, shard_idx)
+            data = await self._degraded_decode(
+                stripe_index, stripe, shard_idx, deadline
+            )
         self._observe_read(registry, "decode", started)
         return data
+
+    @staticmethod
+    async def _await_piggyback(fut: "asyncio.Future", deadline: Optional[Deadline]):
+        """Wait on a repair's decode future, bounded by the deadline.
+
+        Shielded either way: a reader giving up must never cancel the
+        repair's shared future.
+        """
+        if deadline is None:
+            return await asyncio.shield(fut)
+        try:
+            return await asyncio.wait_for(
+                asyncio.shield(fut), timeout=deadline.remaining()
+            )
+        except asyncio.TimeoutError:
+            deadline.check("piggyback")
+            raise  # not expired after all (clock nudge): surface the timeout
 
     def _observe_read(self, registry, path: str, started: float) -> None:
         """Record one front-door read's wall latency into the P² summary."""
@@ -954,7 +1022,11 @@ class RepairService:
         ).labels(path=path).observe(time.monotonic() - started)
 
     async def _degraded_decode(
-        self, stripe_index: int, stripe: Stripe, shard_idx: int
+        self,
+        stripe_index: int,
+        stripe: Stripe,
+        shard_idx: int,
+        deadline: Optional[Deadline] = None,
     ) -> np.ndarray:
         """Standalone k-survivor decode of one lost chunk (no repair to join)."""
         server = self.server
@@ -975,7 +1047,7 @@ class RepairService:
 
         async def fetch(s: int) -> Tuple[int, np.ndarray]:
             d = stripe.disks[s]
-            async with self.gate.read(d, foreground=True):
+            async with self.gate.read(d, foreground=True, deadline=deadline):
                 return s, await asyncio.to_thread(
                     server.store.get, d, ChunkId(stripe_index, s)
                 )
@@ -984,7 +1056,9 @@ class RepairService:
         await asyncio.to_thread(decoder.feed, dict(reads))
         return decoder.result(shard_idx)
 
-    async def read_object(self, stripe_index: int) -> bytes:
+    async def read_object(
+        self, stripe_index: int, deadline: Optional[Deadline] = None
+    ) -> bytes:
         """Read one stored object back through the front door."""
         server = self.server
         size = server.volume_sizes.get(stripe_index)
@@ -992,6 +1066,6 @@ class RepairService:
             raise StorageError(f"stripe {stripe_index} holds no object data")
         k = server.layout[stripe_index].k
         datas = await asyncio.gather(
-            *(self.read_chunk(stripe_index, j) for j in range(k))
+            *(self.read_chunk(stripe_index, j, deadline=deadline) for j in range(k))
         )
         return server.code.join(list(datas), size)

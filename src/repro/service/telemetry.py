@@ -118,6 +118,10 @@ def stats_snapshot(
         },
         "read_quantiles": list(READ_LATENCY_QUANTILES),
     }
+    if service.overload is not None:
+        # Refreshing also re-exports the overload-state gauge, so an HTTP
+        # scrape sees the current brownout level without a request shed.
+        snap["overload"] = service.overload.snapshot()
     if monitor is not None:
         snap["runtime"] = monitor.snapshot()
     if cluster is not None:

@@ -1,5 +1,14 @@
-"""Workload generation: transfer-time matrices, experiment scenarios, traces."""
+"""Workload generation: transfer-time matrices, scenarios, traces, arrivals."""
 
+from repro.workloads.arrivals import (
+    SHAPES,
+    ArrivalSchedule,
+    bursty_arrivals,
+    constant_arrivals,
+    diurnal_arrivals,
+    flash_crowd_arrivals,
+    make_arrivals,
+)
 from repro.workloads.generator import (
     TransferTimeWorkload,
     disk_heterogeneous_transfer_times,
@@ -31,4 +40,11 @@ __all__ = [
     "StalenessModel",
     "DriftOutcome",
     "drift_transfer_times",
+    "SHAPES",
+    "ArrivalSchedule",
+    "constant_arrivals",
+    "diurnal_arrivals",
+    "bursty_arrivals",
+    "flash_crowd_arrivals",
+    "make_arrivals",
 ]

@@ -1,0 +1,441 @@
+"""Overload control: deadlines, the brownout controller, retry budgets,
+and the flash-crowd chaos scenario.
+
+Unit layers first — :class:`Deadline` and :class:`OverloadController` are
+clock-injected, so the CoDel window arithmetic is tested without
+sleeping — then daemon-backed tests that drive real TCP round trips
+(two-hop deadline propagation: client → daemon admission → gate), and
+finally one positive + one negative flash-crowd episode, which is the
+acceptance test of the whole stack: bounded p99 *with* control, budget
+violation *without* it, byte-identical repair either way. No
+pytest-asyncio in the toolchain: tests drive coroutines via
+``asyncio.run``.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core import ALGORITHMS
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    OverloadError,
+)
+from repro.hdss.server import HDSSConfig, HighDensityStorageServer
+from repro.hdss.store import InMemoryChunkStore
+from repro.obs import MetricsRegistry, use_registry
+from repro.service.chaos_overload import (
+    OverloadChaosConfig,
+    SlowStore,
+    run_overload_chaos,
+)
+from repro.service.client import ClusterClient, ServiceClient
+from repro.service.netserver import ServiceDaemon
+from repro.service.overload import (
+    CLASS_DEGRADED,
+    CLASS_READ,
+    CLASS_REPAIR,
+    STATE_BROWNED_OUT,
+    STATE_HEALTHY,
+    STATE_SHEDDING,
+    Deadline,
+    OverloadConfig,
+    OverloadController,
+    RetryBudget,
+)
+from repro.service.protocol import ERR_DEADLINE, ERR_OVERLOAD
+from repro.service.service import RepairService, ServiceConfig
+
+
+@pytest.fixture(autouse=True)
+def _registry():
+    with use_registry(MetricsRegistry()):
+        yield
+
+
+class FakeClock:
+    def __init__(self, now: float = 100.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# ------------------------------------------------------------------ Deadline
+class TestDeadline:
+    def test_budget_counts_down_on_the_injected_clock(self):
+        clock = FakeClock()
+        deadline = Deadline.from_budget_ms(50.0, clock=clock)
+        assert deadline.remaining() == pytest.approx(0.05)
+        assert not deadline.expired
+        clock.advance(0.049)
+        deadline.check("gate")  # still alive: no raise
+        clock.advance(0.002)
+        assert deadline.expired
+        with pytest.raises(DeadlineExceededError) as err:
+            deadline.check("gate")
+        assert err.value.hop == "gate"
+        assert err.value.overshoot_seconds == pytest.approx(0.001, abs=1e-6)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Deadline.from_budget_ms(-1.0)
+
+    def test_zero_budget_expires_at_first_hop(self):
+        deadline = Deadline.from_budget_ms(0.0, clock=FakeClock())
+        with pytest.raises(DeadlineExceededError) as err:
+            deadline.check("admission")
+        assert err.value.hop == "admission"
+
+
+# -------------------------------------------------------------- controller
+def make_controller(clock, **overrides):
+    defaults = dict(
+        target_ms=5.0, shed_target_ms=50.0, interval_ms=100.0,
+        recovery_intervals=2, idle_reset_s=10.0, queue_cap=4,
+    )
+    defaults.update(overrides)
+    return OverloadController(OverloadConfig(**defaults), clock=clock)
+
+
+def feed_window(ctrl, clock, disk, wait_s, observations=3):
+    """One full CoDel interval of identical waits, then the rollover."""
+    for _ in range(observations):
+        ctrl.observe_wait(disk, wait_s)
+        clock.advance(0.04)
+    ctrl.observe_wait(disk, wait_s)  # past interval_ms: judges the window
+
+
+class TestOverloadController:
+    def test_transient_burst_does_not_trip(self):
+        # CoDel's whole point: one horrific wait inside a window whose
+        # *minimum* stayed low is a burst, not a standing queue.
+        clock = FakeClock()
+        ctrl = make_controller(clock)
+        ctrl.observe_wait(1, 0.5)
+        clock.advance(0.05)
+        ctrl.observe_wait(1, 0.001)  # the lucky read proves no standing queue
+        clock.advance(0.06)
+        ctrl.observe_wait(1, 0.002)  # rollover: min is 1 ms < target
+        assert ctrl.state == STATE_HEALTHY
+
+    def test_standing_queue_browns_out_then_sheds(self):
+        clock = FakeClock()
+        ctrl = make_controller(clock)
+        feed_window(ctrl, clock, disk=1, wait_s=0.010)  # min 10 ms > 5 ms
+        assert ctrl.state == STATE_BROWNED_OUT
+        feed_window(ctrl, clock, disk=1, wait_s=0.080)  # min 80 ms > 50 ms
+        assert ctrl.state == STATE_SHEDDING
+        assert ctrl.transitions == 2
+
+    def test_worst_disk_wins(self):
+        clock = FakeClock()
+        ctrl = make_controller(clock)
+        feed_window(ctrl, clock, disk=1, wait_s=0.001)
+        feed_window(ctrl, clock, disk=2, wait_s=0.080)
+        assert ctrl.state == STATE_SHEDDING
+
+    def test_recovery_needs_consecutive_clean_windows(self):
+        clock = FakeClock()
+        ctrl = make_controller(clock)
+        feed_window(ctrl, clock, disk=1, wait_s=0.080)
+        assert ctrl.state == STATE_SHEDDING
+        feed_window(ctrl, clock, disk=1, wait_s=0.001)
+        assert ctrl.state == STATE_SHEDDING  # one clean window isn't enough
+        feed_window(ctrl, clock, disk=1, wait_s=0.001)
+        assert ctrl.state == STATE_BROWNED_OUT  # de-escalates one level
+        for _ in range(2):
+            feed_window(ctrl, clock, disk=1, wait_s=0.001)
+        assert ctrl.state == STATE_HEALTHY
+
+    def test_idle_disk_forgotten(self):
+        clock = FakeClock()
+        ctrl = make_controller(clock, idle_reset_s=1.0)
+        feed_window(ctrl, clock, disk=1, wait_s=0.080)
+        assert ctrl.state == STATE_SHEDDING
+        clock.advance(1.5)  # no traffic at all: the queue is gone
+        assert ctrl.state == STATE_HEALTHY
+
+    def test_shed_priority_strict_and_inverse_to_cost(self):
+        clock = FakeClock()
+        ctrl = make_controller(clock, queue_cap=4)
+        feed_window(ctrl, clock, disk=1, wait_s=0.080)
+        assert ctrl.state == STATE_SHEDDING
+        # repair is never refused, only paced:
+        ctrl.admit(CLASS_REPAIR, queue_depth=100)
+        assert ctrl.repair_pause() > 0.0
+        # degraded decodes are refused outright:
+        with pytest.raises(OverloadError) as err:
+            ctrl.admit(CLASS_DEGRADED)
+        assert err.value.work_class == CLASS_DEGRADED
+        assert err.value.retry_after_ms > 0.0
+        # plain reads survive until the queue-cap backstop:
+        ctrl.admit(CLASS_READ, queue_depth=3)
+        with pytest.raises(OverloadError):
+            ctrl.admit(CLASS_READ, queue_depth=4)
+
+    def test_healthy_and_browned_admit_everything(self):
+        clock = FakeClock()
+        ctrl = make_controller(clock)
+        for state_setup in (0.001, 0.010):  # healthy, then browned_out
+            feed_window(ctrl, clock, disk=1, wait_s=state_setup)
+            ctrl.admit(CLASS_DEGRADED)
+            ctrl.admit(CLASS_READ, queue_depth=10_000)
+
+    def test_repair_pause_zero_while_healthy(self):
+        clock = FakeClock()
+        ctrl = make_controller(clock, repair_pace_ms=20.0)
+        assert ctrl.repair_pause() == 0.0
+        feed_window(ctrl, clock, disk=1, wait_s=0.010)
+        browned = ctrl.repair_pause()
+        feed_window(ctrl, clock, disk=1, wait_s=0.080)
+        assert ctrl.repair_pause() == pytest.approx(2.0 * browned)
+
+    def test_retry_after_scales_with_measured_wait(self):
+        clock = FakeClock()
+        ctrl = make_controller(clock, retry_after_floor_ms=25.0)
+        assert ctrl.retry_after_ms() >= 100.0  # floor: the interval
+        feed_window(ctrl, clock, disk=1, wait_s=0.200)
+        assert ctrl.retry_after_ms() == pytest.approx(400.0)  # 2x min wait
+
+    def test_snapshot_shape(self):
+        clock = FakeClock()
+        ctrl = make_controller(clock)
+        feed_window(ctrl, clock, disk=3, wait_s=0.080)
+        with pytest.raises(OverloadError):
+            ctrl.admit(CLASS_DEGRADED)
+        snap = ctrl.snapshot()
+        assert snap["state"] == STATE_SHEDDING
+        assert snap["sheds_total"] == 1
+        assert snap["browned_disks"] == [3]
+        assert snap["retry_after_ms"] > 0.0
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            OverloadConfig(target_ms=0.0)
+        with pytest.raises(ConfigurationError):
+            OverloadConfig(target_ms=10.0, shed_target_ms=5.0)
+        with pytest.raises(ConfigurationError):
+            OverloadConfig(recovery_intervals=0)
+
+
+# ------------------------------------------------------------ retry budget
+class TestRetryBudget:
+    def test_exhaustion_after_cap_retries(self):
+        budget = RetryBudget(ratio=0.0, cap=3.0)
+        assert [budget.allow_retry() for _ in range(4)] == [
+            True, True, True, False,
+        ]
+        assert budget.exhausted_count == 1
+
+    def test_requests_earn_fractional_tokens(self):
+        budget = RetryBudget(ratio=0.25, cap=2.0)
+        for _ in range(2):
+            assert budget.allow_retry()
+        assert not budget.allow_retry()  # bucket dry
+        for _ in range(4):  # 4 successful first attempts earn one token
+            budget.on_request()
+        assert budget.allow_retry()
+        assert not budget.allow_retry()
+
+    def test_cap_bounds_hoarding(self):
+        budget = RetryBudget(ratio=1.0, cap=2.0)
+        for _ in range(100):
+            budget.on_request()
+        assert budget.tokens == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryBudget(ratio=1.5)
+        with pytest.raises(ConfigurationError):
+            RetryBudget(cap=0.5)
+
+
+# ----------------------------------------------------- daemon-backed layers
+def make_server(store=None, seed=11):
+    config = HDSSConfig(
+        num_disks=12, n=5, k=3, chunk_size=2048, memory_chunks=16,
+        spares=3, seed=seed, placement="rotating",
+    )
+    server = HighDensityStorageServer(config, store=store)
+    server.provision_stripes(12, with_data=True)
+    return server
+
+
+async def start_daemon(service, **kwargs):
+    daemon = ServiceDaemon(service, **kwargs)
+    port = await daemon.start()
+    task = asyncio.create_task(daemon.serve_until_stopped())
+    return daemon, port, task
+
+
+async def stop_daemon(port, task):
+    control = await ServiceClient.connect("127.0.0.1", port)
+    try:
+        await control.call("shutdown")
+    finally:
+        await control.close()
+    await task
+
+
+class TestDeadlinePropagation:
+    """Two-hop deadline propagation: client → daemon admission → gate."""
+
+    def test_deadline_expires_at_each_hop(self):
+        async def run():
+            # 50 ms of real service time per read behind a width-1 gate:
+            # concurrent reads of one chunk queue 50 ms apart, so a 75 ms
+            # budget admits the first two and kills the rest *at the gate*
+            # (they were alive at admission).
+            store = SlowStore(InMemoryChunkStore(), service_time_s=0.05)
+            server = make_server(store=store)
+            service = RepairService(
+                server, ALGORITHMS["hd-psr-ap"](),
+                ServiceConfig(per_disk_reads=1),
+            )
+            daemon, port, task = await start_daemon(service)
+            conns = [
+                await ServiceClient.connect("127.0.0.1", port)
+                for _ in range(6)
+            ]
+            try:
+                results = await asyncio.gather(
+                    *(c.read_chunk(0, 0, deadline_ms=75.0) for c in conns),
+                    return_exceptions=True,
+                )
+                # hop 1: an already-expired budget dies at admission,
+                # before touching any queue.
+                with pytest.raises(Exception) as err:
+                    await conns[0].read_chunk(0, 0, deadline_ms=0.0)
+                admission_err = err.value
+            finally:
+                for c in conns:
+                    await c.close()
+                await stop_daemon(port, task)
+
+            ok = [r for r in results if not isinstance(r, Exception)]
+            dead = [r for r in results if isinstance(r, Exception)]
+            assert len(ok) >= 1, "at least the head of the queue must win"
+            assert len(dead) >= 2, "the tail must be shed at the gate"
+            for exc in dead:
+                assert exc.code == ERR_DEADLINE
+                assert not exc.retryable
+                assert exc.reply["hop"] == "gate"
+                assert exc.reply["overshoot_ms"] >= 0.0
+            assert admission_err.code == ERR_DEADLINE
+            assert admission_err.reply["hop"] == "admission"
+            return service
+
+        service = asyncio.run(run())
+        # The daemon's controller saw both corpses arrive.
+        assert service.overload is None  # deadlines work without a controller
+
+    def test_deadline_tallied_by_controller_when_enabled(self):
+        async def run():
+            store = SlowStore(InMemoryChunkStore(), service_time_s=0.05)
+            server = make_server(store=store)
+            service = RepairService(
+                server, ALGORITHMS["hd-psr-ap"](),
+                ServiceConfig(per_disk_reads=1, overload=OverloadConfig()),
+            )
+            daemon, port, task = await start_daemon(service)
+            conns = [
+                await ServiceClient.connect("127.0.0.1", port)
+                for _ in range(5)
+            ]
+            try:
+                await asyncio.gather(
+                    *(c.read_chunk(0, 0, deadline_ms=60.0) for c in conns),
+                    return_exceptions=True,
+                )
+            finally:
+                for c in conns:
+                    await c.close()
+                await stop_daemon(port, task)
+            return service.overload.deadline_expired
+
+        assert asyncio.run(run()) >= 1
+
+
+class TestClusterClientBudgets:
+    def test_overload_retries_stop_when_budget_dry(self):
+        async def run():
+            # max_inflight=0: every read is refused with a retryable
+            # overload + retry_after_ms. An unmetered client would ride
+            # the full retry ladder; the budget must cut it short.
+            server = make_server()
+            service = RepairService(server, ALGORITHMS["hd-psr-ap"]())
+            daemon, port, task = await start_daemon(service, max_inflight=0)
+            endpoint = f"127.0.0.1:{port}"
+            client = ClusterClient(
+                [endpoint], retries=8, hedge_after=None,
+                retry_budget_ratio=0.0, retry_budget_cap=2.0,
+            )
+            try:
+                with pytest.raises(Exception) as err:
+                    await client.read_chunk(0, 0)
+                budget = client.retry_budget(endpoint)
+                assert err.value.code == ERR_OVERLOAD
+                assert err.value.reply.get("retry_after_ms", 0) > 0
+                # cap=2 → exactly 2 metered retries then surfacing, far
+                # below the configured 8-retry ladder.
+                assert budget.exhausted_count >= 1
+                assert budget.tokens < 1.0
+                assert client.retry_count <= 3
+            finally:
+                await client.close()
+                await stop_daemon(port, task)
+
+        asyncio.run(run())
+
+
+# ---------------------------------------------------------- chaos episodes
+def quick_chaos(control: bool) -> dict:
+    return run_overload_chaos(OverloadChaosConfig(
+        control=control,
+        base_rate=60.0,
+        spike_factor=10.0,
+        pre_seconds=0.8,
+        spike_seconds=0.8,
+        post_seconds=0.4,
+        deadline_ms=80.0,
+        p99_budget=0.25,
+        stripes=8,
+    ))
+
+
+class TestOverloadChaos:
+    def test_flash_crowd_with_control(self):
+        report = quick_chaos(control=True)
+        assert report["passed"], report["failures"]
+        # brownout entered and exited:
+        assert report["max_state_level"] >= 1
+        assert report["recovered_healthy"]
+        # at least one shed carried the backoff hint on the wire:
+        assert report["sheds"] + report["deadline_expired"] >= 1
+        if report["sheds"]:
+            assert report["shed_example"]["retry_after_ms"] > 0
+            assert report["shed_example"]["retryable"] is True
+        # bounded tail, preserved goodput, clean repair:
+        assert report["read_p99_seconds"] <= report["p99_budget"]
+        assert report["goodput_spike_per_s"] >= 0.8 * report["goodput_pre_per_s"]
+        assert report["byte_identical"]
+        assert report["repair"].get("certified")
+
+    def test_flash_crowd_negative_control_violates_budget(self):
+        report = quick_chaos(control=False)
+        # Without the controller the same schedule must blow the budget —
+        # this is what proves the bounded p99 above is earned, not free.
+        assert report["p99_violated"], (
+            "negative control stayed under budget; the scenario is not "
+            "actually saturating the hot disk"
+        )
+        assert report["errors"] == {}  # nothing shed: everything queued
+        # ...but correctness never degrades, only latency:
+        assert report["byte_identical"]
+        assert report["repair"].get("certified")
+        assert report["passed"], report["failures"]
