@@ -756,19 +756,43 @@ def cmd_serve(args: argparse.Namespace) -> int:
         ))
 
     async def run() -> int:
+        from pathlib import Path
+
         service = RepairService(
             server, ALGORITHMS[args.algorithm](), config, faults=schedule
         )
+        scrubber = None
+        if args.scrub:
+            from repro.service.scrub import ScrubConfig, Scrubber
+
+            scrub_journal = args.scrub_journal
+            if scrub_journal is None and args.journal:
+                scrub_journal = Path(args.journal) / "scrub-cursor"
+            scrubber = Scrubber(service, ScrubConfig(
+                interval_ms=args.scrub_interval_ms,
+                cycle_pause_s=args.scrub_cycle_pause,
+                journal_root=scrub_journal,
+                durable_journal=not args.no_fsync,
+                auto_repair=not args.scrub_no_repair,
+            ))
         daemon = ServiceDaemon(
             service, host=args.host, port=args.port, port_file=args.port_file,
             telemetry=telemetry, monitor=EventLoopMonitor(),
             cluster=cluster, chaos=chaos, max_inflight=args.max_inflight,
+            scrubber=scrubber,
         )
         port = await daemon.start()
         print(f"hdpsr service listening on {args.host}:{port} "
               f"({len(server.layout)} stripes, store "
               f"{'sharded x' + str(args.shards) if store else 'in-memory'})",
               flush=True)
+        if scrubber is not None:
+            print(f"scrub plane on: every chunk verified each cycle "
+                  f"(interval {args.scrub_interval_ms} ms, cursor "
+                  f"{scrubber.config.journal_root or 'in-memory'}, "
+                  f"{'repairing' if scrubber.config.auto_repair else 'detect-only'}"
+                  f"{', resuming cycle ' + str(scrubber.cycle) if scrubber._begun else ''})",
+                  flush=True)
         if cluster is not None:
             print(f"cluster node {cluster.node_id} joining at "
                   f"{args.cluster_dir} ({args.cluster_shards} shards, "
@@ -961,6 +985,21 @@ def _render_top(stats: dict) -> str:
             line += ("  browned disks: "
                      + ",".join(str(d) for d in browned))
         lines.append(line)
+    scrub = stats.get("scrub")
+    if scrub:
+        state = ("parked" if scrub.get("parked")
+                 else "running" if scrub.get("running") else "stopped")
+        eta = scrub.get("eta_seconds")
+        line = (f"scrub: {state}  cycle {scrub.get('cycle', '?')} "
+                f"{100.0 * scrub.get('progress', 0.0):.0f}% "
+                f"(disk {scrub.get('disks_done', 0)}/"
+                f"{scrub.get('disks_total', 0)}"
+                + ("" if eta is None else f", eta {eta:.1f} s") + ")  "
+                f"verified {int(scrub.get('chunks_verified', 0))}  "
+                f"corrupt {int(scrub.get('corrupt_found', 0))}  "
+                f"repaired {int(scrub.get('repaired', 0))}  "
+                f"quarantined {int(scrub.get('quarantined', 0))}")
+        lines.append(line)
     journal = stats.get("journal", {})
     runtime = stats.get("runtime") or {}
     tail = (f"writer backlog {stats.get('writer_backlog', 0)}  "
@@ -1080,6 +1119,57 @@ def _cluster_top(args: argparse.Namespace) -> int:
         return 0
 
 
+def cmd_scrub(args: argparse.Namespace) -> int:
+    """Query a running daemon's scrub plane (``hdpsr scrub``)."""
+    import asyncio
+    import json
+
+    from repro.service import ServiceClient, ServiceError
+
+    port = _resolve_port(args)
+    if port is None:
+        return 2
+
+    async def fetch() -> dict:
+        client = await ServiceClient.connect(args.host, port)
+        try:
+            return await client.scrub()
+        finally:
+            await client.close()
+
+    try:
+        status = asyncio.run(fetch())
+    except (ServiceError, OSError) as exc:
+        print(f"cannot reach daemon at {args.host}:{port}: {exc}",
+              file=sys.stderr)
+        return 1
+    status.pop("ok", None)
+    status.pop("trace_id", None)
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    if not status.get("enabled"):
+        print("scrub plane disabled (start the daemon with --scrub)")
+        return 0
+    state = ("parked" if status.get("parked")
+             else "running" if status.get("running") else "stopped")
+    eta = status.get("eta_seconds")
+    print(f"scrub {state}: cycle {status.get('cycle')} "
+          f"({status.get('cycles_completed')} completed, "
+          f"{status.get('resumed_cycles')} resumed from cursor)")
+    print(f"progress {100.0 * status.get('progress', 0.0):.1f}% — "
+          f"disk {status.get('disks_done')}/{status.get('disks_total')}"
+          + ("" if eta is None else f", eta {eta:.1f} s"))
+    print(f"verified {status.get('chunks_verified')} chunks "
+          f"({status.get('cycle_chunks')} this cycle, "
+          f"interval {status.get('interval_ms')} ms)")
+    print(f"corrupt found {status.get('corrupt_found')}  "
+          f"repaired {status.get('repaired')}  "
+          f"repair failures {status.get('repair_failures')}  "
+          f"quarantined {status.get('quarantined')}")
+    return 0
+
+
 def cmd_top(args: argparse.Namespace) -> int:
     """Live terminal view of a running daemon (``hdpsr top``)."""
     import asyncio
@@ -1160,14 +1250,54 @@ def _report_overload_chaos(report: dict) -> None:
           f"recovered-healthy={report.get('recovered_healthy', 'n/a')}")
 
 
+def _report_bitrot_chaos(report: dict) -> None:
+    """Human-readable summary of one bitrot-chaos episode."""
+    victims = report.get("victims", [])
+    kinds = ", ".join(sorted({v.get("kind", "?") for v in victims}))
+    print(f"seeded {len(victims)} silent corruptions mid-repair ({kinds})")
+    if report.get("scrub"):
+        window = report.get("detection_window_seconds")
+        print(f"scrub plane: detected {report.get('detected')} / "
+              f"repaired {report.get('read_repaired')}"
+              + ("" if window is None else f" within {window}s"))
+        print(f"foreground-read-clean={report.get('foreground_read_clean')}  "
+              f"parked-while-shedding="
+              f"{report.get('scrub_parked_while_shedding')}  "
+              f"verifies-while-parked={report.get('verifies_while_parked')}  "
+              f"resumed={report.get('scrub_resumed')}")
+    else:
+        print(f"scrub plane OFF (negative control): "
+              f"{report.get('latent_corruptions')} corruption(s) still "
+              "latent on disk")
+    print(f"byte-identical={report.get('byte_identical')}  "
+          f"repair certified={ (report.get('repair') or {}).get('certified') }")
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
-    """Run a chaos scenario: ``failover`` (kill the owner mid-repair)
-    or ``overload`` (flash crowd against a repairing daemon)."""
+    """Run a chaos scenario: ``failover`` (kill the owner mid-repair),
+    ``overload`` (flash crowd against a repairing daemon), or ``bitrot``
+    (silent corruption against the scrub plane)."""
     import json
     import tempfile
     from pathlib import Path
 
-    if args.scenario == "overload":
+    if args.scenario == "bitrot":
+        from repro.service.chaos_bitrot import (
+            BitrotChaosConfig,
+            run_bitrot_chaos,
+        )
+
+        def execute(root: Path) -> dict:
+            return run_bitrot_chaos(BitrotChaosConfig(
+                root=root,
+                scrub=not args.no_scrub,
+                seed=args.seed,
+                stripes=args.stripes,
+                failed_disk=args.disk,
+                corruptions=args.corruptions,
+                deadline=args.deadline,
+            ))
+    elif args.scenario == "overload":
         from repro.service.chaos_overload import (
             OverloadChaosConfig,
             run_overload_chaos,
@@ -1213,8 +1343,11 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         Path(args.output).write_text(json.dumps(report, indent=2, sort_keys=True))
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
-    elif args.scenario == "overload":
-        _report_overload_chaos(report)
+    elif args.scenario in ("overload", "bitrot"):
+        if args.scenario == "overload":
+            _report_overload_chaos(report)
+        else:
+            _report_bitrot_chaos(report)
         for failure in report.get("failures", []):
             print(f"FAIL: {failure}", file=sys.stderr)
         print("chaos: PASS" if report.get("passed") else "chaos: FAIL")
@@ -1412,6 +1545,24 @@ def build_parser() -> argparse.ArgumentParser:
                          help="CoDel window length in milliseconds")
     p_serve.add_argument("--no-fsync", action="store_true",
                          help="skip fsync in store and journal (tests/CI)")
+    p_serve.add_argument("--scrub", action="store_true",
+                         help="run the background scrub plane: continuously "
+                              "verify every chunk against its CRC32C sidecar, "
+                              "quarantine + read-repair silent corruption")
+    p_serve.add_argument("--scrub-interval-ms", type=float, default=20.0,
+                         help="pause between chunk verifies (the scrub rate "
+                              "knob; stretched under brownout, parked while "
+                              "shedding)")
+    p_serve.add_argument("--scrub-cycle-pause", type=float, default=0.5,
+                         metavar="SECONDS",
+                         help="idle pause between full scrub cycles")
+    p_serve.add_argument("--scrub-journal", default=None, metavar="DIR",
+                         help="crash-resumable scrub-cursor WAL directory "
+                              "(default: <--journal>/scrub-cursor when "
+                              "--journal is set)")
+    p_serve.add_argument("--scrub-no-repair", action="store_true",
+                         help="detection-only scrub: quarantine corrupt "
+                              "chunks but do not read-repair them")
     p_serve.add_argument("--metrics-port", type=int, default=None,
                          help="serve HTTP /metrics + /healthz on this port "
                               "(0 = ephemeral; see --metrics-port-file)")
@@ -1483,6 +1634,20 @@ def build_parser() -> argparse.ArgumentParser:
     _add_observability_args(p_client)
     p_client.set_defaults(func=_observed(cmd_client))
 
+    p_scrub = sub.add_parser(
+        "scrub",
+        help="query a running daemon's scrub plane (cursor, progress, "
+             "quarantine)")
+    p_scrub.add_argument("--host", default="127.0.0.1")
+    p_scrub.add_argument("--port", type=int, default=None)
+    p_scrub.add_argument("--port-file", default=None, metavar="FILE",
+                         help="read the daemon port from this file (waits)")
+    p_scrub.add_argument("--connect-timeout", type=float, default=10.0,
+                         help="seconds to wait for --port-file to appear")
+    p_scrub.add_argument("--json", action="store_true",
+                         help="emit the raw scrub snapshot as JSON")
+    p_scrub.set_defaults(func=cmd_scrub)
+
     p_top = sub.add_parser(
         "top",
         help="live repair-progress / latency view of a running daemon")
@@ -1507,17 +1672,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos = sub.add_parser(
         "chaos",
         help="deterministic chaos scenarios: failover (kill the owner "
-             "mid-repair) or overload (flash crowd vs a repairing daemon)")
-    p_chaos.add_argument("--scenario", choices=["failover", "overload"],
+             "mid-repair), overload (flash crowd vs a repairing daemon), "
+             "or bitrot (silent corruption vs the scrub plane)")
+    p_chaos.add_argument("--scenario", choices=["failover", "overload", "bitrot"],
                          default="failover",
                          help="failover: 2 daemons, lease takeover + journal "
                               "handoff. overload: open-loop flash crowd "
                               "against one repairing daemon; asserts brownout "
-                              "entry/exit, bounded p99, clean repair")
+                              "entry/exit, bounded p99, clean repair. bitrot: "
+                              "corruption seeded mid-repair; asserts scrub "
+                              "detection, byte-identical read-repair, zero "
+                              "corrupt bytes served, park-under-shed")
     p_chaos.add_argument("--no-control", action="store_true",
                          help="overload scenario only: run the negative "
                               "control (controller + deadlines off; expect "
                               "the p99 budget to be violated)")
+    p_chaos.add_argument("--no-scrub", action="store_true",
+                         help="bitrot scenario only: run the negative control "
+                              "(scrub plane off; the seeded corruption stays "
+                              "latent on disk — see latent_corruptions)")
+    p_chaos.add_argument("--corruptions", type=int, default=3,
+                         help="bitrot scenario: corrupt chunks seeded "
+                              "(kinds cycle bitrot/torn_write/"
+                              "misdirected_write)")
     p_chaos.add_argument("--dir", default=None, metavar="DIR",
                          help="scratch directory (default: a temp dir)")
     p_chaos.add_argument("--seed", type=int, default=11)

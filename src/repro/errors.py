@@ -46,6 +46,26 @@ class ChunkChecksumError(LatentSectorError):
     """
 
 
+class ChunkQuarantinedError(StorageError):
+    """A read addressed a chunk the scrub plane has quarantined.
+
+    Quarantine is the window between a failed verify and the completed
+    read-repair: the on-disk bytes are known-bad, so serving them — even
+    to a caller who would checksum them again — is never acceptable.
+    Foreground reads of a quarantined chunk degrade through decode
+    instead; callers that cannot degrade receive this error with the
+    chunk's coordinates and retry after the read-repair lands.
+    """
+
+    def __init__(
+        self, message: str, disk: int = -1, stripe: int = -1, shard: int = -1,
+    ) -> None:
+        super().__init__(message)
+        self.disk = disk
+        self.stripe = stripe
+        self.shard = shard
+
+
 class JournalError(StorageError):
     """The repair journal is missing, malformed, or inconsistent with the run."""
 

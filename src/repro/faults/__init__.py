@@ -33,9 +33,11 @@ from repro.faults.report import (
 from repro.faults.service import (
     ServiceFaultInjector,
     WireVerdict,
+    apply_corruption,
     is_service_schedule,
 )
 from repro.faults.spec import (
+    CORRUPTION_FAULT_KINDS,
     FAULT_KINDS,
     GENERATED_KINDS,
     SERVICE_FAULT_KINDS,
@@ -45,11 +47,13 @@ from repro.faults.spec import (
 )
 
 __all__ = [
+    "CORRUPTION_FAULT_KINDS",
     "FAULT_KINDS",
     "GENERATED_KINDS",
     "SERVICE_FAULT_KINDS",
     "ServiceFaultInjector",
     "WireVerdict",
+    "apply_corruption",
     "is_service_schedule",
     "FaultEvent",
     "FaultSchedule",

@@ -14,7 +14,10 @@ do* to the request it is about to serve and applies the verdict:
 * ``reset``   — abort the connection (RST) instead of answering;
 * ``partial`` — write a torn prefix of the response, then hang up;
 * ``delay``   — sleep ``delay_seconds`` before answering (slow peer);
-* ``skew``    — step the cluster lease clock by ``skew_seconds``.
+* ``skew``    — step the cluster lease clock by ``skew_seconds``;
+* ``corruptions`` — chunk-corruption events (``bitrot``/``torn_write``/
+  ``misdirected_write``) to apply to the store *before* serving the
+  request, via :func:`apply_corruption`.
 
 ``daemon_crash`` events are *not* handled here: they fire on the modeled
 clock exactly like ``process_crash`` (see
@@ -27,7 +30,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List
 
-from repro.faults.spec import SERVICE_FAULT_KINDS, FaultEvent, FaultSchedule
+from repro.errors import ConfigurationError
+from repro.faults.spec import (
+    CORRUPTION_FAULT_KINDS,
+    SERVICE_FAULT_KINDS,
+    FaultEvent,
+    FaultSchedule,
+)
 from repro.obs.context import current_registry
 
 
@@ -43,6 +52,9 @@ class WireVerdict:
     delay_seconds: float = 0.0
     #: Lease-clock step to apply right now (``clock_skew``).
     skew_seconds: float = 0.0
+    #: Chunk-corruption events to apply to the store before serving
+    #: (``bitrot``/``torn_write``/``misdirected_write``).
+    corruptions: List[FaultEvent] = field(default_factory=list)
     #: Events that fired on this request (for tracing/reporting).
     fired: List[FaultEvent] = field(default_factory=list)
 
@@ -72,6 +84,7 @@ class ServiceFaultInjector:
                 e
                 for e in schedule
                 if e.kind in ("conn_reset", "partial_frame", "clock_skew")
+                + CORRUPTION_FAULT_KINDS
             ),
             key=lambda e: e.at,
         )
@@ -110,6 +123,8 @@ class ServiceFaultInjector:
                 verdict.reset = True
             elif e.kind == "partial_frame":
                 verdict.partial = True
+            elif e.kind in CORRUPTION_FAULT_KINDS:
+                verdict.corruptions.append(e)
             else:  # clock_skew
                 verdict.skew_seconds += e.factor
             verdict.fired.append(e)
@@ -124,6 +139,72 @@ class ServiceFaultInjector:
                 verdict.fired.append(e)
                 self._count(e)
         return verdict
+
+
+def apply_corruption(store, event: FaultEvent):
+    """Mutate the victim chunk's stored bytes per ``event.kind``.
+
+    Writes *beneath* the store's checksum layer — straight into the chunk
+    file, leaving the CRC32C sidecar stale — which is the whole point:
+    the corruption is silent until a verify (foreground read or scrub)
+    touches it. Needs a file-backed store (:class:`FileChunkStore` or a
+    :class:`ShardedChunkStore` over them); sharded stores are descended
+    through ``shard_for``. Returns the mutated chunk's path.
+
+    * ``bitrot`` flips three payload bytes in place (first, middle, last);
+    * ``torn_write`` truncates the payload to its first half (min 1 byte);
+    * ``misdirected_write`` overwrites the payload with another chunk's
+      bytes from the same disk (the first donor whose payload differs),
+      falling back to a byte flip when the disk holds no other chunk.
+    """
+    if event.kind not in CORRUPTION_FAULT_KINDS:
+        raise ConfigurationError(
+            f"apply_corruption got a {event.kind!r} event; expected one of "
+            f"{CORRUPTION_FAULT_KINDS}"
+        )
+    from repro.ec.stripe import ChunkId
+    from repro.errors import ChunkNotFoundError
+
+    chunk_id = ChunkId(int(event.stripe), int(event.shard))
+    backend = (
+        store.shard_for(event.disk) if hasattr(store, "shard_for") else store
+    )
+    chunk_path = getattr(backend, "_chunk_path", None)
+    if chunk_path is None:
+        raise ConfigurationError(
+            f"corruption faults need a file-backed chunk store, got "
+            f"{type(backend).__name__}"
+        )
+    path = chunk_path(event.disk, chunk_id)
+    if not path.exists():
+        raise ChunkNotFoundError(
+            f"cannot corrupt chunk {chunk_id}: not on disk {event.disk}"
+        )
+
+    def _flip(payload: bytes) -> bytes:
+        mutated = bytearray(payload)
+        for off in {0, len(mutated) // 2, len(mutated) - 1}:
+            mutated[off] ^= 0xFF
+        return bytes(mutated)
+
+    payload = path.read_bytes()
+    if event.kind == "bitrot":
+        mutated = _flip(payload) if payload else b"\xff"
+    elif event.kind == "torn_write":
+        mutated = payload[: max(1, len(payload) // 2)]
+    else:  # misdirected_write
+        mutated = None
+        for donor in sorted(backend.chunks_on_disk(event.disk)):
+            if donor == chunk_id:
+                continue
+            donor_payload = chunk_path(event.disk, donor).read_bytes()
+            if donor_payload != payload:
+                mutated = donor_payload
+                break
+        if mutated is None:
+            mutated = _flip(payload) if payload else b"\xff"
+    path.write_bytes(mutated)
+    return path
 
 
 def is_service_schedule(schedule: FaultSchedule) -> bool:

@@ -34,6 +34,21 @@ of a repair cluster rather than a disk; ``daemon`` selects which one:
 * ``clock_skew`` — the daemon's lease clock jumps by ``factor`` seconds
   (positive or negative) at request ordinal ``at``; exercises lease
   expiry and epoch fencing under clock trouble.
+
+Silent-corruption kinds (also service-plane; ``at`` is a request
+ordinal, ``stripe``/``shard`` name the victim chunk on ``disk``). They
+mutate stored bytes *beneath* the checksum layer — the CRC32C sidecar is
+left stale on purpose — so only a verify (foreground read or the scrub
+plane) can catch them:
+
+* ``bitrot`` — a few payload bytes flip in place (media decay, cosmic
+  ray); payload length unchanged, sidecar stale.
+* ``torn_write`` — the payload is truncated to a valid prefix (power cut
+  mid-write on a non-atomic path); sidecar still describes the full
+  chunk.
+* ``misdirected_write`` — another chunk's payload lands at this chunk's
+  path (firmware addressing bug); the bytes are internally healthy but
+  belong to the wrong chunk, so only the sidecar disagreement exposes it.
 """
 
 from __future__ import annotations
@@ -53,9 +68,15 @@ FAULT_KINDS = ("disk_fail", "sector_error", "slow", "hang", "process_crash")
 #: connection-level kinds (everything but ``daemon_crash``) ``at`` is a
 #: 0-based *request ordinal* on that daemon, which keeps injection
 #: deterministic regardless of wall-clock scheduling.
+#: Silent-corruption kinds: mutate one stored chunk's bytes beneath the
+#: checksum layer, leaving the CRC32C sidecar stale. ``at`` is a request
+#: ordinal (fired through the wire injector); ``stripe``/``shard``/``disk``
+#: name the victim chunk.
+CORRUPTION_FAULT_KINDS = ("bitrot", "torn_write", "misdirected_write")
+
 SERVICE_FAULT_KINDS = (
     "daemon_crash", "conn_reset", "slow_peer", "partial_frame", "clock_skew",
-)
+) + CORRUPTION_FAULT_KINDS
 
 #: Kinds the random generator draws from — ``process_crash`` is opt-in
 #: (it only makes sense alongside a journal, so scripted specs add it
@@ -106,9 +127,11 @@ class FaultEvent:
             raise ConfigurationError(f"fault time must be >= 0, got {self.at}")
         if self.disk < 0:
             raise ConfigurationError(f"fault disk must be >= 0, got {self.disk}")
-        if self.kind == "sector_error" and (self.stripe is None or self.shard is None):
+        if self.kind in ("sector_error",) + CORRUPTION_FAULT_KINDS and (
+            self.stripe is None or self.shard is None
+        ):
             raise ConfigurationError(
-                "sector_error events need explicit stripe and shard coordinates"
+                f"{self.kind} events need explicit stripe and shard coordinates"
             )
         if self.kind == "slow" and self.factor < 1.0:
             raise ConfigurationError(
@@ -135,6 +158,10 @@ class FaultEvent:
         spec: Dict[str, object] = {"at": self.at, "kind": self.kind}
         if self.kind in SERVICE_FAULT_KINDS:
             spec["daemon"] = self.daemon
+            # Corruption kinds address a chunk, so the victim disk matters
+            # even though the event is daemon-scoped.
+            if self.kind in CORRUPTION_FAULT_KINDS:
+                spec["disk"] = self.disk
         else:
             spec["disk"] = self.disk
         if self.stripe is not None:

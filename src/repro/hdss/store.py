@@ -257,6 +257,10 @@ class FileChunkStore(ChunkStore):
         self.durable = durable
         #: Checksum mismatches detected by this store instance.
         self.checksum_failures = 0
+        #: Dead-writer ``*.tmp`` files removed by the startup sweep.
+        self.swept_tmp_files = 0
+        #: Orphan sidecars (no chunk beside them) removed by the sweep.
+        self.orphan_sidecars = 0
         self._sweep_stale()
 
     def _sweep_stale(self) -> None:
@@ -282,9 +286,25 @@ class FileChunkStore(ChunkStore):
                     if pid is not None and _pid_alive(pid):
                         continue  # a live writer still owns this tmp
                     p.unlink(missing_ok=True)
+                    self.swept_tmp_files += 1
                 elif p.name.endswith(CRC_SUFFIX):
                     if not p.with_name(p.name[: -len(CRC_SUFFIX)]).exists():
                         p.unlink(missing_ok=True)
+                        self.orphan_sidecars += 1
+        if self.swept_tmp_files or self.orphan_sidecars:
+            from repro.obs.context import current_registry
+
+            registry = current_registry()
+            if self.swept_tmp_files:
+                registry.counter(
+                    "hdpsr_store_swept_tmp_files_total",
+                    "Dead-writer tmp files removed by the startup sweep",
+                ).inc(self.swept_tmp_files)
+            if self.orphan_sidecars:
+                registry.counter(
+                    "hdpsr_store_orphan_sidecars_total",
+                    "Orphan CRC32C sidecars removed by the startup sweep",
+                ).inc(self.orphan_sidecars)
 
     def _disk_dir(self, disk_id: int) -> Path:
         return self.root / f"disk-{disk_id:03d}"
@@ -459,6 +479,16 @@ class ShardedChunkStore(ChunkStore):
     def checksum_failures(self) -> int:
         """Checksum mismatches across every shard (file-backed shards only)."""
         return sum(getattr(s, "checksum_failures", 0) for s in self.shards)
+
+    @property
+    def swept_tmp_files(self) -> int:
+        """Dead-writer tmp files swept at startup, across every shard."""
+        return sum(getattr(s, "swept_tmp_files", 0) for s in self.shards)
+
+    @property
+    def orphan_sidecars(self) -> int:
+        """Orphan sidecars swept at startup, across every shard."""
+        return sum(getattr(s, "orphan_sidecars", 0) for s in self.shards)
 
     # ------------------------------------------------------------ delegation
     def put(self, disk_id: int, chunk_id: ChunkId, data: np.ndarray) -> None:

@@ -10,6 +10,19 @@ spare; the slot is modelled as good-as-new).
 
 The estimator reports the mission loss probability with a 95% Wilson
 interval and an MTTDL estimate from the observed loss times.
+
+**Latent errors and the scrub window.** With
+``latent_error_rate_per_disk_year > 0`` each disk also accrues silent
+corruption (bitrot, torn writes) as a Poisson process. A latent error is
+invisible — it costs nothing by itself — but while it is present the
+affected disk contributes one *extra* effective erasure to its stripes:
+a disk failure that would have been tolerable is fatal if it lands while
+an undetected latent error sits on a survivor. ``scrub_cycle_seconds``
+is the detection window: an online scrub plane finds and read-repairs a
+latent error within one cycle, so shorter cycles shrink the vulnerable
+window; ``None`` models no scrubbing (the error persists until the disk
+itself is rebuilt). This is the reliability argument for the service's
+:class:`~repro.service.scrub.Scrubber`.
 """
 
 from __future__ import annotations
@@ -48,13 +61,18 @@ class DurabilityResult:
     mttdl_seconds: float
     #: Mean time of the loss event among losing trials (seconds), or None.
     mean_time_to_loss: Optional[float]
+    #: Scrub detection window used for latent errors (None = no scrub /
+    #: no latent-error model).
+    scrub_cycle_seconds: Optional[float] = None
+    #: Losses where an undetected latent error supplied the fatal erasure.
+    latent_losses: int = 0
 
     @property
     def mttdl_years(self) -> float:
         return self.mttdl_seconds / YEAR_SECONDS
 
     def summary(self) -> dict:
-        return {
+        out = {
             "trials": self.trials,
             "losses": self.losses,
             "loss_probability": self.loss_probability,
@@ -63,6 +81,11 @@ class DurabilityResult:
             "mttdl_years": self.mttdl_years,
             "repair_seconds": self.repair_seconds,
         }
+        if self.scrub_cycle_seconds is not None:
+            out["scrub_cycle_seconds"] = self.scrub_cycle_seconds
+        if self.latent_losses:
+            out["latent_losses"] = self.latent_losses
+        return out
 
 
 def _wilson(losses: int, trials: int, z: float = 1.959964) -> "tuple[float, float]":
@@ -86,6 +109,8 @@ def simulate_durability(
     enclosure_size: Optional[int] = None,
     correlated_prob: float = 0.0,
     correlated_delay_seconds: float = 3600.0,
+    latent_error_rate_per_disk_year: float = 0.0,
+    scrub_cycle_seconds: Optional[float] = None,
 ) -> DurabilityResult:
     """Estimate mission loss probability and MTTDL for one repair speed.
 
@@ -106,6 +131,14 @@ def simulate_durability(
             multi-disk cooperative repair.
         correlated_delay_seconds: spread of the correlated follow-on
             failures after the trigger.
+        latent_error_rate_per_disk_year: Poisson rate of silent
+            corruption per disk-year. While a latent error is undetected
+            its disk counts as one extra effective erasure for its
+            stripes (the corrupt chunk cannot serve as a survivor).
+        scrub_cycle_seconds: detection window of the online scrub plane —
+            a latent error is found and read-repaired within one cycle.
+            ``None`` with a nonzero latent rate models *no* scrubbing:
+            the error persists until its disk is itself rebuilt.
     """
     check_positive("num_disks", num_disks)
     check_positive("repair_seconds", repair_seconds)
@@ -121,6 +154,15 @@ def simulate_durability(
         )
     if correlated_delay_seconds < 0:
         raise ConfigurationError("correlated_delay_seconds must be >= 0")
+    if latent_error_rate_per_disk_year < 0:
+        raise ConfigurationError(
+            "latent_error_rate_per_disk_year must be >= 0, got "
+            f"{latent_error_rate_per_disk_year}"
+        )
+    if scrub_cycle_seconds is not None and scrub_cycle_seconds <= 0:
+        raise ConfigurationError(
+            f"scrub_cycle_seconds must be > 0 when given, got {scrub_cycle_seconds}"
+        )
 
     mission = mission_years * YEAR_SECONDS
     tolerance = {s.index: s.m for s in layout}
@@ -140,37 +182,83 @@ def simulate_durability(
         else (seed if seed is not None else 0)
     )
 
+    # A latent error's vulnerable window: one scrub cycle when a scrub
+    # plane runs, the rest of the mission when nothing ever verifies.
+    latent_rate = latent_error_rate_per_disk_year / YEAR_SECONDS
+    latent_window = (
+        scrub_cycle_seconds if scrub_cycle_seconds is not None else math.inf
+    )
+
     losses = 0
+    latent_losses = 0
     loss_times = []
     survived_time_total = 0.0
 
-    FAIL, REPAIR = 0, 1
+    FAIL, REPAIR, LATENT = 0, 1, 2
     for trial in range(trials):
         rng = make_rng(derive_seed(base_seed, "durability", trial))
         # event heap: (time, kind, disk, epoch); per-disk epochs invalidate
         # stale events after state changes (e.g. a natural failure queued
-        # behind a correlated one that already took the disk down).
+        # behind a correlated one that already took the disk down). LATENT
+        # events are slot-bound media decay, not disk-state transitions,
+        # so they bypass the epoch check.
         heap = []
         epoch = [0] * num_disks
         first = lifetime.sample(num_disks, rng)
         for d in range(num_disks):
             if first[d] < mission:
                 heapq.heappush(heap, (float(first[d]), FAIL, d, 0))
+        if latent_rate > 0.0:
+            for d in range(num_disks):
+                t = float(rng.exponential(1.0 / latent_rate))
+                while t < mission:
+                    heapq.heappush(heap, (t, LATENT, d, -1))
+                    t += float(rng.exponential(1.0 / latent_rate))
         down = set()
+        latent_until = [-math.inf] * num_disks
         lost_at: Optional[float] = None
+        lost_latent = False
+
+        def stripe_dead(si: int, now: float) -> "tuple[int, int]":
+            dead = sum(1 for disk in stripe_disks[si] if disk in down)
+            latent = sum(
+                1 for disk in stripe_disks[si]
+                if disk not in down and latent_until[disk] > now
+            )
+            return dead, latent
+
         while heap:
             t, kind, d, ev_epoch = heapq.heappop(heap)
+            if kind == LATENT:
+                # Corruption on a down disk is moot: its rebuild decodes
+                # fresh bytes from clean survivors.
+                if d not in down:
+                    latent_until[d] = max(latent_until[d], t + latent_window)
+                    # Overlapping undetected errors can exceed m on their
+                    # own — rare without scrubbing, but real loss.
+                    for si in layout.stripe_set(d):
+                        dead, latent = stripe_dead(si, t)
+                        if dead + latent > tolerance[si]:
+                            lost_at = t
+                            lost_latent = True
+                            break
+                if lost_at is not None:
+                    break
+                continue
             if ev_epoch != epoch[d]:
                 continue  # superseded by a later state change
             if kind == FAIL:
                 epoch[d] += 1
                 down.add(d)
-                # fatal iff some stripe on d now has > m members down
-                if len(down) > 1:
+                latent_until[d] = -math.inf  # subsumed by the full failure
+                # fatal iff some stripe on d now exceeds m effective
+                # erasures — down members plus undetected latent errors.
+                if len(down) > 1 or latent_rate > 0.0:
                     for si in layout.stripe_set(d):
-                        dead = sum(1 for disk in stripe_disks[si] if disk in down)
-                        if dead > tolerance[si]:
+                        dead, latent = stripe_dead(si, t)
+                        if dead + latent > tolerance[si]:
                             lost_at = t
+                            lost_latent = latent > 0
                             break
                 if lost_at is not None:
                     break
@@ -197,6 +285,8 @@ def simulate_durability(
                     heapq.heappush(heap, (next_fail, FAIL, d, epoch[d]))
         if lost_at is not None:
             losses += 1
+            if lost_latent:
+                latent_losses += 1
             loss_times.append(lost_at)
             survived_time_total += lost_at
         else:
@@ -213,6 +303,8 @@ def simulate_durability(
         ci95=_wilson(losses, trials),
         mttdl_seconds=mttdl,
         mean_time_to_loss=(sum(loss_times) / len(loss_times)) if loss_times else None,
+        scrub_cycle_seconds=scrub_cycle_seconds if latent_rate > 0.0 else None,
+        latent_losses=latent_losses,
     )
 
 

@@ -107,6 +107,14 @@ PAPER_CLAIMS = {
         "keeps the successful-read p99 near the deadline budget past the "
         "knee — the uncontrolled one's tail grows with the standing queue."
     ),
+    "scrub": (
+        "Repo extension: the online scrub plane's two promises measured — "
+        "silent-corruption detection latency tracks the inter-verify pause "
+        "(every rotted chunk quarantined and read-repaired byte-identically "
+        "at every rate), and a diurnal foreground workload sees the same "
+        "p99 with the scrubber at full rate as with it off, because every "
+        "verify takes a background gate slot."
+    ),
 }
 
 TITLES = {
@@ -134,6 +142,7 @@ TITLES = {
     "service_telemetry_overhead": "Extension — CPU cost of the live telemetry plane",
     "cluster_failover": "Extension — cluster failover: takeover latency and foreground p99",
     "overload": "Extension — overload knee: goodput and p99 vs offered load",
+    "scrub": "Extension — scrub plane: detection latency and foreground politeness",
 }
 
 ORDER = [
@@ -142,7 +151,7 @@ ORDER = [
     "ablation_staleness", "durability", "wallclock", "lrc_comparison",
     "foreground_latency", "ablation_slicing", "wide_stripes",
     "vulnerability_order", "robustness", "service_throughput",
-    "service_telemetry_overhead", "cluster_failover", "overload",
+    "service_telemetry_overhead", "cluster_failover", "overload", "scrub",
 ]
 
 

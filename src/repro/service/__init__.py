@@ -30,12 +30,23 @@ client reads while disks rebuild:
   harness behind ``hdpsr chaos --scenario failover``;
 * :mod:`repro.service.chaos_overload` — the flash-crowd overload
   scenario behind ``hdpsr chaos --scenario overload``;
+* :mod:`repro.service.scrub` — the online scrub plane: a crash-resumable
+  background :class:`Scrubber` that verifies every chunk against its
+  CRC32C sidecar, quarantines silent corruption, and read-repairs it
+  through the partial-stripe decode path;
+* :mod:`repro.service.chaos_bitrot` — the silent-corruption scenario
+  behind ``hdpsr chaos --scenario bitrot``;
 * :mod:`repro.service.telemetry` — the live scrape surface: the ``stats``
   snapshot builder and the HTTP ``/metrics`` + ``/healthz`` listener.
 """
 
 from repro.service.admission import DiskGate
 from repro.service.chaos import ChaosConfig, ChaosScenario, run_chaos
+from repro.service.chaos_bitrot import (
+    BitrotChaosConfig,
+    BitrotChaosScenario,
+    run_bitrot_chaos,
+)
 from repro.service.chaos_overload import (
     OverloadChaosConfig,
     OverloadChaosScenario,
@@ -71,12 +82,15 @@ from repro.service.service import (
     ServiceConfig,
     ServiceRepairResult,
 )
+from repro.service.scrub import ScrubConfig, Scrubber, ScrubStatus
 from repro.service.sharding import AsyncShardWriter
 from repro.service.telemetry import TelemetryServer, stats_snapshot
 
 __all__ = [
     "AsyncShardWriter",
     "BackoffPolicy",
+    "BitrotChaosConfig",
+    "BitrotChaosScenario",
     "ChaosConfig",
     "ChaosScenario",
     "CircuitBreaker",
@@ -99,9 +113,13 @@ __all__ = [
     "ServiceClient",
     "ServiceConfig",
     "ServiceDaemon",
+    "ScrubConfig",
+    "ScrubStatus",
+    "Scrubber",
     "ServiceError",
     "ServiceRepairResult",
     "TelemetryServer",
+    "run_bitrot_chaos",
     "run_chaos",
     "run_open_loop",
     "run_overload_chaos",

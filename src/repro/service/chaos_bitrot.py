@@ -1,0 +1,497 @@
+"""Silent-corruption chaos: bitrot seeded mid-repair, caught by the scrub plane.
+
+This is the scenario behind ``hdpsr chaos --scenario bitrot``, and the
+proof the scrub plane exists to earn. One :class:`ServiceDaemon` (driven
+in-process through
+:meth:`~repro.service.netserver.ServiceDaemon.handle_request`) fronts a
+*file-backed* sharded store — corruption has to land on real bytes with
+real CRC32C sidecars — while a disk repair runs. The episode:
+
+1. Fail one disk and submit its repair.
+2. Mid-repair, fire one corruption event of each kind (``bitrot``,
+   ``torn_write``, ``misdirected_write``) through the request-ordinal
+   wire injector, each against a chunk of a stripe the repair never
+   touches (so nothing but a verify can catch it). Seed times are
+   stamped so detection latency is measurable.
+3. Read one corrupted chunk through the front door immediately: the
+   daemon must quarantine it and serve the *decoded* bytes — the reply
+   is byte-identical to the original payload, never the rotted bytes.
+4. Let the scrubber finish one full cycle after seeding and assert every
+   corrupt chunk was detected, quarantined, and read-repaired
+   byte-identically with a fresh sidecar (``verify_chunk`` passes).
+5. Brown the daemon out (synthetic flash-crowd gate waits walk the
+   controller to ``shedding``) and assert the scrubber parks — zero
+   verifies while shed — then recovers and makes progress again once
+   the controller walks back to ``healthy``.
+6. Full byte-identity sweep: every object, including the repaired
+   disk's chunks on spares, reads back exactly as written.
+
+With ``scrub=False`` (the ``--no-scrub`` negative control) the same
+corruption is seeded and nothing ever verifies the victims: the episode
+ends with the corruption still latent on disk, which is what proves the
+detection above is the scrub plane's doing. The control asserts only
+integrity of untouched stripes; the *caller* asserts
+``report["latent_corruptions"] >= 1``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import ALGORITHMS
+from repro.ec.stripe import ChunkId
+from repro.errors import ChunkChecksumError, ConfigurationError
+from repro.faults.service import ServiceFaultInjector
+from repro.faults.spec import CORRUPTION_FAULT_KINDS, FaultEvent, FaultSchedule
+from repro.hdss.server import HDSSConfig, HighDensityStorageServer
+from repro.hdss.store import ShardedChunkStore
+from repro.obs.context import current_registry
+from repro.service.netserver import ServiceDaemon
+from repro.service.overload import STATE_HEALTHY, STATE_SHEDDING, OverloadConfig
+from repro.service.scrub import ScrubConfig, Scrubber
+from repro.service.service import RepairService, ServiceConfig
+
+__all__ = ["BitrotChaosConfig", "BitrotChaosScenario", "run_bitrot_chaos"]
+
+
+@dataclass(frozen=True)
+class BitrotChaosConfig:
+    """Knobs of one silent-corruption episode.
+
+    Attributes:
+        scrub: run the scrub plane (the treatment) or leave the seeded
+            corruption to fester (the ``--no-scrub`` negative control).
+        root: scratch directory — REQUIRED, the store must be file-backed
+            for corruption to have bytes to rot.
+        corruptions: victim count; kinds cycle through
+            :data:`~repro.faults.spec.CORRUPTION_FAULT_KINDS`.
+        scrub_interval_ms: inter-verify pause of the scrubber under test.
+        detection_cycles: full scrub cycles allowed between seeding and
+            every victim being detected + repaired (1 = "within one
+            cycle"; the budget waits for that many *complete* cycles
+            that started after seeding).
+    """
+
+    root: "str | Path" = ""
+    scrub: bool = True
+    num_disks: int = 12
+    n: int = 5
+    k: int = 3
+    chunk_size: int = 1024
+    memory_chunks: int = 16
+    spares: int = 3
+    seed: int = 23
+    stripes: int = 10
+    failed_disk: int = 3
+    algorithm: str = "hd-psr-ap"
+    num_shards: int = 4
+    gate_width: int = 2
+    corruptions: int = 3
+    scrub_interval_ms: float = 1.0
+    detection_cycles: int = 1
+    deadline: float = 60.0
+
+    def __post_init__(self) -> None:
+        if not str(self.root):
+            raise ConfigurationError(
+                "bitrot chaos needs a scratch root (file-backed store)"
+            )
+        if self.corruptions < 1:
+            raise ConfigurationError(
+                f"corruptions must be >= 1, got {self.corruptions}"
+            )
+        if self.detection_cycles < 1:
+            raise ConfigurationError(
+                f"detection_cycles must be >= 1, got {self.detection_cycles}"
+            )
+
+
+class BitrotChaosScenario:
+    """One seeded silent-corruption episode; :meth:`run` returns the report."""
+
+    def __init__(self, config: BitrotChaosConfig) -> None:
+        self.config = config
+        self.failures: List[str] = []
+
+    def _fail(self, message: str) -> None:
+        self.failures.append(message)
+
+    # ------------------------------------------------------------- assembly
+    def _build(self):
+        c = self.config
+        root = Path(c.root)
+        store = ShardedChunkStore.from_root(
+            root / "store", num_shards=c.num_shards, durable=False
+        )
+        server = HighDensityStorageServer(
+            HDSSConfig(
+                num_disks=c.num_disks, n=c.n, k=c.k, chunk_size=c.chunk_size,
+                memory_chunks=c.memory_chunks, spares=c.spares, seed=c.seed,
+                placement="rotating",
+            ),
+            store=store,
+        )
+        server.provision_stripes(c.stripes, with_data=True)
+        service = RepairService(
+            server,
+            ALGORITHMS[c.algorithm](),
+            ServiceConfig(
+                max_concurrent_stripes=2,
+                per_disk_reads=c.gate_width,
+                journal_root=root / "journal",
+                durable_journal=False,
+                overload=OverloadConfig(
+                    target_ms=5.0, shed_target_ms=30.0, interval_ms=20.0,
+                    recovery_intervals=1, idle_reset_s=0.4,
+                    scrub_brownout_factor=4.0,
+                ),
+            ),
+        )
+        victims = self._pick_victims(server)
+        schedule = FaultSchedule([
+            FaultEvent(
+                # Ordinals 0 and 1 are fail_disk + repair: the events land
+                # on the seeding pings fired right after, i.e. mid-repair.
+                at=float(2 + i),
+                kind=CORRUPTION_FAULT_KINDS[i % len(CORRUPTION_FAULT_KINDS)],
+                disk=disk, stripe=si, shard=s,
+            )
+            for i, (disk, si, s) in enumerate(victims)
+        ])
+        injector = ServiceFaultInjector(schedule)
+        scrubber = None
+        if c.scrub:
+            scrubber = Scrubber(service, ScrubConfig(
+                interval_ms=c.scrub_interval_ms,
+                cycle_pause_s=0.05,
+                park_poll_s=0.02,
+                journal_root=root / "scrub-cursor",
+                durable_journal=False,
+                auto_repair=True,
+            ))
+        daemon = ServiceDaemon(service, chaos=injector, scrubber=scrubber)
+        return store, server, service, daemon, scrubber, injector, victims
+
+    def _pick_victims(
+        self, server: HighDensityStorageServer
+    ) -> List[Tuple[int, int, int]]:
+        """``(disk, stripe, shard)`` triples the disk repair never reads:
+        data shards of stripes that do not touch the failed disk, spread
+        across distinct disks (and store shards where possible) so the
+        corruption lands "across shards" rather than clustering."""
+        c = self.config
+        victims: List[Tuple[int, int, int]] = []
+        used_disks: set = set()
+        for si in range(len(server.layout)):
+            stripe = server.layout[si]
+            if c.failed_disk in stripe.disks:
+                continue
+            for s in range(stripe.k):
+                disk = stripe.disks[s]
+                if disk in used_disks:
+                    continue
+                victims.append((disk, si, s))
+                used_disks.add(disk)
+                break
+            if len(victims) >= c.corruptions:
+                return victims
+        # Relax the distinct-disk spread if the layout is too small for it.
+        for si in range(len(server.layout)):
+            stripe = server.layout[si]
+            if c.failed_disk in stripe.disks:
+                continue
+            for s in range(stripe.k):
+                key = (stripe.disks[s], si, s)
+                if key not in victims:
+                    victims.append(key)
+                if len(victims) >= c.corruptions:
+                    return victims
+        raise ConfigurationError(
+            "not enough repair-untouched stripes to seed "
+            f"{c.corruptions} corruptions"
+        )
+
+    # ------------------------------------------------------------------ run
+    async def run(self) -> dict:
+        c = self.config
+        hard_deadline = time.monotonic() + c.deadline
+        store, server, service, daemon, scrubber, injector, victims = (
+            self._build()
+        )
+        originals = {
+            si: server.read_object(si) for si in range(len(server.layout))
+        }
+        pristine = {
+            (disk, si, s): store.get(disk, ChunkId(si, s)).tobytes()
+            for disk, si, s in victims
+        }
+        victim_stripes = {si for _, si, _ in victims}
+
+        report: dict = {
+            "scenario": "bitrot",
+            "scrub": c.scrub,
+            "seed": c.seed,
+            "victims": [
+                {
+                    "disk": d, "stripe": si, "shard": s,
+                    "kind": CORRUPTION_FAULT_KINDS[i % len(CORRUPTION_FAULT_KINDS)],
+                }
+                for i, (d, si, s) in enumerate(victims)
+            ],
+        }
+
+        if scrubber is not None:
+            scrubber.start()
+
+        # 1. Fail the disk and start its repair (ordinals 0 and 1).
+        reply = await daemon.handle_request(
+            {"op": "fail_disk", "disk": c.failed_disk}
+        )
+        if not reply.get("ok"):
+            self._fail(f"fail_disk refused: {reply}")
+        reply = await daemon.handle_request({"op": "repair", "disk": c.failed_disk})
+        job_id = reply.get("job_id")
+        if not reply.get("ok"):
+            self._fail(f"repair refused: {reply}")
+
+        # 2. Seed the corruption mid-repair: each ping advances the request
+        # ordinal past one scheduled corruption event.
+        cycles_at_seed = scrubber.cycles_completed if scrubber else 0
+        for _ in range(c.corruptions):
+            await daemon.handle_request({"op": "ping"})
+        seeded_at = time.monotonic()
+        report["injected"] = dict(injector.applied)
+        if sum(injector.applied.get(k, 0) for k in CORRUPTION_FAULT_KINDS) != len(
+            victims
+        ):
+            self._fail(
+                f"expected {len(victims)} corruption events to fire, "
+                f"applied: {injector.applied}"
+            )
+
+        # 3. The front door must never leak rotted bytes: read the first
+        # victim right now, while its corruption is fresh. The daemon
+        # quarantines it on the checksum mismatch and serves the decode.
+        first_disk, first_si, first_s = victims[0]
+        reply = await daemon.handle_request(
+            {"op": "read", "stripe": first_si, "shard": first_s}
+        )
+        if not reply.get("ok"):
+            self._fail(f"foreground read of corrupt chunk failed: {reply}")
+        else:
+            from repro.service.protocol import unpack_bytes
+
+            got = unpack_bytes(reply["data_b64"])
+            if got != pristine[(first_disk, first_si, first_s)]:
+                self._fail(
+                    "foreground read of corrupt chunk returned wrong bytes "
+                    f"(s{first_si}/{first_s})"
+                )
+        report["foreground_read_clean"] = not any(
+            "foreground read" in f for f in self.failures
+        )
+
+        # 4. The disk repair must finish clean despite the corruption.
+        if job_id is not None:
+            budget = max(1.0, hard_deadline - time.monotonic())
+            try:
+                reply = await asyncio.wait_for(
+                    daemon.handle_request({"op": "wait", "job_id": job_id}),
+                    timeout=budget,
+                )
+            except asyncio.TimeoutError:
+                self._fail(f"disk repair did not finish within {budget:.0f}s")
+            else:
+                if not reply.get("certified", False):
+                    self._fail("disk repair did not certify clean")
+                report["repair"] = {
+                    k: v for k, v in reply.items() if k not in ("ok", "trace_id")
+                }
+
+        if scrubber is not None:
+            await self._assert_treatment(
+                report, service, scrubber, victims, pristine,
+                cycles_at_seed, seeded_at, hard_deadline,
+            )
+        else:
+            self._assert_control(report, store, victims)
+
+        # Final byte-identity sweep. The negative control skips stripes
+        # holding latent corruption on purpose: reading them would detect
+        # (and quarantine) the very rot whose latency it exists to prove.
+        mismatched = []
+        for si, want in originals.items():
+            if scrubber is None and si in victim_stripes:
+                continue
+            try:
+                got = await service.read_object(si)
+            except Exception as exc:  # noqa: BLE001 - recorded as mismatch
+                mismatched.append((si, repr(exc)))
+                continue
+            if got != want:
+                mismatched.append((si, "bytes differ"))
+        report["byte_identical"] = not mismatched
+        if mismatched:
+            self._fail(f"objects not byte-identical: {mismatched}")
+
+        if scrubber is not None:
+            await scrubber.stop()
+            report["scrub_status"] = scrubber.status().to_dict()
+        await service.close()
+        report["corruption"] = {
+            "found": service.corrupt_found,
+            "repaired": service.corrupt_repaired,
+            "quarantined": len(service.quarantine),
+        }
+        report["failures"] = list(self.failures)
+        report["passed"] = not self.failures
+        current_registry().counter(
+            "hdpsr_chaos_runs_total", "Chaos scenarios executed.",
+        ).labels(outcome="pass" if report["passed"] else "fail").inc()
+        return report
+
+    # ------------------------------------------------------------ assertions
+    async def _assert_treatment(
+        self,
+        report: dict,
+        service: RepairService,
+        scrubber: Scrubber,
+        victims: List[Tuple[int, int, int]],
+        pristine: Dict[Tuple[int, int, int], bytes],
+        cycles_at_seed: int,
+        seeded_at: float,
+        hard_deadline: float,
+    ) -> None:
+        c = self.config
+        store = service.server.store
+
+        # Detection budget: wait for `detection_cycles` cycles guaranteed
+        # to have *started* after seeding (+1 covers the cycle that was
+        # already in flight when the corruption landed).
+        target = cycles_at_seed + c.detection_cycles + 1
+        budget = max(1.0, hard_deadline - time.monotonic())
+        if not await scrubber.wait_cycles(target, timeout=budget):
+            self._fail(
+                f"scrubber completed {scrubber.cycles_completed} cycles "
+                f"(wanted {target}) within {budget:.0f}s"
+            )
+        report["detection_window_seconds"] = round(
+            time.monotonic() - seeded_at, 3
+        )
+
+        # Every victim: detected, repaired byte-identically, sidecar fresh.
+        still_bad = []
+        for disk, si, s in victims:
+            cid = ChunkId(si, s)
+            if service.is_quarantined(disk, cid):
+                still_bad.append((disk, si, s, "still quarantined"))
+                continue
+            try:
+                store.verify_chunk(disk, cid)
+            except ChunkChecksumError:
+                still_bad.append((disk, si, s, "sidecar mismatch"))
+                continue
+            if store.get(disk, cid).tobytes() != pristine[(disk, si, s)]:
+                still_bad.append((disk, si, s, "bytes differ"))
+        if still_bad:
+            self._fail(
+                f"corrupt chunks not repaired within {c.detection_cycles} "
+                f"scrub cycle(s): {still_bad}"
+            )
+        if service.corrupt_found < len(victims):
+            self._fail(
+                f"only {service.corrupt_found} corruptions detected of "
+                f"{len(victims)} seeded"
+            )
+        if service.corrupt_repaired < len(victims):
+            self._fail(
+                f"only {service.corrupt_repaired} read-repairs completed of "
+                f"{len(victims)} seeded"
+            )
+        report["detected"] = service.corrupt_found
+        report["read_repaired"] = service.corrupt_repaired
+
+        # Brownout: synthetic flash-crowd gate waits walk the controller
+        # to shedding; the scrubber must park (zero verifies), then make
+        # progress again once the controller recovers to healthy.
+        controller = service.overload
+        interval = controller.config.interval_ms / 1000.0
+
+        healthy_start = scrubber.chunks_verified
+        await asyncio.sleep(0.3)
+        healthy_rate = (scrubber.chunks_verified - healthy_start) / 0.3
+        report["scrub_rate_healthy_per_s"] = round(healthy_rate, 1)
+
+        async def shed_pulse() -> None:
+            controller.observe_wait(0, 0.2)
+            await asyncio.sleep(interval * 1.5)
+            controller.observe_wait(0, 0.2)
+
+        await shed_pulse()
+        parked_deadline = time.monotonic() + 2.0
+        while not scrubber.parked and time.monotonic() < parked_deadline:
+            await shed_pulse()  # keep the window hot until the park lands
+        report["scrub_parked_while_shedding"] = scrubber.parked
+        report["state_during_pulse"] = controller.state
+        if controller.state != STATE_SHEDDING:
+            self._fail(
+                f"synthetic gate waits left controller {controller.state}, "
+                "expected shedding"
+            )
+        if not scrubber.parked:
+            self._fail("scrubber did not park while the daemon was shedding")
+        parked_start = scrubber.chunks_verified
+        hold = time.monotonic() + 0.3
+        while time.monotonic() < hold:
+            controller.observe_wait(0, 0.2)
+            await asyncio.sleep(0.05)
+        parked_verifies = scrubber.chunks_verified - parked_start
+        report["verifies_while_parked"] = parked_verifies
+        if parked_verifies:
+            self._fail(
+                f"scrubber verified {parked_verifies} chunks while parked"
+            )
+
+        # Recovery: the idle window expires, the controller walks back to
+        # healthy, and the scrubber resumes verifying.
+        budget = max(1.0, hard_deadline - time.monotonic())
+        recover_deadline = time.monotonic() + budget
+        while (
+            controller.state != STATE_HEALTHY
+            and time.monotonic() < recover_deadline
+        ):
+            await asyncio.sleep(0.05)
+        report["recovered_healthy"] = controller.state == STATE_HEALTHY
+        if controller.state != STATE_HEALTHY:
+            self._fail(f"controller stuck in {controller.state} after the pulse")
+        resume_start = scrubber.chunks_verified
+        while (
+            scrubber.chunks_verified == resume_start
+            and time.monotonic() < recover_deadline
+        ):
+            await asyncio.sleep(0.02)
+        report["scrub_resumed"] = scrubber.chunks_verified > resume_start
+        if not report["scrub_resumed"]:
+            self._fail("scrubber made no progress after the daemon recovered")
+
+    def _assert_control(self, report: dict, store, victims) -> None:
+        """Without the scrub plane, nothing verifies the victims: the
+        corruption must still be latent on disk at episode end."""
+        latent = 0
+        for disk, si, s in victims:
+            try:
+                store.verify_chunk(disk, ChunkId(si, s))
+            except ChunkChecksumError:
+                latent += 1
+        report["latent_corruptions"] = latent
+        # The control's own pass/fail stays about integrity; the caller
+        # asserts latent_corruptions >= 1, mirroring the overload control.
+
+
+def run_bitrot_chaos(config: BitrotChaosConfig) -> dict:
+    """Synchronous front door for the CLI/CI: run one bitrot episode."""
+    return asyncio.run(BitrotChaosScenario(config).run())

@@ -190,6 +190,13 @@ class ServiceClient:
         """The daemon's cluster/ownership snapshot (v3 ``cluster`` op)."""
         return await self.call("cluster")
 
+    async def scrub(self) -> dict:
+        """The daemon's scrub-plane snapshot (v5 ``scrub`` op):
+        cursor/cycle position, progress + ETA, verify counts, and the
+        quarantine ledger. ``{"enabled": False}`` on a daemon running
+        without a scrubber."""
+        return await self.call("scrub")
+
     async def close(self) -> None:
         self._writer.close()
         try:

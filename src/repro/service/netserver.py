@@ -38,6 +38,7 @@ from typing import Dict, Optional
 
 from repro.errors import (
     ChunkNotFoundError,
+    ChunkQuarantinedError,
     ConfigurationError,
     DeadlineExceededError,
     FencedError,
@@ -47,7 +48,7 @@ from repro.errors import (
 )
 from repro.faults.injector import SimulatedCrash
 from repro.faults.report import EXIT_CRASHED
-from repro.faults.service import ServiceFaultInjector
+from repro.faults.service import ServiceFaultInjector, WireVerdict, apply_corruption
 from repro.journal.journal import journal_exists, load_state
 from repro.obs.context import current_registry, current_tracer, use_span
 from repro.obs.exporters import prometheus_text
@@ -57,6 +58,7 @@ from repro.service import protocol
 from repro.service.cluster import ClusterNode
 from repro.service.protocol import (
     ERR_BAD_REQUEST,
+    ERR_CORRUPT,
     ERR_CRASH,
     ERR_DEADLINE,
     ERR_FENCED,
@@ -67,18 +69,19 @@ from repro.service.protocol import (
     MAX_REQUEST_BYTES,
 )
 from repro.service.overload import Deadline
+from repro.service.scrub import Scrubber
 from repro.service.service import RepairService, RepairTicket
 from repro.service.telemetry import TelemetryServer, stats_snapshot
 
 #: Ops a connection handler dispatches (``op`` field of each request).
 OPS = (
     "ping", "stats", "metrics", "cluster", "fail_disk", "repair", "wait",
-    "read", "read_object", "shutdown",
+    "read", "read_object", "scrub", "shutdown",
 )
 
 #: Ops exempt from the in-flight admission cap: they are cheap, and they
 #: are exactly what an operator needs while the daemon is overloaded.
-UNCAPPED_OPS = ("ping", "stats", "metrics", "cluster", "shutdown")
+UNCAPPED_OPS = ("ping", "stats", "metrics", "cluster", "scrub", "shutdown")
 
 #: Ops that mutate shard-owned state and are therefore refused with
 #: ``not_owner`` on a daemon that does not hold the target disk's lease.
@@ -105,11 +108,15 @@ class ServiceDaemon:
             ``cluster`` op, and — on claiming a dead peer's shard —
             resumes that peer's unfinished repair journals (handoff).
         chaos: optional wire-fault injector (``conn_reset``/``slow_peer``/
-            ``partial_frame``/``clock_skew``), consulted once per request.
+            ``partial_frame``/``clock_skew``/``bitrot``/``torn_write``/
+            ``misdirected_write``), consulted once per request.
         max_inflight: admission cap on concurrently served requests
             (telemetry/control ops exempt); excess requests are answered
             with a retryable ``overload`` error instead of queueing
             without bound.
+        scrubber: optional background :class:`~repro.service.scrub.Scrubber`;
+            the daemon starts it once ready and stops it during drain, and
+            the ``scrub`` op reports its cursor/progress/quarantine status.
     """
 
     def __init__(
@@ -123,6 +130,7 @@ class ServiceDaemon:
         cluster: Optional[ClusterNode] = None,
         chaos: Optional[ServiceFaultInjector] = None,
         max_inflight: Optional[int] = None,
+        scrubber: Optional[Scrubber] = None,
     ) -> None:
         self.service = service
         self.host = host
@@ -133,6 +141,7 @@ class ServiceDaemon:
         self.cluster = cluster
         self.chaos = chaos
         self.max_inflight = max_inflight
+        self.scrubber = scrubber
         if cluster is not None:
             if cluster.on_claim is None:
                 cluster.on_claim = self._handle_claim
@@ -141,7 +150,9 @@ class ServiceDaemon:
         if telemetry is not None and telemetry.refresh is None:
             # An HTTP scrape must see the same scrape-time gauges (job
             # progress, writer backlog) a `stats` call refreshes.
-            telemetry.refresh = lambda: stats_snapshot(service, monitor, cluster)
+            telemetry.refresh = lambda: stats_snapshot(
+                service, monitor, cluster, self.scrubber
+            )
         self.exit_code = 0
         self.crashed: Optional[SimulatedCrash] = None
         self._stop = asyncio.Event()
@@ -189,9 +200,16 @@ class ServiceDaemon:
         if self.telemetry is not None:
             await self.telemetry.start()  # idempotent when already bound
             self.telemetry.set_ready(True)
+        if self.scrubber is not None:
+            self.scrubber.start()
         await self._stop.wait()
         if self.telemetry is not None:
             self.telemetry.set_ready(False)
+        if self.scrubber is not None:
+            # Stop before closing the service: a mid-verify scrub read must
+            # not race the store teardown, and the cursor journal's last
+            # committed record is what a restart resumes from.
+            await self.scrubber.stop()
         self._listener.close()
         # Unblock handlers parked in read_message: closing the transport
         # EOFs their readers (3.12's wait_closed waits for every handler).
@@ -327,6 +345,8 @@ class ServiceDaemon:
                     break
                 if self.chaos is not None:
                     verdict = self.chaos.on_request()
+                    if verdict.corruptions:
+                        await self._apply_corruptions(verdict)
                     if verdict.skew_seconds and self.cluster is not None:
                         self.cluster.clock.advance(verdict.skew_seconds)
                     if verdict.delay_seconds:
@@ -385,11 +405,42 @@ class ServiceDaemon:
             return None
         return Deadline.from_budget_ms(float(budget))
 
+    async def _apply_corruptions(self, verdict: WireVerdict) -> None:
+        """Land the verdict's corruption events on the backing store.
+
+        The write happens off-loop (it is file I/O) and the service is
+        told the seed time, so scrub detection latency is measurable.
+        Events aimed at chunks that do not exist (yet) are dropped — a
+        schedule may fire before the victim stripe is written.
+        """
+        for event in verdict.corruptions:
+            try:
+                await asyncio.to_thread(
+                    apply_corruption, self.service.server.store, event
+                )
+            except (ChunkNotFoundError, ConfigurationError):
+                continue
+            self.service.note_corruption_seeded(
+                int(event.disk), int(event.stripe), int(event.shard)
+            )
+
     async def handle_request(self, msg: dict) -> dict:
         """Serve one already-decoded request dict (full protocol
         semantics minus TCP framing) — the front door for in-process
-        harnesses like the overload chaos scenario, where thousands of
-        open-loop requests would otherwise each need a socket."""
+        harnesses like the overload and bitrot chaos scenarios, where
+        thousands of open-loop requests would otherwise each need a
+        socket. The wire injector is still consulted, but only verdicts
+        that make sense without a socket apply: corruption and clock
+        skew land, delays are honoured, resets/torn frames are ignored.
+        """
+        if self.chaos is not None:
+            verdict = self.chaos.on_request()
+            if verdict.corruptions:
+                await self._apply_corruptions(verdict)
+            if verdict.skew_seconds and self.cluster is not None:
+                self.cluster.clock.advance(verdict.skew_seconds)
+            if verdict.delay_seconds:
+                await asyncio.sleep(verdict.delay_seconds)
         return await self._serve_one(msg)
 
     async def _serve_one(self, msg: dict) -> dict:
@@ -456,6 +507,11 @@ class ServiceDaemon:
                 work_class=exc.work_class,
                 retry_after_ms=exc.retry_after_ms,
             )
+        except ChunkQuarantinedError as exc:
+            reply = protocol.error(
+                str(exc), code=ERR_CORRUPT, kind="ChunkQuarantinedError",
+                disk=exc.disk, stripe=exc.stripe, shard=exc.shard,
+            )
         except ChunkNotFoundError as exc:
             reply = protocol.error(
                 str(exc), code=ERR_NOT_FOUND, kind=type(exc).__name__
@@ -502,7 +558,9 @@ class ServiceDaemon:
             )
         if op == "stats":
             return protocol.ok(
-                **stats_snapshot(service, self.monitor, self.cluster)
+                **stats_snapshot(
+                    service, self.monitor, self.cluster, self.scrubber
+                )
             )
         if op == "metrics":
             return protocol.ok(metrics_text=prometheus_text(current_registry()))
@@ -546,6 +604,10 @@ class ServiceDaemon:
                 int(msg["stripe"]), deadline=self._deadline_of(msg)
             )
             return protocol.ok(data_b64=protocol.pack_bytes(payload))
+        if op == "scrub":
+            if self.scrubber is None:
+                return protocol.ok(enabled=False)
+            return protocol.ok(enabled=True, **self.scrubber.status().to_dict())
         if op == "shutdown":
             for ticket in service._tickets.values():
                 if ticket.done and not ticket.task.cancelled():

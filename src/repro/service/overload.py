@@ -58,9 +58,13 @@ from typing import Callable, Dict, Optional
 from repro.errors import ConfigurationError, DeadlineExceededError, OverloadError
 from repro.obs.context import current_registry
 
-#: Work classes, cheapest-to-shed first. ``repair`` is never refused —
-#: the rebuild must finish — only paced; ``degraded`` (k-survivor decode
-#: or piggyback wait) is refused before ``read`` (healthy chunk).
+#: Work classes, cheapest-to-shed first. ``scrub`` is the cheapest of
+#: all — pure background verification with no caller waiting — so it is
+#: paced down the moment the daemon leaves ``healthy`` and parked
+#: entirely while shedding; ``repair`` is never refused — the rebuild
+#: must finish — only paced; ``degraded`` (k-survivor decode or
+#: piggyback wait) is refused before ``read`` (healthy chunk).
+CLASS_SCRUB = "scrub"
 CLASS_REPAIR = "repair"
 CLASS_DEGRADED = "degraded"
 CLASS_READ = "read"
@@ -79,6 +83,8 @@ SHEDS = "hdpsr_service_sheds_total"
 DEADLINE_EXPIRED = "hdpsr_service_deadline_expired_total"
 #: Counter: repair reads delayed by brownout pacing.
 REPAIR_PACED = "hdpsr_service_repair_paced_total"
+#: Counter: scrub verifies delayed (browned-out) or parked (shedding).
+SCRUB_PACED = "hdpsr_service_scrub_paced_total"
 #: Counter: state transitions, labelled from/to.
 TRANSITIONS = "hdpsr_service_overload_transitions_total"
 
@@ -161,6 +167,9 @@ class OverloadConfig:
             reads are refused while shedding (the hard backstop that
             bounds queue length, and therefore wait time, outright).
         retry_after_floor_ms: lower bound on the ``retry_after_ms`` hint.
+        scrub_brownout_factor: how much the scrub plane stretches its
+            inter-verify pause while the daemon is browned out (shedding
+            parks scrub outright, so no factor applies there).
     """
 
     target_ms: float = 5.0
@@ -171,6 +180,7 @@ class OverloadConfig:
     repair_pace_ms: float = 20.0
     queue_cap: int = 64
     retry_after_floor_ms: float = 25.0
+    scrub_brownout_factor: float = 4.0
 
     def __post_init__(self) -> None:
         if self.target_ms <= 0 or self.shed_target_ms < self.target_ms:
@@ -185,6 +195,11 @@ class OverloadConfig:
         if self.recovery_intervals < 1:
             raise ConfigurationError(
                 f"recovery_intervals must be >= 1, got {self.recovery_intervals}"
+            )
+        if self.scrub_brownout_factor < 1.0:
+            raise ConfigurationError(
+                f"scrub_brownout_factor must be >= 1, got "
+                f"{self.scrub_brownout_factor}"
             )
 
 
@@ -226,6 +241,7 @@ class OverloadController:
         self.sheds: Dict[str, int] = {}
         self.deadline_expired = 0
         self.repair_paced = 0
+        self.scrub_paced = 0
         self.transitions = 0
         self._rate_window_start = 0.0
         self._rate_count = 0
@@ -340,6 +356,8 @@ class OverloadController:
         state = self.state
         if state != STATE_SHEDDING:
             return
+        if work_class == CLASS_SCRUB:
+            self._shed(work_class, "shedding: scrub parked")
         if work_class == CLASS_DEGRADED:
             self._shed(work_class, "shedding: degraded decodes refused")
         if work_class == CLASS_READ and queue_depth >= self.config.queue_cap:
@@ -362,6 +380,26 @@ class OverloadController:
             REPAIR_PACED, "repair reads delayed by brownout pacing"
         ).inc()
         return pause
+
+    def scrub_throttle(self) -> Optional[float]:
+        """Pace multiplier for the scrub plane's inter-verify pause.
+
+        Returns ``1.0`` while healthy, ``scrub_brownout_factor`` while
+        browned out (scrub slows but keeps making progress), and ``None``
+        while shedding — the scrubber must park entirely and poll again
+        later; background verification is the first work to stop when a
+        spindle is melting. Non-1.0 outcomes tally ``scrub_paced``.
+        """
+        state = self.state
+        if state == STATE_HEALTHY:
+            return 1.0
+        self.scrub_paced += 1
+        current_registry().counter(
+            SCRUB_PACED, "scrub verifies delayed or parked by brownout"
+        ).inc()
+        if state == STATE_SHEDDING:
+            return None
+        return self.config.scrub_brownout_factor
 
     def note_deadline_expired(self) -> None:
         """Tally one deadline shed (the metric itself is counted by
@@ -391,6 +429,7 @@ class OverloadController:
             "sheds_per_s": round(self.sheds_per_second(), 3),
             "deadline_expired": self.deadline_expired,
             "repair_paced": self.repair_paced,
+            "scrub_paced": self.scrub_paced,
             "transitions": self.transitions,
             "retry_after_ms": self.retry_after_ms(),
             "browned_disks": sorted(

@@ -63,6 +63,15 @@ and re-checks it at every queue hop (admission, gate wait, piggyback
 wait); once expired, the request is answered with the non-retryable
 ``deadline_exceeded`` code instead of consuming a disk slot — the client
 has already given up, so doing the work would be pure queue pollution.
+
+**Silent corruption (v5).** A chunk whose bytes disagree with their
+CRC32C sidecar — or one the scrub plane has already quarantined — is
+answered with the ``corrupt_chunk`` code carrying ``disk``/``stripe``/
+``shard``. The code is *retryable*: quarantine immediately triggers a
+single-chunk read-repair through the decode path, so a retry lands after
+the verified replacement (or degrades through decode meanwhile). The
+daemon never serves bytes that failed a verify. Scrub deployments add a
+``scrub`` op returning the scrubber's live cursor/progress snapshot.
 """
 
 from __future__ import annotations
@@ -74,7 +83,7 @@ from typing import Optional
 
 from repro.errors import ReproError
 
-PROTOCOL_VERSION = 4
+PROTOCOL_VERSION = 5
 
 #: Upper bound on one encoded message (guards the line reader).
 MAX_MESSAGE_BYTES = 64 * 1024 * 1024
@@ -111,17 +120,23 @@ ERR_INTERNAL = "internal"
 #: outages. Responses carry ``hop`` (where it expired) and
 #: ``overshoot_ms``.
 ERR_DEADLINE = "deadline_exceeded"
+#: The addressed chunk failed its CRC32C verify (or is quarantined while
+#: its read-repair is in flight). Retryable: detection quarantines the
+#: chunk and synthesizes a single-chunk repair, so a later attempt reads
+#: the verified replacement. Responses carry ``disk``/``stripe``/``shard``.
+ERR_CORRUPT = "corrupt_chunk"
 
-#: All error codes a v4 daemon may emit.
+#: All error codes a v5 daemon may emit.
 ERROR_CODES = (
     ERR_CRASH, ERR_OVERLOAD, ERR_NOT_OWNER, ERR_FENCED,
     ERR_BAD_REQUEST, ERR_PROTOCOL, ERR_NOT_FOUND, ERR_INTERNAL,
-    ERR_DEADLINE,
+    ERR_DEADLINE, ERR_CORRUPT,
 )
 
 #: Codes a client may transparently retry (``not_owner`` retries *at the
-#: redirect target*, not the daemon that answered).
-RETRYABLE_CODES = frozenset({ERR_CRASH, ERR_OVERLOAD, ERR_NOT_OWNER})
+#: redirect target*, not the daemon that answered; ``corrupt_chunk``
+#: retries after the quarantine-triggered read-repair replaces the bytes).
+RETRYABLE_CODES = frozenset({ERR_CRASH, ERR_OVERLOAD, ERR_NOT_OWNER, ERR_CORRUPT})
 
 
 def is_retryable(code: str) -> bool:

@@ -1,0 +1,455 @@
+"""The online scrub plane: continuous verification of chunks at rest.
+
+Silent corruption — bitrot, torn writes, misdirected writes — is invisible
+until something *reads* the bytes, and the worst possible moment to find
+it is mid-repair, when the corrupt chunk was supposed to be a survivor.
+:class:`Scrubber` closes that window: a background task that continuously
+walks every disk of the service's chunk store, re-reading each chunk
+against its CRC32C sidecar, quarantining anything that fails and
+synthesizing a single-chunk read-repair through the service's decode path
+(:meth:`~repro.service.service.RepairService.repair_chunk`).
+
+Three properties make it a polite tenant of a loaded daemon:
+
+* **Crash-resumable cursor.** The scrub position is journaled through
+  :mod:`repro.journal` WAL records (``scrub_cycle_begin`` /
+  ``scrub_disk_done`` / ``scrub_cycle_done``, one fsync'd commit per
+  finished disk). A restarted daemon replays the cursor and resumes the
+  interrupted cycle at the first unfinished disk — it never rescans disks
+  the previous process already certified.
+
+* **Overload-aware pacing.** Scrub is the cheapest work class of the
+  brownout plane (:data:`~repro.service.overload.CLASS_SCRUB`): while the
+  daemon is ``browned_out`` the inter-verify pause stretches by
+  ``scrub_brownout_factor``; while ``shedding`` the scrubber parks
+  entirely and polls for recovery. Every verify takes a *background* gate
+  slot, so a scrub read can never hold a spindle a foreground or repair
+  read is waiting on.
+
+* **Quarantine-and-repair.** A failed verify immediately quarantines the
+  chunk (it will never be served, and never used as a decode survivor),
+  then decodes a replacement from k clean survivors, writes it back with
+  a fresh sidecar, re-verifies the bytes on disk, and lifts the
+  quarantine. Zero corrupt bytes ever cross the front door: detection by
+  any path (scrub, foreground, degraded decode, repair read) happens
+  *before* payload bytes escape the store.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Set
+
+from repro.errors import (
+    ChunkChecksumError,
+    ChunkNotFoundError,
+    ChunkQuarantinedError,
+    CodingError,
+    ConfigurationError,
+    StorageError,
+)
+from repro.journal.wal import WALReader, WALRecord, WALWriter, list_segments
+from repro.obs.context import current_registry, current_tracer
+
+__all__ = ["ScrubConfig", "Scrubber", "ScrubStatus"]
+
+#: Gauge: fraction of the current scrub cycle completed (by disk).
+SCRUB_PROGRESS = "hdpsr_scrub_progress"
+#: Gauge: estimated seconds until the current cycle completes.
+SCRUB_ETA = "hdpsr_scrub_eta_seconds"
+#: Gauge: scrubber state (0 stopped, 1 running, 2 parked by shedding).
+SCRUB_STATE = "hdpsr_scrub_state"
+#: Counter: chunks verified by the scrub plane.
+SCRUB_VERIFIED = "hdpsr_scrub_chunks_verified_total"
+#: Counter: completed scrub cycles.
+SCRUB_CYCLES = "hdpsr_scrub_cycles_total"
+
+#: Cursor-journal record types.
+REC_CYCLE_BEGIN = "scrub_cycle_begin"
+REC_DISK_DONE = "scrub_disk_done"
+REC_CYCLE_DONE = "scrub_cycle_done"
+
+
+@dataclass(frozen=True)
+class ScrubConfig:
+    """Tuning knobs of one :class:`Scrubber`.
+
+    Attributes:
+        interval_ms: healthy-state pause between chunk verifies — the
+            scrub rate knob (0 = as fast as the gate admits). Stretched
+            by the overload controller's ``scrub_brownout_factor`` while
+            browned out.
+        cycle_pause_s: idle pause between the end of one full cycle and
+            the start of the next.
+        park_poll_s: how often a parked (shedding) scrubber re-checks the
+            overload state.
+        journal_root: directory for the crash-resumable cursor WAL;
+            ``None`` scrubs without a cursor (restart = fresh cycle).
+        durable_journal: fsync cursor commits (tests turn this off).
+        auto_repair: read-repair corrupt chunks as they are found; when
+            False the scrubber only quarantines (detection-only mode).
+    """
+
+    interval_ms: float = 20.0
+    cycle_pause_s: float = 0.5
+    park_poll_s: float = 0.1
+    journal_root: "str | Path | None" = None
+    durable_journal: bool = True
+    auto_repair: bool = True
+
+    def __post_init__(self) -> None:
+        if self.interval_ms < 0:
+            raise ConfigurationError(
+                f"interval_ms must be >= 0, got {self.interval_ms}"
+            )
+        if self.cycle_pause_s < 0:
+            raise ConfigurationError(
+                f"cycle_pause_s must be >= 0, got {self.cycle_pause_s}"
+            )
+        if self.park_poll_s <= 0:
+            raise ConfigurationError(
+                f"park_poll_s must be > 0, got {self.park_poll_s}"
+            )
+
+
+@dataclass
+class ScrubStatus:
+    """One JSON-safe snapshot of the scrubber (the ``scrub`` stats section)."""
+
+    cycle: int
+    cycles_completed: int
+    running: bool
+    parked: bool
+    disks_total: int
+    disks_done: int
+    progress: float
+    eta_seconds: Optional[float]
+    chunks_verified: int
+    cycle_chunks: int
+    corrupt_found: int
+    repaired: int
+    repair_failures: int
+    quarantined: int
+    last_cycle_seconds: Optional[float]
+    resumed_cycles: int
+    interval_ms: float
+
+    def to_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+class Scrubber:
+    """Background verify-everything walker over one service's chunk store.
+
+    Args:
+        service: the :class:`~repro.service.service.RepairService` whose
+            store (and quarantine/read-repair machinery) to scrub.
+        config: pacing + journaling knobs.
+    """
+
+    def __init__(self, service, config: Optional[ScrubConfig] = None) -> None:
+        self.service = service
+        self.config = config or ScrubConfig()
+        #: Cycle currently in progress (or next to start), 1-based.
+        self.cycle = 1
+        self.cycles_completed = 0
+        #: Cycles this *process* resumed from a predecessor's cursor.
+        self.resumed_cycles = 0
+        self.chunks_verified = 0
+        self.cycle_chunks = 0
+        #: Corruptions found by the scrub walk itself (the service's
+        #: ``corrupt_found`` also counts foreground/degraded detections).
+        self.corrupt_found = 0
+        self.repaired = 0
+        self.repair_failures = 0
+        self.last_cycle_seconds: Optional[float] = None
+        self.parked = False
+        self.current_disk: Optional[int] = None
+        self._done_disks: Set[int] = set()
+        self._begun = False
+        self._cycle_started: Optional[float] = None
+        self._task: Optional[asyncio.Task] = None
+        self._writer: Optional[WALWriter] = None
+        if self.config.journal_root is not None:
+            root = Path(self.config.journal_root)
+            self._replay_cursor(root)
+            self._writer = WALWriter(root, durable=self.config.durable_journal)
+
+    # ------------------------------------------------------------- the cursor
+    def _replay_cursor(self, root: Path) -> None:
+        """Rebuild the scrub position from the cursor WAL.
+
+        The journal is a flat record stream: the *last* ``cycle_begin``
+        opens the cycle of record; ``disk_done`` records for that cycle
+        mark disks that need no rescan; a matching ``cycle_done`` closes
+        it (next run starts the following cycle fresh).
+        """
+        if not root.exists():
+            return
+        open_cycle: Optional[int] = None
+        done: Set[int] = set()
+        completed = 0
+        for record in WALReader(root):
+            if record.type == REC_CYCLE_BEGIN:
+                open_cycle = int(record.meta.get("cycle", 0))
+                done = set()
+            elif record.type == REC_DISK_DONE:
+                if open_cycle is not None and int(record.meta.get("cycle", -1)) == open_cycle:
+                    done.add(int(record.meta.get("disk", -1)))
+            elif record.type == REC_CYCLE_DONE:
+                # A close needs no matching begin: a resumed cycle's
+                # ``cycle_begin`` may live in a segment pruning dropped.
+                done_cycle = int(record.meta.get("cycle", 0))
+                completed = max(completed, done_cycle)
+                if open_cycle is not None and done_cycle >= open_cycle:
+                    open_cycle = None
+                    done = set()
+        if open_cycle is not None:
+            # Mid-cycle crash: resume this cycle, skipping finished disks.
+            self.cycle = open_cycle
+            self._done_disks = done
+            self._begun = True
+            if done:
+                self.resumed_cycles += 1
+        else:
+            self.cycle = completed + 1
+
+    def _append(self, rtype: str, commit: bool = False, **meta) -> None:
+        if self._writer is None:
+            return
+        self._writer.append(WALRecord(type=rtype, meta=meta))
+        if commit:
+            self._writer.commit()
+
+    def _prune_journal(self) -> None:
+        """Drop cursor segments older than the current one.
+
+        Called right after a ``cycle_done`` commit: everything a future
+        replay needs (the close of this cycle) lives in the newest
+        segment, so prior segments are pure history.
+        """
+        if self._writer is None:
+            return
+        segments = list_segments(self._writer.root)
+        for seg in segments[:-1]:
+            seg.unlink(missing_ok=True)
+
+    # -------------------------------------------------------------- lifecycle
+    @property
+    def running(self) -> bool:
+        return self._task is not None and not self._task.done()
+
+    def start(self) -> None:
+        """Start the continuous scrub loop on the running event loop."""
+        if self.running:
+            return
+        self._task = asyncio.get_running_loop().create_task(
+            self._run(), name="scrubber"
+        )
+
+    async def stop(self) -> None:
+        """Cancel the loop, wait it out, and close the cursor journal."""
+        if self._task is not None:
+            self._task.cancel()
+            await asyncio.gather(self._task, return_exceptions=True)
+            self._task = None
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+        self._export()
+
+    async def _run(self) -> None:
+        while True:
+            await self.run_cycle()
+            if self.config.cycle_pause_s > 0:
+                await asyncio.sleep(self.config.cycle_pause_s)
+
+    async def wait_cycles(self, n: int, timeout: float = 60.0) -> bool:
+        """Block until ``n`` cycles have completed; False on timeout."""
+        deadline = time.monotonic() + timeout
+        while self.cycles_completed < n:
+            if time.monotonic() > deadline:
+                return False
+            await asyncio.sleep(0.01)
+        return True
+
+    # -------------------------------------------------------------- one cycle
+    async def run_cycle(self) -> int:
+        """Scrub every disk once (resuming a journaled cycle if one is
+        open); returns the number of chunks verified this cycle."""
+        service = self.service
+        if not self._begun:
+            self._done_disks = set()
+            self._append(REC_CYCLE_BEGIN, commit=True, cycle=self.cycle)
+            self._begun = True
+        self._cycle_started = time.monotonic()
+        self.cycle_chunks = 0
+        disks = list(range(len(service.server.disks)))
+        self._disks_total = len(disks)
+        for disk_id in disks:
+            if disk_id in self._done_disks:
+                continue  # certified by a previous incarnation's cursor
+            self.current_disk = disk_id
+            if not service.server.disk(disk_id).is_failed:
+                await self._scrub_disk(disk_id)
+            self._done_disks.add(disk_id)
+            self._append(
+                REC_DISK_DONE, commit=True, cycle=self.cycle, disk=disk_id
+            )
+            self._export()
+        elapsed = time.monotonic() - self._cycle_started
+        self.last_cycle_seconds = elapsed
+        self.cycles_completed += 1
+        self._append(
+            REC_CYCLE_DONE, commit=True,
+            cycle=self.cycle, chunks=self.cycle_chunks,
+            seconds=round(elapsed, 6),
+        )
+        self._prune_journal()
+        current_registry().counter(
+            SCRUB_CYCLES, "completed scrub cycles"
+        ).inc()
+        current_tracer().instant(
+            "scrub", f"cycle {self.cycle} done",
+            chunks=self.cycle_chunks, seconds=elapsed,
+        )
+        verified = self.cycle_chunks
+        self.cycle += 1
+        self._begun = False
+        self.current_disk = None
+        self._export()
+        return verified
+
+    async def _scrub_disk(self, disk_id: int) -> None:
+        service = self.service
+        store = service.server.store
+        chunks = await asyncio.to_thread(store.chunks_on_disk, disk_id)
+        verified_counter = current_registry().counter(
+            SCRUB_VERIFIED, "chunks verified by the scrub plane"
+        )
+        for cid in chunks:
+            await self._pace()
+            if service.is_quarantined(disk_id, cid):
+                continue  # already caught; its read-repair is pending
+            corrupt = False
+            async with service.gate.read(disk_id, foreground=False):
+                try:
+                    await asyncio.to_thread(self._verify, store, disk_id, cid)
+                except ChunkChecksumError:
+                    corrupt = True
+                except ChunkNotFoundError:
+                    continue  # deleted/moved underneath us: not our problem
+            self.chunks_verified += 1
+            self.cycle_chunks += 1
+            verified_counter.inc()
+            if corrupt:
+                await self._handle_corrupt(disk_id, cid)
+
+    @staticmethod
+    def _verify(store, disk_id: int, cid) -> None:
+        verify = getattr(store, "verify_chunk", None)
+        if verify is not None:
+            verify(disk_id, cid)
+        else:
+            store.get(disk_id, cid)  # verifying backends raise on mismatch
+
+    async def _handle_corrupt(self, disk_id: int, cid) -> None:
+        service = self.service
+        newly = service.quarantine_chunk(
+            disk_id, cid.stripe_index, cid.shard_index,
+            source="scrub", auto_repair=False,
+        )
+        if newly:
+            self.corrupt_found += 1
+        if not self.config.auto_repair:
+            return
+        try:
+            await service.repair_chunk(cid.stripe_index, cid.shard_index)
+            self.repaired += 1
+        except (StorageError, CodingError, ChunkQuarantinedError) as exc:
+            # Still quarantined: blocked from serving, retried next cycle.
+            self.repair_failures += 1
+            current_tracer().instant(
+                "scrub", f"read-repair failed s{cid.stripe_index}/{cid.shard_index}",
+                error=repr(exc),
+            )
+
+    async def _pace(self) -> None:
+        """Sleep the inter-verify pause, scaled (or parked) by brownout."""
+        base = self.config.interval_ms / 1000.0
+        while True:
+            controller = self.service.overload
+            throttle = (
+                controller.scrub_throttle() if controller is not None else 1.0
+            )
+            if throttle is None:  # shedding: park until the daemon recovers
+                if not self.parked:
+                    self.parked = True
+                    self._export()
+                await asyncio.sleep(self.config.park_poll_s)
+                continue
+            if self.parked:
+                self.parked = False
+                self._export()
+            if base > 0:
+                await asyncio.sleep(base * throttle)
+            return
+
+    # -------------------------------------------------------------- reporting
+    _disks_total = 0
+
+    def _progress(self) -> float:
+        total = self._disks_total or len(self.service.server.disks)
+        if not total:
+            return 0.0
+        return min(1.0, len(self._done_disks) / total)
+
+    def _eta_seconds(self) -> Optional[float]:
+        if self._cycle_started is None or not self._begun:
+            return None
+        done = len(self._done_disks)
+        total = self._disks_total or len(self.service.server.disks)
+        if not done or done >= total:
+            return None
+        elapsed = time.monotonic() - self._cycle_started
+        return elapsed / done * (total - done)
+
+    def _export(self) -> None:
+        registry = current_registry()
+        state = 2 if self.parked else (1 if self.running else 0)
+        registry.gauge(
+            SCRUB_STATE, "scrubber state (0 stopped, 1 running, 2 parked)"
+        ).set(state)
+        registry.gauge(
+            SCRUB_PROGRESS, "fraction of the current scrub cycle completed"
+        ).set(self._progress())
+        eta = self._eta_seconds()
+        registry.gauge(
+            SCRUB_ETA, "estimated seconds to finish the current scrub cycle"
+        ).set(eta if eta is not None else 0.0)
+
+    def status(self) -> ScrubStatus:
+        """Live snapshot for the ``stats``/``scrub`` verbs and ``top``."""
+        self._export()
+        return ScrubStatus(
+            cycle=self.cycle,
+            cycles_completed=self.cycles_completed,
+            running=self.running,
+            parked=self.parked,
+            disks_total=self._disks_total or len(self.service.server.disks),
+            disks_done=len(self._done_disks),
+            progress=round(self._progress(), 4),
+            eta_seconds=self._eta_seconds(),
+            chunks_verified=self.chunks_verified,
+            cycle_chunks=self.cycle_chunks,
+            corrupt_found=self.corrupt_found,
+            repaired=self.repaired,
+            repair_failures=self.repair_failures,
+            quarantined=len(self.service.quarantine),
+            last_cycle_seconds=self.last_cycle_seconds,
+            resumed_cycles=self.resumed_cycles,
+            interval_ms=self.config.interval_ms,
+        )

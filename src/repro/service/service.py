@@ -48,6 +48,7 @@ from repro.ec.stripe import ChunkId, Stripe
 from repro.errors import (
     ChunkChecksumError,
     ChunkNotFoundError,
+    ChunkQuarantinedError,
     CodingError,
     ConfigurationError,
     DiskFailedError,
@@ -77,6 +78,13 @@ DEGRADED_READS = "hdpsr_service_degraded_reads_total"
 FOREGROUND_READS = "hdpsr_service_foreground_reads_total"
 REPAIR_STRIPES = "hdpsr_service_repair_stripes_total"
 REPAIRS = "hdpsr_service_repairs_total"
+#: Counter: chunks quarantined after a failed verify, by detection source.
+CORRUPT_FOUND = "hdpsr_service_corrupt_chunks_total"
+#: Counter: quarantined chunks replaced by a verified read-repair.
+CORRUPT_REPAIRED = "hdpsr_service_corrupt_repaired_total"
+#: P² summary: seconds from corruption seeding to quarantine (only
+#: observable when the seeding side stamped the chunk, e.g. chaos runs).
+DETECTION_LATENCY = "hdpsr_scrub_detection_latency_seconds"
 #: P² summary of wall-clock front-door read latency, labelled by path.
 READ_LATENCY = "hdpsr_service_read_latency_seconds"
 #: Gauge: stripe decodes currently in flight across all jobs.
@@ -315,10 +323,24 @@ class RepairService:
         #: job_id -> supervisor job state, kept after completion for `top`.
         self._jobs: Dict[int, _Job] = {}
         self._next_job = 0
+        #: Quarantined chunks: (disk_id, ChunkId) -> wall time of detection.
+        #: A quarantined chunk is never served and never used as a decode
+        #: survivor until its read-repair lands and re-verifies.
+        self.quarantine: Dict[Tuple[int, ChunkId], float] = {}
+        #: Corruption tallies (mirrored into `stats` by the telemetry plane).
+        self.corrupt_found = 0
+        self.corrupt_repaired = 0
+        #: Seed times of injected corruptions (chaos plane stamps these via
+        #: :meth:`note_corruption_seeded` so detection latency is measurable).
+        self._corruption_seeded: Dict[Tuple[int, ChunkId], float] = {}
+        #: In-flight background read-repairs spawned by quarantine.
+        self._chunk_repairs: set = set()
 
     # ------------------------------------------------------------- lifecycle
     async def close(self) -> None:
         """Flush writes and stop the shard drain tasks."""
+        if self._chunk_repairs:
+            await asyncio.gather(*list(self._chunk_repairs), return_exceptions=True)
         await self.writer.close()
 
     # --------------------------------------------------------------- fencing
@@ -326,6 +348,153 @@ class RepairService:
         """Refuse a durable effect unless we still own ``disk_id``'s shard."""
         if self.fence is not None:
             self.fence(disk_id)
+
+    # ------------------------------------------------- quarantine & read-repair
+    def is_quarantined(self, disk_id: int, chunk_id: ChunkId) -> bool:
+        """Whether a chunk is blocked from being served (failed verify)."""
+        return (disk_id, chunk_id) in self.quarantine
+
+    def note_corruption_seeded(
+        self, disk_id: int, stripe_index: int, shard_idx: int
+    ) -> None:
+        """Stamp an injected corruption's seed time (chaos/test plane only)
+        so the detection-latency summary has a start point to measure from."""
+        key = (disk_id, ChunkId(stripe_index, shard_idx))
+        self._corruption_seeded.setdefault(key, time.monotonic())
+
+    def quarantine_chunk(
+        self,
+        disk_id: int,
+        stripe_index: int,
+        shard_idx: int,
+        source: str = "scrub",
+        auto_repair: bool = False,
+    ) -> bool:
+        """Mark one chunk quarantined after a failed verify.
+
+        Returns True when the chunk was newly quarantined (False for a
+        repeat detection). ``source`` labels who caught it (``scrub`` /
+        ``foreground`` / ``degraded`` / ``repair``). With ``auto_repair``
+        a background single-chunk read-repair task is spawned; the scrub
+        plane passes False and awaits :meth:`repair_chunk` itself so its
+        cycle accounting stays synchronous.
+        """
+        cid = ChunkId(stripe_index, shard_idx)
+        key = (disk_id, cid)
+        if key in self.quarantine:
+            return False
+        now = time.monotonic()
+        self.quarantine[key] = now
+        self.corrupt_found += 1
+        registry = current_registry()
+        registry.counter(
+            CORRUPT_FOUND, "chunks quarantined after a failed verify, by source"
+        ).labels(source=source).inc()
+        seeded = self._corruption_seeded.pop(key, None)
+        if seeded is not None:
+            registry.summary(
+                DETECTION_LATENCY,
+                "seconds from corruption seeding to quarantine",
+                quantiles=(0.5, 0.9, 0.99),
+            ).observe(now - seeded)
+        current_tracer().instant(
+            "service", f"quarantine s{stripe_index}/{shard_idx}",
+            disk=disk_id, stripe=stripe_index, shard=shard_idx, source=source,
+        )
+        if auto_repair:
+            task = asyncio.get_running_loop().create_task(
+                self._auto_repair_chunk(stripe_index, shard_idx),
+                name=f"chunk-repair-{stripe_index}.{shard_idx}",
+            )
+            self._chunk_repairs.add(task)
+            task.add_done_callback(self._chunk_repairs.discard)
+        return True
+
+    async def _auto_repair_chunk(self, stripe_index: int, shard_idx: int) -> None:
+        """Background read-repair; failures leave the chunk quarantined
+        (blocked, served degraded) rather than crashing the daemon."""
+        try:
+            await self.repair_chunk(stripe_index, shard_idx)
+        except (StorageError, CodingError, ChunkQuarantinedError) as exc:
+            current_tracer().instant(
+                "service", f"read-repair failed s{stripe_index}/{shard_idx}",
+                error=repr(exc),
+            )
+
+    async def repair_chunk(self, stripe_index: int, shard_idx: int) -> bool:
+        """Synthesize one chunk from k survivors and write it back verified.
+
+        The single-chunk partial-stripe repair behind quarantine: decode
+        the target from k readable, un-quarantined survivors (background
+        gate slots — a read-repair never takes a slot a foreground read is
+        waiting on), ``put`` the result (which writes a fresh CRC32C
+        sidecar atomically), re-verify the bytes on disk, then lift the
+        quarantine. Byte identity is structural: the decode reproduces
+        exactly the shard the encoder originally wrote.
+
+        Raises :class:`InsufficientShardsError` when fewer than k clean
+        survivors remain and :class:`ChunkQuarantinedError` when a
+        survivor itself fails verification mid-repair (it gets
+        quarantined too; a retry will plan around it).
+        """
+        server = self.server
+        stripe = server.layout[stripe_index]
+        if not 0 <= shard_idx < stripe.n:
+            raise ConfigurationError(f"stripe has no shard {shard_idx}")
+        disk_id = stripe.disks[shard_idx]
+        cid = ChunkId(stripe_index, shard_idx)
+        failed = server.failed_disks()
+        survivors = [
+            s
+            for s in stripe.surviving_shards(failed)
+            if s != shard_idx
+            and server.store.contains(stripe.disks[s], ChunkId(stripe_index, s))
+            and not self.is_quarantined(stripe.disks[s], ChunkId(stripe_index, s))
+        ][: stripe.k]
+        if len(survivors) < stripe.k:
+            raise InsufficientShardsError(
+                f"stripe {stripe_index}: {len(survivors)} clean survivors < k; "
+                f"cannot read-repair shard {shard_idx}"
+            )
+        decoder = PartialDecoder(
+            server.code, survivors, [shard_idx], chunk_size=server.config.chunk_size
+        )
+
+        async def fetch(s: int) -> Tuple[int, np.ndarray]:
+            d = stripe.disks[s]
+            async with self.gate.read(d, foreground=False):
+                try:
+                    return s, await asyncio.to_thread(
+                        server.store.get, d, ChunkId(stripe_index, s)
+                    )
+                except ChunkChecksumError:
+                    self.quarantine_chunk(
+                        d, stripe_index, s, source="repair", auto_repair=False
+                    )
+                    raise ChunkQuarantinedError(
+                        f"survivor shard {s} of stripe {stripe_index} failed "
+                        "verification during read-repair",
+                        disk=d, stripe=stripe_index, shard=s,
+                    ) from None
+
+        reads = await asyncio.gather(*(fetch(s) for s in survivors))
+        await asyncio.to_thread(decoder.feed, dict(reads))
+        data = decoder.result(shard_idx)
+        self._check_fence(disk_id)
+        await asyncio.to_thread(server.store.put, disk_id, cid, data)
+        verify = getattr(server.store, "verify_chunk", None)
+        if verify is not None:
+            await asyncio.to_thread(verify, disk_id, cid)
+        self.quarantine.pop((disk_id, cid), None)
+        self.corrupt_repaired += 1
+        current_registry().counter(
+            CORRUPT_REPAIRED, "quarantined chunks replaced by verified read-repair"
+        ).inc()
+        current_tracer().instant(
+            "service", f"read-repair s{stripe_index}/{shard_idx}",
+            disk=disk_id, stripe=stripe_index, shard=shard_idx,
+        )
+        return True
 
     # ------------------------------------------------------------ fault glue
     def _ensure_injector(self, skip_crashes: int) -> Optional[FaultInjector]:
@@ -785,6 +954,8 @@ class RepairService:
             bad = getattr(store, "_bad", None)
             if bad is not None and (disk_id, cid) in bad:
                 continue
+            if self.is_quarantined(disk_id, cid):
+                continue
             out.append((disk.is_slow, sid))
         return [sid for _, sid in sorted(out)]
 
@@ -865,6 +1036,10 @@ class RepairService:
             except (LatentSectorError, ChunkNotFoundError) as exc:
                 if isinstance(exc, ChunkChecksumError):
                     job.loss.checksum_failures += 1
+                    self.quarantine_chunk(
+                        disk_id, si, shard_idx,
+                        source="repair", auto_repair=True,
+                    )
                 raise _ShardDead(shard_idx, exc) from None
             server.disk(disk_id).record_read(data.size)
             if tracer.enabled:
@@ -951,15 +1126,31 @@ class RepairService:
         registry = current_registry()
         registry.counter(FOREGROUND_READS, "front-door reads served").inc()
         started = time.monotonic()
-        if not server.disk(disk_id).is_failed and server.store.contains(disk_id, cid):
+        if (
+            not server.disk(disk_id).is_failed
+            and server.store.contains(disk_id, cid)
+            and not self.is_quarantined(disk_id, cid)
+        ):
             if self.overload is not None:
                 self.overload.admit(
                     CLASS_READ, queue_depth=self.gate.queue_depth(disk_id)
                 )
+            corrupt = False
             async with self.gate.read(disk_id, foreground=True, deadline=deadline):
-                data = await asyncio.to_thread(server.store.get, disk_id, cid)
-            self._observe_read(registry, "healthy", started)
-            return data
+                try:
+                    data = await asyncio.to_thread(server.store.get, disk_id, cid)
+                except ChunkChecksumError:
+                    # The verified read caught silent corruption before any
+                    # bytes escaped: quarantine, kick off the read-repair,
+                    # and fall through to the degraded path below.
+                    corrupt = True
+            if not corrupt:
+                self._observe_read(registry, "healthy", started)
+                return data
+            self.quarantine_chunk(
+                disk_id, stripe_index, shard_idx,
+                source="foreground", auto_repair=True,
+            )
 
         if self.overload is not None:
             self.overload.admit(CLASS_DEGRADED)
@@ -1028,7 +1219,15 @@ class RepairService:
         shard_idx: int,
         deadline: Optional[Deadline] = None,
     ) -> np.ndarray:
-        """Standalone k-survivor decode of one lost chunk (no repair to join)."""
+        """Standalone k-survivor decode of one lost chunk (no repair to join).
+
+        A survivor that fails its CRC32C verify mid-decode is quarantined
+        and surfaced as a structured, retryable
+        :class:`~repro.errors.ChunkQuarantinedError` — never fed into the
+        decode (which would produce a silently wrong answer). The retry
+        plans around the quarantined survivor, whose read-repair is
+        already in flight.
+        """
         server = self.server
         failed = server.failed_disks()
         survivors = [
@@ -1036,6 +1235,7 @@ class RepairService:
             for s in stripe.surviving_shards(failed)
             if s != shard_idx
             and server.store.contains(stripe.disks[s], ChunkId(stripe_index, s))
+            and not self.is_quarantined(stripe.disks[s], ChunkId(stripe_index, s))
         ][: stripe.k]
         if len(survivors) < stripe.k:
             raise InsufficientShardsError(
@@ -1048,9 +1248,19 @@ class RepairService:
         async def fetch(s: int) -> Tuple[int, np.ndarray]:
             d = stripe.disks[s]
             async with self.gate.read(d, foreground=True, deadline=deadline):
-                return s, await asyncio.to_thread(
-                    server.store.get, d, ChunkId(stripe_index, s)
-                )
+                try:
+                    return s, await asyncio.to_thread(
+                        server.store.get, d, ChunkId(stripe_index, s)
+                    )
+                except ChunkChecksumError:
+                    self.quarantine_chunk(
+                        d, stripe_index, s, source="degraded", auto_repair=True
+                    )
+                    raise ChunkQuarantinedError(
+                        f"survivor shard {s} of stripe {stripe_index} failed "
+                        "verification during degraded decode",
+                        disk=d, stripe=stripe_index, shard=s,
+                    ) from None
 
         reads = await asyncio.gather(*(fetch(s) for s in survivors))
         await asyncio.to_thread(decoder.feed, dict(reads))

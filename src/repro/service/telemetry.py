@@ -78,6 +78,7 @@ def stats_snapshot(
     service: RepairService,
     monitor: Optional[EventLoopMonitor] = None,
     cluster=None,
+    scrubber=None,
 ) -> dict:
     """One coherent telemetry snapshot of a live :class:`RepairService`.
 
@@ -117,6 +118,19 @@ def stats_snapshot(
             "bytes": _counter_value(registry, JOURNAL_BYTES),
         },
         "read_quantiles": list(READ_LATENCY_QUANTILES),
+        "store": {
+            "swept_tmp_files": int(
+                getattr(service.server.store, "swept_tmp_files", 0)
+            ),
+            "orphan_sidecars": int(
+                getattr(service.server.store, "orphan_sidecars", 0)
+            ),
+        },
+        "corruption": {
+            "found": service.corrupt_found,
+            "repaired": service.corrupt_repaired,
+            "quarantined": len(service.quarantine),
+        },
     }
     if service.overload is not None:
         # Refreshing also re-exports the overload-state gauge, so an HTTP
@@ -129,6 +143,9 @@ def stats_snapshot(
         # so an HTTP scrape sees current ownership without a heartbeat.
         cluster._export_gauges()
         snap["cluster"] = cluster.status()
+    if scrubber is not None:
+        # status() re-exports the progress/ETA/state gauges as it reads.
+        snap["scrub"] = scrubber.status().to_dict()
     return snap
 
 

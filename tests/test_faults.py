@@ -469,3 +469,42 @@ class TestServiceFaultInjector:
         inj.requests_seen = 5
         assert inj.on_request().reset
         assert not inj.on_request().reset
+
+
+class TestCorruptionFaultSpec:
+    def test_corruption_kinds_round_trip_with_coordinates(self):
+        from repro.faults.spec import CORRUPTION_FAULT_KINDS
+
+        schedule = FaultSchedule([
+            FaultEvent(at=2, kind="bitrot", disk=3, stripe=1, shard=0),
+            FaultEvent(at=4, kind="torn_write", disk=7, stripe=5, shard=2),
+            FaultEvent(at=6, kind="misdirected_write", disk=1, stripe=9, shard=4),
+        ])
+        spec = schedule.to_spec()
+        for entry in spec["events"]:
+            assert entry["kind"] in CORRUPTION_FAULT_KINDS
+            # corruption needs full chunk coordinates on the wire
+            assert {"disk", "stripe", "shard"} <= set(entry)
+        again = FaultSchedule.from_spec(spec)
+        assert again == schedule
+
+    def test_corruption_requires_stripe_and_shard(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(at=1, kind="bitrot", disk=0)
+        with pytest.raises(ConfigurationError):
+            FaultEvent(at=1, kind="torn_write", disk=0, stripe=1)
+
+    def test_injector_delivers_corruptions_once_at_ordinal(self):
+        from repro.faults.service import ServiceFaultInjector
+
+        inj = ServiceFaultInjector(FaultSchedule([
+            FaultEvent(at=1, kind="bitrot", disk=2, stripe=0, shard=1),
+            FaultEvent(at=1, kind="torn_write", disk=3, stripe=4, shard=0),
+        ]))
+        assert inj.on_request().corruptions == []       # ordinal 0
+        verdict = inj.on_request()                      # ordinal 1
+        assert [e.kind for e in verdict.corruptions] == ["bitrot", "torn_write"]
+        assert verdict.corruptions[0].stripe == 0
+        assert inj.on_request().corruptions == []       # consumed
+        assert inj.applied == {"bitrot": 1, "torn_write": 1}
+        assert inj.exhausted

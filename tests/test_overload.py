@@ -36,6 +36,7 @@ from repro.service.overload import (
     CLASS_DEGRADED,
     CLASS_READ,
     CLASS_REPAIR,
+    CLASS_SCRUB,
     STATE_BROWNED_OUT,
     STATE_HEALTHY,
     STATE_SHEDDING,
@@ -221,6 +222,46 @@ class TestOverloadController:
             OverloadConfig(target_ms=10.0, shed_target_ms=5.0)
         with pytest.raises(ConfigurationError):
             OverloadConfig(recovery_intervals=0)
+
+
+# ----------------------------------------------------------- scrub pacing
+class TestScrubThrottle:
+    def test_throttle_walks_the_states(self):
+        """1.0 healthy → brownout factor browned out → None (park) shedding."""
+        clock = FakeClock()
+        ctrl = make_controller(clock, scrub_brownout_factor=6.0)
+        assert ctrl.scrub_throttle() == 1.0
+        assert ctrl.scrub_paced == 0
+        feed_window(ctrl, clock, disk=1, wait_s=0.010)  # min 10 ms > 5 ms
+        assert ctrl.state == STATE_BROWNED_OUT
+        assert ctrl.scrub_throttle() == 6.0
+        feed_window(ctrl, clock, disk=1, wait_s=0.080)  # min 80 ms > 50 ms
+        assert ctrl.state == STATE_SHEDDING
+        assert ctrl.scrub_throttle() is None
+        assert ctrl.scrub_paced == 2
+        assert ctrl.snapshot()["scrub_paced"] == 2
+
+    def test_shedding_sheds_scrub_before_reads(self):
+        """Scrub is the cheapest work class: refused outright while a
+        below-cap plain read still passes."""
+        clock = FakeClock()
+        ctrl = make_controller(clock)
+        ctrl.admit(CLASS_SCRUB)  # healthy: admitted
+        feed_window(ctrl, clock, disk=1, wait_s=0.080)
+        assert ctrl.state == STATE_SHEDDING
+        with pytest.raises(OverloadError) as err:
+            ctrl.admit(CLASS_SCRUB)
+        assert err.value.work_class == CLASS_SCRUB
+        ctrl.admit(CLASS_READ, queue_depth=0)  # protected class: no raise
+
+    def test_recovery_restores_full_rate(self):
+        clock = FakeClock()
+        ctrl = make_controller(clock, idle_reset_s=1.0)
+        feed_window(ctrl, clock, disk=1, wait_s=0.080)
+        assert ctrl.scrub_throttle() is None
+        clock.advance(2.0)  # idle expiry returns the disk to healthy
+        assert ctrl.state == STATE_HEALTHY
+        assert ctrl.scrub_throttle() == 1.0
 
 
 # ------------------------------------------------------------ retry budget

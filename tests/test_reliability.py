@@ -219,6 +219,62 @@ class TestCorrelatedFailures:
         assert fast.loss_probability < slow.loss_probability
 
 
+class TestLatentErrors:
+    def _base_kwargs(self):
+        return dict(
+            num_disks=12,
+            lifetime=ExponentialLifetime(mttf_seconds=1.5 * YEAR_SECONDS),
+            repair_seconds=10 * 24 * 3600.0,
+            mission_years=10,
+            trials=300,
+            seed=31,
+        )
+
+    def test_zero_rate_reproduces_baseline(self):
+        """The latent-error extension must not perturb the RNG stream."""
+        layout = small_layout(num_disks=12, stripes=24, n=6, k=4)
+        base = simulate_durability(layout, **self._base_kwargs())
+        zero = simulate_durability(
+            layout, latent_error_rate_per_disk_year=0.0, **self._base_kwargs()
+        )
+        assert base.summary() == zero.summary()
+        assert zero.scrub_cycle_seconds is None
+        assert zero.latent_losses == 0
+
+    def test_shorter_scrub_cycle_more_durable(self):
+        """The scrub plane's reliability argument: a tighter detection
+        window shrinks the latent-error exposure, and no scrubbing at
+        all is the worst case."""
+        layout = small_layout(num_disks=12, stripes=24, n=6, k=4)
+        kwargs = dict(latent_error_rate_per_disk_year=3.0, **self._base_kwargs())
+        noscrub = simulate_durability(layout, **kwargs)
+        slow = simulate_durability(
+            layout, scrub_cycle_seconds=30 * 24 * 3600.0, **kwargs
+        )
+        fast = simulate_durability(layout, scrub_cycle_seconds=6 * 3600.0, **kwargs)
+        assert fast.loss_probability <= slow.loss_probability
+        assert slow.loss_probability <= noscrub.loss_probability
+        assert fast.loss_probability < noscrub.loss_probability
+        assert noscrub.latent_losses >= 1
+        assert "latent_losses" in noscrub.summary()
+        assert fast.summary()["scrub_cycle_seconds"] == 6 * 3600.0
+
+    def test_bad_parameters_rejected(self):
+        layout = small_layout()
+        with pytest.raises(ConfigurationError):
+            simulate_durability(
+                layout, num_disks=8,
+                lifetime=ExponentialLifetime(afr=0.1),
+                repair_seconds=1.0, latent_error_rate_per_disk_year=-0.5,
+            )
+        with pytest.raises(ConfigurationError):
+            simulate_durability(
+                layout, num_disks=8,
+                lifetime=ExponentialLifetime(afr=0.1),
+                repair_seconds=1.0, scrub_cycle_seconds=0.0,
+            )
+
+
 class TestEstimateRepairSeconds:
     def test_matches_repair_single_disk(self, hetero_server):
         from repro.core import FullStripeRepair

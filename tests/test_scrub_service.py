@@ -1,0 +1,386 @@
+"""The online scrub plane: cycles, crash-resumable cursor, overload
+pacing, quarantine-and-repair, and the daemon's ``scrub`` verb.
+
+No pytest-asyncio in the toolchain: every test is a sync function driving
+its coroutine with ``asyncio.run``.
+"""
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import ALGORITHMS
+from repro.ec.stripe import ChunkId
+from repro.errors import ConfigurationError
+from repro.faults import apply_corruption
+from repro.faults.spec import FaultEvent
+from repro.hdss.server import HDSSConfig, HighDensityStorageServer
+from repro.hdss.store import ShardedChunkStore
+from repro.journal.wal import list_segments
+from repro.obs import MetricsRegistry, use_registry
+from repro.service import (
+    RepairService,
+    ScrubConfig,
+    Scrubber,
+    ServiceConfig,
+)
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.netserver import ServiceDaemon
+from repro.service.overload import (
+    STATE_HEALTHY,
+    STATE_SHEDDING,
+    OverloadConfig,
+)
+from repro.service.protocol import ERR_CORRUPT
+
+
+@pytest.fixture(autouse=True)
+def _registry():
+    with use_registry(MetricsRegistry()):
+        yield
+
+
+STRIPES = 10
+
+
+def make_service(tmp_path, **cfg):
+    store = ShardedChunkStore.from_root(
+        tmp_path / "store", num_shards=2, durable=False
+    )
+    config = HDSSConfig(
+        num_disks=12, n=5, k=3, chunk_size=1024, memory_chunks=16,
+        spares=3, seed=11, placement="rotating",
+    )
+    server = HighDensityStorageServer(config, store=store)
+    server.provision_stripes(STRIPES, with_data=True)
+    return RepairService(
+        server, ALGORITHMS["hd-psr-ap"](), ServiceConfig(**cfg) if cfg else None
+    )
+
+
+def fast_config(**overrides):
+    defaults = dict(interval_ms=0.0, cycle_pause_s=0.0, park_poll_s=0.01)
+    defaults.update(overrides)
+    return ScrubConfig(**defaults)
+
+
+def corrupt(service, stripe_index, shard_idx, kind="bitrot"):
+    """Rot one chunk beneath the checksum layer; returns (disk, pristine)."""
+    disk = service.server.layout[stripe_index].disks[shard_idx]
+    pristine = service.server.store.get(disk, ChunkId(stripe_index, shard_idx)).copy()
+    apply_corruption(
+        service.server.store,
+        FaultEvent(
+            at=0.0, kind=kind, disk=disk, stripe=stripe_index, shard=shard_idx
+        ),
+    )
+    return disk, pristine
+
+
+def total_chunks(service):
+    store = service.server.store
+    return sum(
+        len(store.chunks_on_disk(d)) for d in range(len(service.server.disks))
+    )
+
+
+# ----------------------------------------------------------------- config
+class TestScrubConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ScrubConfig(interval_ms=-1.0)
+        with pytest.raises(ConfigurationError):
+            ScrubConfig(cycle_pause_s=-0.1)
+        with pytest.raises(ConfigurationError):
+            ScrubConfig(park_poll_s=0.0)
+
+
+# ----------------------------------------------------------------- cycles
+class TestScrubCycle:
+    def test_clean_cycle_verifies_every_chunk(self, tmp_path):
+        async def run():
+            service = make_service(tmp_path)
+            scrub = Scrubber(service, fast_config())
+            verified = await scrub.run_cycle()
+            assert verified == total_chunks(service)
+            assert scrub.cycles_completed == 1
+            assert scrub.corrupt_found == 0
+            assert scrub.last_cycle_seconds is not None
+            status = scrub.status()
+            assert status.cycle == 2  # next cycle queued up
+            assert status.chunks_verified == verified
+            assert status.quarantined == 0
+            await service.close()
+
+        asyncio.run(run())
+
+    @pytest.mark.parametrize("kind", ["bitrot", "torn_write", "misdirected_write"])
+    def test_detects_and_read_repairs(self, tmp_path, kind):
+        async def run():
+            service = make_service(tmp_path)
+            disk, pristine = corrupt(service, 3, 1, kind=kind)
+            cid = ChunkId(3, 1)
+            scrub = Scrubber(service, fast_config())
+            await scrub.run_cycle()
+            assert scrub.corrupt_found == 1
+            assert scrub.repaired == 1
+            assert scrub.repair_failures == 0
+            assert not service.is_quarantined(disk, cid)
+            # byte-identical replacement with a fresh, passing sidecar
+            assert service.server.store.verify_chunk(disk, cid)
+            assert np.array_equal(service.server.store.get(disk, cid), pristine)
+            await service.close()
+
+        asyncio.run(run())
+
+    def test_detection_only_mode_keeps_quarantine(self, tmp_path):
+        async def run():
+            service = make_service(tmp_path)
+            disk, _ = corrupt(service, 2, 0)
+            cid = ChunkId(2, 0)
+            scrub = Scrubber(service, fast_config(auto_repair=False))
+            await scrub.run_cycle()
+            assert scrub.corrupt_found == 1
+            assert scrub.repaired == 0
+            assert service.is_quarantined(disk, cid)
+            # the next cycle skips the quarantined chunk instead of
+            # re-counting it
+            await scrub.run_cycle()
+            assert scrub.corrupt_found == 1
+            await service.close()
+
+        asyncio.run(run())
+
+    def test_failed_disk_is_skipped(self, tmp_path):
+        async def run():
+            service = make_service(tmp_path)
+            full = total_chunks(service)
+            on_disk = len(service.server.store.chunks_on_disk(0))
+            assert on_disk > 0
+            service.server.fail_disk(0)
+            scrub = Scrubber(service, fast_config())
+            verified = await scrub.run_cycle()
+            assert verified == full - on_disk
+            await service.close()
+
+        asyncio.run(run())
+
+
+# ----------------------------------------------------------------- cursor
+class TestScrubCursor:
+    def test_fresh_journal_starts_at_cycle_one(self, tmp_path):
+        service = make_service(tmp_path)
+        scrub = Scrubber(
+            service,
+            fast_config(journal_root=tmp_path / "cursor", durable_journal=False),
+        )
+        assert scrub.cycle == 1
+        assert scrub.resumed_cycles == 0
+        assert not scrub._begun
+
+    def test_kill_mid_cycle_resumes_at_first_unfinished_disk(self, tmp_path):
+        """The acceptance property: a scrubber killed mid-cycle leaves a
+        cursor its successor replays — certified disks are not rescanned."""
+        root = tmp_path / "cursor"
+
+        async def run():
+            service = make_service(tmp_path)
+            full = total_chunks(service)
+            a = Scrubber(
+                service,
+                ScrubConfig(
+                    interval_ms=2.0, cycle_pause_s=0.0, park_poll_s=0.01,
+                    journal_root=root, durable_journal=False,
+                ),
+            )
+            task = asyncio.get_running_loop().create_task(a.run_cycle())
+            deadline = time.monotonic() + 30.0
+            while len(a._done_disks) < 3:
+                assert time.monotonic() < deadline, "scrub made no progress"
+                await asyncio.sleep(0.002)
+            # kill: cancel without any graceful cycle-done record
+            task.cancel()
+            await asyncio.gather(task, return_exceptions=True)
+            await a.stop()
+            done = set(a._done_disks)
+            assert done and len(done) < len(service.server.disks)
+
+            b = Scrubber(
+                service,
+                fast_config(journal_root=root, durable_journal=False),
+            )
+            assert b.cycle == 1
+            assert b._begun
+            assert b._done_disks == done
+            assert b.resumed_cycles == 1
+            store = service.server.store
+            skipped = sum(len(store.chunks_on_disk(d)) for d in done)
+            verified = await b.run_cycle()
+            assert verified == full - skipped
+            await b.stop()
+
+            # the finished cycle is closed: the next incarnation starts
+            # cycle 2 fresh
+            c = Scrubber(
+                service,
+                fast_config(journal_root=root, durable_journal=False),
+            )
+            assert c.cycle == 2
+            assert c.resumed_cycles == 0
+            assert not c._begun
+            await c.stop()
+            await service.close()
+
+        asyncio.run(run())
+
+    def test_journal_pruned_to_newest_segment(self, tmp_path):
+        root = tmp_path / "cursor"
+
+        async def run():
+            service = make_service(tmp_path)
+            scrub = Scrubber(
+                service, fast_config(journal_root=root, durable_journal=False)
+            )
+            for _ in range(3):
+                await scrub.run_cycle()
+            await scrub.stop()
+            assert len(list_segments(root)) <= 1
+            await service.close()
+
+        asyncio.run(run())
+
+
+# ----------------------------------------------------------------- pacing
+class TestScrubPacing:
+    def test_parks_while_shedding_and_resumes_after_recovery(self, tmp_path):
+        async def run():
+            service = make_service(
+                tmp_path,
+                overload=OverloadConfig(
+                    target_ms=5.0, shed_target_ms=30.0, interval_ms=20.0,
+                    recovery_intervals=1, idle_reset_s=0.3,
+                ),
+            )
+            ctrl = service.overload
+            ctrl.observe_wait(0, 0.2)
+            await asyncio.sleep(0.03)
+            ctrl.observe_wait(0, 0.2)  # rollover: min 200 ms >> shed target
+            assert ctrl.state == STATE_SHEDDING
+
+            scrub = Scrubber(
+                service, fast_config(interval_ms=1.0, cycle_pause_s=0.01)
+            )
+            scrub.start()
+            deadline = time.monotonic() + 10.0
+            while not scrub.parked and time.monotonic() < deadline:
+                ctrl.observe_wait(0, 0.2)
+                await asyncio.sleep(0.01)
+            assert scrub.parked
+            before = scrub.chunks_verified
+            for _ in range(10):  # held in shedding: zero verifies
+                ctrl.observe_wait(0, 0.2)
+                await asyncio.sleep(0.01)
+            assert scrub.chunks_verified == before
+
+            # stop feeding waits: idle expiry recovers the controller and
+            # the parked scrubber completes a full cycle
+            assert await scrub.wait_cycles(1, timeout=30.0)
+            assert ctrl.state == STATE_HEALTHY
+            assert not scrub.parked
+            await scrub.stop()
+            await service.close()
+
+        asyncio.run(run())
+
+
+# ------------------------------------------------------------ daemon verb
+class TestScrubVerb:
+    def test_scrub_op_reports_cursor_and_counts(self, tmp_path):
+        async def run():
+            service = make_service(tmp_path)
+            corrupt(service, 1, 2)
+            scrub = Scrubber(service, fast_config(cycle_pause_s=0.05))
+            daemon = ServiceDaemon(service, scrubber=scrub)
+            port = await daemon.start()
+            task = asyncio.create_task(daemon.serve_until_stopped())
+            client = await ServiceClient.connect("127.0.0.1", port)
+            try:
+                assert await scrub.wait_cycles(1, timeout=30.0)
+                reply = await client.scrub()
+                assert reply["enabled"] is True
+                assert reply["cycles_completed"] >= 1
+                assert reply["corrupt_found"] == 1
+                assert reply["repaired"] == 1
+                stats = await client.call("stats")
+                assert stats["scrub"]["chunks_verified"] > 0
+                assert stats["corruption"]["found"] >= 1
+                assert "swept_tmp_files" in stats["store"]
+            finally:
+                await client.call("shutdown")
+                await client.close()
+                await task
+
+        asyncio.run(run())
+
+    def test_scrub_op_without_scrubber(self, tmp_path):
+        async def run():
+            service = make_service(tmp_path)
+            daemon = ServiceDaemon(service)
+            port = await daemon.start()
+            task = asyncio.create_task(daemon.serve_until_stopped())
+            client = await ServiceClient.connect("127.0.0.1", port)
+            try:
+                reply = await client.scrub()
+                assert reply["enabled"] is False
+            finally:
+                await client.call("shutdown")
+                await client.close()
+                await task
+
+        asyncio.run(run())
+
+    def test_corrupt_survivor_maps_to_retryable_wire_error(self, tmp_path):
+        """A degraded decode that trips over a rotted survivor surfaces
+        the v5 ``corrupt_chunk`` taxonomy entry — never silent bytes."""
+
+        async def run():
+            service = make_service(tmp_path)
+            layout = service.server.layout
+            failed_disk = layout[0].disks[0]
+            stripe_index = layout.stripe_set(failed_disk)[0]
+            stripe = layout[stripe_index]
+            target = stripe.shard_on_disk(failed_disk)
+            pristine = service.server.store.get(
+                failed_disk, ChunkId(stripe_index, target)
+            ).copy()
+            service.server.fail_disk(failed_disk)
+            survivors = [s for s in stripe.surviving_shards([failed_disk])
+                         if s != target]
+            bad = survivors[0]
+            corrupt(service, stripe_index, bad)
+
+            daemon = ServiceDaemon(service)
+            port = await daemon.start()
+            task = asyncio.create_task(daemon.serve_until_stopped())
+            client = await ServiceClient.connect("127.0.0.1", port)
+            try:
+                with pytest.raises(ServiceError) as err:
+                    await client.read_chunk(stripe_index, target)
+                assert err.value.code == ERR_CORRUPT
+                assert err.value.retryable
+                assert err.value.reply["stripe"] == stripe_index
+                assert err.value.reply["shard"] == bad
+                # the rotted survivor is quarantined; the retry plans
+                # around it and serves the true bytes
+                data = await client.read_chunk(stripe_index, target)
+                assert data == pristine.tobytes()
+                assert service.corrupt_found == 1
+            finally:
+                await client.call("shutdown")
+                await client.close()
+                await task
+            await service.close()
+
+        asyncio.run(run())

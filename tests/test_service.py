@@ -567,3 +567,106 @@ class TestServiceResume:
         asyncio.run(run())
         assert (Path(journal_root) / "disk-000").is_dir()
         assert (Path(journal_root) / "disk-006").is_dir()
+
+
+# ---------------------------------------------------------------------------
+# Silent corruption at the front door
+# ---------------------------------------------------------------------------
+class TestSilentCorruptionFrontDoor:
+    """A corrupt chunk must never cross the front door as payload bytes:
+    healthy reads degrade through decode, degraded decodes surface a
+    structured retryable error — in both cases the rotted chunk is
+    quarantined and read-repaired in the background."""
+
+    def _file_service(self, tmp_path, **cfg):
+        store = ShardedChunkStore.from_root(
+            tmp_path / "store", num_shards=2, durable=False
+        )
+        return make_service(make_server(store=store), **cfg)
+
+    @staticmethod
+    def _corrupt(service, stripe_index, shard_idx, kind="bitrot"):
+        from repro.faults import apply_corruption
+
+        disk = service.server.layout[stripe_index].disks[shard_idx]
+        cid = ChunkId(stripe_index, shard_idx)
+        pristine = service.server.store.get(disk, cid).copy()
+        apply_corruption(
+            service.server.store,
+            FaultEvent(
+                at=0.0, kind=kind, disk=disk, stripe=stripe_index, shard=shard_idx
+            ),
+        )
+        return disk, pristine
+
+    def test_corrupt_healthy_read_degrades_never_serves_rot(self, tmp_path):
+        async def run():
+            service = self._file_service(tmp_path)
+            disk, pristine = self._corrupt(service, 0, 1)
+            cid = ChunkId(0, 1)
+            data = await service.read_chunk(0, 1)
+            assert np.array_equal(data, pristine)
+            assert service.corrupt_found == 1
+            await service.close()  # drains the background read-repair
+            assert service.corrupt_repaired == 1
+            assert not service.is_quarantined(disk, cid)
+            assert service.server.store.verify_chunk(disk, cid)
+            assert np.array_equal(service.server.store.get(disk, cid), pristine)
+
+        asyncio.run(run())
+
+    def test_corrupt_survivor_raises_quarantined_then_retry_succeeds(self, tmp_path):
+        from repro.errors import ChunkQuarantinedError
+
+        async def run():
+            service = self._file_service(tmp_path)
+            layout = service.server.layout
+            failed_disk = layout[0].disks[0]
+            stripe_index = layout.stripe_set(failed_disk)[0]
+            stripe = layout[stripe_index]
+            target = stripe.shard_on_disk(failed_disk)
+            cid = ChunkId(stripe_index, target)
+            pristine = service.server.store.get(failed_disk, cid).copy()
+            service.server.fail_disk(failed_disk)
+            bad = [
+                s for s in stripe.surviving_shards([failed_disk]) if s != target
+            ][0]
+            bad_disk, _ = self._corrupt(service, stripe_index, bad)
+
+            with pytest.raises(ChunkQuarantinedError) as err:
+                await service.read_chunk(stripe_index, target)
+            assert err.value.stripe == stripe_index
+            assert err.value.shard == bad
+            assert err.value.disk == bad_disk
+            assert service.is_quarantined(bad_disk, ChunkId(stripe_index, bad))
+            # the retry plans around the quarantined survivor
+            data = await service.read_chunk(stripe_index, target)
+            assert np.array_equal(data, pristine)
+            await service.close()
+
+        asyncio.run(run())
+
+    def test_repair_read_quarantines_corrupt_survivor(self, tmp_path):
+        """repair_chunk hitting a second rotted chunk quarantines it too
+        and fails retryably instead of decoding garbage."""
+        from repro.errors import ChunkQuarantinedError
+
+        async def run():
+            service = self._file_service(tmp_path)
+            disk_a, pristine_a = self._corrupt(service, 4, 0)
+            service.quarantine_chunk(4, 4, 0, source="test", auto_repair=False)
+            # rot every other data/parity shard but k-1 so the first
+            # repair attempt must touch a corrupt survivor
+            stripe = service.server.layout[4]
+            disk_b, _ = self._corrupt(service, 4, 1)
+            with pytest.raises(ChunkQuarantinedError):
+                await service.repair_chunk(4, 0)
+            assert service.is_quarantined(disk_b, ChunkId(4, 1))
+            # both rotted chunks now known: each repairs from the clean rest
+            assert await service.repair_chunk(4, 0)
+            assert await service.repair_chunk(4, 1)
+            assert np.array_equal(service.server.store.get(disk_a, ChunkId(4, 0)), pristine_a)
+            assert len(service.quarantine) == 0
+            await service.close()
+
+        asyncio.run(run())

@@ -127,3 +127,92 @@ class TestBatched:
     def test_empty_batches(self, sharded):
         assert sharded.get_many([]) == []
         sharded.put_many([])  # no-op, no error
+
+
+class TestStartupSweep:
+    """Crash leftovers — dead-writer tmps and orphan sidecars — are swept
+    at open and surfaced as observable counters."""
+
+    def test_sweeps_dead_tmp_and_orphan_sidecar(self, tmp_path):
+        store = ShardedChunkStore.from_root(tmp_path, num_shards=2, durable=False)
+        store.put(0, ChunkId(0, 0), chunk())
+        disk_dir = store.shard_for(0)._chunk_path(0, ChunkId(0, 0)).parent
+        # a tmp from a writer pid that cannot be alive (pid 1 is init, so
+        # use an impossible one) and a sidecar whose chunk never landed
+        (disk_dir / "s000001.000.chunk.999999999.deadbeef.tmp").write_bytes(b"x")
+        (disk_dir / "s000002.000.chunk.crc32c").write_bytes(b"12345678")
+        reopened = ShardedChunkStore.from_root(tmp_path, num_shards=2, durable=False)
+        assert reopened.swept_tmp_files == 1
+        assert reopened.orphan_sidecars == 1
+        assert not (disk_dir / "s000001.000.chunk.999999999.deadbeef.tmp").exists()
+        assert not (disk_dir / "s000002.000.chunk.crc32c").exists()
+        # the real chunk and its sidecar are untouched
+        assert np.array_equal(reopened.get(0, ChunkId(0, 0)), chunk())
+
+    def test_live_writer_tmp_left_alone(self, tmp_path):
+        import os
+
+        store = ShardedChunkStore.from_root(tmp_path, num_shards=2, durable=False)
+        store.put(0, ChunkId(0, 0), chunk())
+        disk_dir = store.shard_for(0)._chunk_path(0, ChunkId(0, 0)).parent
+        mine = disk_dir / f"s000003.000.chunk.{os.getpid()}.abcd1234.tmp"
+        mine.write_bytes(b"in-flight")
+        reopened = ShardedChunkStore.from_root(tmp_path, num_shards=2, durable=False)
+        assert reopened.swept_tmp_files == 0
+        assert mine.exists()
+
+    def test_clean_store_sweeps_nothing(self, tmp_path):
+        store = ShardedChunkStore.from_root(tmp_path, num_shards=2, durable=False)
+        store.put(3, ChunkId(1, 1), chunk())
+        reopened = ShardedChunkStore.from_root(tmp_path, num_shards=2, durable=False)
+        assert reopened.swept_tmp_files == 0
+        assert reopened.orphan_sidecars == 0
+
+
+class TestApplyCorruption:
+    """Deterministic silent-corruption injection beneath the checksum layer."""
+
+    @pytest.fixture
+    def filestore(self, tmp_path):
+        store = ShardedChunkStore.from_root(tmp_path, num_shards=2, durable=False)
+        for d in range(4):
+            for s in range(3):
+                store.put(d, ChunkId(s, 0), chunk(fill=(d * 3 + s) % 250 + 1))
+        return store
+
+    @pytest.mark.parametrize("kind", ["bitrot", "torn_write", "misdirected_write"])
+    def test_each_kind_breaks_verification_silently(self, filestore, kind):
+        from repro.errors import ChunkChecksumError
+        from repro.faults import apply_corruption
+        from repro.faults.spec import FaultEvent
+
+        cid = ChunkId(1, 0)
+        assert filestore.verify_chunk(2, cid)
+        apply_corruption(
+            filestore, FaultEvent(at=0.0, kind=kind, disk=2, stripe=1, shard=0)
+        )
+        # silent: still listed, still "contained" — only a verify notices
+        assert filestore.contains(2, cid)
+        with pytest.raises(ChunkChecksumError):
+            filestore.verify_chunk(2, cid)
+
+    def test_memory_store_rejected(self):
+        from repro.errors import ConfigurationError
+        from repro.faults import apply_corruption
+        from repro.faults.spec import FaultEvent
+
+        store = ShardedChunkStore([InMemoryChunkStore() for _ in range(2)])
+        with pytest.raises(ConfigurationError):
+            apply_corruption(
+                store, FaultEvent(at=0.0, kind="bitrot", disk=0, stripe=0, shard=0)
+            )
+
+    def test_missing_chunk_raises_not_found(self, filestore):
+        from repro.faults import apply_corruption
+        from repro.faults.spec import FaultEvent
+
+        with pytest.raises(ChunkNotFoundError):
+            apply_corruption(
+                filestore,
+                FaultEvent(at=0.0, kind="bitrot", disk=0, stripe=99, shard=0),
+            )
